@@ -1,0 +1,119 @@
+// A2: focal-element representation ablation — the library's packed
+// bitset (ValueSet) against a sorted-vector set representation, across
+// domain sizes, on the operations Dempster's rule is built from
+// (intersection + emptiness + hashing).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "ds/value_set.h"
+
+namespace evident {
+namespace {
+
+/// The alternative representation: ascending indices in a vector.
+using SortedVec = std::vector<size_t>;
+
+SortedVec RandomSorted(Rng* rng, size_t universe, size_t count) {
+  SortedVec v;
+  while (v.size() < count) {
+    const size_t x = rng->Below(universe);
+    if (!std::binary_search(v.begin(), v.end(), x)) {
+      v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+    }
+  }
+  return v;
+}
+
+ValueSet ToValueSet(const SortedVec& v, size_t universe) {
+  ValueSet s(universe);
+  for (size_t i : v) s.Set(i);
+  return s;
+}
+
+void BM_IntersectBitset(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  const size_t members = std::max<size_t>(2, universe / 8);
+  Rng rng(7);
+  ValueSet a = ToValueSet(RandomSorted(&rng, universe, members), universe);
+  ValueSet b = ToValueSet(RandomSorted(&rng, universe, members), universe);
+  for (auto _ : state) {
+    ValueSet c = a.Intersect(b);
+    benchmark::DoNotOptimize(c.IsEmpty());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_IntersectBitset)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_IntersectSortedVector(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  const size_t members = std::max<size_t>(2, universe / 8);
+  Rng rng(7);
+  SortedVec a = RandomSorted(&rng, universe, members);
+  SortedVec b = RandomSorted(&rng, universe, members);
+  for (auto _ : state) {
+    SortedVec c;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(c));
+    benchmark::DoNotOptimize(c.empty());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_IntersectSortedVector)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_HashBitset(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  ValueSet a =
+      ToValueSet(RandomSorted(&rng, universe, universe / 4 + 1), universe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_HashBitset)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_HashSortedVector(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  SortedVec a = RandomSorted(&rng, universe, universe / 4 + 1);
+  for (auto _ : state) {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t i : a) {
+      h ^= i + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HashSortedVector)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_SubsetBitset(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  ValueSet a =
+      ToValueSet(RandomSorted(&rng, universe, universe / 8 + 1), universe);
+  ValueSet b =
+      ToValueSet(RandomSorted(&rng, universe, universe / 2 + 1), universe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IsSubsetOf(b));
+  }
+}
+BENCHMARK(BM_SubsetBitset)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_SubsetSortedVector(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  SortedVec a = RandomSorted(&rng, universe, universe / 8 + 1);
+  SortedVec b = RandomSorted(&rng, universe, universe / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        std::includes(b.begin(), b.end(), a.begin(), a.end()));
+  }
+}
+BENCHMARK(BM_SubsetSortedVector)->RangeMultiplier(8)->Range(8, 4096);
+
+}  // namespace
+}  // namespace evident
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// B1: baseline comparison — the evidential approach against DeMichiel's
+// partial values and Tseng et al.'s probabilistic partial values on
+// ground-truth two-source workloads, sweeping observation noise.
+// Reproduces the paper's qualitative claims (§1.3): a single graded
+// result set instead of true/maybe splits, strictly more decisions than
+// partial values, and retained uncertainty bookkeeping.
+#include <cstdio>
+
+#include "baselines/comparison.h"
+#include "bench_util.h"
+#include "workload/generator.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  std::printf("B1: conflict-resolution approach comparison\n");
+  std::printf("%-8s %-32s %9s %9s %11s %10s %11s\n", "noise", "approach",
+              "accuracy", "decided", "truth-kept", "conflicts",
+              "mean-cands");
+
+  for (int noise_pct : {10, 20, 35, 50}) {
+    WorkloadGenerator gen(4242 + noise_pct);
+    GroundTruthOptions options;
+    options.num_entities = 400;
+    options.domain_size = 8;
+    options.observation_noise = noise_pct / 100.0;
+    options.top_mass = 0.6;
+    GroundTruthWorkload workload = gen.MakeGroundTruth(options).value();
+
+    ComparisonMetrics evidential =
+        RunComparison(workload, MergeApproach::kEvidential).value();
+    ComparisonMetrics partial =
+        RunComparison(workload, MergeApproach::kPartialValues).value();
+    ComparisonMetrics probabilistic =
+        RunComparison(workload, MergeApproach::kProbabilisticMixture)
+            .value();
+
+    for (const ComparisonMetrics& m :
+         {evidential, partial, probabilistic}) {
+      std::printf("%-8d %-32s %9.3f %9zu %11.3f %10zu %11.2f\n", noise_pct,
+                  MergeApproachToString(m.approach), m.DecisionAccuracy(),
+                  m.decided, m.TruthRetention(), m.conflicts,
+                  m.mean_candidates);
+    }
+
+    checker.CheckTrue(
+        "noise=" + std::to_string(noise_pct) +
+            "%: evidential decides every entity",
+        evidential.decided + evidential.conflicts == evidential.entities);
+    checker.CheckTrue(
+        "noise=" + std::to_string(noise_pct) +
+            "%: partial values decide fewer entities",
+        partial.decided < evidential.decided);
+    checker.CheckTrue(
+        "noise=" + std::to_string(noise_pct) +
+            "%: evidential accuracy >= partial-value accuracy",
+        evidential.DecisionAccuracy() >= partial.DecisionAccuracy());
+    checker.CheckTrue("noise=" + std::to_string(noise_pct) +
+                          "%: evidential accuracy within 5% of "
+                          "probabilistic or better",
+                      evidential.DecisionAccuracy() + 0.05 >=
+                          probabilistic.DecisionAccuracy());
+  }
+  std::printf(
+      "\nReading: with graded belief the evidential model commits to a\n"
+      "ranked answer for every mergeable entity (the paper's single\n"
+      "result set with a full range of certainty), while set-based\n"
+      "partial values can only answer when the intersection collapses to\n"
+      "a singleton, and the probabilistic model matches accuracy only by\n"
+      "forcing subset-level ambiguity into per-value probabilities.\n");
+  return checker.Finish("bench_baselines");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

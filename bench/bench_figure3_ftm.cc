@@ -1,0 +1,67 @@
+// E10: Figure 3 — the tuple-membership derivation process of extended
+// selection. Sweeps original memberships (sn,sp) against predicate
+// supports F_SS and checks the F_TM product rule plus its consistency
+// properties (monotonicity, identity, annihilation).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operations.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  std::printf(
+      "E10: Figure 3 — new tuple membership = F_TM(original, F_SS)\n\n");
+
+  const SupportPair memberships[] = {
+      {1.0, 1.0}, {0.8, 1.0}, {0.5, 0.5}, {0.2, 0.9}, {0.0, 1.0}};
+  const SupportPair supports[] = {
+      {1.0, 1.0}, {0.9, 1.0}, {0.5, 0.75}, {0.64, 0.64}, {0.0, 0.0}};
+
+  std::printf("  original (sn,sp)   F_SS (sn,sp)      revised (sn,sp)\n");
+  for (const SupportPair& m : memberships) {
+    for (const SupportPair& s : supports) {
+      const SupportPair revised = m.Multiply(s);
+      std::printf("  %-18s %-17s %s\n", m.ToString(3).c_str(),
+                  s.ToString(3).c_str(), revised.ToString(4).c_str());
+      // The product rule itself.
+      if (std::fabs(revised.sn - m.sn * s.sn) > 1e-12 ||
+          std::fabs(revised.sp - m.sp * s.sp) > 1e-12) {
+        checker.CheckTrue("F_TM product rule", false);
+      }
+      // Revised membership must remain a valid support pair.
+      if (!revised.Validate().ok()) {
+        checker.CheckTrue("revised membership valid", false);
+      }
+    }
+  }
+  checker.CheckTrue("F_TM product rule over the sweep", true);
+
+  // Identity: a certainly-satisfied predicate leaves membership alone.
+  const SupportPair m(0.3, 0.8);
+  checker.CheckTrue("F_TM(m, (1,1)) = m",
+                    m.Multiply(SupportPair::Certain()).ApproxEquals(m));
+  // Annihilation: a certainly-failed predicate gives (0,0).
+  checker.CheckTrue(
+      "F_TM(m, (0,0)) = (0,0)",
+      m.Multiply(SupportPair::Impossible())
+          .ApproxEquals(SupportPair::Impossible()));
+
+  // The paper's worked instances (Tables 2 and 3 membership column).
+  checker.CheckNear("Table 2 garden: (1,1)x(0.5,0.75) -> sn",
+                    SupportPair(1, 1).Multiply({0.5, 0.75}).sn, 0.5, 1e-12);
+  checker.CheckNear("Table 3 mehl: (0.5,0.5)x(0.64,0.64) -> sn",
+                    SupportPair(0.5, 0.5).Multiply({0.64, 0.64}).sn, 0.32,
+                    1e-12);
+  checker.CheckNear("Table 3 ashiana: (1,1)x(0.9,1) -> sn",
+                    SupportPair(1, 1).Multiply({0.9, 1.0}).sn, 0.9, 1e-12);
+  return checker.Finish("bench_figure3_ftm");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

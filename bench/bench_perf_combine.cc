@@ -1,0 +1,95 @@
+// P1: microbenchmarks of Dempster's rule — scaling in the number of
+// focal elements and in the frame (domain) size, plus the alternative
+// rules for reference.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ds/combination.h"
+
+namespace evident {
+namespace {
+
+MassFunction RandomMass(Rng* rng, size_t universe, size_t focals) {
+  MassFunction m(universe);
+  std::vector<double> weights(focals);
+  double total = 0;
+  for (double& w : weights) {
+    w = 0.05 + rng->NextDouble();
+    total += w;
+  }
+  for (size_t f = 0; f < focals; ++f) {
+    ValueSet set(universe);
+    // 1-3 random members plus always bit 0 so combinations never hit
+    // total conflict (benchmarks measure the hot path, not error
+    // handling).
+    set.Set(0);
+    const size_t extra = rng->Below(3);
+    for (size_t e = 0; e < extra; ++e) set.Set(rng->Below(universe));
+    (void)m.Add(set, weights[f] / total);
+  }
+  return m;
+}
+
+void BM_DempsterCombineByFocals(benchmark::State& state) {
+  const size_t focals = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  MassFunction a = RandomMass(&rng, 64, focals);
+  MassFunction b = RandomMass(&rng, 64, focals);
+  for (auto _ : state) {
+    auto combined = CombineDempster(a, b);
+    benchmark::DoNotOptimize(combined);
+  }
+  state.SetComplexityN(static_cast<int64_t>(focals));
+}
+BENCHMARK(BM_DempsterCombineByFocals)
+    ->RangeMultiplier(4)
+    ->Range(2, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_DempsterCombineByDomainSize(benchmark::State& state) {
+  const size_t universe = static_cast<size_t>(state.range(0));
+  Rng rng(43);
+  MassFunction a = RandomMass(&rng, universe, 16);
+  MassFunction b = RandomMass(&rng, universe, 16);
+  for (auto _ : state) {
+    auto combined = CombineDempster(a, b);
+    benchmark::DoNotOptimize(combined);
+  }
+}
+BENCHMARK(BM_DempsterCombineByDomainSize)
+    ->RangeMultiplier(8)
+    ->Range(8, 4096);
+
+void BM_CombineRule(benchmark::State& state) {
+  const auto rule = static_cast<CombinationRule>(state.range(0));
+  Rng rng(44);
+  MassFunction a = RandomMass(&rng, 64, 32);
+  MassFunction b = RandomMass(&rng, 64, 32);
+  for (auto _ : state) {
+    auto combined = Combine(a, b, rule);
+    benchmark::DoNotOptimize(combined);
+  }
+  state.SetLabel(CombinationRuleToString(rule));
+}
+BENCHMARK(BM_CombineRule)
+    ->Arg(static_cast<int>(CombinationRule::kDempster))
+    ->Arg(static_cast<int>(CombinationRule::kTBM))
+    ->Arg(static_cast<int>(CombinationRule::kYager))
+    ->Arg(static_cast<int>(CombinationRule::kMixing));
+
+void BM_BeliefQuery(benchmark::State& state) {
+  const size_t focals = static_cast<size_t>(state.range(0));
+  Rng rng(45);
+  MassFunction m = RandomMass(&rng, 64, focals);
+  ValueSet probe = ValueSet::Of(64, {0, 5, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Belief(probe));
+    benchmark::DoNotOptimize(m.Plausibility(probe));
+  }
+}
+BENCHMARK(BM_BeliefQuery)->RangeMultiplier(4)->Range(2, 512);
+
+}  // namespace
+}  // namespace evident
+
+BENCHMARK_MAIN();

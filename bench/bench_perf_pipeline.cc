@@ -1,0 +1,125 @@
+// P4: end-to-end integration-pipeline throughput — attribute
+// preprocessing (vote parsing + consolidation, menu classification),
+// entity identification (key vs similarity) and tuple merging, as a
+// function of source size. Complements P1-P3, which benchmark the
+// algebra in isolation.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "integration/pipeline.h"
+#include "workload/paper_fixtures.h"
+#include "workload/paper_survey.h"
+
+namespace evident {
+namespace {
+
+/// Synthetic survey export shaped like the paper's (menu + vote columns),
+/// scaled to `rows` restaurants.
+RawTable SyntheticSurvey(const std::string& name, size_t rows,
+                         uint64_t seed) {
+  Rng rng(seed);
+  RawTable t;
+  t.name = name;
+  t.columns = {"rname", "street",      "bldg-no", "phone", "menu",
+               "dish_votes", "rating_votes", "sn",      "sp"};
+  const char* menu_items[] = {"kungpao", "wonton", "dimsum",  "burger",
+                              "lasagna", "biryani", "padthai", "special1"};
+  const char* ratings[] = {"ex", "gd", "avg"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::string menu;
+    const size_t n_items = 2 + rng.Below(5);
+    for (size_t m = 0; m < n_items; ++m) {
+      if (m) menu += "|";
+      menu += menu_items[rng.Below(8)];
+    }
+    std::string dish_votes;
+    const size_t n_dishes = 1 + rng.Below(3);
+    for (size_t d = 0; d < n_dishes; ++d) {
+      if (d) dish_votes += "; ";
+      dish_votes += "d" + std::to_string(1 + rng.Below(36)) + ":" +
+                    std::to_string(1 + rng.Below(5));
+    }
+    std::string rating_votes;
+    const size_t n_ratings = 1 + rng.Below(3);
+    for (size_t r = 0; r < n_ratings; ++r) {
+      if (r) rating_votes += "; ";
+      rating_votes += std::string(ratings[r]) + ":" +
+                      std::to_string(1 + rng.Below(6));
+    }
+    t.rows.push_back({"rest" + std::to_string(i),
+                      "street" + std::to_string(rng.Below(50)),
+                      std::to_string(rng.Below(9999)),
+                      "555-" + std::to_string(1000 + rng.Below(9000)), menu,
+                      dish_votes, rating_votes, "1", "1"});
+  }
+  return t;
+}
+
+void BM_PreprocessOnly(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  RawTable raw = SyntheticSurvey("A", rows, 1);
+  auto config = paper::PaperPipelineConfig().value();
+  AttributePreprocessor pre(config.global_schema, config.derivations_a,
+                            config.membership_a);
+  for (auto _ : state) {
+    auto relation = pre.Run(raw);
+    benchmark::DoNotOptimize(relation);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_PreprocessOnly)->RangeMultiplier(10)->Range(100, 10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineByKey(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  RawTable raw_a = SyntheticSurvey("A", rows, 1);
+  RawTable raw_b = SyntheticSurvey("B", rows, 2);
+  // Same rname space → full key overlap; evidence differs per seed. The
+  // menu/vote evidence can totally conflict, so keep such tuples with
+  // vacuous values rather than failing mid-benchmark.
+  auto config = paper::PaperPipelineConfig().value();
+  config.merge_options.on_total_conflict = TotalConflictPolicy::kVacuous;
+  IntegrationPipeline pipeline(config);
+  for (auto _ : state) {
+    auto run = pipeline.Run(raw_a, raw_b);
+    if (!run.ok()) state.SkipWithError(run.status().ToString().c_str());
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * rows));
+}
+BENCHMARK(BM_FullPipelineByKey)->RangeMultiplier(10)->Range(100, 10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimilarityIdentification(benchmark::State& state) {
+  // Quadratic candidate generation dominates; keep sizes modest.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  RawTable raw_a = SyntheticSurvey("A", rows, 1);
+  RawTable raw_b = SyntheticSurvey("B", rows, 2);
+  auto config = paper::PaperPipelineConfig().value();
+  AttributePreprocessor pre_a(config.global_schema, config.derivations_a,
+                              config.membership_a);
+  AttributePreprocessor pre_b(config.global_schema, config.derivations_a,
+                              config.membership_a);
+  ExtendedRelation a = pre_a.Run(raw_a).value();
+  ExtendedRelation b = pre_b.Run(raw_b).value();
+  SimilarityMatchOptions options;
+  options.compare_attributes = {"rname", "street"};
+  options.threshold = 0.8;
+  for (auto _ : state) {
+    auto matching = MatchBySimilarity(a, b, options);
+    benchmark::DoNotOptimize(matching);
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SimilarityIdentification)->RangeMultiplier(2)->Range(32, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace evident
+
+BENCHMARK_MAIN();

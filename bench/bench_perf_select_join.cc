@@ -1,0 +1,101 @@
+// P3: extended selection and join throughput — scaling in relation size
+// and in the number of conjuncts (the multiplicative-rule cost), plus
+// EQL end-to-end overhead (parse + bind + execute).
+#include <benchmark/benchmark.h>
+
+#include "core/operations.h"
+#include "query/engine.h"
+#include "workload/generator.h"
+
+namespace evident {
+namespace {
+
+ExtendedRelation MakeRelation(size_t tuples) {
+  WorkloadGenerator gen(77 + tuples);
+  GeneratorOptions options;
+  options.num_tuples = tuples;
+  options.num_uncertain = 3;
+  options.domain_size = 12;
+  auto schema = gen.MakeSchema(options).value();
+  return gen.MakeRelation("R", schema, options).value();
+}
+
+void BM_SelectByTuples(benchmark::State& state) {
+  ExtendedRelation r = MakeRelation(static_cast<size_t>(state.range(0)));
+  PredicatePtr pred = IsSym("unc0", {"v0", "v1", "v2"});
+  for (auto _ : state) {
+    auto result = Select(r, pred);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SelectByTuples)->RangeMultiplier(10)->Range(100, 100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectByConjuncts(benchmark::State& state) {
+  ExtendedRelation r = MakeRelation(10000);
+  std::vector<PredicatePtr> conjuncts;
+  const char* attrs[] = {"unc0", "unc1", "unc2"};
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    conjuncts.push_back(
+        IsSym(attrs[i % 3], {"v0", "v1", "v2", "v3"}));
+  }
+  PredicatePtr pred =
+      conjuncts.size() == 1 ? conjuncts[0] : And(conjuncts);
+  for (auto _ : state) {
+    auto result = Select(r, pred);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectByConjuncts)->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JoinByTuples(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExtendedRelation left = MakeRelation(n);
+  ExtendedRelation right = MakeRelation(n);
+  left.set_name("L");
+  right.set_name("R");
+  PredicatePtr pred = Theta(ThetaOperand::Attr("L.key"), ThetaOp::kEq,
+                            ThetaOperand::Attr("R.key"));
+  for (auto _ : state) {
+    auto result = Join(left, right, pred);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinByTuples)->RangeMultiplier(2)->Range(32, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_EqlEndToEnd(benchmark::State& state) {
+  Catalog catalog;
+  (void)catalog.RegisterRelation(MakeRelation(10000));
+  QueryEngine engine(&catalog);
+  const std::string query =
+      "SELECT key, unc0 FROM R WHERE unc0 IS {v0, v1} WITH sn > 0.2";
+  for (auto _ : state) {
+    auto result = engine.Execute(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EqlEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_EqlParseOnly(benchmark::State& state) {
+  Catalog catalog;
+  QueryEngine engine(&catalog);
+  const std::string query =
+      "SELECT key, unc0 FROM R WHERE unc0 IS {v0, v1} AND unc1 = "
+      "[v0^0.5, v1^0.5] WITH sn > 0.2 AND sp >= 0.5";
+  for (auto _ : state) {
+    auto plan = engine.Explain(query);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_EqlParseOnly);
+
+}  // namespace
+}  // namespace evident
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// P2: extended-union (tuple merging) throughput — scaling in relation
+// size and in key overlap, the two knobs of the integration workload.
+#include <benchmark/benchmark.h>
+
+#include "core/operations.h"
+#include "workload/generator.h"
+
+namespace evident {
+namespace {
+
+std::pair<ExtendedRelation, ExtendedRelation> MakePair(size_t tuples,
+                                                       double overlap) {
+  WorkloadGenerator gen(1234 + tuples + static_cast<size_t>(overlap * 100));
+  SourcePairOptions options;
+  options.base.num_tuples = tuples;
+  options.base.num_uncertain = 2;
+  options.base.domain_size = 12;
+  options.base.max_focals = 4;
+  options.key_overlap = overlap;
+  options.conflict_rate = 0.0;
+  auto pair = gen.MakeSourcePair(options);
+  return std::move(pair).value();
+}
+
+void BM_UnionByTuples(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  auto [a, b] = MakePair(tuples, 0.5);
+  for (auto _ : state) {
+    auto merged = Union(a, b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_UnionByTuples)->RangeMultiplier(10)->Range(100, 100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UnionByOverlap(benchmark::State& state) {
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  auto [a, b] = MakePair(5000, overlap);
+  for (auto _ : state) {
+    auto merged = Union(a, b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetLabel("overlap=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_UnionByOverlap)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UnionRuleAblation(benchmark::State& state) {
+  const auto rule = static_cast<CombinationRule>(state.range(0));
+  auto [a, b] = MakePair(5000, 1.0);
+  UnionOptions options;
+  options.rule = rule;
+  options.on_total_conflict = TotalConflictPolicy::kVacuous;
+  for (auto _ : state) {
+    auto merged = Union(a, b, options);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetLabel(CombinationRuleToString(rule));
+}
+BENCHMARK(BM_UnionRuleAblation)
+    ->Arg(static_cast<int>(CombinationRule::kDempster))
+    ->Arg(static_cast<int>(CombinationRule::kYager))
+    ->Arg(static_cast<int>(CombinationRule::kMixing))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evident
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// E5: regenerates Table 2 — σ̃^{sn>0}_{speciality is {si}} R_A.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operations.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  ExtendedRelation ra = paper::TableRA().value();
+  ExtendedRelation result =
+      Select(ra, IsSym("speciality", {"si"}),
+             MembershipThreshold::SnGreater(0.0))
+          .value();
+
+  RenderOptions render;
+  render.mass_decimals = 2;
+  render.title =
+      "Table 2: select[speciality is {si}, Q: sn > 0] R_A";
+  std::printf("E5: %s\n", RenderTable(result, render).c_str());
+
+  bench::CheckRelation(&checker, result, paper::ExpectedTable2().value(),
+                       paper::kPaperEps);
+  // Spot-check the paper's headline number: garden's revised membership
+  // is (Bel,Pls) = (0.5, 0.75) times original (1,1).
+  const ExtendedTuple& garden =
+      result.row(result.FindByKey({Value("garden")}).value());
+  checker.CheckNear("garden revised sn", garden.membership.sn, 0.5,
+                    paper::kPaperEps);
+  checker.CheckNear("garden revised sp", garden.membership.sp, 0.75,
+                    paper::kPaperEps);
+  return checker.Finish("bench_table2");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

@@ -1,0 +1,48 @@
+// E6: regenerates Table 3 — σ̃^{sn>0}_{(speciality is {mu}) ∧ (rating is
+// {ex})} R_A, exercising the compound-predicate multiplicative rule.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operations.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  ExtendedRelation ra = paper::TableRA().value();
+  ExtendedRelation result =
+      Select(ra, And(IsSym("speciality", {"mu"}), IsSym("rating", {"ex"})),
+             MembershipThreshold::SnGreater(0.0))
+          .value();
+
+  RenderOptions render;
+  render.mass_decimals = 2;
+  render.title =
+      "Table 3: select[(speciality is {mu}) and (rating is {ex}), Q: sn > 0] "
+      "R_A";
+  std::printf("E6: %s\n", RenderTable(result, render).c_str());
+
+  bench::CheckRelation(&checker, result, paper::ExpectedTable3().value(),
+                       paper::kPaperEps);
+  // mehl: (0.8·0.8) on both sides times membership (0.5,0.5) → (0.32,0.32).
+  const ExtendedTuple& mehl =
+      result.row(result.FindByKey({Value("mehl")}).value());
+  checker.CheckNear("mehl revised sn", mehl.membership.sn, 0.32,
+                    paper::kPaperEps);
+  // ashiana: spec support (0.9,1.0) × rating (1,1) × membership (1,1).
+  const ExtendedTuple& ashiana =
+      result.row(result.FindByKey({Value("ashiana")}).value());
+  checker.CheckNear("ashiana revised sn", ashiana.membership.sn, 0.9,
+                    paper::kPaperEps);
+  checker.CheckNear("ashiana revised sp", ashiana.membership.sp, 1.0,
+                    paper::kPaperEps);
+  return checker.Finish("bench_table3");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

@@ -1,0 +1,55 @@
+// E7: regenerates Table 4 — the extended union R_A ∪̃_(rname) R_B, the
+// paper's tuple-merging (attribute value conflict resolution) result.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operations.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  ExtendedRelation ra = paper::TableRA().value();
+  ExtendedRelation rb = paper::TableRB().value();
+  ExtendedRelation result = Union(ra, rb).value();
+
+  RenderOptions render;
+  render.mass_decimals = 3;
+  render.title = "Table 4: R_A union_(rname) R_B";
+  std::printf("E7: %s\n", RenderTable(result, render).c_str());
+
+  bench::CheckRelation(&checker, result, paper::ExpectedTable4().value(),
+                       paper::kPaperEps);
+
+  // The paper's headline combined values.
+  const auto& garden = result.row(result.FindByKey({Value("garden")}).value());
+  const auto& spec = std::get<EvidenceSet>(garden.cells[4]);
+  checker.CheckNear("garden m({si}) = 0.655",
+                    spec.Belief({Value("si")}).value(), 0.655,
+                    paper::kPaperEps);
+  checker.CheckNear("garden m({hu}) = 0.276",
+                    spec.Belief({Value("hu")}).value(), 0.276,
+                    paper::kPaperEps);
+  const auto& rating = std::get<EvidenceSet>(garden.cells[6]);
+  checker.CheckNear("garden m({ex}) = 0.143",
+                    rating.Belief({Value("ex")}).value(), 0.143,
+                    paper::kPaperEps);
+  checker.CheckNear("garden m({gd}) = 0.857",
+                    rating.Belief({Value("gd")}).value(), 0.857,
+                    paper::kPaperEps);
+  const auto& mehl = result.row(result.FindByKey({Value("mehl")}).value());
+  checker.CheckNear("mehl membership sn = 0.83 (5/6)", mehl.membership.sn,
+                    5.0 / 6, paper::kPaperEps);
+  // ashiana appears only in R_A and must be retained unchanged.
+  checker.CheckTrue("ashiana retained from R_A",
+                    result.ContainsKey({Value("ashiana")}));
+  return checker.Finish("bench_table4");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

@@ -1,0 +1,38 @@
+// E8: regenerates Table 5 — the extended projection
+// π̃_(rname, phone, speciality, rating, (sn,sp)) R_A.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operations.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+int Run() {
+  bench::Checker checker;
+  ExtendedRelation ra = paper::TableRA().value();
+  ExtendedRelation result =
+      Project(ra, {"rname", "phone", "speciality", "rating"}).value();
+
+  RenderOptions render;
+  render.mass_decimals = 2;
+  render.title =
+      "Table 5: project[rname, phone, speciality, rating, (sn,sp)] R_A";
+  std::printf("E8: %s\n", RenderTable(result, render).c_str());
+
+  bench::CheckRelation(&checker, result, paper::ExpectedTable5().value(),
+                       paper::kPaperEps);
+  checker.CheckTrue("membership column retained",
+                    result.row(0).membership.Validate().ok());
+  checker.CheckTrue("schema is (rname*, phone, †speciality, †rating)",
+                    result.schema()->ToString() ==
+                        "(rname*, phone, †speciality, †rating)");
+  return checker.Finish("bench_table5");
+}
+
+}  // namespace
+}  // namespace evident
+
+int main() { return evident::Run(); }

@@ -1,0 +1,115 @@
+// evident_shell — a minimal interactive EQL shell over .erel catalogs.
+//
+// Usage:
+//   ./build/examples/evident_shell [catalog.erel ...]
+//
+// With no arguments it loads the paper's restaurant tables (R_A, R_B,
+// M_A, M_B, RM_A, RM_B). Commands (one per line on stdin):
+//   \tables                 list relations
+//   \show <relation>        print a relation
+//   \explain <eql>          show the query plan
+//   \save <path>            save the catalog as .erel
+//   \quit                   exit
+// anything else is executed as an EQL query, e.g.
+//   SELECT rname FROM RA UNION RB WHERE rating IS {ex} WITH sn >= 0.8
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "query/engine.h"
+#include "storage/erel_format.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+using namespace evident;  // NOLINT — example brevity
+
+namespace {
+
+Catalog DefaultCatalog() {
+  Catalog catalog;
+  (void)catalog.RegisterRelation(paper::TableRA().value());
+  (void)catalog.RegisterRelation(paper::TableRB().value());
+  (void)catalog.RegisterRelation(paper::TableMA().value());
+  (void)catalog.RegisterRelation(paper::TableMB().value());
+  (void)catalog.RegisterRelation(paper::TableRMA().value());
+  (void)catalog.RegisterRelation(paper::TableRMB().value());
+  return catalog;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog catalog;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      auto loaded = LoadErelFile(argv[i]);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error loading %s: %s\n", argv[i],
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      for (const std::string& name : loaded->RelationNames()) {
+        (void)catalog.RegisterRelation(**loaded->GetRelation(name),
+                                       /*replace=*/true);
+      }
+    }
+  } else {
+    catalog = DefaultCatalog();
+    std::printf("loaded the paper's example catalog (RA, RB, MA, MB, RMA, "
+                "RMB)\n");
+  }
+
+  QueryEngine engine(&catalog);
+  RenderOptions render;
+  render.mass_decimals = 3;
+
+  std::printf("evident shell — type \\tables, \\show <rel>, \\explain "
+              "<eql>, \\save <path>, \\quit, or an EQL query\n");
+  std::string line;
+  while (true) {
+    std::printf("eql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string input = Trim(line);
+    if (input.empty()) continue;
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\tables") {
+      for (const std::string& name : catalog.RelationNames()) {
+        const ExtendedRelation* rel = catalog.GetRelation(name).value();
+        std::printf("  %-12s %s  [%zu tuples]\n", name.c_str(),
+                    rel->schema()->ToString().c_str(), rel->size());
+      }
+      continue;
+    }
+    if (StartsWith(input, "\\show ")) {
+      auto rel = catalog.GetRelation(Trim(input.substr(6)));
+      if (!rel.ok()) {
+        std::printf("%s\n", rel.status().ToString().c_str());
+        continue;
+      }
+      render.title = (*rel)->name();
+      std::printf("%s", RenderTable(**rel, render).c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\explain ")) {
+      auto plan = engine.Explain(input.substr(9));
+      std::printf("%s\n", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\save ")) {
+      Status st = SaveErelFile(catalog, Trim(input.substr(6)));
+      std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    auto result = engine.Execute(input);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      continue;
+    }
+    render.title = "result (" + std::to_string(result->size()) + " tuples)";
+    std::printf("%s", RenderTable(*result, render).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "baselines/aggregates.h"
+
+#include <algorithm>
+
+namespace evident {
+
+const char* AggregateFunctionToString(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kAverage:
+      return "avg";
+    case AggregateFunction::kMin:
+      return "min";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kFirst:
+      return "first";
+  }
+  return "?";
+}
+
+Result<Value> ResolveByAggregate(const std::vector<Value>& values,
+                                 AggregateFunction fn) {
+  if (values.empty()) {
+    return Status::InvalidArgument("no values to aggregate");
+  }
+  if (fn == AggregateFunction::kFirst) return values.front();
+  bool all_int = true;
+  for (const Value& v : values) {
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument(
+          "aggregate '" + std::string(AggregateFunctionToString(fn)) +
+          "' is undefined over non-numeric value " + v.ToString() +
+          "; use the evidential approach for categorical attributes");
+    }
+    if (!v.is_int()) all_int = false;
+  }
+  switch (fn) {
+    case AggregateFunction::kAverage: {
+      double total = 0.0;
+      for (const Value& v : values) total += v.AsDouble();
+      return Value(total / static_cast<double>(values.size()));
+    }
+    case AggregateFunction::kMin: {
+      const Value* best = &values.front();
+      for (const Value& v : values) {
+        if (v < *best) best = &v;
+      }
+      return *best;
+    }
+    case AggregateFunction::kMax: {
+      const Value* best = &values.front();
+      for (const Value& v : values) {
+        if (v > *best) best = &v;
+      }
+      return *best;
+    }
+    case AggregateFunction::kSum: {
+      if (all_int) {
+        int64_t total = 0;
+        for (const Value& v : values) total += v.int_value();
+        return Value(total);
+      }
+      double total = 0.0;
+      for (const Value& v : values) total += v.AsDouble();
+      return Value(total);
+    }
+    case AggregateFunction::kFirst:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable aggregate");
+}
+
+}  // namespace evident

@@ -1,0 +1,38 @@
+#ifndef EVIDENT_BASELINES_AGGREGATES_H_
+#define EVIDENT_BASELINES_AGGREGATES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace evident {
+
+/// \brief Dayal's aggregate-function approach (VLDB 1983) to attribute
+/// value conflict: when two sources disagree on a *numeric* attribute,
+/// derive the integrated value with an aggregate.
+///
+/// The paper positions this as a complementary class of attribute
+/// integration methods — adequate for numeric attributes, inapplicable
+/// to categorical or uncertain ones (where the evidential approach takes
+/// over). Both can coexist in one integration framework.
+enum class AggregateFunction {
+  kAverage,
+  kMin,
+  kMax,
+  kSum,
+  /// Keep the first source's value (source-preference resolution).
+  kFirst,
+};
+
+const char* AggregateFunctionToString(AggregateFunction fn);
+
+/// \brief Applies `fn` to conflicting numeric values; fails on empty
+/// input or (except kFirst) on non-numeric values.
+Result<Value> ResolveByAggregate(const std::vector<Value>& values,
+                                 AggregateFunction fn);
+
+}  // namespace evident
+
+#endif  // EVIDENT_BASELINES_AGGREGATES_H_

@@ -1,0 +1,71 @@
+#ifndef EVIDENT_BASELINES_COMPARISON_H_
+#define EVIDENT_BASELINES_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/generator.h"
+
+namespace evident {
+
+/// \brief Which conflict-resolution model merges the two sources in a
+/// comparison run.
+enum class MergeApproach {
+  /// The paper: Dempster combination of evidence sets, decision by
+  /// pignistic maximum.
+  kEvidential,
+  /// DeMichiel: intersect plausible-value sets; decision only when the
+  /// intersection is a singleton.
+  kPartialValues,
+  /// Tseng et al.: pignistic projection per source, mixture combination,
+  /// decision by probability maximum.
+  kProbabilisticMixture,
+};
+
+const char* MergeApproachToString(MergeApproach approach);
+
+/// \brief Outcome metrics of merging a ground-truth workload with one
+/// approach (one row of the B1 comparison table).
+struct ComparisonMetrics {
+  MergeApproach approach;
+  size_t entities = 0;
+  /// Entities where the approach commits to a single value and that
+  /// value is the truth.
+  size_t correct_decisions = 0;
+  /// Entities where the approach commits to a single (possibly wrong)
+  /// value at all (partial values often cannot commit).
+  size_t decided = 0;
+  /// Entities whose merged representation still contains the truth
+  /// among its possible values.
+  size_t truth_retained = 0;
+  /// Entities where combination failed with total conflict.
+  size_t conflicts = 0;
+  /// Mean size of the merged candidate set (answer sharpness; lower is
+  /// sharper).
+  double mean_candidates = 0.0;
+
+  double DecisionAccuracy() const {
+    return entities == 0 ? 0.0
+                         : static_cast<double>(correct_decisions) /
+                               static_cast<double>(entities);
+  }
+  double TruthRetention() const {
+    return entities == 0 ? 0.0
+                         : static_cast<double>(truth_retained) /
+                               static_cast<double>(entities);
+  }
+};
+
+/// \brief Merges every shared entity of `workload` under `approach` and
+/// scores the result against the ground truth. The decision rule is the
+/// natural one for each model (see MergeApproach).
+Result<ComparisonMetrics> RunComparison(const GroundTruthWorkload& workload,
+                                        MergeApproach approach);
+
+/// \brief Formats a comparison table over all approaches.
+Result<std::string> RenderComparisonTable(const GroundTruthWorkload& workload);
+
+}  // namespace evident
+
+#endif  // EVIDENT_BASELINES_COMPARISON_H_

@@ -1,0 +1,86 @@
+#include "baselines/partial_value.h"
+
+namespace evident {
+
+Result<PartialValue> PartialValue::Make(DomainPtr domain, ValueSet set) {
+  if (domain == nullptr) return Status::InvalidArgument("null domain");
+  if (set.universe_size() != domain->size()) {
+    return Status::Incompatible("partial value universe mismatch");
+  }
+  if (set.IsEmpty()) {
+    return Status::InvalidArgument(
+        "a partial value must contain at least one candidate");
+  }
+  return PartialValue(std::move(domain), std::move(set));
+}
+
+Result<PartialValue> PartialValue::Definite(DomainPtr domain, const Value& v) {
+  if (domain == nullptr) return Status::InvalidArgument("null domain");
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, domain->IndexOf(v));
+  ValueSet set = ValueSet::Singleton(domain->size(), index);
+  return PartialValue(std::move(domain), std::move(set));
+}
+
+PartialValue PartialValue::Unknown(DomainPtr domain) {
+  ValueSet set = ValueSet::Full(domain->size());
+  return PartialValue(std::move(domain), std::move(set));
+}
+
+Result<PartialValue> PartialValue::FromEvidence(const EvidenceSet& es) {
+  ValueSet support(es.domain()->size());
+  for (const auto& [set, mass] : es.mass().focals()) {
+    support = support.Union(set);
+  }
+  return Make(es.domain(), std::move(support));
+}
+
+Result<PartialValue> PartialValue::Combine(const PartialValue& other) const {
+  if (!SameDomain(domain_, other.domain_)) {
+    return Status::Incompatible("partial values over different domains");
+  }
+  ValueSet intersection = set_.Intersect(other.set_);
+  if (intersection.IsEmpty()) {
+    return Status::TotalConflict(
+        "partial values have no common candidate: " + ToString() + " vs " +
+        other.ToString());
+  }
+  return PartialValue(domain_, std::move(intersection));
+}
+
+Result<PartialValue::Truth> PartialValue::IsIn(
+    const std::vector<Value>& values) const {
+  ValueSet target(domain_->size());
+  for (const Value& v : values) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, domain_->IndexOf(v));
+    target.Set(index);
+  }
+  if (set_.IsSubsetOf(target)) return Truth::kTrue;
+  if (!set_.Intersects(target)) return Truth::kFalse;
+  return Truth::kMaybe;
+}
+
+std::string PartialValue::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : set_.Indices()) {
+    if (!first) out += ",";
+    out += domain_->value(i).ToString();
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+const char* PartialTruthToString(PartialValue::Truth truth) {
+  switch (truth) {
+    case PartialValue::Truth::kTrue:
+      return "true";
+    case PartialValue::Truth::kMaybe:
+      return "maybe";
+    case PartialValue::Truth::kFalse:
+      return "false";
+  }
+  return "?";
+}
+
+}  // namespace evident

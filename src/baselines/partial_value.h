@@ -1,0 +1,66 @@
+#ifndef EVIDENT_BASELINES_PARTIAL_VALUE_H_
+#define EVIDENT_BASELINES_PARTIAL_VALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/domain.h"
+#include "common/result.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief DeMichiel's partial value (IEEE TKDE 1989), the baseline the
+/// paper generalizes: a set of domain values of which *exactly one* is
+/// the true value, with no graded belief.
+///
+/// Combination is set intersection (the sources are assumed consistent);
+/// an empty intersection is the analogue of the paper's total conflict.
+/// Queries against partial values return TRUE / MAYBE / FALSE rather
+/// than a graded support pair.
+class PartialValue {
+ public:
+  /// \brief Builds from a non-empty subset of the domain.
+  static Result<PartialValue> Make(DomainPtr domain, ValueSet set);
+
+  /// \brief The definite partial value {v}.
+  static Result<PartialValue> Definite(DomainPtr domain, const Value& v);
+
+  /// \brief The fully unknown partial value (the whole domain).
+  static PartialValue Unknown(DomainPtr domain);
+
+  /// \brief Projects an evidence set to a partial value by keeping every
+  /// value with positive plausibility — the information DeMichiel's
+  /// model can retain from the richer evidential representation.
+  static Result<PartialValue> FromEvidence(const EvidenceSet& es);
+
+  const DomainPtr& domain() const { return domain_; }
+  const ValueSet& set() const { return set_; }
+  size_t Cardinality() const { return set_.Count(); }
+  bool IsDefinite() const { return set_.Count() == 1; }
+
+  /// \brief Intersection combination; fails with TotalConflict when the
+  /// sets are disjoint.
+  Result<PartialValue> Combine(const PartialValue& other) const;
+
+  /// \brief Three-valued membership test for "value in C": TRUE when the
+  /// partial set is contained in C, FALSE when disjoint from C, MAYBE
+  /// otherwise.
+  enum class Truth { kTrue, kMaybe, kFalse };
+  Result<Truth> IsIn(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  PartialValue(DomainPtr domain, ValueSet set)
+      : domain_(std::move(domain)), set_(std::move(set)) {}
+
+  DomainPtr domain_;
+  ValueSet set_;
+};
+
+const char* PartialTruthToString(PartialValue::Truth truth);
+
+}  // namespace evident
+
+#endif  // EVIDENT_BASELINES_PARTIAL_VALUE_H_

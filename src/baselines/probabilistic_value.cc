@@ -1,0 +1,145 @@
+#include "baselines/probabilistic_value.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/str_util.h"
+#include "ds/combination.h"
+
+namespace evident {
+
+Result<ProbabilisticValue> ProbabilisticValue::Make(
+    DomainPtr domain, std::vector<std::pair<size_t, double>> entries) {
+  if (domain == nullptr) return Status::InvalidArgument("null domain");
+  if (entries.empty()) {
+    return Status::InvalidArgument("probabilistic value needs entries");
+  }
+  std::unordered_map<size_t, double> probs;
+  double total = 0.0;
+  for (const auto& [index, p] : entries) {
+    if (index >= domain->size()) {
+      return Status::OutOfRange("value index " + std::to_string(index) +
+                                " outside domain '" + domain->name() + "'");
+    }
+    if (p <= 0.0 || p > 1.0 + kMassEpsilon) {
+      return Status::OutOfRange("probability " + std::to_string(p) +
+                                " outside (0,1]");
+    }
+    probs[index] += p;
+    total += p;
+  }
+  if (!ApproxEqual(total, 1.0, 1e-6)) {
+    return Status::OutOfRange("probabilities sum to " + std::to_string(total));
+  }
+  return ProbabilisticValue(std::move(domain), std::move(probs));
+}
+
+Result<ProbabilisticValue> ProbabilisticValue::Definite(DomainPtr domain,
+                                                        const Value& v) {
+  if (domain == nullptr) return Status::InvalidArgument("null domain");
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, domain->IndexOf(v));
+  return Make(std::move(domain), {{index, 1.0}});
+}
+
+ProbabilisticValue ProbabilisticValue::Uniform(DomainPtr domain) {
+  std::unordered_map<size_t, double> probs;
+  const double p = 1.0 / static_cast<double>(domain->size());
+  for (size_t i = 0; i < domain->size(); ++i) probs[i] = p;
+  return ProbabilisticValue(std::move(domain), std::move(probs));
+}
+
+Result<ProbabilisticValue> ProbabilisticValue::FromEvidence(
+    const EvidenceSet& es) {
+  EVIDENT_ASSIGN_OR_RETURN(std::vector<double> pignistic,
+                           PignisticTransform(es.mass()));
+  std::vector<std::pair<size_t, double>> entries;
+  for (size_t i = 0; i < pignistic.size(); ++i) {
+    if (pignistic[i] > 0.0) entries.emplace_back(i, pignistic[i]);
+  }
+  return Make(es.domain(), std::move(entries));
+}
+
+double ProbabilisticValue::ProbOfIndex(size_t index) const {
+  auto it = probs_.find(index);
+  return it == probs_.end() ? 0.0 : it->second;
+}
+
+Result<double> ProbabilisticValue::ProbOf(const Value& v) const {
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, domain_->IndexOf(v));
+  return ProbOfIndex(index);
+}
+
+Result<double> ProbabilisticValue::ProbIn(
+    const std::vector<Value>& values) const {
+  double p = 0.0;
+  for (const Value& v : values) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, domain_->IndexOf(v));
+    p += ProbOfIndex(index);
+  }
+  return ClampUnit(p);
+}
+
+size_t ProbabilisticValue::ArgMax() const {
+  size_t best = domain_->size();
+  double best_p = -1.0;
+  for (size_t i = 0; i < domain_->size(); ++i) {
+    const double p = ProbOfIndex(i);
+    if (p > best_p + 1e-15) {
+      best = i;
+      best_p = p;
+    }
+  }
+  return best;
+}
+
+Result<ProbabilisticValue> ProbabilisticValue::CombineMixture(
+    const ProbabilisticValue& other) const {
+  if (!SameDomain(domain_, other.domain_)) {
+    return Status::Incompatible("probabilistic values over different domains");
+  }
+  std::unordered_map<size_t, double> probs;
+  for (const auto& [i, p] : probs_) probs[i] += 0.5 * p;
+  for (const auto& [i, p] : other.probs_) probs[i] += 0.5 * p;
+  return ProbabilisticValue(domain_, std::move(probs));
+}
+
+Result<ProbabilisticValue> ProbabilisticValue::CombineProduct(
+    const ProbabilisticValue& other) const {
+  if (!SameDomain(domain_, other.domain_)) {
+    return Status::Incompatible("probabilistic values over different domains");
+  }
+  std::unordered_map<size_t, double> probs;
+  double total = 0.0;
+  for (const auto& [i, p] : probs_) {
+    const double q = other.ProbOfIndex(i);
+    if (q > 0.0) {
+      probs[i] = p * q;
+      total += p * q;
+    }
+  }
+  if (total <= kMassEpsilon) {
+    return Status::TotalConflict(
+        "probabilistic supports are disjoint; product combination undefined");
+  }
+  for (auto& [i, p] : probs) p /= total;
+  return ProbabilisticValue(domain_, std::move(probs));
+}
+
+std::string ProbabilisticValue::ToString(int decimals) const {
+  // Deterministic order by index.
+  std::vector<std::pair<size_t, double>> entries(probs_.begin(), probs_.end());
+  std::sort(entries.begin(), entries.end());
+  std::ostringstream os;
+  os << "<";
+  bool first = true;
+  for (const auto& [i, p] : entries) {
+    if (!first) os << ", ";
+    os << domain_->value(i) << ":" << FormatMass(p, decimals);
+    first = false;
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace evident

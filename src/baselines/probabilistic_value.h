@@ -1,0 +1,76 @@
+#ifndef EVIDENT_BASELINES_PROBABILISTIC_VALUE_H_
+#define EVIDENT_BASELINES_PROBABILISTIC_VALUE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/domain.h"
+#include "common/result.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief Tseng et al.'s probabilistic partial value (Research in Data
+/// Engineering 1992): a probability distribution over *individual*
+/// domain values — unlike evidence sets, no mass can sit on a subset, so
+/// "hunan-or-sichuan, can't tell" must be split or discarded.
+class ProbabilisticValue {
+ public:
+  /// \brief Builds from (value index, probability) entries; probabilities
+  /// must be positive and sum to 1.
+  static Result<ProbabilisticValue> Make(DomainPtr domain,
+                                         std::vector<std::pair<size_t, double>>
+                                             entries);
+
+  static Result<ProbabilisticValue> Definite(DomainPtr domain, const Value& v);
+
+  /// \brief Uniform distribution over the whole domain (their stand-in
+  /// for ignorance — probability theory cannot express nonbelief).
+  static ProbabilisticValue Uniform(DomainPtr domain);
+
+  /// \brief Projects an evidence set by the pignistic transform (mass on
+  /// a subset splits uniformly) — the information their model can retain.
+  static Result<ProbabilisticValue> FromEvidence(const EvidenceSet& es);
+
+  const DomainPtr& domain() const { return domain_; }
+  const std::unordered_map<size_t, double>& probs() const { return probs_; }
+
+  double ProbOfIndex(size_t index) const;
+  Result<double> ProbOf(const Value& v) const;
+
+  /// \brief P(value ∈ C) — the certainty a selection predicate holds.
+  Result<double> ProbIn(const std::vector<Value>& values) const;
+
+  /// \brief Index with the highest probability (ties: lowest index).
+  size_t ArgMax() const;
+
+  /// \brief Tseng-style combination of two sources. Unlike Dempster's
+  /// rule this *retains inconsistency*: the sources' distributions are
+  /// averaged, so a value supported by either source stays possible and
+  /// disagreement is preserved in the result rather than renormalized
+  /// away. Never fails on conflict.
+  Result<ProbabilisticValue> CombineMixture(const ProbabilisticValue& other)
+      const;
+
+  /// \brief Independent-sources combination (normalized product); fails
+  /// with TotalConflict when the supports are disjoint. Included so the
+  /// benches can show where a Bayesian product behaves like Dempster on
+  /// singletons.
+  Result<ProbabilisticValue> CombineProduct(const ProbabilisticValue& other)
+      const;
+
+  std::string ToString(int decimals = 3) const;
+
+ private:
+  ProbabilisticValue(DomainPtr domain,
+                     std::unordered_map<size_t, double> probs)
+      : domain_(std::move(domain)), probs_(std::move(probs)) {}
+
+  DomainPtr domain_;
+  std::unordered_map<size_t, double> probs_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_BASELINES_PROBABILISTIC_VALUE_H_

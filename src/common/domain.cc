@@ -1,0 +1,86 @@
+#include "common/domain.h"
+
+#include <sstream>
+
+namespace evident {
+
+Domain::Domain(std::string name, std::vector<Value> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  index_.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) index_.emplace(values_[i], i);
+}
+
+Result<std::shared_ptr<const Domain>> Domain::Make(std::string name,
+                                                   std::vector<Value> values) {
+  if (name.empty()) {
+    return Status::InvalidArgument("domain name must be non-empty");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("domain '" + name +
+                                   "' must have at least one value");
+  }
+  std::unordered_map<Value, size_t, ValueHash> seen;
+  for (const Value& v : values) {
+    if (!seen.emplace(v, 0).second) {
+      return Status::InvalidArgument("domain '" + name +
+                                     "' has duplicate value " + v.ToString());
+    }
+  }
+  return std::shared_ptr<const Domain>(
+      new Domain(std::move(name), std::move(values)));
+}
+
+Result<std::shared_ptr<const Domain>> Domain::MakeSymbolic(
+    std::string name, const std::vector<std::string>& symbols) {
+  std::vector<Value> values;
+  values.reserve(symbols.size());
+  for (const std::string& s : symbols) values.emplace_back(s);
+  return Make(std::move(name), std::move(values));
+}
+
+Result<std::shared_ptr<const Domain>> Domain::MakeIntRange(std::string name,
+                                                           int64_t lo,
+                                                           int64_t hi) {
+  if (lo > hi) {
+    return Status::InvalidArgument("empty integer range for domain '" + name +
+                                   "'");
+  }
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int64_t v = lo; v <= hi; ++v) values.emplace_back(v);
+  return Make(std::move(name), std::move(values));
+}
+
+Result<size_t> Domain::IndexOf(const Value& v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) {
+    return Status::NotFound("value " + v.ToString() + " not in domain '" +
+                            name_ + "'");
+  }
+  return it->second;
+}
+
+bool Domain::Contains(const Value& v) const { return index_.count(v) > 0; }
+
+bool Domain::Equals(const Domain& other) const {
+  return name_ == other.name_ && values_ == other.values_;
+}
+
+std::string Domain::ToString() const {
+  std::ostringstream os;
+  os << name_ << "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ",";
+    os << values_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+bool SameDomain(const DomainPtr& a, const DomainPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace evident

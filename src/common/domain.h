@@ -1,0 +1,68 @@
+#ifndef EVIDENT_COMMON_DOMAIN_H_
+#define EVIDENT_COMMON_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace evident {
+
+/// \brief A finite frame of discernment: the set of values an uncertain
+/// attribute can take (the paper's Theta_A).
+///
+/// Domains are immutable once built and shared by shared_ptr between the
+/// schema, evidence sets and predicates that reference them; evidence sets
+/// over different Domain instances are incompatible even if the value
+/// lists coincide, unless the instances are the same object or compare
+/// equal via Equals().
+class Domain {
+ public:
+  /// \brief Builds a domain; fails on empty name, empty value list or
+  /// duplicate values.
+  static Result<std::shared_ptr<const Domain>> Make(std::string name,
+                                                    std::vector<Value> values);
+
+  /// \brief Convenience builder over symbol names.
+  static Result<std::shared_ptr<const Domain>> MakeSymbolic(
+      std::string name, const std::vector<std::string>& symbols);
+
+  /// \brief Convenience builder over the integer range [lo, hi].
+  static Result<std::shared_ptr<const Domain>> MakeIntRange(std::string name,
+                                                            int64_t lo,
+                                                            int64_t hi);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t index) const { return values_[index]; }
+
+  /// \brief Index of `v` within the frame, or NotFound.
+  Result<size_t> IndexOf(const Value& v) const;
+  bool Contains(const Value& v) const;
+
+  /// \brief Structural equality: same name and same ordered value list.
+  bool Equals(const Domain& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Domain(std::string name, std::vector<Value> values);
+
+  std::string name_;
+  std::vector<Value> values_;
+  std::unordered_map<Value, size_t, ValueHash> index_;
+};
+
+using DomainPtr = std::shared_ptr<const Domain>;
+
+/// \brief True when both pointers refer to the same or structurally equal
+/// domains. Null pointers are only compatible with null.
+bool SameDomain(const DomainPtr& a, const DomainPtr& b);
+
+}  // namespace evident
+
+#endif  // EVIDENT_COMMON_DOMAIN_H_

@@ -1,0 +1,30 @@
+#ifndef EVIDENT_COMMON_MATH_UTIL_H_
+#define EVIDENT_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+
+namespace evident {
+
+/// Tolerance used when validating mass-function sums and comparing
+/// support values; chosen loose enough to absorb accumulation error over
+/// a few hundred focal elements, tight enough to catch real invariant
+/// violations.
+inline constexpr double kMassEpsilon = 1e-9;
+
+/// \brief |a - b| <= eps.
+inline bool ApproxEqual(double a, double b, double eps = kMassEpsilon) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// \brief Clamps a value that should lie in [0,1] but may have drifted by
+/// floating-point error; values far outside are the caller's bug and are
+/// still clamped (validation happens separately).
+inline double ClampUnit(double x) {
+  if (x < 0.0) return 0.0;
+  if (x > 1.0) return 1.0;
+  return x;
+}
+
+}  // namespace evident
+
+#endif  // EVIDENT_COMMON_MATH_UTIL_H_

@@ -1,0 +1,69 @@
+#ifndef EVIDENT_COMMON_RESULT_H_
+#define EVIDENT_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace evident {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// The database-library analogue of arrow::Result. A Result constructed
+/// from an OK status is a library bug and is converted to an Internal
+/// error to keep the invariant "has_value() XOR !status().ok()".
+template <typename T>
+class Result {
+ public:
+  /// Implicitly constructible from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicitly constructible from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// \brief The contained value; undefined behaviour if !ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// \brief The contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error status to the caller.
+#define EVIDENT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#define EVIDENT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define EVIDENT_ASSIGN_OR_RETURN_NAME(x, y) \
+  EVIDENT_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define EVIDENT_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  EVIDENT_ASSIGN_OR_RETURN_IMPL(                                       \
+      EVIDENT_ASSIGN_OR_RETURN_NAME(_evident_result_, __COUNTER__), lhs, \
+      rexpr)
+
+}  // namespace evident
+
+#endif  // EVIDENT_COMMON_RESULT_H_

@@ -1,0 +1,47 @@
+#ifndef EVIDENT_COMMON_RNG_H_
+#define EVIDENT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace evident {
+
+/// \brief Deterministic SplitMix64 generator.
+///
+/// Workload generators and property tests need reproducible pseudo-random
+/// streams that are stable across platforms and standard-library versions,
+/// which std::mt19937 + distributions do not guarantee.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// \brief Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Bernoulli draw.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_COMMON_RNG_H_

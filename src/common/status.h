@@ -1,0 +1,108 @@
+#ifndef EVIDENT_COMMON_STATUS_H_
+#define EVIDENT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace evident {
+
+/// \brief Machine-readable category of a failure.
+///
+/// The library never throws across its public boundary; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument violates a documented precondition.
+  kInvalidArgument,
+  /// A named entity (attribute, relation, domain value...) does not exist.
+  kNotFound,
+  /// A named entity already exists and may not be redefined.
+  kAlreadyExists,
+  /// Two schemas/domains that must agree do not (e.g. union-incompatible
+  /// relations, evidence sets over different frames).
+  kIncompatible,
+  /// Dempster combination of totally conflicting evidence (kappa == 1).
+  /// The paper requires this case to be surfaced to the integrator.
+  kTotalConflict,
+  /// Text (EQL, .erel, CSV, evidence literal) failed to parse.
+  kParseError,
+  /// A numeric invariant was violated (mass sums, support bounds...).
+  kOutOfRange,
+  /// Internal invariant failure; indicates a library bug.
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation: a code plus an optional message.
+///
+/// Modeled on the Arrow/RocksDB Status idiom. Statuses are cheap to copy
+/// in the OK case (no allocation) and carry a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status TotalConflict(std::string msg) {
+    return Status(StatusCode::kTotalConflict, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Propagates a non-OK Status to the caller.
+#define EVIDENT_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::evident::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace evident
+
+#endif  // EVIDENT_COMMON_STATUS_H_

@@ -1,0 +1,65 @@
+#ifndef EVIDENT_CORE_ATTRIBUTE_H_
+#define EVIDENT_CORE_ATTRIBUTE_H_
+
+#include <string>
+#include <utility>
+
+#include "common/domain.h"
+
+namespace evident {
+
+/// \brief Role an attribute plays in an extended relation.
+enum class AttributeKind {
+  /// Part of the (definite) key; the paper requires extended relations to
+  /// have definite key values used for tuple matching.
+  kKey,
+  /// Non-key, but always holds a definite (certain) value.
+  kDefinite,
+  /// Non-key, holds an evidence set over a declared domain — the paper's
+  /// "†"-prefixed virtual attributes.
+  kUncertain,
+};
+
+const char* AttributeKindToString(AttributeKind kind);
+
+/// \brief Declaration of one attribute of an extended relation schema.
+///
+/// Uncertain attributes must declare the finite Domain that serves as
+/// their frame of discernment. Key and definite attributes may leave the
+/// domain null (free-typed Values) or declare one to get value checking.
+struct AttributeDef {
+  std::string name;
+  AttributeKind kind = AttributeKind::kDefinite;
+  DomainPtr domain;
+
+  AttributeDef() = default;
+  AttributeDef(std::string name_in, AttributeKind kind_in,
+               DomainPtr domain_in = nullptr)
+      : name(std::move(name_in)), kind(kind_in), domain(std::move(domain_in)) {}
+
+  /// \brief Convenience factories.
+  static AttributeDef Key(std::string name) {
+    return AttributeDef(std::move(name), AttributeKind::kKey);
+  }
+  static AttributeDef Definite(std::string name, DomainPtr domain = nullptr) {
+    return AttributeDef(std::move(name), AttributeKind::kDefinite,
+                        std::move(domain));
+  }
+  static AttributeDef Uncertain(std::string name, DomainPtr domain) {
+    return AttributeDef(std::move(name), AttributeKind::kUncertain,
+                        std::move(domain));
+  }
+
+  bool is_key() const { return kind == AttributeKind::kKey; }
+  bool is_uncertain() const { return kind == AttributeKind::kUncertain; }
+
+  /// \brief Same name, kind and (structurally) same domain.
+  bool Equals(const AttributeDef& other) const {
+    return name == other.name && kind == other.kind &&
+           SameDomain(domain, other.domain);
+  }
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_ATTRIBUTE_H_

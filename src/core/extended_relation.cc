@@ -1,0 +1,148 @@
+#include "core/extended_relation.h"
+
+#include <sstream>
+
+namespace evident {
+
+Status ExtendedRelation::ValidateTuple(const ExtendedTuple& tuple,
+                                       bool require_positive_sn) const {
+  if (schema_ == nullptr) {
+    return Status::Internal("relation '" + name_ + "' has no schema");
+  }
+  if (tuple.cells.size() != schema_->size()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(tuple.cells.size()) +
+        " cells, schema " + schema_->ToString() + " expects " +
+        std::to_string(schema_->size()));
+  }
+  for (size_t i = 0; i < tuple.cells.size(); ++i) {
+    const AttributeDef& attr = schema_->attribute(i);
+    const Cell& cell = tuple.cells[i];
+    switch (attr.kind) {
+      case AttributeKind::kKey:
+      case AttributeKind::kDefinite: {
+        if (!CellIsValue(cell)) {
+          // A definite evidence set is acceptable in spirit, but the model
+          // stores definite attributes as plain Values for clarity.
+          return Status::InvalidArgument(
+              "attribute '" + attr.name + "' is " +
+              AttributeKindToString(attr.kind) +
+              " and must hold a definite value, not an evidence set");
+        }
+        if (attr.domain != nullptr &&
+            !attr.domain->Contains(std::get<Value>(cell))) {
+          return Status::OutOfRange("value " +
+                                    std::get<Value>(cell).ToString() +
+                                    " outside domain of '" + attr.name + "'");
+        }
+        break;
+      }
+      case AttributeKind::kUncertain: {
+        if (CellIsValue(cell)) {
+          return Status::InvalidArgument(
+              "attribute '" + attr.name +
+              "' is uncertain and must hold an evidence set");
+        }
+        const EvidenceSet& es = std::get<EvidenceSet>(cell);
+        if (!SameDomain(es.domain(), attr.domain)) {
+          return Status::Incompatible(
+              "evidence set for '" + attr.name + "' is over domain '" +
+              es.domain()->name() + "', schema declares '" +
+              attr.domain->name() + "'");
+        }
+        EVIDENT_RETURN_NOT_OK(es.mass().Validate());
+        break;
+      }
+    }
+  }
+  EVIDENT_RETURN_NOT_OK(tuple.membership.Validate());
+  if (require_positive_sn && !tuple.membership.HasPositiveSupport()) {
+    return Status::InvalidArgument(
+        "CWA_ER violation: stored tuples must have sn > 0, got " +
+        tuple.membership.ToString());
+  }
+  return Status::OK();
+}
+
+Status ExtendedRelation::InsertImpl(ExtendedTuple tuple,
+                                    bool require_positive_sn) {
+  EVIDENT_RETURN_NOT_OK(ValidateTuple(tuple, require_positive_sn));
+  KeyVector key = KeyOf(tuple);
+  if (key_index_.count(key) > 0) {
+    std::string key_text;
+    for (const Value& v : key) key_text += " " + v.ToString();
+    return Status::AlreadyExists("duplicate key" + key_text +
+                                 " in relation '" + name_ + "'");
+  }
+  key_index_.emplace(std::move(key), rows_.size());
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status ExtendedRelation::Insert(ExtendedTuple tuple) {
+  return InsertImpl(std::move(tuple), /*require_positive_sn=*/true);
+}
+
+Status ExtendedRelation::InsertUnchecked(ExtendedTuple tuple) {
+  return InsertImpl(std::move(tuple), /*require_positive_sn=*/false);
+}
+
+KeyVector ExtendedRelation::KeyOf(const ExtendedTuple& tuple) const {
+  KeyVector key;
+  key.reserve(schema_->key_indices().size());
+  for (size_t i : schema_->key_indices()) {
+    key.push_back(std::get<Value>(tuple.cells[i]));
+  }
+  return key;
+}
+
+Result<size_t> ExtendedRelation::FindByKey(const KeyVector& key) const {
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) {
+    return Status::NotFound("no tuple with the given key in relation '" +
+                            name_ + "'");
+  }
+  return it->second;
+}
+
+bool ExtendedRelation::ContainsKey(const KeyVector& key) const {
+  return key_index_.count(key) > 0;
+}
+
+Status ExtendedRelation::ValidateInvariants() const {
+  for (const ExtendedTuple& t : rows_) {
+    EVIDENT_RETURN_NOT_OK(ValidateTuple(t, /*require_positive_sn=*/true));
+  }
+  return Status::OK();
+}
+
+bool ExtendedRelation::ApproxEquals(const ExtendedRelation& other,
+                                    double eps) const {
+  if (schema_ == nullptr || other.schema_ == nullptr) {
+    return schema_ == other.schema_;
+  }
+  if (!schema_->Equals(*other.schema_)) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const ExtendedTuple& t : rows_) {
+    auto found = other.FindByKey(KeyOf(t));
+    if (!found.ok()) return false;
+    const ExtendedTuple& o = other.rows_[*found];
+    if (!t.membership.ApproxEquals(o.membership, eps)) return false;
+    for (size_t i = 0; i < t.cells.size(); ++i) {
+      if (!CellApproxEquals(t.cells[i], o.cells[i], eps)) return false;
+    }
+  }
+  return true;
+}
+
+std::string ExtendedRelation::ToString(int mass_decimals) const {
+  std::ostringstream os;
+  os << name_ << " " << (schema_ ? schema_->ToString() : "(null schema)")
+     << " [" << rows_.size() << " tuples]\n";
+  for (const ExtendedTuple& t : rows_) {
+    os << "  " << t.ToString(mass_decimals) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace evident

@@ -1,0 +1,79 @@
+#ifndef EVIDENT_CORE_EXTENDED_RELATION_H_
+#define EVIDENT_CORE_EXTENDED_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+
+namespace evident {
+
+/// \brief An extended relation (the paper's §2.3): tuples with definite
+/// keys, evidence-set non-key attributes, and a per-tuple membership
+/// support pair, stored under the generalized closed world assumption
+/// CWA_ER.
+///
+/// CWA_ER: every *stored* tuple has sn > 0; a tuple not stored is
+/// interpreted as having sn = 0 (no necessary support for its existence)
+/// with unconstrained sp. Insert enforces this; InsertUnchecked exists so
+/// tests and the boundedness property checker can materialize complement
+/// relations whose hypothetical tuples have sn = 0.
+class ExtendedRelation {
+ public:
+  ExtendedRelation() = default;
+  ExtendedRelation(std::string name, SchemaPtr schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const SchemaPtr& schema() const { return schema_; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<ExtendedTuple>& rows() const { return rows_; }
+  const ExtendedTuple& row(size_t i) const { return rows_[i]; }
+
+  /// \brief Validates the tuple against the schema and CWA_ER (sn > 0)
+  /// and appends it. Fails with AlreadyExists on a duplicate key.
+  Status Insert(ExtendedTuple tuple);
+
+  /// \brief Like Insert but skips the sn > 0 check (still validates
+  /// shape, domains and 0 ≤ sn ≤ sp ≤ 1). For complements and tests.
+  Status InsertUnchecked(ExtendedTuple tuple);
+
+  /// \brief The key of `tuple` under this relation's schema.
+  KeyVector KeyOf(const ExtendedTuple& tuple) const;
+
+  /// \brief Index of the row with key `key`, or NotFound.
+  Result<size_t> FindByKey(const KeyVector& key) const;
+  bool ContainsKey(const KeyVector& key) const;
+
+  /// \brief Checks every stored tuple against the schema and the CWA_ER
+  /// invariant; used by property tests and after deserialization.
+  Status ValidateInvariants() const;
+
+  /// \brief Structural near-equality (same schema, same keys mapping to
+  /// tuples whose cells and membership agree within eps); row order is
+  /// ignored, matching set semantics of relations.
+  bool ApproxEquals(const ExtendedRelation& other, double eps = 1e-9) const;
+
+  /// \brief Multi-line debug rendering (one tuple per line).
+  std::string ToString(int mass_decimals = 6) const;
+
+ private:
+  Status ValidateTuple(const ExtendedTuple& tuple, bool require_positive_sn)
+      const;
+  Status InsertImpl(ExtendedTuple tuple, bool require_positive_sn);
+
+  std::string name_;
+  SchemaPtr schema_;
+  std::vector<ExtendedTuple> rows_;
+  std::unordered_map<KeyVector, size_t, KeyVectorHash> key_index_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_EXTENDED_RELATION_H_

@@ -1,0 +1,342 @@
+#include "core/operations.h"
+
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace evident {
+
+namespace {
+
+std::string KeyToString(const KeyVector& key) {
+  std::string out;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i) out += ",";
+    out += key[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExtendedRelation> Select(const ExtendedRelation& input,
+                                const PredicatePtr& predicate,
+                                const MembershipThreshold& threshold) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null selection predicate");
+  }
+  ExtendedRelation out("select(" + input.name() + ")", input.schema());
+  for (const ExtendedTuple& r : input.rows()) {
+    EVIDENT_ASSIGN_OR_RETURN(SupportPair support,
+                             predicate->Evaluate(r, *input.schema()));
+    // F_TM: predicate satisfaction and original membership are treated as
+    // independent events (Figure 3).
+    const SupportPair revised = r.membership.Multiply(support);
+    if (!revised.HasPositiveSupport()) continue;  // CWA_ER consistency.
+    if (!threshold.Accepts(revised)) continue;
+    ExtendedTuple t = r;
+    t.membership = revised;
+    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+  }
+  return out;
+}
+
+Result<SupportPair> CombineMembership(const SupportPair& a,
+                                      const SupportPair& b,
+                                      CombinationRule rule) {
+  if (rule == CombinationRule::kDempster) {
+    // Closed form on the boolean frame.
+    return a.CombineDempster(b);
+  }
+  // Generic path: express each pair as a mass function over Ψ =
+  // {true(0), false(1)} and dispatch to the requested rule.
+  auto to_mass = [](const SupportPair& m) {
+    MassFunction mf(2);
+    if (m.TrueMass() > 0.0) (void)mf.Add(ValueSet::Singleton(2, 0), m.TrueMass());
+    if (m.FalseMass() > 0.0) {
+      (void)mf.Add(ValueSet::Singleton(2, 1), m.FalseMass());
+    }
+    if (m.UnknownMass() > 0.0) (void)mf.Add(ValueSet::Full(2), m.UnknownMass());
+    return mf;
+  };
+  EVIDENT_ASSIGN_OR_RETURN(MassFunction combined,
+                           Combine(to_mass(a), to_mass(b), rule));
+  if (combined.EmptyMass() > 0.0) {
+    EVIDENT_RETURN_NOT_OK(combined.Normalize());
+  }
+  const double sn = combined.MassOf(ValueSet::Singleton(2, 0));
+  const double sp = 1.0 - combined.MassOf(ValueSet::Singleton(2, 1));
+  return SupportPair{ClampUnit(sn), ClampUnit(sp)};
+}
+
+Result<ExtendedRelation> Union(const ExtendedRelation& left,
+                               const ExtendedRelation& right,
+                               const UnionOptions& options) {
+  if (left.schema() == nullptr || right.schema() == nullptr) {
+    return Status::InvalidArgument("union of relations without schemas");
+  }
+  if (!left.schema()->UnionCompatibleWith(*right.schema())) {
+    return Status::Incompatible(
+        "relations are not union-compatible: " + left.schema()->ToString() +
+        " vs " + right.schema()->ToString());
+  }
+  ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
+  std::unordered_set<size_t> matched_right;
+
+  for (const ExtendedTuple& r : left.rows()) {
+    const KeyVector key = left.KeyOf(r);
+    auto found = right.FindByKey(key);
+    if (!found.ok()) {
+      // The other source is totally ignorant about this entity; combining
+      // with vacuous evidence is the identity, so retain the tuple.
+      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(r));
+      continue;
+    }
+    matched_right.insert(*found);
+    const ExtendedTuple& s = right.row(*found);
+
+    ExtendedTuple merged;
+    merged.cells.resize(r.cells.size());
+    bool skip_tuple = false;
+    for (size_t i = 0; i < r.cells.size() && !skip_tuple; ++i) {
+      const AttributeDef& attr = left.schema()->attribute(i);
+      switch (attr.kind) {
+        case AttributeKind::kKey:
+          merged.cells[i] = r.cells[i];
+          break;
+        case AttributeKind::kDefinite: {
+          const Value& lv = std::get<Value>(r.cells[i]);
+          const Value& rv = std::get<Value>(s.cells[i]);
+          if (lv == rv) {
+            merged.cells[i] = r.cells[i];
+            break;
+          }
+          switch (options.on_definite_conflict) {
+            case DefiniteConflictPolicy::kError:
+              return Status::Incompatible(
+                  "definite attribute '" + attr.name + "' conflicts on key (" +
+                  KeyToString(key) + "): " + lv.ToString() + " vs " +
+                  rv.ToString() +
+                  "; attribute preprocessing should have aligned these");
+            case DefiniteConflictPolicy::kPreferLeft:
+              merged.cells[i] = r.cells[i];
+              break;
+            case DefiniteConflictPolicy::kPreferRight:
+              merged.cells[i] = s.cells[i];
+              break;
+          }
+          break;
+        }
+        case AttributeKind::kUncertain: {
+          const EvidenceSet& les = std::get<EvidenceSet>(r.cells[i]);
+          const EvidenceSet& res = std::get<EvidenceSet>(s.cells[i]);
+          Result<EvidenceSet> combined =
+              CombineEvidence(les, res, options.rule);
+          if (combined.ok()) {
+            merged.cells[i] = std::move(combined).value();
+            break;
+          }
+          if (combined.status().code() != StatusCode::kTotalConflict) {
+            return combined.status();
+          }
+          switch (options.on_total_conflict) {
+            case TotalConflictPolicy::kError:
+              return Status::TotalConflict(
+                  "attribute '" + attr.name + "' of key (" +
+                  KeyToString(key) +
+                  ") is totally conflicting between the sources: " +
+                  les.ToString() + " vs " + res.ToString() +
+                  "; the data administrators must be informed");
+            case TotalConflictPolicy::kSkipTuple:
+              skip_tuple = true;
+              break;
+            case TotalConflictPolicy::kVacuous:
+              merged.cells[i] = EvidenceSet::Vacuous(attr.domain);
+              break;
+          }
+          break;
+        }
+      }
+    }
+    if (skip_tuple) continue;
+
+    Result<SupportPair> membership =
+        CombineMembership(r.membership, s.membership, options.rule);
+    if (!membership.ok()) {
+      if (membership.status().code() != StatusCode::kTotalConflict) {
+        return membership.status();
+      }
+      switch (options.on_total_conflict) {
+        case TotalConflictPolicy::kError:
+          return Status::TotalConflict(
+              "membership of key (" + KeyToString(key) +
+              ") is totally conflicting between the sources");
+        case TotalConflictPolicy::kSkipTuple:
+          continue;
+        case TotalConflictPolicy::kVacuous:
+          membership = SupportPair::Unknown();
+          break;
+      }
+    }
+    merged.membership = *membership;
+    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(merged)));
+  }
+
+  for (size_t j = 0; j < right.size(); ++j) {
+    if (matched_right.count(j) > 0) continue;
+    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(right.row(j)));
+  }
+  return out;
+}
+
+Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
+                                   const ExtendedRelation& right,
+                                   const UnionOptions& options) {
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation merged,
+                           Union(left, right, options));
+  ExtendedRelation out(left.name() + " n " + right.name(), merged.schema());
+  for (const ExtendedTuple& t : merged.rows()) {
+    const KeyVector key = merged.KeyOf(t);
+    if (left.ContainsKey(key) && right.ContainsKey(key)) {
+      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(t));
+    }
+  }
+  return out;
+}
+
+Result<ExtendedRelation> UnionAll(const std::vector<ExtendedRelation>& sources,
+                                  const UnionOptions& options) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("UnionAll over an empty source list");
+  }
+  ExtendedRelation acc = sources.front();
+  for (size_t i = 1; i < sources.size(); ++i) {
+    EVIDENT_ASSIGN_OR_RETURN(acc, Union(acc, sources[i], options));
+  }
+  return acc;
+}
+
+Result<ExtendedRelation> Project(const ExtendedRelation& input,
+                                 const std::vector<std::string>& attributes) {
+  if (input.schema() == nullptr) {
+    return Status::InvalidArgument("projection of a relation without schema");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("projection list must be non-empty");
+  }
+  std::vector<size_t> indices;
+  std::vector<AttributeDef> defs;
+  std::unordered_set<std::string> chosen;
+  for (const std::string& name : attributes) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, input.schema()->IndexOf(name));
+    if (!chosen.insert(name).second) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' appears twice in projection");
+    }
+    indices.push_back(index);
+    defs.push_back(input.schema()->attribute(index));
+  }
+  // The paper's projection keeps the key attributes (and always the
+  // membership attribute), which also guarantees the projection needs no
+  // duplicate elimination.
+  for (size_t key_index : input.schema()->key_indices()) {
+    if (chosen.count(input.schema()->attribute(key_index).name) == 0) {
+      return Status::InvalidArgument(
+          "projection must retain key attribute '" +
+          input.schema()->attribute(key_index).name + "'");
+    }
+  }
+  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  ExtendedRelation out("project(" + input.name() + ")", schema);
+  for (const ExtendedTuple& r : input.rows()) {
+    ExtendedTuple t;
+    t.cells.reserve(indices.size());
+    for (size_t index : indices) t.cells.push_back(r.cells[index]);
+    t.membership = r.membership;
+    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+  }
+  return out;
+}
+
+Result<ExtendedRelation> Product(const ExtendedRelation& left,
+                                 const ExtendedRelation& right) {
+  if (left.schema() == nullptr || right.schema() == nullptr) {
+    return Status::InvalidArgument("product of relations without schemas");
+  }
+  // Build the concatenated schema, qualifying colliding names.
+  std::unordered_set<std::string> left_names;
+  for (const AttributeDef& a : left.schema()->attributes()) {
+    left_names.insert(a.name);
+  }
+  std::vector<AttributeDef> defs;
+  defs.reserve(left.schema()->size() + right.schema()->size());
+  for (const AttributeDef& a : left.schema()->attributes()) {
+    AttributeDef d = a;
+    if (right.schema()->Has(a.name)) {
+      if (left.name().empty() || left.name() == right.name()) {
+        return Status::InvalidArgument(
+            "attribute '" + a.name +
+            "' appears in both operands and the relation names cannot "
+            "disambiguate; rename it first");
+      }
+      d.name = left.name() + "." + a.name;
+    }
+    defs.push_back(std::move(d));
+  }
+  for (const AttributeDef& a : right.schema()->attributes()) {
+    AttributeDef d = a;
+    if (left_names.count(a.name) > 0) {
+      if (right.name().empty() || left.name() == right.name()) {
+        return Status::InvalidArgument(
+            "attribute '" + a.name +
+            "' appears in both operands and the relation names cannot "
+            "disambiguate; rename it first");
+      }
+      d.name = right.name() + "." + a.name;
+    }
+    defs.push_back(std::move(d));
+  }
+  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  ExtendedRelation out(left.name() + " x " + right.name(), schema);
+  for (const ExtendedTuple& r : left.rows()) {
+    for (const ExtendedTuple& s : right.rows()) {
+      ExtendedTuple t;
+      t.cells.reserve(r.cells.size() + s.cells.size());
+      t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
+      t.cells.insert(t.cells.end(), s.cells.begin(), s.cells.end());
+      t.membership = r.membership.Multiply(s.membership);  // F_TM
+      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+    }
+  }
+  return out;
+}
+
+Result<ExtendedRelation> Join(const ExtendedRelation& left,
+                              const ExtendedRelation& right,
+                              const PredicatePtr& predicate,
+                              const MembershipThreshold& threshold) {
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation product, Product(left, right));
+  return Select(product, predicate, threshold);
+}
+
+Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
+                                         const std::string& from,
+                                         const std::string& to) {
+  if (input.schema() == nullptr) {
+    return Status::InvalidArgument("rename on a relation without schema");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, input.schema()->IndexOf(from));
+  if (input.schema()->Has(to)) {
+    return Status::AlreadyExists("attribute '" + to + "' already exists");
+  }
+  std::vector<AttributeDef> defs = input.schema()->attributes();
+  defs[index].name = to;
+  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  ExtendedRelation out(input.name(), schema);
+  for (const ExtendedTuple& r : input.rows()) {
+    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(r));
+  }
+  return out;
+}
+
+}  // namespace evident

@@ -1,0 +1,124 @@
+#ifndef EVIDENT_CORE_OPERATIONS_H_
+#define EVIDENT_CORE_OPERATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+#include "core/predicate.h"
+#include "core/threshold.h"
+#include "ds/combination.h"
+
+namespace evident {
+
+/// \brief Extended selection σ̃^Q_P (§3.1).
+///
+/// For each tuple r: computes the predicate support F_SS(r, P), revises
+/// the membership via F_TM (component-wise product), and keeps the tuple
+/// when the revised membership passes the threshold Q. Original attribute
+/// values are retained (the paper's departure from DeMichiel). Tuples
+/// whose revised sn is 0 are always dropped, keeping the result a valid
+/// extended relation under CWA_ER (the paper's consistency requirement on
+/// Q).
+Result<ExtendedRelation> Select(const ExtendedRelation& input,
+                                const PredicatePtr& predicate,
+                                const MembershipThreshold& threshold =
+                                    MembershipThreshold());
+
+/// \brief What extended union does when Dempster combination of some
+/// attribute (or of the membership) hits total conflict (kappa == 1).
+enum class TotalConflictPolicy {
+  /// Fail the union, naming the key — "inform the data administrators"
+  /// (the paper's suggested action).
+  kError,
+  /// Drop the conflicting tuple pair from the result.
+  kSkipTuple,
+  /// Replace the conflicting attribute value by the vacuous evidence set
+  /// (total ignorance) and keep the tuple.
+  kVacuous,
+};
+
+/// \brief What extended union does when two matched tuples disagree on a
+/// *definite* (non-evidence) non-key attribute — a conflict the paper
+/// assumes preprocessing has eliminated.
+enum class DefiniteConflictPolicy {
+  kError,
+  kPreferLeft,
+  kPreferRight,
+};
+
+struct UnionOptions {
+  /// Rule used to combine both attribute evidence and membership.
+  CombinationRule rule = CombinationRule::kDempster;
+  TotalConflictPolicy on_total_conflict = TotalConflictPolicy::kError;
+  DefiniteConflictPolicy on_definite_conflict = DefiniteConflictPolicy::kError;
+};
+
+/// \brief Extended union R ∪̃_K S (§3.2) — the paper's tuple-merging
+/// operation.
+///
+/// Requires union-compatible schemas. Tuples whose keys appear in only
+/// one relation are retained unchanged (the other source is assumed
+/// totally ignorant about them, and combining with vacuous evidence is
+/// the identity). Tuples with matching keys have every uncertain
+/// attribute combined by Dempster's rule and their membership pairs
+/// combined on the boolean frame.
+Result<ExtendedRelation> Union(const ExtendedRelation& left,
+                               const ExtendedRelation& right,
+                               const UnionOptions& options = UnionOptions());
+
+/// \brief Extended intersection R ∩̃_K S — an *extension beyond the
+/// paper*: like the extended union but keeping only entities present in
+/// both sources (inner merge). Useful when the integrator only trusts
+/// corroborated entities. Matched tuples are combined exactly as in
+/// Union; unmatched tuples are dropped.
+Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
+                                   const ExtendedRelation& right,
+                                   const UnionOptions& options =
+                                       UnionOptions());
+
+/// \brief Folds the extended union over three or more sources
+/// (integration of N component databases). Dempster's rule is
+/// associative and commutative, so the result does not depend on the
+/// integration order; fails on an empty list.
+Result<ExtendedRelation> UnionAll(const std::vector<ExtendedRelation>& sources,
+                                  const UnionOptions& options =
+                                      UnionOptions());
+
+/// \brief Extended projection π̃_Ã (§3.3). `attributes` must include every
+/// key attribute (the paper projects key + membership always); the
+/// implicit membership attribute is always carried.
+Result<ExtendedRelation> Project(const ExtendedRelation& input,
+                                 const std::vector<std::string>& attributes);
+
+/// \brief Extended cartesian product R ×̃ S (§3.4): concatenates tuple
+/// pairs and multiplies memberships via F_TM. Attribute name collisions
+/// are qualified as "<relation>.<attribute>"; the result's key is the
+/// union of both keys.
+Result<ExtendedRelation> Product(const ExtendedRelation& left,
+                                 const ExtendedRelation& right);
+
+/// \brief Extended join R ⋈̃^Q_P S (§3.5): σ̃^Q_P (R ×̃ S).
+Result<ExtendedRelation> Join(const ExtendedRelation& left,
+                              const ExtendedRelation& right,
+                              const PredicatePtr& predicate,
+                              const MembershipThreshold& threshold =
+                                  MembershipThreshold());
+
+/// \brief Renames one attribute; useful before Product/Union when names
+/// collide or differ across sources.
+Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
+                                         const std::string& from,
+                                         const std::string& to);
+
+/// \brief Combines two membership pairs under `rule` on the boolean frame
+/// Ψ; exposed for the union implementation, the ablation benches, and
+/// tests that cross-check the closed form against the generic engine.
+Result<SupportPair> CombineMembership(const SupportPair& a,
+                                      const SupportPair& b,
+                                      CombinationRule rule);
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_OPERATIONS_H_

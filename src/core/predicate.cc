@@ -1,0 +1,220 @@
+#include "core/predicate.h"
+
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace evident {
+
+const char* ThetaOpToString(ThetaOp op) {
+  switch (op) {
+    case ThetaOp::kEq:
+      return "=";
+    case ThetaOp::kLt:
+      return "<";
+    case ThetaOp::kLe:
+      return "<=";
+    case ThetaOp::kGt:
+      return ">";
+    case ThetaOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ApplyThetaOp(const Value& a, ThetaOp op, const Value& b) {
+  switch (op) {
+    case ThetaOp::kEq:
+      return a == b;
+    case ThetaOp::kLt:
+      return a < b;
+    case ThetaOp::kLe:
+      return a <= b;
+    case ThetaOp::kGt:
+      return a > b;
+    case ThetaOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// IsPredicate
+
+Result<SupportPair> IsPredicate::Evaluate(const ExtendedTuple& tuple,
+                                          const RelationSchema& schema) const {
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(attribute_));
+  const Cell& cell = tuple.cells[index];
+  if (CellIsValue(cell)) {
+    // Definite attribute: the predicate holds with certainty iff the
+    // stored value is among the named constants.
+    const Value& stored = std::get<Value>(cell);
+    for (const Value& c : values_) {
+      if (stored == c) return SupportPair::Certain();
+    }
+    return SupportPair::Impossible();
+  }
+  const EvidenceSet& es = std::get<EvidenceSet>(cell);
+  // Per the paper, the constants c_i must come from the attribute's
+  // domain; values outside the frame are an error rather than silently
+  // contributing zero belief.
+  EVIDENT_ASSIGN_OR_RETURN(ValueSet set, es.SetOf(values_));
+  return SupportPair{es.mass().Belief(set), es.mass().Plausibility(set)};
+}
+
+std::string IsPredicate::ToString() const {
+  std::ostringstream os;
+  os << attribute_ << " is {";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ",";
+    os << values_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ThetaOperand
+
+Result<std::vector<std::pair<std::vector<Value>, double>>>
+ThetaOperand::Decompose(const ExtendedTuple& tuple,
+                        const RelationSchema& schema) const {
+  std::vector<std::pair<std::vector<Value>, double>> out;
+  if (rep_.index() == 2) {  // literal definite value
+    out.push_back({{std::get<Value>(rep_)}, 1.0});
+    return out;
+  }
+  if (rep_.index() == 1) {  // literal evidence set
+    const EvidenceSet& es = std::get<EvidenceSet>(rep_);
+    for (const auto& [set, mass] : es.mass().SortedFocals()) {
+      out.push_back({es.ValuesOf(set), mass});
+    }
+    return out;
+  }
+  const std::string& name = std::get<std::string>(rep_);
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(name));
+  const Cell& cell = tuple.cells[index];
+  if (CellIsValue(cell)) {
+    out.push_back({{std::get<Value>(cell)}, 1.0});
+    return out;
+  }
+  const EvidenceSet& es = std::get<EvidenceSet>(cell);
+  for (const auto& [set, mass] : es.mass().SortedFocals()) {
+    out.push_back({es.ValuesOf(set), mass});
+  }
+  return out;
+}
+
+std::string ThetaOperand::ToString() const {
+  switch (rep_.index()) {
+    case 0:
+      return std::get<std::string>(rep_);
+    case 1:
+      return std::get<EvidenceSet>(rep_).ToString();
+    case 2:
+      return std::get<Value>(rep_).ToString();
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ThetaPredicate
+
+Result<SupportPair> ThetaPredicate::Evaluate(
+    const ExtendedTuple& tuple, const RelationSchema& schema) const {
+  EVIDENT_ASSIGN_OR_RETURN(auto lhs_focals, lhs_.Decompose(tuple, schema));
+  EVIDENT_ASSIGN_OR_RETURN(auto rhs_focals, rhs_.Decompose(tuple, schema));
+  double sn = 0.0;
+  double sp = 0.0;
+  for (const auto& [a_values, a_mass] : lhs_focals) {
+    for (const auto& [b_values, b_mass] : rhs_focals) {
+      // Necessity per the configured semantics (see ThetaSemantics);
+      // "may be TRUE" is ∃s∃t under both (§3.1.1).
+      bool necessary = !a_values.empty() && !b_values.empty();
+      bool some = false;
+      for (const Value& a : a_values) {
+        bool exists_for_a = false;
+        bool all_for_a = true;
+        for (const Value& b : b_values) {
+          if (ApplyThetaOp(a, op_, b)) {
+            some = true;
+            exists_for_a = true;
+          } else {
+            all_for_a = false;
+          }
+        }
+        const bool a_ok = semantics_ == ThetaSemantics::kForallExists
+                              ? exists_for_a
+                              : all_for_a;
+        if (!a_ok) necessary = false;
+      }
+      const double product = a_mass * b_mass;
+      if (necessary) sn += product;
+      if (some) sp += product;
+    }
+  }
+  return SupportPair{ClampUnit(sn), ClampUnit(sp)};
+}
+
+std::string ThetaPredicate::ToString() const {
+  return lhs_.ToString() + " " + ThetaOpToString(op_) + " " + rhs_.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// AndPredicate
+
+Result<SupportPair> AndPredicate::Evaluate(
+    const ExtendedTuple& tuple, const RelationSchema& schema) const {
+  if (children_.empty()) {
+    return Status::InvalidArgument("empty conjunction");
+  }
+  SupportPair acc = SupportPair::Certain();
+  for (const PredicatePtr& child : children_) {
+    EVIDENT_ASSIGN_OR_RETURN(SupportPair s, child->Evaluate(tuple, schema));
+    acc = acc.Multiply(s);
+  }
+  return acc;
+}
+
+std::string AndPredicate::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i) os << ") and (";
+    os << children_[i]->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+PredicatePtr Is(std::string attribute, std::vector<Value> values) {
+  return std::make_shared<IsPredicate>(std::move(attribute),
+                                       std::move(values));
+}
+
+PredicatePtr IsSym(std::string attribute,
+                   const std::vector<std::string>& symbols) {
+  std::vector<Value> values;
+  values.reserve(symbols.size());
+  for (const std::string& s : symbols) values.emplace_back(s);
+  return Is(std::move(attribute), std::move(values));
+}
+
+PredicatePtr Theta(ThetaOperand lhs, ThetaOp op, ThetaOperand rhs,
+                   ThetaSemantics semantics) {
+  return std::make_shared<ThetaPredicate>(std::move(lhs), op, std::move(rhs),
+                                          semantics);
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_shared<AndPredicate>(std::move(children));
+}
+
+PredicatePtr And(PredicatePtr a, PredicatePtr b) {
+  return And(std::vector<PredicatePtr>{std::move(a), std::move(b)});
+}
+
+}  // namespace evident

@@ -1,0 +1,174 @@
+#ifndef EVIDENT_CORE_PREDICATE_H_
+#define EVIDENT_CORE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "core/support_pair.h"
+#include "core/tuple.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief Comparison operator of a θ-predicate; the paper's θ ∈
+/// {=, >, <, ≥, ≤}.
+enum class ThetaOp { kEq, kLt, kLe, kGt, kGe };
+
+const char* ThetaOpToString(ThetaOp op);
+
+/// \brief Applies `op` to two definite values under the Value total
+/// order.
+bool ApplyThetaOp(const Value& a, ThetaOp op, const Value& b);
+
+/// \brief A selection/join condition evaluated to a support pair by the
+/// paper's F_SS (§3.1.1).
+///
+/// Concrete predicates are IsPredicate (A is {c1..cn}), ThetaPredicate
+/// (A θ B over evidence sets) and AndPredicate (conjunction under the
+/// multiplicative rule). Predicates are immutable and shared.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// \brief F_SS: the (sn, sp) support the tuple gives this condition.
+  virtual Result<SupportPair> Evaluate(const ExtendedTuple& tuple,
+                                       const RelationSchema& schema) const = 0;
+
+  /// \brief Paper-style rendering, e.g. "speciality is {si}".
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// \brief "A is {c1, ..., cn}": support is (Bel(C), Pls(C)) of the
+/// attribute's evidence set on the named subset C.
+///
+/// On a definite attribute the support degenerates to (1,1) when the
+/// stored value is in C and (0,0) otherwise.
+class IsPredicate : public Predicate {
+ public:
+  IsPredicate(std::string attribute, std::vector<Value> values)
+      : attribute_(std::move(attribute)), values_(std::move(values)) {}
+
+  const std::string& attribute() const { return attribute_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  Result<SupportPair> Evaluate(const ExtendedTuple& tuple,
+                               const RelationSchema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string attribute_;
+  std::vector<Value> values_;
+};
+
+/// \brief One side of a θ-predicate: an attribute reference or a literal
+/// evidence set (the paper's example compares two literal evidence sets).
+class ThetaOperand {
+ public:
+  /// \brief References the attribute named `name`.
+  static ThetaOperand Attr(std::string name) {
+    return ThetaOperand(std::move(name));
+  }
+  /// \brief A literal evidence set.
+  static ThetaOperand Lit(EvidenceSet es) { return ThetaOperand(std::move(es)); }
+  /// \brief A literal definite value (singleton evidence).
+  static ThetaOperand LitValue(const Value& v) { return ThetaOperand(v); }
+
+  bool is_attribute() const { return rep_.index() == 0; }
+  const std::string& attribute() const { return std::get<std::string>(rep_); }
+
+  /// \brief Decomposes the operand (resolving attribute references
+  /// against the tuple) into focal elements: (set-of-values, mass) pairs.
+  Result<std::vector<std::pair<std::vector<Value>, double>>> Decompose(
+      const ExtendedTuple& tuple, const RelationSchema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit ThetaOperand(std::string attr) : rep_(std::move(attr)) {}
+  explicit ThetaOperand(EvidenceSet es) : rep_(std::move(es)) {}
+  explicit ThetaOperand(Value v) : rep_(std::move(v)) {}
+
+  std::variant<std::string, EvidenceSet, Value> rep_;
+};
+
+/// \brief When is "a_i θ b_j" *necessarily* TRUE for focal elements a_i,
+/// b_j (sets of values)?
+///
+/// The paper's formal definition (§3.1.1) reads ∀s∀t — every element
+/// pair must satisfy θ. Its worked example, however, evaluates
+/// [{1,4}^0.6, {2,6}^0.4] ≤ [{2,4}^0.8, 5^0.2] to (sn=0.6, sp=1), which
+/// is inconsistent with ∀s∀t (that yields sn=0.12) and matches ∀s∃t —
+/// every element of a_i has some element of b_j satisfying θ. We default
+/// to the example's semantics so the published numbers reproduce, and
+/// offer the strict reading as an option. "May be TRUE" (the sp side) is
+/// ∃s∃t under both.
+enum class ThetaSemantics {
+  /// ∀s∃t — matches the paper's worked example (the default).
+  kForallExists,
+  /// ∀s∀t — the paper's formal definition as printed.
+  kForallForall,
+};
+
+/// \brief "A θ B" over evidence sets: sn sums the mass products of focal
+/// pairs for which the comparison necessarily holds (per the chosen
+/// ThetaSemantics); sp sums those for which it possibly holds (some
+/// element pair satisfies θ).
+class ThetaPredicate : public Predicate {
+ public:
+  ThetaPredicate(ThetaOperand lhs, ThetaOp op, ThetaOperand rhs,
+                 ThetaSemantics semantics = ThetaSemantics::kForallExists)
+      : lhs_(std::move(lhs)),
+        op_(op),
+        rhs_(std::move(rhs)),
+        semantics_(semantics) {}
+
+  Result<SupportPair> Evaluate(const ExtendedTuple& tuple,
+                               const RelationSchema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  ThetaOperand lhs_;
+  ThetaOp op_;
+  ThetaOperand rhs_;
+  ThetaSemantics semantics_;
+};
+
+/// \brief Conjunction of mutually independent predicates; the support is
+/// the component-wise product of the children's supports (the
+/// multiplicative rule of Baldwin / Hau-Kashyap the paper adopts).
+class AndPredicate : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  const std::vector<PredicatePtr>& children() const { return children_; }
+
+  Result<SupportPair> Evaluate(const ExtendedTuple& tuple,
+                               const RelationSchema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+/// \name Convenience factories.
+/// @{
+PredicatePtr Is(std::string attribute, std::vector<Value> values);
+/// \brief Is-predicate over symbol names.
+PredicatePtr IsSym(std::string attribute,
+                   const std::vector<std::string>& symbols);
+PredicatePtr Theta(ThetaOperand lhs, ThetaOp op, ThetaOperand rhs,
+                   ThetaSemantics semantics = ThetaSemantics::kForallExists);
+PredicatePtr And(std::vector<PredicatePtr> children);
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+/// @}
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_PREDICATE_H_

@@ -1,0 +1,51 @@
+#ifndef EVIDENT_CORE_PROPERTIES_H_
+#define EVIDENT_CORE_PROPERTIES_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+
+namespace evident {
+
+/// \brief Utilities that make the paper's §3.6 closure and boundedness
+/// properties (Theorem 1) executable. The property tests and the
+/// bench_figure-level harnesses use these to verify every extended
+/// operation.
+
+/// \brief Closure property check: every tuple of `relation` must have
+/// sn > 0. Returns OutOfRange naming the first offending tuple otherwise.
+Status CheckClosureProperty(const ExtendedRelation& relation);
+
+/// \brief Materializes a finite stand-in for the complement relation R̄
+/// of §3.6: `count` hypothetical tuples with fresh keys (never colliding
+/// with stored ones), vacuous evidence attributes, and membership
+/// (0, sp) with sp drawn in [0,1] — i.e. no necessary support.
+///
+/// The true complement is infinite; boundedness is universally quantified
+/// over its tuples, so any finite sample is a valid test instance.
+/// `key_tag` keeps complements of different relations key-disjoint.
+Result<ExtendedRelation> MakeComplementSample(const ExtendedRelation& relation,
+                                              size_t count, uint64_t seed,
+                                              const std::string& key_tag);
+
+/// \brief R ∪̃ R̄: appends the complement sample's tuples to a copy of
+/// `relation` (keys are disjoint by construction, so this is exactly the
+/// extended union and avoids requiring Union to accept sn = 0 inserts).
+Result<ExtendedRelation> UnionWithComplement(const ExtendedRelation& relation,
+                                             const ExtendedRelation& complement);
+
+/// \brief Boundedness property check: the sn > 0 portions of `lhs` and
+/// `rhs` (the operation applied without and with complements) must
+/// coincide. Returns OutOfRange describing the first difference.
+Status CheckBoundednessEquality(const ExtendedRelation& lhs,
+                                const ExtendedRelation& rhs,
+                                double eps = 1e-9);
+
+/// \brief The sn > 0 restriction of a relation (drops hypothetical
+/// tuples).
+Result<ExtendedRelation> PositiveSupportPart(const ExtendedRelation& relation);
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_PROPERTIES_H_

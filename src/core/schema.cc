@@ -1,0 +1,99 @@
+#include "core/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace evident {
+
+const char* AttributeKindToString(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kKey:
+      return "key";
+    case AttributeKind::kDefinite:
+      return "definite";
+    case AttributeKind::kUncertain:
+      return "uncertain";
+  }
+  return "unknown";
+}
+
+RelationSchema::RelationSchema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, i);
+    if (attributes_[i].is_key()) {
+      key_indices_.push_back(i);
+    } else {
+      nonkey_indices_.push_back(i);
+    }
+  }
+}
+
+Result<std::shared_ptr<const RelationSchema>> RelationSchema::Make(
+    std::vector<AttributeDef> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  std::unordered_set<std::string> names;
+  bool has_key = false;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::AlreadyExists("duplicate attribute '" + attr.name + "'");
+    }
+    if (attr.is_key()) has_key = true;
+    if (attr.is_uncertain() && attr.domain == nullptr) {
+      return Status::InvalidArgument("uncertain attribute '" + attr.name +
+                                     "' must declare a domain");
+    }
+  }
+  if (!has_key) {
+    return Status::InvalidArgument(
+        "schema must have at least one key attribute (extended relations "
+        "have definite keys)");
+  }
+  return std::shared_ptr<const RelationSchema>(
+      new RelationSchema(std::move(attributes)));
+}
+
+Result<size_t> RelationSchema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute '" + name + "' in schema " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool RelationSchema::Has(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+bool RelationSchema::UnionCompatibleWith(const RelationSchema& other) const {
+  return Equals(other);
+}
+
+bool RelationSchema::Equals(const RelationSchema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (!attributes_[i].Equals(other.attributes_[i])) return false;
+  }
+  return true;
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) os << ", ";
+    if (attributes_[i].is_uncertain()) os << "†";
+    os << attributes_[i].name;
+    if (attributes_[i].is_key()) os << "*";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace evident

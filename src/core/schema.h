@@ -1,0 +1,63 @@
+#ifndef EVIDENT_CORE_SCHEMA_H_
+#define EVIDENT_CORE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/attribute.h"
+
+namespace evident {
+
+/// \brief The schema of an extended relation: an ordered list of
+/// attributes of which at least one is a (definite) key.
+///
+/// The tuple membership attribute (sn, sp) is implicit — every extended
+/// relation carries it and it does not appear in the attribute list,
+/// matching the paper where it is "an additional attribute".
+class RelationSchema {
+ public:
+  /// \brief Validates and builds a schema: non-empty, unique names, at
+  /// least one key, uncertain attributes carry domains.
+  static Result<std::shared_ptr<const RelationSchema>> Make(
+      std::vector<AttributeDef> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// \brief Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// \brief Indices of key attributes, in schema order.
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+  /// \brief Indices of non-key attributes, in schema order.
+  const std::vector<size_t>& nonkey_indices() const { return nonkey_indices_; }
+
+  /// \brief Union compatibility per the paper: same attribute list
+  /// (names, kinds, domains) including the same keys.
+  bool UnionCompatibleWith(const RelationSchema& other) const;
+
+  bool Equals(const RelationSchema& other) const;
+
+  /// \brief "(rname*, street, †speciality, ...)" where * marks keys and
+  /// † marks uncertain attributes.
+  std::string ToString() const;
+
+ private:
+  explicit RelationSchema(std::vector<AttributeDef> attributes);
+
+  std::vector<AttributeDef> attributes_;
+  std::vector<size_t> key_indices_;
+  std::vector<size_t> nonkey_indices_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const RelationSchema>;
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_SCHEMA_H_

@@ -1,0 +1,47 @@
+#include "core/support_pair.h"
+
+#include "common/math_util.h"
+#include "common/str_util.h"
+
+namespace evident {
+
+Status SupportPair::Validate() const {
+  if (sn < -kMassEpsilon || sp > 1.0 + kMassEpsilon ||
+      sn > sp + kMassEpsilon) {
+    return Status::OutOfRange("support pair (" + std::to_string(sn) + "," +
+                              std::to_string(sp) +
+                              ") violates 0 <= sn <= sp <= 1");
+  }
+  return Status::OK();
+}
+
+Result<SupportPair> SupportPair::CombineDempster(
+    const SupportPair& other) const {
+  // Boolean-frame masses for both operands.
+  const double t1 = TrueMass();
+  const double f1 = FalseMass();
+  const double u1 = UnknownMass();
+  const double t2 = other.TrueMass();
+  const double f2 = other.FalseMass();
+  const double u2 = other.UnknownMass();
+  const double kappa = t1 * f2 + f1 * t2;
+  if (kappa >= 1.0 - kMassEpsilon) {
+    return Status::TotalConflict(
+        "membership evidence is totally conflicting: one source is certain "
+        "the tuple exists, the other is certain it does not");
+  }
+  const double norm = 1.0 - kappa;
+  const double t = (t1 * t2 + t1 * u2 + u1 * t2) / norm;
+  const double f = (f1 * f2 + f1 * u2 + u1 * f2) / norm;
+  return SupportPair{ClampUnit(t), ClampUnit(1.0 - f)};
+}
+
+bool SupportPair::ApproxEquals(const SupportPair& other, double eps) const {
+  return ApproxEqual(sn, other.sn, eps) && ApproxEqual(sp, other.sp, eps);
+}
+
+std::string SupportPair::ToString(int decimals) const {
+  return "(" + FormatMass(sn, decimals) + "," + FormatMass(sp, decimals) + ")";
+}
+
+}  // namespace evident

@@ -1,0 +1,67 @@
+#ifndef EVIDENT_CORE_SUPPORT_PAIR_H_
+#define EVIDENT_CORE_SUPPORT_PAIR_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace evident {
+
+/// \brief A pair (sn, sp) of necessary and possible support over the
+/// boolean frame Ψ = {true, false}.
+///
+/// Used both as the tuple membership attribute of extended relations and
+/// as the support level a tuple gives to a selection condition (the
+/// output of F_SS). In evidence terms, sn = m({true}), sp = 1 −
+/// m({false}), and sp − sn = m(Ψ) is the uncommitted (ignorant) mass.
+/// Valid pairs satisfy 0 ≤ sn ≤ sp ≤ 1.
+struct SupportPair {
+  double sn = 0.0;
+  double sp = 1.0;
+
+  SupportPair() = default;
+  SupportPair(double sn_in, double sp_in) : sn(sn_in), sp(sp_in) {}
+
+  /// \brief Full certainty of membership: (1,1).
+  static SupportPair Certain() { return {1.0, 1.0}; }
+  /// \brief Full certainty of non-membership: (0,0).
+  static SupportPair Impossible() { return {0.0, 0.0}; }
+  /// \brief Complete ignorance: (0,1).
+  static SupportPair Unknown() { return {0.0, 1.0}; }
+
+  /// \brief Checks 0 ≤ sn ≤ sp ≤ 1 (within kMassEpsilon).
+  Status Validate() const;
+
+  /// \brief Mass on {true}.
+  double TrueMass() const { return sn; }
+  /// \brief Mass on {false}.
+  double FalseMass() const { return 1.0 - sp; }
+  /// \brief Mass on Ψ (ignorance).
+  double UnknownMass() const { return sp - sn; }
+
+  /// \brief True when there is some positive evidence of membership
+  /// (the CWA_ER storage criterion).
+  bool HasPositiveSupport() const { return sn > 0.0; }
+
+  /// \brief The paper's F_TM: treats the two pairs as independent events
+  /// and multiplies component-wise — used to derive result-tuple
+  /// membership in selection, cartesian product and join.
+  SupportPair Multiply(const SupportPair& other) const {
+    return {sn * other.sn, sp * other.sp};
+  }
+
+  /// \brief Dempster combination on the boolean frame (closed form) —
+  /// used by extended union to merge membership evidence from two
+  /// sources. Fails with TotalConflict when one source is certain of
+  /// membership and the other certain of non-membership.
+  Result<SupportPair> CombineDempster(const SupportPair& other) const;
+
+  bool ApproxEquals(const SupportPair& other, double eps = 1e-9) const;
+
+  /// \brief "(0.5,0.75)" with trailing zeros trimmed.
+  std::string ToString(int decimals = 6) const;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_SUPPORT_PAIR_H_

@@ -1,0 +1,106 @@
+#include "core/threshold.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/str_util.h"
+
+namespace evident {
+
+namespace {
+const char* FieldName(MembershipThreshold::Field f) {
+  return f == MembershipThreshold::Field::kSn ? "sn" : "sp";
+}
+const char* CmpName(MembershipThreshold::Cmp c) {
+  switch (c) {
+    case MembershipThreshold::Cmp::kGt:
+      return ">";
+    case MembershipThreshold::Cmp::kGe:
+      return ">=";
+    case MembershipThreshold::Cmp::kEq:
+      return "=";
+    case MembershipThreshold::Cmp::kLt:
+      return "<";
+    case MembershipThreshold::Cmp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+}  // namespace
+
+bool MembershipThreshold::Atom::Accepts(const SupportPair& m) const {
+  const double x = field == Field::kSn ? m.sn : m.sp;
+  switch (cmp) {
+    case Cmp::kGt:
+      return x > bound;
+    case Cmp::kGe:
+      return x >= bound - kMassEpsilon;
+    case Cmp::kEq:
+      return ApproxEqual(x, bound);
+    case Cmp::kLt:
+      return x < bound;
+    case Cmp::kLe:
+      return x <= bound + kMassEpsilon;
+  }
+  return false;
+}
+
+std::string MembershipThreshold::Atom::ToString() const {
+  return std::string(FieldName(field)) + " " + CmpName(cmp) + " " +
+         FormatMass(bound);
+}
+
+MembershipThreshold MembershipThreshold::SnGreater(double bound) {
+  MembershipThreshold t;
+  t.AndAlso(Field::kSn, Cmp::kGt, bound);
+  return t;
+}
+
+MembershipThreshold MembershipThreshold::SnAtLeast(double bound) {
+  MembershipThreshold t;
+  t.AndAlso(Field::kSn, Cmp::kGe, bound);
+  return t;
+}
+
+MembershipThreshold MembershipThreshold::SnEquals(double bound) {
+  MembershipThreshold t;
+  t.AndAlso(Field::kSn, Cmp::kEq, bound);
+  return t;
+}
+
+MembershipThreshold MembershipThreshold::SpGreater(double bound) {
+  MembershipThreshold t;
+  t.AndAlso(Field::kSp, Cmp::kGt, bound);
+  return t;
+}
+
+MembershipThreshold MembershipThreshold::SpAtLeast(double bound) {
+  MembershipThreshold t;
+  t.AndAlso(Field::kSp, Cmp::kGe, bound);
+  return t;
+}
+
+MembershipThreshold& MembershipThreshold::AndAlso(Field field, Cmp cmp,
+                                                  double bound) {
+  atoms_.push_back(Atom{field, cmp, bound});
+  return *this;
+}
+
+bool MembershipThreshold::Accepts(const SupportPair& m) const {
+  for (const Atom& a : atoms_) {
+    if (!a.Accepts(m)) return false;
+  }
+  return true;
+}
+
+std::string MembershipThreshold::ToString() const {
+  if (atoms_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) out += " and ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace evident

@@ -1,0 +1,62 @@
+#ifndef EVIDENT_CORE_THRESHOLD_H_
+#define EVIDENT_CORE_THRESHOLD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/support_pair.h"
+
+namespace evident {
+
+/// \brief The membership threshold condition Q of extended selection
+/// (§3.1.3): a constraint on the *revised* tuple membership value that
+/// decides whether a result tuple is kept.
+///
+/// A threshold is a conjunction of atomic comparisons on sn or sp. To be
+/// consistent with CWA_ER the paper requires the result to satisfy
+/// sn > 0; Select enforces that implicitly in addition to Q, so the
+/// default (empty) threshold means exactly "sn > 0".
+class MembershipThreshold {
+ public:
+  enum class Field { kSn, kSp };
+  enum class Cmp { kGt, kGe, kEq, kLt, kLe };
+
+  struct Atom {
+    Field field;
+    Cmp cmp;
+    double bound;
+
+    bool Accepts(const SupportPair& m) const;
+    std::string ToString() const;
+  };
+
+  /// \brief The empty threshold (only the implicit sn > 0 applies).
+  MembershipThreshold() = default;
+
+  /// \name Common thresholds.
+  /// @{
+  static MembershipThreshold SnGreater(double bound);
+  static MembershipThreshold SnAtLeast(double bound);
+  static MembershipThreshold SnEquals(double bound);
+  static MembershipThreshold SpGreater(double bound);
+  static MembershipThreshold SpAtLeast(double bound);
+  /// @}
+
+  /// \brief Conjoins another atom (builder style).
+  MembershipThreshold& AndAlso(Field field, Cmp cmp, double bound);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// \brief True when all atoms accept `m` (vacuously true if empty).
+  bool Accepts(const SupportPair& m) const;
+
+  /// \brief "sn > 0.5 and sp >= 0.9"; "true" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_THRESHOLD_H_

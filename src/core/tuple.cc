@@ -1,0 +1,29 @@
+#include "core/tuple.h"
+
+#include <sstream>
+
+namespace evident {
+
+std::string CellToString(const Cell& cell, int mass_decimals) {
+  if (CellIsValue(cell)) return std::get<Value>(cell).ToString();
+  return std::get<EvidenceSet>(cell).ToString(mass_decimals);
+}
+
+bool CellApproxEquals(const Cell& a, const Cell& b, double eps) {
+  if (a.index() != b.index()) return false;
+  if (CellIsValue(a)) return std::get<Value>(a) == std::get<Value>(b);
+  return std::get<EvidenceSet>(a).ApproxEquals(std::get<EvidenceSet>(b), eps);
+}
+
+std::string ExtendedTuple::ToString(int mass_decimals) const {
+  std::ostringstream os;
+  os << "<";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << " | ";
+    os << CellToString(cells[i], mass_decimals);
+  }
+  os << " | " << membership.ToString(mass_decimals) << ">";
+  return os.str();
+}
+
+}  // namespace evident

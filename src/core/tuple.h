@@ -1,0 +1,58 @@
+#ifndef EVIDENT_CORE_TUPLE_H_
+#define EVIDENT_CORE_TUPLE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+#include "core/support_pair.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief One attribute slot of an extended tuple: a definite Value (key
+/// and definite attributes) or an EvidenceSet (uncertain attributes).
+using Cell = std::variant<Value, EvidenceSet>;
+
+/// \brief True when the cell holds a definite Value.
+inline bool CellIsValue(const Cell& cell) { return cell.index() == 0; }
+
+/// \brief Renders either alternative.
+std::string CellToString(const Cell& cell, int mass_decimals = 6);
+
+/// \brief Structural equality; evidence cells compare by ApproxEquals
+/// with `eps`.
+bool CellApproxEquals(const Cell& a, const Cell& b, double eps = 1e-9);
+
+/// \brief A tuple of an extended relation: one cell per schema attribute
+/// plus the tuple membership evidence pair (sn, sp).
+struct ExtendedTuple {
+  std::vector<Cell> cells;
+  SupportPair membership = SupportPair::Certain();
+
+  ExtendedTuple() = default;
+  ExtendedTuple(std::vector<Cell> cells_in, SupportPair membership_in)
+      : cells(std::move(cells_in)), membership(membership_in) {}
+
+  const Cell& cell(size_t i) const { return cells[i]; }
+
+  std::string ToString(int mass_decimals = 6) const;
+};
+
+/// \brief The definite key of a tuple, extracted in key-index order.
+using KeyVector = std::vector<Value>;
+
+struct KeyVectorHash {
+  size_t operator()(const KeyVector& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_TUPLE_H_

@@ -1,0 +1,234 @@
+#include "ds/combination.h"
+
+#include "common/math_util.h"
+
+namespace evident {
+
+namespace {
+
+Status CheckSameUniverse(const MassFunction& m1, const MassFunction& m2) {
+  if (m1.universe_size() != m2.universe_size()) {
+    return Status::Incompatible(
+        "cannot combine mass functions over different frames (" +
+        std::to_string(m1.universe_size()) + " vs " +
+        std::to_string(m2.universe_size()) + ")");
+  }
+  if (m1.FocalCount() == 0 || m2.FocalCount() == 0) {
+    return Status::InvalidArgument("cannot combine an empty mass function");
+  }
+  return Status::OK();
+}
+
+/// Computes the raw conjunctive product: intersection masses plus the
+/// conflict mass kappa accumulated on the empty set.
+MassFunction ConjunctiveProduct(const MassFunction& m1, const MassFunction& m2,
+                                double* kappa_out) {
+  MassFunction out(m1.universe_size());
+  double kappa = 0.0;
+  for (const auto& [x, mx] : m1.focals()) {
+    for (const auto& [y, my] : m2.focals()) {
+      const double product = mx * my;
+      if (product == 0.0) continue;
+      ValueSet z = x.Intersect(y);
+      if (z.IsEmpty()) {
+        kappa += product;
+      } else {
+        // Invariants hold (same universe, non-negative), so Add cannot
+        // fail here.
+        (void)out.Add(z, product);
+      }
+    }
+  }
+  if (kappa_out != nullptr) *kappa_out = kappa;
+  return out;
+}
+
+}  // namespace
+
+const char* CombinationRuleToString(CombinationRule rule) {
+  switch (rule) {
+    case CombinationRule::kDempster:
+      return "dempster";
+    case CombinationRule::kTBM:
+      return "tbm";
+    case CombinationRule::kYager:
+      return "yager";
+    case CombinationRule::kMixing:
+      return "mixing";
+  }
+  return "unknown";
+}
+
+Result<MassFunction> CombineDempster(const MassFunction& m1,
+                                     const MassFunction& m2,
+                                     double* kappa_out) {
+  EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  double kappa = 0.0;
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  if (kappa_out != nullptr) *kappa_out = kappa;
+  if (kappa >= 1.0 - kMassEpsilon) {
+    return Status::TotalConflict(
+        "Dempster combination of totally conflicting evidence (kappa == 1); "
+        "the component databases disagree completely and the integrator "
+        "must be notified");
+  }
+  const double norm = 1.0 - kappa;
+  MassFunction normalized(out.universe_size());
+  for (const auto& [set, mass] : out.focals()) {
+    (void)normalized.Add(set, mass / norm);
+  }
+  return normalized;
+}
+
+Result<MassFunction> CombineTBM(const MassFunction& m1,
+                                const MassFunction& m2) {
+  EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  double kappa = 0.0;
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  if (kappa > 0.0) {
+    (void)out.Add(ValueSet(out.universe_size()), kappa);
+  }
+  return out;
+}
+
+Result<MassFunction> CombineYager(const MassFunction& m1,
+                                  const MassFunction& m2) {
+  EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  double kappa = 0.0;
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  if (kappa > 0.0) {
+    (void)out.Add(ValueSet::Full(out.universe_size()), kappa);
+  }
+  return out;
+}
+
+Result<MassFunction> CombineMixing(const MassFunction& m1,
+                                   const MassFunction& m2) {
+  EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  MassFunction out(m1.universe_size());
+  for (const auto& [set, mass] : m1.focals()) (void)out.Add(set, 0.5 * mass);
+  for (const auto& [set, mass] : m2.focals()) (void)out.Add(set, 0.5 * mass);
+  return out;
+}
+
+Result<MassFunction> Combine(const MassFunction& m1, const MassFunction& m2,
+                             CombinationRule rule, double* kappa_out) {
+  switch (rule) {
+    case CombinationRule::kDempster:
+      return CombineDempster(m1, m2, kappa_out);
+    case CombinationRule::kTBM: {
+      if (kappa_out != nullptr) {
+        EVIDENT_ASSIGN_OR_RETURN(*kappa_out, ConflictMass(m1, m2));
+      }
+      return CombineTBM(m1, m2);
+    }
+    case CombinationRule::kYager: {
+      if (kappa_out != nullptr) {
+        EVIDENT_ASSIGN_OR_RETURN(*kappa_out, ConflictMass(m1, m2));
+      }
+      return CombineYager(m1, m2);
+    }
+    case CombinationRule::kMixing: {
+      if (kappa_out != nullptr) *kappa_out = 0.0;
+      return CombineMixing(m1, m2);
+    }
+  }
+  return Status::InvalidArgument("unknown combination rule");
+}
+
+Result<double> ConflictMass(const MassFunction& m1, const MassFunction& m2) {
+  EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  double kappa = 0.0;
+  for (const auto& [x, mx] : m1.focals()) {
+    for (const auto& [y, my] : m2.focals()) {
+      if (!x.Intersects(y)) kappa += mx * my;
+    }
+  }
+  return kappa;
+}
+
+Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
+                                    double* kappa_out) {
+  return CombineEvidence(a, b, CombinationRule::kDempster, kappa_out);
+}
+
+Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
+                                    CombinationRule rule, double* kappa_out) {
+  if (!a.CompatibleWith(b)) {
+    return Status::Incompatible("evidence sets over different domains: '" +
+                                a.domain()->name() + "' vs '" +
+                                b.domain()->name() + "'");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(MassFunction combined,
+                           Combine(a.mass(), b.mass(), rule, kappa_out));
+  // TBM results may carry empty-set mass and deliberately fail
+  // EvidenceSet::Make validation; normalize them into evidence sets by
+  // dropping the empty mass for the caller-facing wrapper.
+  if (rule == CombinationRule::kTBM && combined.EmptyMass() > 0.0) {
+    EVIDENT_RETURN_NOT_OK(combined.Normalize());
+  }
+  return EvidenceSet::Make(a.domain(), std::move(combined));
+}
+
+Result<EvidenceSet> CombineAll(const std::vector<EvidenceSet>& sets) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("CombineAll over an empty list");
+  }
+  EvidenceSet acc = sets.front();
+  for (size_t i = 1; i < sets.size(); ++i) {
+    EVIDENT_ASSIGN_OR_RETURN(acc, CombineEvidence(acc, sets[i]));
+  }
+  return acc;
+}
+
+Result<MassFunction> Discount(const MassFunction& m, double reliability) {
+  if (reliability < 0.0 || reliability > 1.0) {
+    return Status::OutOfRange("reliability must be in [0,1], got " +
+                              std::to_string(reliability));
+  }
+  MassFunction out(m.universe_size());
+  for (const auto& [set, mass] : m.focals()) {
+    (void)out.Add(set, reliability * mass);
+  }
+  (void)out.Add(ValueSet::Full(m.universe_size()), 1.0 - reliability);
+  return out;
+}
+
+Result<EvidenceSet> DiscountEvidence(const EvidenceSet& es,
+                                     double reliability) {
+  EVIDENT_ASSIGN_OR_RETURN(MassFunction m, Discount(es.mass(), reliability));
+  return EvidenceSet::Make(es.domain(), std::move(m));
+}
+
+Result<MassFunction> Condition(const MassFunction& m, const ValueSet& given) {
+  if (given.universe_size() != m.universe_size()) {
+    return Status::Incompatible("conditioning set universe mismatch");
+  }
+  if (given.IsEmpty()) {
+    return Status::InvalidArgument("cannot condition on the empty set");
+  }
+  MassFunction categorical(m.universe_size());
+  EVIDENT_RETURN_NOT_OK(categorical.Add(given, 1.0));
+  return CombineDempster(m, categorical);
+}
+
+Result<EvidenceSet> ConditionEvidence(const EvidenceSet& es,
+                                      const std::vector<Value>& given) {
+  EVIDENT_ASSIGN_OR_RETURN(ValueSet set, es.SetOf(given));
+  EVIDENT_ASSIGN_OR_RETURN(MassFunction conditioned,
+                           Condition(es.mass(), set));
+  return EvidenceSet::Make(es.domain(), std::move(conditioned));
+}
+
+Result<std::vector<double>> PignisticTransform(const MassFunction& m) {
+  EVIDENT_RETURN_NOT_OK(m.Validate());
+  std::vector<double> probs(m.universe_size(), 0.0);
+  for (const auto& [set, mass] : m.focals()) {
+    const auto indices = set.Indices();
+    const double share = mass / static_cast<double>(indices.size());
+    for (size_t i : indices) probs[i] += share;
+  }
+  return probs;
+}
+
+}  // namespace evident

@@ -1,0 +1,107 @@
+#ifndef EVIDENT_DS_COMBINATION_H_
+#define EVIDENT_DS_COMBINATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ds/evidence_set.h"
+#include "ds/mass_function.h"
+
+namespace evident {
+
+/// \brief Which rule combines two mass functions over the same frame.
+///
+/// The paper uses Dempster's normalized rule (and requires total conflict
+/// to be surfaced to the integrator). The alternatives are provided for
+/// the A1 ablation: they differ only in where the conflict mass kappa
+/// goes.
+enum class CombinationRule {
+  /// Dempster's rule: renormalize by 1 - kappa; error on kappa == 1.
+  kDempster,
+  /// Transferable-belief-model conjunctive rule: leave kappa on the empty
+  /// set (the result is an unnormalized mass function).
+  kTBM,
+  /// Yager's rule: move kappa to the full frame (ignorance).
+  kYager,
+  /// Linear mixing: average the two functions; never conflicts.
+  kMixing,
+};
+
+const char* CombinationRuleToString(CombinationRule rule);
+
+/// \brief Dempster's rule of combination m1 (+) m2.
+///
+/// Computes sum over X ∩ Y = Z of m1(X)·m2(Y), renormalized by 1 - kappa
+/// where kappa is the mass of conflicting (empty-intersection) pairs.
+/// `kappa_out`, when non-null, receives kappa even on failure. Fails with
+/// TotalConflict when kappa == 1 (no focal elements intersect), which the
+/// paper requires to be reported to the data integrator.
+Result<MassFunction> CombineDempster(const MassFunction& m1,
+                                     const MassFunction& m2,
+                                     double* kappa_out = nullptr);
+
+/// \brief Conjunctive (TBM) combination: like Dempster but kappa stays on
+/// the empty set and no renormalization happens.
+Result<MassFunction> CombineTBM(const MassFunction& m1,
+                                const MassFunction& m2);
+
+/// \brief Yager's rule: conflict mass is transferred to the full frame.
+Result<MassFunction> CombineYager(const MassFunction& m1,
+                                  const MassFunction& m2);
+
+/// \brief Equal-weight linear mixing (averaging) of two mass functions.
+Result<MassFunction> CombineMixing(const MassFunction& m1,
+                                   const MassFunction& m2);
+
+/// \brief Dispatches to the rule named by `rule`.
+Result<MassFunction> Combine(const MassFunction& m1, const MassFunction& m2,
+                             CombinationRule rule,
+                             double* kappa_out = nullptr);
+
+/// \brief The conflict mass kappa between two mass functions (sum of
+/// m1(X)·m2(Y) over disjoint X, Y) without performing the combination.
+Result<double> ConflictMass(const MassFunction& m1, const MassFunction& m2);
+
+/// \brief EvidenceSet-level Dempster combination; requires compatible
+/// domains.
+Result<EvidenceSet> CombineEvidence(const EvidenceSet& a,
+                                    const EvidenceSet& b,
+                                    double* kappa_out = nullptr);
+
+/// \brief EvidenceSet-level combination under a chosen rule.
+Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
+                                    CombinationRule rule,
+                                    double* kappa_out = nullptr);
+
+/// \brief Left fold of Dempster combination over `sets` (associative and
+/// commutative, so order does not matter); fails on an empty list.
+Result<EvidenceSet> CombineAll(const std::vector<EvidenceSet>& sets);
+
+/// \brief Shafer discounting: scales every focal mass by `reliability`
+/// (in [0,1]) and moves the remainder to the full frame. reliability==1
+/// is the identity; reliability==0 yields the vacuous function.
+Result<MassFunction> Discount(const MassFunction& m, double reliability);
+
+/// \brief EvidenceSet-level discounting.
+Result<EvidenceSet> DiscountEvidence(const EvidenceSet& es,
+                                     double reliability);
+
+/// \brief Dempster conditioning m(· | given): combination with the
+/// categorical mass function that puts all mass on `given` — "we have
+/// learned the value is certainly in `given`". Fails with TotalConflict
+/// when the evidence gives `given` zero plausibility.
+Result<MassFunction> Condition(const MassFunction& m, const ValueSet& given);
+
+/// \brief EvidenceSet-level conditioning on a subset named by values.
+Result<EvidenceSet> ConditionEvidence(const EvidenceSet& es,
+                                      const std::vector<Value>& given);
+
+/// \brief Pignistic probability transform BetP: distributes each focal
+/// mass uniformly over its elements; returns one probability per domain
+/// index. Used to pick a point decision from combined evidence in the
+/// baseline-comparison benches.
+Result<std::vector<double>> PignisticTransform(const MassFunction& m);
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_COMBINATION_H_

@@ -1,0 +1,68 @@
+#include "ds/decision.h"
+
+#include "ds/combination.h"
+
+namespace evident {
+
+const char* DecisionCriterionToString(DecisionCriterion criterion) {
+  switch (criterion) {
+    case DecisionCriterion::kPignistic:
+      return "pignistic";
+    case DecisionCriterion::kMaxBelief:
+      return "max-belief";
+    case DecisionCriterion::kMaxPlausibility:
+      return "max-plausibility";
+  }
+  return "?";
+}
+
+Result<Decision> Decide(const EvidenceSet& es, DecisionCriterion criterion) {
+  const size_t n = es.domain()->size();
+  std::vector<double> scores(n, 0.0);
+  switch (criterion) {
+    case DecisionCriterion::kPignistic: {
+      EVIDENT_ASSIGN_OR_RETURN(scores, PignisticTransform(es.mass()));
+      break;
+    }
+    case DecisionCriterion::kMaxBelief: {
+      for (size_t i = 0; i < n; ++i) {
+        scores[i] = es.mass().Belief(ValueSet::Singleton(n, i));
+      }
+      break;
+    }
+    case DecisionCriterion::kMaxPlausibility: {
+      for (size_t i = 0; i < n; ++i) {
+        scores[i] = es.mass().Plausibility(ValueSet::Singleton(n, i));
+      }
+      break;
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (scores[i] > scores[best] + 1e-15) best = i;
+  }
+  return Decision{best, es.domain()->value(best), scores[best]};
+}
+
+Result<std::vector<Decision>> UndominatedValues(const EvidenceSet& es) {
+  const size_t n = es.domain()->size();
+  std::vector<double> bel(n);
+  std::vector<double> pls(n);
+  for (size_t i = 0; i < n; ++i) {
+    bel[i] = es.mass().Belief(ValueSet::Singleton(n, i));
+    pls[i] = es.mass().Plausibility(ValueSet::Singleton(n, i));
+  }
+  std::vector<Decision> out;
+  for (size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < n && !dominated; ++j) {
+      if (j != i && bel[j] > pls[i] + 1e-15) dominated = true;
+    }
+    if (!dominated) {
+      out.push_back(Decision{i, es.domain()->value(i), pls[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace evident

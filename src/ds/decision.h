@@ -1,0 +1,47 @@
+#ifndef EVIDENT_DS_DECISION_H_
+#define EVIDENT_DS_DECISION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief How to commit to a single value given combined evidence.
+///
+/// The paper stops at returning evidence sets with graded support;
+/// downstream applications (and our baseline-comparison benches) must
+/// eventually pick a value. These are the standard DS decision criteria.
+enum class DecisionCriterion {
+  /// Maximize the pignistic probability BetP (mass on subsets split
+  /// uniformly) — the default used by the comparison benches.
+  kPignistic,
+  /// Maximize belief (credal / pessimistic).
+  kMaxBelief,
+  /// Maximize plausibility (optimistic).
+  kMaxPlausibility,
+};
+
+const char* DecisionCriterionToString(DecisionCriterion criterion);
+
+/// \brief One chosen value with its score under the criterion.
+struct Decision {
+  size_t index;  ///< index into the domain
+  Value value;
+  double score;
+};
+
+/// \brief Picks the best single value under `criterion`; ties break
+/// towards the lower domain index (deterministic).
+Result<Decision> Decide(const EvidenceSet& es, DecisionCriterion criterion);
+
+/// \brief All values whose interval [Bel({v}), Pls({v})] is not strictly
+/// dominated by another value's interval (interval dominance): v is
+/// *excluded* only if some w has Bel({w}) > Pls({v}). The undominated
+/// set always contains the maximum-belief value.
+Result<std::vector<Decision>> UndominatedValues(const EvidenceSet& es);
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_DECISION_H_

@@ -1,0 +1,112 @@
+#include "ds/evidence_set.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace evident {
+
+Result<EvidenceSet> EvidenceSet::Make(DomainPtr domain, MassFunction mass) {
+  if (!domain) return Status::InvalidArgument("null domain");
+  if (mass.universe_size() != domain->size()) {
+    return Status::Incompatible(
+        "mass universe size " + std::to_string(mass.universe_size()) +
+        " != domain '" + domain->name() + "' size " +
+        std::to_string(domain->size()));
+  }
+  EVIDENT_RETURN_NOT_OK(mass.Validate());
+  return EvidenceSet(std::move(domain), std::move(mass));
+}
+
+Result<EvidenceSet> EvidenceSet::Definite(DomainPtr domain, const Value& v) {
+  if (!domain) return Status::InvalidArgument("null domain");
+  EVIDENT_ASSIGN_OR_RETURN(size_t index, domain->IndexOf(v));
+  MassFunction m = MassFunction::Definite(domain->size(), index);
+  return EvidenceSet(std::move(domain), std::move(m));
+}
+
+EvidenceSet EvidenceSet::Vacuous(DomainPtr domain) {
+  MassFunction m = MassFunction::Vacuous(domain->size());
+  return EvidenceSet(std::move(domain), std::move(m));
+}
+
+Result<EvidenceSet> EvidenceSet::FromPairs(
+    DomainPtr domain,
+    const std::vector<std::pair<std::vector<Value>, double>>& pairs) {
+  if (!domain) return Status::InvalidArgument("null domain");
+  MassFunction m(domain->size());
+  for (const auto& [values, massv] : pairs) {
+    ValueSet set = values.empty() ? ValueSet::Full(domain->size())
+                                  : ValueSet(domain->size());
+    for (const Value& v : values) {
+      EVIDENT_ASSIGN_OR_RETURN(size_t index, domain->IndexOf(v));
+      set.Set(index);
+    }
+    EVIDENT_RETURN_NOT_OK(m.Add(set, massv));
+  }
+  return Make(std::move(domain), std::move(m));
+}
+
+Result<ValueSet> EvidenceSet::SetOf(const std::vector<Value>& values) const {
+  ValueSet set(domain_->size());
+  for (const Value& v : values) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, domain_->IndexOf(v));
+    set.Set(index);
+  }
+  return set;
+}
+
+Result<double> EvidenceSet::Belief(const std::vector<Value>& values) const {
+  EVIDENT_ASSIGN_OR_RETURN(ValueSet set, SetOf(values));
+  return mass_.Belief(set);
+}
+
+Result<double> EvidenceSet::Plausibility(
+    const std::vector<Value>& values) const {
+  EVIDENT_ASSIGN_OR_RETURN(ValueSet set, SetOf(values));
+  return mass_.Plausibility(set);
+}
+
+Result<Value> EvidenceSet::DefiniteValue() const {
+  if (!IsDefinite()) {
+    return Status::NotFound("evidence set is not definite: " + ToString());
+  }
+  const auto& [set, mass] = *mass_.focals().begin();
+  (void)mass;
+  return domain_->value(set.Indices().front());
+}
+
+std::vector<Value> EvidenceSet::ValuesOf(const ValueSet& set) const {
+  std::vector<Value> out;
+  for (size_t i : set.Indices()) out.push_back(domain_->value(i));
+  return out;
+}
+
+std::string EvidenceSet::ToString(int mass_decimals) const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [set, massv] : mass_.SortedFocals()) {
+    if (!first) os << ", ";
+    first = false;
+    if (set.IsFull()) {
+      os << "Θ";
+    } else if (set.Count() == 1) {
+      os << domain_->value(set.Indices().front());
+    } else {
+      os << "{";
+      bool inner_first = true;
+      for (size_t i : set.Indices()) {
+        if (!inner_first) os << ",";
+        os << domain_->value(i);
+        inner_first = false;
+      }
+      os << "}";
+    }
+    os << "^" << FormatMass(massv, mass_decimals);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace evident

@@ -1,0 +1,94 @@
+#ifndef EVIDENT_DS_EVIDENCE_SET_H_
+#define EVIDENT_DS_EVIDENCE_SET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/domain.h"
+#include "common/result.h"
+#include "ds/mass_function.h"
+
+namespace evident {
+
+/// \brief An evidence set: a mass function over a named attribute domain
+/// (the paper's representation of an uncertain attribute value).
+///
+/// An EvidenceSet binds a MassFunction (index-based) to the Domain that
+/// gives the indices meaning, and exposes value-level operations: belief
+/// and plausibility of subsets named by Values, definiteness tests, and
+/// the paper-style rendering "[si^0.5, {hu,si}^0.33, Θ^0.25]".
+class EvidenceSet {
+ public:
+  /// \brief Wraps a validated mass function; fails if the function does
+  /// not validate or its universe size disagrees with the domain.
+  static Result<EvidenceSet> Make(DomainPtr domain, MassFunction mass);
+
+  /// \brief The definite value `v` (singleton focal with mass 1).
+  static Result<EvidenceSet> Definite(DomainPtr domain, const Value& v);
+
+  /// \brief Total ignorance: all mass on the frame.
+  static EvidenceSet Vacuous(DomainPtr domain);
+
+  /// \brief Builds from (subset-of-values, mass) pairs; masses must sum
+  /// to 1. An empty value list in a pair denotes the full frame Θ,
+  /// matching the paper's leftover-mass-on-Θ idiom.
+  static Result<EvidenceSet> FromPairs(
+      DomainPtr domain,
+      const std::vector<std::pair<std::vector<Value>, double>>& pairs);
+
+  const DomainPtr& domain() const { return domain_; }
+  const MassFunction& mass() const { return mass_; }
+
+  /// \brief Translates Values to a ValueSet over this domain; fails on a
+  /// value outside the frame.
+  Result<ValueSet> SetOf(const std::vector<Value>& values) const;
+
+  /// \brief Bel of the subset named by `values`.
+  Result<double> Belief(const std::vector<Value>& values) const;
+
+  /// \brief Pls of the subset named by `values`.
+  Result<double> Plausibility(const std::vector<Value>& values) const;
+
+  /// \brief True when the evidence is a single definite value.
+  bool IsDefinite() const { return mass_.IsDefinite(); }
+
+  /// \brief True when the evidence is vacuous (total ignorance).
+  bool IsVacuous() const { return mass_.IsVacuous(); }
+
+  /// \brief The definite value when IsDefinite(), NotFound otherwise.
+  Result<Value> DefiniteValue() const;
+
+  /// \brief The Values of a focal element.
+  std::vector<Value> ValuesOf(const ValueSet& set) const;
+
+  /// \brief Compatible means same (or structurally equal) domain.
+  bool CompatibleWith(const EvidenceSet& other) const {
+    return SameDomain(domain_, other.domain_);
+  }
+
+  bool operator==(const EvidenceSet& other) const {
+    return SameDomain(domain_, other.domain_) && mass_ == other.mass_;
+  }
+
+  /// \brief Same focal structure with masses within eps.
+  bool ApproxEquals(const EvidenceSet& other, double eps = 1e-9) const {
+    return SameDomain(domain_, other.domain_) &&
+           mass_.ApproxEquals(other.mass_, eps);
+  }
+
+  /// \brief Paper-style literal. Singletons drop braces; the full frame
+  /// renders as Θ; masses are trimmed to `mass_decimals` digits.
+  std::string ToString(int mass_decimals = 6) const;
+
+ private:
+  EvidenceSet(DomainPtr domain, MassFunction mass)
+      : domain_(std::move(domain)), mass_(std::move(mass)) {}
+
+  DomainPtr domain_;
+  MassFunction mass_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_EVIDENCE_SET_H_

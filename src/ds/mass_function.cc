@@ -1,0 +1,170 @@
+#include "ds/mass_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace evident {
+
+MassFunction MassFunction::Vacuous(size_t universe_size) {
+  MassFunction m(universe_size);
+  m.focals_.emplace(ValueSet::Full(universe_size), 1.0);
+  return m;
+}
+
+MassFunction MassFunction::Definite(size_t universe_size, size_t index) {
+  MassFunction m(universe_size);
+  m.focals_.emplace(ValueSet::Singleton(universe_size, index), 1.0);
+  return m;
+}
+
+Status MassFunction::Add(const ValueSet& set, double mass) {
+  if (set.universe_size() != universe_size_) {
+    return Status::Incompatible(
+        "focal element universe mismatch: " +
+        std::to_string(set.universe_size()) + " vs " +
+        std::to_string(universe_size_));
+  }
+  if (mass < 0.0 || std::isnan(mass)) {
+    return Status::OutOfRange("mass must be non-negative, got " +
+                              std::to_string(mass));
+  }
+  if (mass == 0.0) return Status::OK();
+  focals_[set] += mass;
+  return Status::OK();
+}
+
+double MassFunction::MassOf(const ValueSet& set) const {
+  auto it = focals_.find(set);
+  return it == focals_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<ValueSet, double>> MassFunction::SortedFocals() const {
+  std::vector<std::pair<ValueSet, double>> out(focals_.begin(), focals_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              const size_t ca = a.first.Count();
+              const size_t cb = b.first.Count();
+              if (ca != cb) return ca < cb;
+              return a.first < b.first;
+            });
+  return out;
+}
+
+double MassFunction::TotalMass() const {
+  double total = 0.0;
+  for (const auto& [set, mass] : focals_) total += mass;
+  return total;
+}
+
+double MassFunction::EmptyMass() const {
+  return MassOf(ValueSet(universe_size_));
+}
+
+Status MassFunction::Validate() const {
+  if (focals_.empty()) {
+    return Status::OutOfRange("mass function has no focal elements");
+  }
+  for (const auto& [set, mass] : focals_) {
+    if (set.IsEmpty() && mass > kMassEpsilon) {
+      return Status::OutOfRange("mass " + std::to_string(mass) +
+                                " assigned to the empty set");
+    }
+    if (mass <= 0.0 || mass > 1.0 + kMassEpsilon) {
+      return Status::OutOfRange("focal mass " + std::to_string(mass) +
+                                " outside (0,1]");
+    }
+  }
+  const double total = TotalMass();
+  if (!ApproxEqual(total, 1.0, 1e-6)) {
+    return Status::OutOfRange("masses sum to " + std::to_string(total) +
+                              ", expected 1");
+  }
+  return Status::OK();
+}
+
+void MassFunction::Prune(double floor) {
+  for (auto it = focals_.begin(); it != focals_.end();) {
+    if (it->second <= floor) {
+      it = focals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status MassFunction::Normalize() {
+  focals_.erase(ValueSet(universe_size_));
+  const double total = TotalMass();
+  if (total <= kMassEpsilon) {
+    return Status::TotalConflict("all mass on the empty set");
+  }
+  for (auto& [set, mass] : focals_) mass /= total;
+  return Status::OK();
+}
+
+double MassFunction::Belief(const ValueSet& set) const {
+  double bel = 0.0;
+  for (const auto& [focal, mass] : focals_) {
+    if (!focal.IsEmpty() && focal.IsSubsetOf(set)) bel += mass;
+  }
+  return ClampUnit(bel);
+}
+
+double MassFunction::Plausibility(const ValueSet& set) const {
+  double pls = 0.0;
+  for (const auto& [focal, mass] : focals_) {
+    if (focal.Intersects(set)) pls += mass;
+  }
+  return ClampUnit(pls);
+}
+
+double MassFunction::Commonality(const ValueSet& set) const {
+  double q = 0.0;
+  for (const auto& [focal, mass] : focals_) {
+    if (set.IsSubsetOf(focal)) q += mass;
+  }
+  return ClampUnit(q);
+}
+
+bool MassFunction::IsVacuous() const {
+  return focals_.size() == 1 && focals_.begin()->first.IsFull() &&
+         ApproxEqual(focals_.begin()->second, 1.0);
+}
+
+bool MassFunction::IsDefinite() const {
+  return focals_.size() == 1 && focals_.begin()->first.Count() == 1 &&
+         ApproxEqual(focals_.begin()->second, 1.0);
+}
+
+bool MassFunction::operator==(const MassFunction& other) const {
+  return universe_size_ == other.universe_size_ && focals_ == other.focals_;
+}
+
+bool MassFunction::ApproxEquals(const MassFunction& other, double eps) const {
+  if (universe_size_ != other.universe_size_) return false;
+  if (focals_.size() != other.focals_.size()) return false;
+  for (const auto& [set, mass] : focals_) {
+    auto it = other.focals_.find(set);
+    if (it == other.focals_.end()) return false;
+    if (!ApproxEqual(mass, it->second, eps)) return false;
+  }
+  return true;
+}
+
+std::string MassFunction::ToString() const {
+  std::ostringstream os;
+  os << "m[";
+  bool first = true;
+  for (const auto& [set, mass] : SortedFocals()) {
+    if (!first) os << ", ";
+    os << set.ToString() << "^" << mass;
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace evident

@@ -1,0 +1,103 @@
+#ifndef EVIDENT_DS_MASS_FUNCTION_H_
+#define EVIDENT_DS_MASS_FUNCTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "ds/value_set.h"
+
+namespace evident {
+
+/// \brief A basic probability assignment m : 2^Theta -> [0,1] over a
+/// finite frame, stored sparsely as its focal elements (subsets with
+/// m > 0).
+///
+/// Valid mass functions satisfy m(empty) = 0 and sum over all subsets = 1
+/// (the paper's two defining properties). Instances are mutable while
+/// being built; Validate() checks the invariants, and the higher-level
+/// EvidenceSet only wraps validated functions. The empty set may carry
+/// transient mass inside combination rules (the TBM variant exposes it).
+class MassFunction {
+ public:
+  explicit MassFunction(size_t universe_size = 0)
+      : universe_size_(universe_size) {}
+
+  /// \brief The vacuous mass function: all mass on the full frame
+  /// (total ignorance).
+  static MassFunction Vacuous(size_t universe_size);
+
+  /// \brief Mass 1 on the singleton {index} (a definite value).
+  static MassFunction Definite(size_t universe_size, size_t index);
+
+  size_t universe_size() const { return universe_size_; }
+
+  /// \brief Adds `mass` to subset `set` (accumulating if present).
+  /// Fails if the set's universe disagrees or mass is negative.
+  Status Add(const ValueSet& set, double mass);
+
+  /// \brief m(set); zero for non-focal subsets.
+  double MassOf(const ValueSet& set) const;
+
+  /// \brief Number of focal elements (subsets with nonzero stored mass).
+  size_t FocalCount() const { return focals_.size(); }
+
+  /// \brief Focal elements in a deterministic order (by cardinality, then
+  /// bit pattern), paired with their masses.
+  std::vector<std::pair<ValueSet, double>> SortedFocals() const;
+
+  /// \brief Unordered access for hot loops.
+  const std::unordered_map<ValueSet, double, ValueSetHash>& focals() const {
+    return focals_;
+  }
+
+  /// \brief Sum of all stored masses (1 for a valid function).
+  double TotalMass() const;
+
+  /// \brief Mass currently on the empty set (0 for a valid function;
+  /// nonzero only under the unnormalized TBM combination).
+  double EmptyMass() const;
+
+  /// \brief Checks m(empty)=0, each mass in (0,1], and total == 1 within
+  /// kMassEpsilon.
+  Status Validate() const;
+
+  /// \brief Removes zero-mass entries and entries below `floor`.
+  void Prune(double floor = 0.0);
+
+  /// \brief Rescales so the total mass is 1; fails when the total (after
+  /// removing empty-set mass) is zero — total conflict.
+  Status Normalize();
+
+  /// \brief Bel(A): sum of m(X) over focal X that are subsets of A.
+  double Belief(const ValueSet& set) const;
+
+  /// \brief Pls(A): sum of m(X) over focal X intersecting A.
+  double Plausibility(const ValueSet& set) const;
+
+  /// \brief Commonality Q(A): sum of m(X) over focal X containing A.
+  double Commonality(const ValueSet& set) const;
+
+  /// \brief True when the only focal element is the full frame.
+  bool IsVacuous() const;
+
+  /// \brief True when the only focal element is one singleton with mass 1.
+  bool IsDefinite() const;
+
+  bool operator==(const MassFunction& other) const;
+
+  /// \brief Structural near-equality: same focal sets, masses within eps.
+  bool ApproxEquals(const MassFunction& other, double eps) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t universe_size_;
+  std::unordered_map<ValueSet, double, ValueSetHash> focals_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_MASS_FUNCTION_H_

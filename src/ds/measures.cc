@@ -1,0 +1,42 @@
+#include "ds/measures.h"
+
+#include <cmath>
+
+#include "ds/combination.h"
+
+namespace evident {
+
+Result<double> Nonspecificity(const MassFunction& m) {
+  EVIDENT_RETURN_NOT_OK(m.Validate());
+  double n = 0.0;
+  for (const auto& [set, mass] : m.focals()) {
+    n += mass * std::log2(static_cast<double>(set.Count()));
+  }
+  return n;
+}
+
+Result<double> PignisticEntropy(const MassFunction& m) {
+  EVIDENT_ASSIGN_OR_RETURN(std::vector<double> betp, PignisticTransform(m));
+  double h = 0.0;
+  for (double p : betp) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+Result<double> TotalUncertainty(const MassFunction& m) {
+  EVIDENT_ASSIGN_OR_RETURN(double n, Nonspecificity(m));
+  EVIDENT_ASSIGN_OR_RETURN(double h, PignisticEntropy(m));
+  return n + h;
+}
+
+Result<double> Specificity(const MassFunction& m) {
+  EVIDENT_RETURN_NOT_OK(m.Validate());
+  double s = 0.0;
+  for (const auto& [set, mass] : m.focals()) {
+    s += mass / static_cast<double>(set.Count());
+  }
+  return s;
+}
+
+}  // namespace evident

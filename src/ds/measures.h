@@ -1,0 +1,36 @@
+#ifndef EVIDENT_DS_MEASURES_H_
+#define EVIDENT_DS_MEASURES_H_
+
+#include "common/result.h"
+#include "ds/mass_function.h"
+
+namespace evident {
+
+/// \brief Uncertainty measures over mass functions, used by the ablation
+/// benches to quantify how much ignorance / ambiguity each combination
+/// rule leaves behind. All take validated mass functions.
+
+/// \brief Nonspecificity N(m) = Σ m(A) · log2 |A| — Hartley-based
+/// measure of how much the evidence fails to single out one value.
+/// 0 for Bayesian (all-singleton) functions, log2 |Θ| for the vacuous
+/// one.
+Result<double> Nonspecificity(const MassFunction& m);
+
+/// \brief Discord / conflict within one mass function:
+/// D(m) = −Σ m(A) · log2 BetP(A) evaluated through the pignistic
+/// probabilities of A's elements — Shannon entropy of BetP. 0 for a
+/// definite value, log2 |Θ| for maximal indecision.
+Result<double> PignisticEntropy(const MassFunction& m);
+
+/// \brief Aggregate uncertainty: Nonspecificity + PignisticEntropy, a
+/// simple (not minimal) total-uncertainty figure adequate for relative
+/// comparisons between combination rules.
+Result<double> TotalUncertainty(const MassFunction& m);
+
+/// \brief Specificity S(m) = Σ m(A) / |A| (Yager) — 1 for definite
+/// values, 1/|Θ| for the vacuous function.
+Result<double> Specificity(const MassFunction& m);
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_MEASURES_H_

@@ -1,0 +1,176 @@
+#include "ds/value_set.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace evident {
+
+namespace {
+constexpr size_t kWordBits = 64;
+size_t WordCount(size_t universe_size) {
+  return (universe_size + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+ValueSet::ValueSet(size_t universe_size)
+    : universe_size_(universe_size), words_(WordCount(universe_size), 0) {}
+
+ValueSet ValueSet::Full(size_t universe_size) {
+  ValueSet s(universe_size);
+  for (auto& w : s.words_) w = ~uint64_t{0};
+  s.TrimTail();
+  return s;
+}
+
+ValueSet ValueSet::Singleton(size_t universe_size, size_t index) {
+  ValueSet s(universe_size);
+  s.Set(index);
+  return s;
+}
+
+ValueSet ValueSet::Of(size_t universe_size,
+                      const std::vector<size_t>& indices) {
+  ValueSet s(universe_size);
+  for (size_t i : indices) s.Set(i);
+  return s;
+}
+
+void ValueSet::TrimTail() {
+  const size_t rem = universe_size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+bool ValueSet::Test(size_t index) const {
+  assert(index < universe_size_);
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1;
+}
+
+void ValueSet::Set(size_t index) {
+  assert(index < universe_size_);
+  words_[index / kWordBits] |= uint64_t{1} << (index % kWordBits);
+}
+
+void ValueSet::Reset(size_t index) {
+  assert(index < universe_size_);
+  words_[index / kWordBits] &= ~(uint64_t{1} << (index % kWordBits));
+}
+
+size_t ValueSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool ValueSet::IsEmpty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool ValueSet::IsFull() const { return Count() == universe_size_; }
+
+std::vector<size_t> ValueSet::Indices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(wi * kWordBits + static_cast<size_t>(bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+ValueSet ValueSet::Intersect(const ValueSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  ValueSet out(universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+ValueSet ValueSet::Union(const ValueSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  ValueSet out(universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
+  }
+  return out;
+}
+
+ValueSet ValueSet::Difference(const ValueSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  ValueSet out(universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & ~other.words_[i];
+  }
+  return out;
+}
+
+ValueSet ValueSet::Complement() const {
+  ValueSet out(universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.TrimTail();
+  return out;
+}
+
+bool ValueSet::IsSubsetOf(const ValueSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ValueSet::Intersects(const ValueSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool ValueSet::operator==(const ValueSet& other) const {
+  return universe_size_ == other.universe_size_ && words_ == other.words_;
+}
+
+bool ValueSet::operator<(const ValueSet& other) const {
+  if (universe_size_ != other.universe_size_) {
+    return universe_size_ < other.universe_size_;
+  }
+  // Lexicographic from the most significant word gives a stable order.
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i];
+  }
+  return false;
+}
+
+size_t ValueSet::Hash() const {
+  size_t h = universe_size_ * 0x9e3779b97f4a7c15ULL;
+  for (uint64_t w : words_) {
+    h ^= static_cast<size_t>(w) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string ValueSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (size_t i : Indices()) {
+    if (!first) os << ",";
+    os << i;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace evident

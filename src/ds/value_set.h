@@ -1,0 +1,79 @@
+#ifndef EVIDENT_DS_VALUE_SET_H_
+#define EVIDENT_DS_VALUE_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evident {
+
+/// \brief A subset of a finite frame of discernment, represented as a
+/// packed bitset over the frame's value indices.
+///
+/// Focal elements of mass functions are ValueSets. The universe size is
+/// fixed at construction; set operations require both operands to share
+/// it. The representation is index-based — the association with a Domain
+/// (which maps indices to Values) lives in EvidenceSet.
+class ValueSet {
+ public:
+  /// \brief The empty subset of a universe with `universe_size` elements.
+  explicit ValueSet(size_t universe_size = 0);
+
+  /// \brief The full universe (the frame Theta itself).
+  static ValueSet Full(size_t universe_size);
+
+  /// \brief A singleton {index}.
+  static ValueSet Singleton(size_t universe_size, size_t index);
+
+  /// \brief The subset containing exactly `indices`.
+  static ValueSet Of(size_t universe_size, const std::vector<size_t>& indices);
+
+  size_t universe_size() const { return universe_size_; }
+
+  bool Test(size_t index) const;
+  void Set(size_t index);
+  void Reset(size_t index);
+
+  /// \brief Number of elements in the subset.
+  size_t Count() const;
+  bool IsEmpty() const;
+  bool IsFull() const;
+
+  /// \brief Ascending indices of the members.
+  std::vector<size_t> Indices() const;
+
+  /// \brief Set algebra; operands must share universe_size (checked by
+  /// assertion in debug builds, undefined otherwise).
+  ValueSet Intersect(const ValueSet& other) const;
+  ValueSet Union(const ValueSet& other) const;
+  ValueSet Difference(const ValueSet& other) const;
+  ValueSet Complement() const;
+
+  bool IsSubsetOf(const ValueSet& other) const;
+  bool Intersects(const ValueSet& other) const;
+
+  bool operator==(const ValueSet& other) const;
+  bool operator!=(const ValueSet& other) const { return !(*this == other); }
+  /// \brief Arbitrary total order (universe size, then words); enables use
+  /// as a sorted-map key for deterministic iteration.
+  bool operator<(const ValueSet& other) const;
+
+  size_t Hash() const;
+
+  /// \brief Debug rendering of the index set, e.g. "{0,3,5}".
+  std::string ToString() const;
+
+ private:
+  size_t universe_size_;
+  std::vector<uint64_t> words_;
+
+  void TrimTail();
+};
+
+struct ValueSetHash {
+  size_t operator()(const ValueSet& s) const { return s.Hash(); }
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_DS_VALUE_SET_H_

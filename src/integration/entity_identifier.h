@@ -1,0 +1,55 @@
+#ifndef EVIDENT_INTEGRATION_ENTITY_IDENTIFIER_H_
+#define EVIDENT_INTEGRATION_ENTITY_IDENTIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+
+namespace evident {
+
+/// \brief One matched tuple pair produced by entity identification.
+struct TupleMatch {
+  size_t left_row;
+  size_t right_row;
+  /// Matching confidence in [0,1]; 1 for exact key matches.
+  double score;
+};
+
+/// \brief The tuple matching information of Figure 1: which tuples of
+/// the two preprocessed relations represent the same real-world entity.
+struct MatchingInfo {
+  std::vector<TupleMatch> matches;
+  std::vector<size_t> unmatched_left;
+  std::vector<size_t> unmatched_right;
+};
+
+/// \brief Key-based entity identification (the paper's assumption for
+/// tuple merging: "the preprocessed relations share a common key which
+/// determines the matched tuples"). Requires union-compatible schemas.
+Result<MatchingInfo> MatchByKey(const ExtendedRelation& left,
+                                const ExtendedRelation& right);
+
+/// \brief Options for similarity-based entity identification — the
+/// substrate the paper defers to prior work [10]: when sources lack a
+/// reliable common key, compare definite attributes.
+struct SimilarityMatchOptions {
+  /// Definite attributes compared by normalized edit-distance
+  /// similarity; empty means all definite (including key) attributes.
+  std::vector<std::string> compare_attributes;
+  /// Minimum average similarity for a pair to count as a match.
+  double threshold = 0.85;
+};
+
+/// \brief Greedy best-first similarity matching over definite
+/// attributes: computes average string similarity per pair, sorts pairs
+/// by score, and greedily matches each tuple at most once above the
+/// threshold.
+Result<MatchingInfo> MatchBySimilarity(const ExtendedRelation& left,
+                                       const ExtendedRelation& right,
+                                       const SimilarityMatchOptions& options);
+
+}  // namespace evident
+
+#endif  // EVIDENT_INTEGRATION_ENTITY_IDENTIFIER_H_

@@ -1,0 +1,41 @@
+#include "integration/menu_classifier.h"
+
+namespace evident {
+
+Status MenuClassifier::AddItem(const std::string& item,
+                               const std::vector<Value>& categories) {
+  if (item.empty()) {
+    return Status::InvalidArgument("taxonomy item name must be non-empty");
+  }
+  if (categories.empty()) {
+    return Status::InvalidArgument("item '" + item +
+                                   "' must map to at least one category");
+  }
+  ValueSet set(domain_->size());
+  for (const Value& c : categories) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, domain_->IndexOf(c));
+    set.Set(index);
+  }
+  taxonomy_[item] = std::move(set);
+  return Status::OK();
+}
+
+Result<EvidenceSet> MenuClassifier::Classify(
+    const std::vector<std::string>& items) const {
+  if (items.empty()) {
+    return Status::InvalidArgument("cannot classify an empty menu");
+  }
+  MassFunction m(domain_->size());
+  const double share = 1.0 / static_cast<double>(items.size());
+  for (const std::string& item : items) {
+    auto it = taxonomy_.find(item);
+    const ValueSet& set =
+        it == taxonomy_.end()
+            ? ValueSet::Full(domain_->size())  // no classification info
+            : it->second;
+    EVIDENT_RETURN_NOT_OK(m.Add(set, share));
+  }
+  return EvidenceSet::Make(domain_, std::move(m));
+}
+
+}  // namespace evident

@@ -1,0 +1,39 @@
+#include "integration/pipeline.h"
+
+namespace evident {
+
+Result<PipelineRun> IntegrationPipeline::Run(const RawTable& source_a,
+                                             const RawTable& source_b) const {
+  AttributePreprocessor pre_a(config_.global_schema, config_.derivations_a,
+                              config_.membership_a);
+  AttributePreprocessor pre_b(config_.global_schema, config_.derivations_b,
+                              config_.membership_b);
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation a, pre_a.Run(source_a));
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation b, pre_b.Run(source_b));
+  return RunPreprocessed(std::move(a), std::move(b));
+}
+
+Result<PipelineRun> IntegrationPipeline::RunPreprocessed(
+    ExtendedRelation a, ExtendedRelation b) const {
+  MatchingInfo matching;
+  switch (config_.identification) {
+    case EntityIdentification::kByKey: {
+      EVIDENT_ASSIGN_OR_RETURN(matching, MatchByKey(a, b));
+      break;
+    }
+    case EntityIdentification::kBySimilarity: {
+      EVIDENT_ASSIGN_OR_RETURN(matching,
+                               MatchBySimilarity(a, b, config_.similarity));
+      break;
+    }
+  }
+  EVIDENT_ASSIGN_OR_RETURN(
+      ExtendedRelation integrated,
+      MergeTuples(a, b, matching, config_.merge_options));
+  integrated.set_name("integrated");
+  PipelineRun run{std::move(a), std::move(b), std::move(matching),
+                  std::move(integrated)};
+  return run;
+}
+
+}  // namespace evident

@@ -1,0 +1,187 @@
+#include "integration/preprocessor.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "text/evidence_literal.h"
+
+namespace evident {
+
+namespace {
+
+/// Applies a raw-string value map (identity for unmapped strings).
+std::string MapRawValue(
+    const std::unordered_map<std::string, std::string>& value_map,
+    const std::string& raw) {
+  auto it = value_map.find(raw);
+  return it == value_map.end() ? raw : it->second;
+}
+
+Result<double> ParseNumber(const std::string& text) {
+  char* end = nullptr;
+  const double x = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return Status::ParseError("bad number '" + text + "'");
+  }
+  return x;
+}
+
+}  // namespace
+
+Status AttributePreprocessor::ValidateSpec(const RawTable& input) const {
+  if (schema_ == nullptr) {
+    return Status::InvalidArgument("preprocessor has no target schema");
+  }
+  EVIDENT_RETURN_NOT_OK(input.Validate());
+  std::unordered_set<std::string> covered;
+  for (const AttributeDerivation& d : derivations_) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t target_index, schema_->IndexOf(d.target));
+    EVIDENT_RETURN_NOT_OK(input.ColumnIndex(d.source_column).status());
+    if (!covered.insert(d.target).second) {
+      return Status::InvalidArgument("attribute '" + d.target +
+                                     "' derived twice");
+    }
+    const AttributeDef& attr = schema_->attribute(target_index);
+    const bool needs_evidence = d.kind != DerivationKind::kCopy;
+    if (attr.is_uncertain() != needs_evidence) {
+      return Status::InvalidArgument(
+          "derivation of '" + d.target + "' (" +
+          AttributeKindToString(attr.kind) +
+          ") does not match its derivation kind");
+    }
+    if (d.kind == DerivationKind::kClassify && d.classifier == nullptr) {
+      return Status::InvalidArgument("derivation of '" + d.target +
+                                     "' needs a classifier");
+    }
+  }
+  for (const AttributeDef& attr : schema_->attributes()) {
+    if (covered.count(attr.name) == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has no derivation rule");
+    }
+  }
+  if (!membership_.sn_column.empty()) {
+    EVIDENT_RETURN_NOT_OK(input.ColumnIndex(membership_.sn_column).status());
+    EVIDENT_RETURN_NOT_OK(input.ColumnIndex(membership_.sp_column).status());
+  }
+  return Status::OK();
+}
+
+Result<ExtendedRelation> AttributePreprocessor::Run(
+    const RawTable& input) const {
+  EVIDENT_RETURN_NOT_OK(ValidateSpec(input));
+  ExtendedRelation out(input.name, schema_);
+  for (size_t r = 0; r < input.rows.size(); ++r) {
+    const auto& raw_row = input.rows[r];
+    ExtendedTuple t;
+    t.cells.resize(schema_->size());
+    for (const AttributeDerivation& d : derivations_) {
+      const size_t target_index = schema_->IndexOf(d.target).value();
+      const size_t source_index =
+          input.ColumnIndex(d.source_column).value();
+      const AttributeDef& attr = schema_->attribute(target_index);
+      const std::string& raw = raw_row[source_index];
+      switch (d.kind) {
+        case DerivationKind::kCopy: {
+          Value v = Value::Parse(MapRawValue(d.value_map, Trim(raw)));
+          if (d.transform.enabled) {
+            if (!v.is_numeric()) {
+              return Status::InvalidArgument(
+                  "linear transform on non-numeric value '" + v.ToString() +
+                  "' for attribute '" + d.target + "'");
+            }
+            const double converted =
+                d.transform.scale * v.AsDouble() + d.transform.offset;
+            // Preserve integer typing when the conversion lands on an
+            // integer (e.g. cents → dollars on whole amounts).
+            if (v.is_int() && converted == static_cast<int64_t>(converted)) {
+              v = Value(static_cast<int64_t>(converted));
+            } else {
+              v = Value(converted);
+            }
+          }
+          t.cells[target_index] = std::move(v);
+          break;
+        }
+        case DerivationKind::kVotes: {
+          EVIDENT_ASSIGN_OR_RETURN(VoteTable votes, VoteTable::Parse(raw));
+          // Apply the value map by re-parsing through the mapped text:
+          // rebuild a vote table with mapped values.
+          VoteTable mapped;
+          if (d.value_map.empty()) {
+            mapped = std::move(votes);
+          } else {
+            // Re-parse entry-wise with mapping.
+            for (const std::string& raw_entry : SplitTopLevel(raw, ';')) {
+              const std::string entry = Trim(raw_entry);
+              if (entry.empty()) continue;
+              const auto parts = SplitTopLevel(entry, ':');
+              EVIDENT_ASSIGN_OR_RETURN(double count,
+                                       ParseNumber(Trim(parts[1])));
+              std::string subset = Trim(parts[0]);
+              std::vector<Value> values;
+              if (subset == "*") {
+              } else if (subset.size() >= 2 && subset.front() == '{' &&
+                         subset.back() == '}') {
+                for (const std::string& v :
+                     Split(subset.substr(1, subset.size() - 2), ',')) {
+                  values.push_back(
+                      Value::Parse(MapRawValue(d.value_map, Trim(v))));
+                }
+              } else {
+                values.push_back(
+                    Value::Parse(MapRawValue(d.value_map, subset)));
+              }
+              EVIDENT_RETURN_NOT_OK(mapped.AddVotes(std::move(values), count));
+            }
+          }
+          EVIDENT_ASSIGN_OR_RETURN(EvidenceSet es,
+                                   mapped.Consolidate(attr.domain));
+          t.cells[target_index] = std::move(es);
+          break;
+        }
+        case DerivationKind::kClassify: {
+          std::vector<std::string> items;
+          for (const std::string& item : Split(raw, '|')) {
+            const std::string trimmed = Trim(item);
+            if (!trimmed.empty()) {
+              items.push_back(MapRawValue(d.value_map, trimmed));
+            }
+          }
+          EVIDENT_ASSIGN_OR_RETURN(EvidenceSet es,
+                                   d.classifier->Classify(items));
+          if (!SameDomain(es.domain(), attr.domain)) {
+            return Status::Incompatible(
+                "classifier domain '" + es.domain()->name() +
+                "' does not match attribute '" + attr.name + "'");
+          }
+          t.cells[target_index] = std::move(es);
+          break;
+        }
+        case DerivationKind::kEvidenceLiteral: {
+          EVIDENT_ASSIGN_OR_RETURN(
+              EvidenceSet es, ParseEvidenceLiteral(attr.domain, raw));
+          t.cells[target_index] = std::move(es);
+          break;
+        }
+      }
+    }
+    if (!membership_.sn_column.empty()) {
+      const size_t sn_index =
+          input.ColumnIndex(membership_.sn_column).value();
+      const size_t sp_index =
+          input.ColumnIndex(membership_.sp_column).value();
+      EVIDENT_ASSIGN_OR_RETURN(double sn, ParseNumber(Trim(raw_row[sn_index])));
+      EVIDENT_ASSIGN_OR_RETURN(double sp, ParseNumber(Trim(raw_row[sp_index])));
+      t.membership = SupportPair{sn, sp};
+    } else {
+      t.membership =
+          SupportPair{membership_.default_sn, membership_.default_sp};
+    }
+    EVIDENT_RETURN_NOT_OK(out.Insert(std::move(t)));
+  }
+  return out;
+}
+
+}  // namespace evident

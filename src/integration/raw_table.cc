@@ -1,0 +1,25 @@
+#include "integration/raw_table.h"
+
+namespace evident {
+
+Result<size_t> RawTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == column) return i;
+  }
+  return Status::NotFound("no column '" + column + "' in raw table '" + name +
+                          "'");
+}
+
+Status RawTable::Validate() const {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != columns.size()) {
+      return Status::InvalidArgument(
+          "raw table '" + name + "' row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
+          std::to_string(columns.size()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace evident

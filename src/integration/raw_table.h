@@ -1,0 +1,29 @@
+#ifndef EVIDENT_INTEGRATION_RAW_TABLE_H_
+#define EVIDENT_INTEGRATION_RAW_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace evident {
+
+/// \brief A component database's relation as exported: named string
+/// columns, untyped rows. This is the input to attribute preprocessing
+/// (the left side of the paper's Figure 1); the output is an
+/// ExtendedRelation over the global schema.
+struct RawTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// \brief Index of `column`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// \brief Checks each row has exactly one field per column.
+  Status Validate() const;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_INTEGRATION_RAW_TABLE_H_

@@ -1,0 +1,73 @@
+#include "integration/tuple_merger.h"
+
+namespace evident {
+
+Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
+                                     const ExtendedRelation& right,
+                                     const MatchingInfo& matching,
+                                     const UnionOptions& options) {
+  if (left.schema() == nullptr || right.schema() == nullptr ||
+      !left.schema()->UnionCompatibleWith(*right.schema())) {
+    return Status::Incompatible(
+        "tuple merging requires union-compatible relations");
+  }
+  // Rewrite each matched right tuple's key to the left tuple's key, then
+  // reuse the extended union machinery (which matches by key). This
+  // keeps one implementation of Dempster-based merging.
+  ExtendedRelation rekeyed(right.name(), right.schema());
+  const auto& key_indices = right.schema()->key_indices();
+  std::vector<bool> is_matched_right(right.size(), false);
+  for (const TupleMatch& m : matching.matches) {
+    if (m.left_row >= left.size() || m.right_row >= right.size()) {
+      return Status::InvalidArgument("matching references rows out of range");
+    }
+    if (is_matched_right[m.right_row]) {
+      return Status::InvalidArgument(
+          "matching assigns right row " + std::to_string(m.right_row) +
+          " twice");
+    }
+    is_matched_right[m.right_row] = true;
+    ExtendedTuple t = right.row(m.right_row);
+    const ExtendedTuple& l = left.row(m.left_row);
+    for (size_t k : key_indices) t.cells[k] = l.cells[k];
+    EVIDENT_RETURN_NOT_OK(rekeyed.InsertUnchecked(std::move(t)));
+  }
+  for (size_t j : matching.unmatched_right) {
+    if (j >= right.size()) {
+      return Status::InvalidArgument("matching references rows out of range");
+    }
+    if (is_matched_right[j]) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(j) + " is both matched and unmatched");
+    }
+    is_matched_right[j] = true;
+    // An unmatched right tuple whose key collides with an (unmatched)
+    // left key would wrongly merge; the matching info is authoritative,
+    // so such a collision is an error the caller must resolve by
+    // renaming keys.
+    if (left.ContainsKey(right.KeyOf(right.row(j)))) {
+      bool left_matched = false;
+      for (const TupleMatch& m : matching.matches) {
+        if (left.KeyOf(left.row(m.left_row)) == right.KeyOf(right.row(j))) {
+          left_matched = true;
+          break;
+        }
+      }
+      if (!left_matched) {
+        return Status::InvalidArgument(
+            "unmatched right tuple shares key with a left tuple; matching "
+            "info and keys disagree");
+      }
+    }
+    EVIDENT_RETURN_NOT_OK(rekeyed.InsertUnchecked(right.row(j)));
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    if (!is_matched_right[j]) {
+      return Status::InvalidArgument(
+          "matching info does not cover right row " + std::to_string(j));
+    }
+  }
+  return Union(left, rekeyed, options);
+}
+
+}  // namespace evident

@@ -1,0 +1,28 @@
+#ifndef EVIDENT_INTEGRATION_TUPLE_MERGER_H_
+#define EVIDENT_INTEGRATION_TUPLE_MERGER_H_
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+#include "core/operations.h"
+#include "integration/entity_identifier.h"
+
+namespace evident {
+
+/// \brief Tuple merging (Figure 1): combines two preprocessed,
+/// union-compatible relations into the integrated relation, guided by
+/// explicit tuple matching information.
+///
+/// When the matching info comes from MatchByKey this is exactly the
+/// extended union ∪̃; with similarity-based matching it generalizes it:
+/// a matched pair is merged under the left tuple's key even when the
+/// keys differ textually (e.g. "wok cafe" vs "wok café"), which plain ∪̃
+/// cannot express.
+Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
+                                     const ExtendedRelation& right,
+                                     const MatchingInfo& matching,
+                                     const UnionOptions& options =
+                                         UnionOptions());
+
+}  // namespace evident
+
+#endif  // EVIDENT_INTEGRATION_TUPLE_MERGER_H_

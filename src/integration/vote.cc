@@ -1,0 +1,96 @@
+#include "integration/vote.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace evident {
+
+Status VoteTable::AddVotes(std::vector<Value> values, double count) {
+  if (count <= 0) {
+    return Status::InvalidArgument("vote count must be positive, got " +
+                                   std::to_string(count));
+  }
+  entries_.emplace_back(std::move(values), count);
+  return Status::OK();
+}
+
+double VoteTable::TotalVotes() const {
+  double total = 0;
+  for (const auto& [values, count] : entries_) total += count;
+  return total;
+}
+
+Result<EvidenceSet> VoteTable::Consolidate(const DomainPtr& domain) const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("cannot consolidate an empty vote table");
+  }
+  const double total = TotalVotes();
+  std::vector<std::pair<std::vector<Value>, double>> pairs;
+  pairs.reserve(entries_.size());
+  for (const auto& [values, count] : entries_) {
+    pairs.emplace_back(values, count / total);
+  }
+  return EvidenceSet::FromPairs(domain, pairs);
+}
+
+Result<VoteTable> VoteTable::Parse(const std::string& text) {
+  VoteTable table;
+  for (const std::string& raw_entry : SplitTopLevel(text, ';')) {
+    const std::string entry = Trim(raw_entry);
+    if (entry.empty()) continue;
+    const auto parts = SplitTopLevel(entry, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError("vote entry '" + entry +
+                                "' is not of the form <subset>:<count>");
+    }
+    const std::string subset = Trim(parts[0]);
+    const std::string count_text = Trim(parts[1]);
+    char* end = nullptr;
+    const double count = std::strtod(count_text.c_str(), &end);
+    if (end != count_text.c_str() + count_text.size() || count_text.empty()) {
+      return Status::ParseError("bad vote count in '" + entry + "'");
+    }
+    std::vector<Value> values;
+    if (subset == "*") {
+      // Θ: leave empty.
+    } else if (subset.size() >= 2 && subset.front() == '{' &&
+               subset.back() == '}') {
+      for (const std::string& v :
+           Split(subset.substr(1, subset.size() - 2), ',')) {
+        values.push_back(Value::Parse(Trim(v)));
+      }
+    } else {
+      values.push_back(Value::Parse(subset));
+    }
+    EVIDENT_RETURN_NOT_OK(table.AddVotes(std::move(values), count));
+  }
+  if (table.empty()) {
+    return Status::ParseError("vote table '" + text + "' has no entries");
+  }
+  return table;
+}
+
+std::string VoteTable::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << "; ";
+    const auto& [values, count] = entries_[i];
+    if (values.empty()) {
+      os << "*";
+    } else if (values.size() == 1) {
+      os << values[0];
+    } else {
+      os << "{";
+      for (size_t j = 0; j < values.size(); ++j) {
+        if (j) os << ",";
+        os << values[j];
+      }
+      os << "}";
+    }
+    os << ":" << count;
+  }
+  return os.str();
+}
+
+}  // namespace evident

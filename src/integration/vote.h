@@ -1,0 +1,52 @@
+#ifndef EVIDENT_INTEGRATION_VOTE_H_
+#define EVIDENT_INTEGRATION_VOTE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/domain.h"
+#include "common/result.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief Raw survey statistics for one uncertain attribute of one
+/// entity: votes cast for subsets of the attribute domain.
+///
+/// This is the paper's §1.2 group-voting model: each of a panel of
+/// reviewers casts one vote; a vote names a single value when the
+/// reviewer is sure, a set of values when the reviewer cannot
+/// distinguish (e.g. "hunan or sichuan"), and abstention is modeled as a
+/// vote for the whole frame Θ.
+class VoteTable {
+ public:
+  VoteTable() = default;
+
+  /// \brief Adds `count` votes for the subset `values`; an empty list is
+  /// a vote for Θ (no classification information).
+  Status AddVotes(std::vector<Value> values, double count);
+
+  /// \brief Total number of votes cast.
+  double TotalVotes() const;
+
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief The paper's consolidation: mass of a subset = its vote share.
+  /// Fails when no votes have been cast.
+  Result<EvidenceSet> Consolidate(const DomainPtr& domain) const;
+
+  /// \brief Parses "d1:3; d2:2; {d35,d36}:1; *:1" — each entry is a
+  /// value, a brace-enclosed value set, or '*' (= Θ), followed by a
+  /// colon and a vote count.
+  static Result<VoteTable> Parse(const std::string& text);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::vector<Value>, double>> entries_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_INTEGRATION_VOTE_H_

@@ -1,0 +1,80 @@
+#ifndef EVIDENT_QUERY_AST_H_
+#define EVIDENT_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/threshold.h"
+
+namespace evident {
+
+/// \brief Unbound pieces of a parsed EQL query. Binding (resolving
+/// attribute names, domains, and evidence literals) happens against the
+/// catalog in QueryEngine.
+namespace eql {
+
+/// One operand of a θ-condition before binding.
+struct RawOperand {
+  enum class Kind { kAttribute, kValue, kEvidenceLiteral };
+  Kind kind;
+  /// Attribute name, raw value text, or raw bracketed literal.
+  std::string text;
+};
+
+/// "attr IS {c1, ..., cn}".
+struct IsCondition {
+  std::string attribute;
+  std::vector<std::string> values;
+};
+
+/// "lhs θ rhs".
+struct ThetaCondition {
+  RawOperand lhs;
+  ThetaOp op;
+  RawOperand rhs;
+};
+
+using Condition = std::variant<IsCondition, ThetaCondition>;
+
+/// FROM clause shape.
+enum class SourceOp {
+  kScan,     // FROM R
+  kUnion,    // FROM R UNION S — extended union (tuple merging)
+  kProduct,  // FROM R PRODUCT S (σ over it via WHERE gives the join)
+  kJoin,     // FROM R JOIN S — sugar: product whose WHERE is the join cond
+};
+
+struct FromClause {
+  SourceOp op = SourceOp::kScan;
+  std::string left;
+  std::string right;  // empty for kScan
+};
+
+/// ORDER BY clause: sort the result by a membership field. The paper's
+/// model returns "tuples with a full range of certainty" in one result
+/// set; ordering by sn/sp ranks them by that certainty.
+struct OrderBy {
+  enum class Field { kNone, kSn, kSp };
+  Field field = Field::kNone;
+  bool descending = true;
+};
+
+/// A parsed (unbound) query.
+struct ParsedQuery {
+  /// Empty means SELECT * (all attributes).
+  std::vector<std::string> select;
+  FromClause from;
+  std::vector<Condition> where;  // conjunction
+  MembershipThreshold with;      // empty = implicit sn > 0 only
+  OrderBy order_by;
+  /// 0 means no LIMIT.
+  size_t limit = 0;
+};
+
+}  // namespace eql
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_AST_H_

@@ -1,0 +1,214 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "query/parser.h"
+#include "text/evidence_literal.h"
+
+namespace evident {
+
+namespace {
+
+/// Binds a raw θ-operand. Evidence literals need a frame: they borrow the
+/// domain of the attribute on the other side of the comparison.
+Result<ThetaOperand> BindOperand(const eql::RawOperand& raw,
+                                 const eql::RawOperand& other,
+                                 const RelationSchema& schema) {
+  switch (raw.kind) {
+    case eql::RawOperand::Kind::kAttribute: {
+      EVIDENT_RETURN_NOT_OK(schema.IndexOf(raw.text).status());
+      return ThetaOperand::Attr(raw.text);
+    }
+    case eql::RawOperand::Kind::kValue:
+      return ThetaOperand::LitValue(Value::Parse(raw.text));
+    case eql::RawOperand::Kind::kEvidenceLiteral: {
+      if (other.kind != eql::RawOperand::Kind::kAttribute) {
+        return Status::InvalidArgument(
+            "an evidence literal needs an attribute on the other side of "
+            "the comparison to determine its domain: " +
+            raw.text);
+      }
+      EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(other.text));
+      const AttributeDef& attr = schema.attribute(index);
+      if (!attr.is_uncertain()) {
+        return Status::InvalidArgument(
+            "evidence literal compared against definite attribute '" +
+            attr.name + "'");
+      }
+      EVIDENT_ASSIGN_OR_RETURN(EvidenceSet es,
+                               ParseEvidenceLiteral(attr.domain, raw.text));
+      return ThetaOperand::Lit(std::move(es));
+    }
+  }
+  return Status::Internal("unreachable operand kind");
+}
+
+}  // namespace
+
+Result<ExtendedRelation> QueryEngine::BindFrom(
+    const eql::ParsedQuery& query) const {
+  if (catalog_ == nullptr) {
+    return Status::InvalidArgument("query engine has no catalog");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* left,
+                           catalog_->GetRelation(query.from.left));
+  switch (query.from.op) {
+    case eql::SourceOp::kScan:
+      return *left;
+    case eql::SourceOp::kUnion: {
+      EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* right,
+                               catalog_->GetRelation(query.from.right));
+      return Union(*left, *right, union_options_);
+    }
+    case eql::SourceOp::kProduct:
+    case eql::SourceOp::kJoin: {
+      // JOIN is product + WHERE-as-join-condition (the paper's ⋈̃ = σ̃∘×̃);
+      // the distinction is purely syntactic sugar.
+      EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* right,
+                               catalog_->GetRelation(query.from.right));
+      return Product(*left, *right);
+    }
+  }
+  return Status::Internal("unreachable source op");
+}
+
+Result<PredicatePtr> QueryEngine::BindWhere(
+    const eql::ParsedQuery& query, const RelationSchema& schema) const {
+  if (query.where.empty()) return PredicatePtr(nullptr);
+  std::vector<PredicatePtr> conjuncts;
+  for (const eql::Condition& cond : query.where) {
+    if (const auto* is_cond = std::get_if<eql::IsCondition>(&cond)) {
+      EVIDENT_RETURN_NOT_OK(schema.IndexOf(is_cond->attribute).status());
+      std::vector<Value> values;
+      values.reserve(is_cond->values.size());
+      for (const std::string& text : is_cond->values) {
+        values.push_back(Value::Parse(text));
+      }
+      conjuncts.push_back(Is(is_cond->attribute, std::move(values)));
+    } else {
+      const auto& theta = std::get<eql::ThetaCondition>(cond);
+      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand lhs,
+                               BindOperand(theta.lhs, theta.rhs, schema));
+      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand rhs,
+                               BindOperand(theta.rhs, theta.lhs, schema));
+      conjuncts.push_back(Theta(std::move(lhs), theta.op, std::move(rhs)));
+    }
+  }
+  if (conjuncts.size() == 1) return conjuncts.front();
+  return And(std::move(conjuncts));
+}
+
+Result<ExtendedRelation> QueryEngine::ExecuteParsed(
+    const eql::ParsedQuery& query) const {
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation source, BindFrom(query));
+  EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                           BindWhere(query, *source.schema()));
+  ExtendedRelation filtered = std::move(source);
+  if (predicate != nullptr || !query.with.atoms().empty()) {
+    // A WITH clause without WHERE still thresholds the (unchanged)
+    // membership; model that as selection with an always-true predicate.
+    PredicatePtr effective =
+        predicate != nullptr
+            ? predicate
+            : Theta(ThetaOperand::LitValue(Value(int64_t{0})), ThetaOp::kEq,
+                    ThetaOperand::LitValue(Value(int64_t{0})));
+    EVIDENT_ASSIGN_OR_RETURN(filtered,
+                             Select(filtered, effective, query.with));
+  }
+  ExtendedRelation projected = std::move(filtered);
+  if (!query.select.empty()) {
+    // Implicitly retain key attributes (the paper's projection always
+    // carries the key + membership).
+    std::vector<std::string> attrs;
+    for (size_t key_index : projected.schema()->key_indices()) {
+      const std::string& key_name =
+          projected.schema()->attribute(key_index).name;
+      bool listed = false;
+      for (const std::string& a : query.select) {
+        if (a == key_name) listed = true;
+      }
+      if (!listed) attrs.push_back(key_name);
+    }
+    attrs.insert(attrs.end(), query.select.begin(), query.select.end());
+    EVIDENT_ASSIGN_OR_RETURN(projected, Project(projected, attrs));
+  }
+  if (query.order_by.field == eql::OrderBy::Field::kNone &&
+      query.limit == 0) {
+    return projected;
+  }
+  // ORDER BY sn/sp ranks the single result set by certainty; LIMIT
+  // truncates after ranking (without ORDER BY it keeps input order).
+  std::vector<size_t> order(projected.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (query.order_by.field != eql::OrderBy::Field::kNone) {
+    const bool by_sn = query.order_by.field == eql::OrderBy::Field::kSn;
+    const bool desc = query.order_by.descending;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       const SupportPair& ma = projected.row(a).membership;
+                       const SupportPair& mb = projected.row(b).membership;
+                       const double xa = by_sn ? ma.sn : ma.sp;
+                       const double xb = by_sn ? mb.sn : mb.sp;
+                       return desc ? xa > xb : xa < xb;
+                     });
+  }
+  const size_t keep = query.limit == 0
+                          ? order.size()
+                          : std::min(query.limit, order.size());
+  ExtendedRelation ranked(projected.name(), projected.schema());
+  for (size_t i = 0; i < keep; ++i) {
+    EVIDENT_RETURN_NOT_OK(ranked.InsertUnchecked(projected.row(order[i])));
+  }
+  return ranked;
+}
+
+Result<ExtendedRelation> QueryEngine::Execute(
+    const std::string& eql_text) const {
+  EVIDENT_ASSIGN_OR_RETURN(eql::ParsedQuery query, ParseQuery(eql_text));
+  return ExecuteParsed(query);
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& eql_text) const {
+  EVIDENT_ASSIGN_OR_RETURN(eql::ParsedQuery query, ParseQuery(eql_text));
+  std::ostringstream os;
+  switch (query.from.op) {
+    case eql::SourceOp::kScan:
+      os << "scan(" << query.from.left << ")";
+      break;
+    case eql::SourceOp::kUnion:
+      os << "union(" << query.from.left << ", " << query.from.right << ")";
+      break;
+    case eql::SourceOp::kProduct:
+      os << "product(" << query.from.left << ", " << query.from.right << ")";
+      break;
+    case eql::SourceOp::kJoin:
+      os << "join(" << query.from.left << ", " << query.from.right << ")";
+      break;
+  }
+  if (!query.where.empty()) {
+    os << " -> select[" << query.where.size() << " condition(s), Q: "
+       << query.with.ToString() << "]";
+  } else if (!query.with.atoms().empty()) {
+    os << " -> threshold[Q: " << query.with.ToString() << "]";
+  }
+  if (!query.select.empty()) {
+    os << " -> project[";
+    for (size_t i = 0; i < query.select.size(); ++i) {
+      if (i) os << ", ";
+      os << query.select[i];
+    }
+    os << "]";
+  }
+  if (query.order_by.field != eql::OrderBy::Field::kNone) {
+    os << " -> order["
+       << (query.order_by.field == eql::OrderBy::Field::kSn ? "sn" : "sp")
+       << (query.order_by.descending ? " desc" : " asc") << "]";
+  }
+  if (query.limit > 0) {
+    os << " -> limit[" << query.limit << "]";
+  }
+  return os.str();
+}
+
+}  // namespace evident

@@ -1,0 +1,55 @@
+#ifndef EVIDENT_QUERY_ENGINE_H_
+#define EVIDENT_QUERY_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+#include "core/operations.h"
+#include "query/ast.h"
+#include "storage/catalog.h"
+
+namespace evident {
+
+/// \brief Executes EQL queries against a catalog of extended relations —
+/// the "query processing" box of the paper's Figure 1.
+///
+/// Pipeline: FROM (scan / extended union / product / join) → WHERE
+/// (extended selection with F_SS + F_TM) → WITH (membership threshold Q)
+/// → SELECT (extended projection; key attributes are implicitly added if
+/// omitted, since the paper's projection always carries keys).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Parses, binds and runs a query.
+  Result<ExtendedRelation> Execute(const std::string& eql_text) const;
+
+  /// \brief Runs an already-parsed query.
+  Result<ExtendedRelation> ExecuteParsed(const eql::ParsedQuery& query) const;
+
+  /// \brief Human-readable plan ("union(RA,RB) -> select[...] ->
+  /// project[...]") without executing.
+  Result<std::string> Explain(const std::string& eql_text) const;
+
+  /// \brief Options controlling union behaviour in FROM ... UNION.
+  void set_union_options(const UnionOptions& options) {
+    union_options_ = options;
+  }
+
+ private:
+  /// Resolves the FROM clause to a concrete relation.
+  Result<ExtendedRelation> BindFrom(const eql::ParsedQuery& query) const;
+
+  /// Builds the bound predicate for the WHERE conjunction (nullptr when
+  /// there is no WHERE clause).
+  Result<PredicatePtr> BindWhere(const eql::ParsedQuery& query,
+                                 const RelationSchema& schema) const;
+
+  const Catalog* catalog_;
+  UnionOptions union_options_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_ENGINE_H_

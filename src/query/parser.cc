@@ -1,0 +1,295 @@
+#include "query/parser.h"
+
+#include "common/str_util.h"
+#include "query/token.h"
+
+namespace evident {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<eql::ParsedQuery> Parse() {
+    eql::ParsedQuery query;
+    EVIDENT_RETURN_NOT_OK(ExpectKeyword("select"));
+    EVIDENT_RETURN_NOT_OK(ParseSelectItems(&query));
+    EVIDENT_RETURN_NOT_OK(ExpectKeyword("from"));
+    EVIDENT_RETURN_NOT_OK(ParseFrom(&query));
+    if (AtKeyword("where")) {
+      Advance();
+      EVIDENT_RETURN_NOT_OK(ParseWhere(&query));
+    }
+    if (AtKeyword("with")) {
+      Advance();
+      EVIDENT_RETURN_NOT_OK(ParseWith(&query));
+    }
+    if (AtKeyword("order")) {
+      Advance();
+      EVIDENT_RETURN_NOT_OK(ExpectKeyword("by"));
+      if (AtKeyword("sn")) {
+        query.order_by.field = eql::OrderBy::Field::kSn;
+      } else if (AtKeyword("sp")) {
+        query.order_by.field = eql::OrderBy::Field::kSp;
+      } else {
+        return Fail("expected 'sn' or 'sp' after ORDER BY");
+      }
+      Advance();
+      if (AtKeyword("desc")) {
+        query.order_by.descending = true;
+        Advance();
+      } else if (AtKeyword("asc")) {
+        query.order_by.descending = false;
+        Advance();
+      }
+    }
+    if (AtKeyword("limit")) {
+      Advance();
+      if (Current().kind != TokenKind::kNumber || Current().number < 1) {
+        return Fail("expected a positive count after LIMIT");
+      }
+      query.limit = static_cast<size_t>(Current().number);
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Fail("trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Current().position) + " (got " +
+                              TokenKindToString(Current().kind) +
+                              (Current().text.empty() ? "" : " '" +
+                               Current().text + "'") + ")");
+  }
+
+  bool AtKeyword(const std::string& keyword) const {
+    return Current().kind == TokenKind::kIdentifier &&
+           ToLower(Current().text) == keyword;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AtKeyword(keyword)) return Fail("expected '" + keyword + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Fail("expected " + what);
+    }
+    std::string text = Current().text;
+    Advance();
+    return text;
+  }
+
+  Status ParseSelectItems(eql::ParsedQuery* query) {
+    if (Current().kind == TokenKind::kStar) {
+      Advance();
+      return Status::OK();  // empty select list = all attributes
+    }
+    while (true) {
+      EVIDENT_ASSIGN_OR_RETURN(std::string name,
+                               ExpectIdentifier("attribute name"));
+      query->select.push_back(std::move(name));
+      if (Current().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFrom(eql::ParsedQuery* query) {
+    EVIDENT_ASSIGN_OR_RETURN(query->from.left,
+                             ExpectIdentifier("relation name"));
+    if (AtKeyword("union")) {
+      Advance();
+      query->from.op = eql::SourceOp::kUnion;
+      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+                               ExpectIdentifier("relation name"));
+    } else if (AtKeyword("join")) {
+      Advance();
+      query->from.op = eql::SourceOp::kJoin;
+      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+                               ExpectIdentifier("relation name"));
+    } else if (AtKeyword("product")) {
+      Advance();
+      query->from.op = eql::SourceOp::kProduct;
+      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+                               ExpectIdentifier("relation name"));
+    }
+    return Status::OK();
+  }
+
+  Result<eql::RawOperand> ParseOperand() {
+    eql::RawOperand operand;
+    switch (Current().kind) {
+      case TokenKind::kIdentifier:
+        operand.kind = eql::RawOperand::Kind::kAttribute;
+        operand.text = Current().text;
+        break;
+      case TokenKind::kNumber:
+        operand.kind = eql::RawOperand::Kind::kValue;
+        operand.text = Current().text;
+        break;
+      case TokenKind::kString:
+        operand.kind = eql::RawOperand::Kind::kValue;
+        // Quote so binding keeps string typing.
+        operand.text = "\"" + Current().text + "\"";
+        break;
+      case TokenKind::kEvidence:
+        operand.kind = eql::RawOperand::Kind::kEvidenceLiteral;
+        operand.text = Current().text;
+        break;
+      default:
+        return Fail("expected attribute, literal or evidence set");
+    }
+    Advance();
+    return operand;
+  }
+
+  Status ParseWhere(eql::ParsedQuery* query) {
+    while (true) {
+      // Lookahead: "<ident> IS {" is an is-condition; otherwise a
+      // θ-condition starting with an arbitrary operand.
+      if (Current().kind == TokenKind::kIdentifier &&
+          pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].kind == TokenKind::kIdentifier &&
+          ToLower(tokens_[pos_ + 1].text) == "is") {
+        eql::IsCondition cond;
+        cond.attribute = Current().text;
+        Advance();  // attribute
+        Advance();  // IS
+        if (Current().kind != TokenKind::kLBrace) {
+          return Fail("expected '{' after IS");
+        }
+        Advance();
+        while (true) {
+          if (Current().kind == TokenKind::kIdentifier ||
+              Current().kind == TokenKind::kNumber) {
+            cond.values.push_back(Current().text);
+          } else if (Current().kind == TokenKind::kString) {
+            cond.values.push_back("\"" + Current().text + "\"");
+          } else {
+            return Fail("expected value in IS set");
+          }
+          Advance();
+          if (Current().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        if (Current().kind != TokenKind::kRBrace) {
+          return Fail("expected '}' closing IS set");
+        }
+        Advance();
+        query->where.emplace_back(std::move(cond));
+      } else {
+        eql::ThetaCondition cond;
+        EVIDENT_ASSIGN_OR_RETURN(cond.lhs, ParseOperand());
+        switch (Current().kind) {
+          case TokenKind::kEq:
+            cond.op = ThetaOp::kEq;
+            break;
+          case TokenKind::kLt:
+            cond.op = ThetaOp::kLt;
+            break;
+          case TokenKind::kLe:
+            cond.op = ThetaOp::kLe;
+            break;
+          case TokenKind::kGt:
+            cond.op = ThetaOp::kGt;
+            break;
+          case TokenKind::kGe:
+            cond.op = ThetaOp::kGe;
+            break;
+          default:
+            return Fail("expected comparison operator");
+        }
+        Advance();
+        EVIDENT_ASSIGN_OR_RETURN(cond.rhs, ParseOperand());
+        query->where.emplace_back(std::move(cond));
+      }
+      if (AtKeyword("and")) {
+        // WITH-style atoms (sn/sp bounds) may not appear here; they are
+        // identified at bind time by attribute name. Keep consuming
+        // conditions.
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseWith(eql::ParsedQuery* query) {
+    while (true) {
+      if (Current().kind != TokenKind::kIdentifier) {
+        return Fail("expected 'sn' or 'sp'");
+      }
+      const std::string field_name = ToLower(Current().text);
+      MembershipThreshold::Field field;
+      if (field_name == "sn") {
+        field = MembershipThreshold::Field::kSn;
+      } else if (field_name == "sp") {
+        field = MembershipThreshold::Field::kSp;
+      } else {
+        return Fail("expected 'sn' or 'sp'");
+      }
+      Advance();
+      MembershipThreshold::Cmp cmp;
+      switch (Current().kind) {
+        case TokenKind::kEq:
+          cmp = MembershipThreshold::Cmp::kEq;
+          break;
+        case TokenKind::kLt:
+          cmp = MembershipThreshold::Cmp::kLt;
+          break;
+        case TokenKind::kLe:
+          cmp = MembershipThreshold::Cmp::kLe;
+          break;
+        case TokenKind::kGt:
+          cmp = MembershipThreshold::Cmp::kGt;
+          break;
+        case TokenKind::kGe:
+          cmp = MembershipThreshold::Cmp::kGe;
+          break;
+        default:
+          return Fail("expected comparison operator");
+      }
+      Advance();
+      if (Current().kind != TokenKind::kNumber) {
+        return Fail("expected numeric bound");
+      }
+      query->with.AndAlso(field, cmp, Current().number);
+      Advance();
+      if (AtKeyword("and")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<eql::ParsedQuery> ParseQuery(const std::string& text) {
+  EVIDENT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace evident

@@ -1,0 +1,34 @@
+#ifndef EVIDENT_QUERY_PARSER_H_
+#define EVIDENT_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace evident {
+
+/// \brief Parses an EQL query:
+///
+/// ```
+/// SELECT rname, rating
+/// FROM RA UNION RB
+/// WHERE speciality IS {si, hu} AND rating IS {ex}
+/// WITH sn > 0.5 AND sp >= 0.9
+/// ```
+///
+/// Grammar (keywords case-insensitive):
+///   query     := SELECT items FROM source [WHERE conds] [WITH bounds]
+///   items     := '*' | ident (',' ident)*
+///   source    := ident [(UNION | JOIN | PRODUCT) ident]
+///   conds     := cond (AND cond)*
+///   cond      := ident IS '{' literal (',' literal)* '}'
+///              | operand ('='|'<'|'<='|'>'|'>=') operand
+///   operand   := ident | number | string | evidence-literal
+///   bounds    := bound (AND bound)*
+///   bound     := ('sn'|'sp') ('='|'<'|'<='|'>'|'>=') number
+Result<eql::ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_PARSER_H_

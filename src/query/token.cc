@@ -1,0 +1,173 @@
+#include "query/token.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace evident {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kEvidence:
+      return "evidence literal";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// '-' and '.' appear inside the paper's attribute names (best-dish,
+// univ.ave.) and qualified names (RA.rname).
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentBody(text[j])) ++j;
+      token.kind = TokenKind::kIdentifier;
+      token.text = text.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      char* end = nullptr;
+      token.kind = TokenKind::kNumber;
+      token.number = std::strtod(text.c_str() + i, &end);
+      token.text = text.substr(i, end - (text.c_str() + i));
+      i = static_cast<size_t>(end - text.c_str());
+    } else if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && text[j] != '"') ++j;
+      if (j == n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = text.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else if (c == '[') {
+      int depth = 0;
+      size_t j = i;
+      for (; j < n; ++j) {
+        if (text[j] == '[') ++depth;
+        if (text[j] == ']' && --depth == 0) break;
+      }
+      if (j == n) {
+        return Status::ParseError("unterminated evidence literal at offset " +
+                                  std::to_string(i));
+      }
+      token.kind = TokenKind::kEvidence;
+      token.text = text.substr(i, j - i + 1);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case ',':
+          token.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '{':
+          token.kind = TokenKind::kLBrace;
+          ++i;
+          break;
+        case '}':
+          token.kind = TokenKind::kRBrace;
+          ++i;
+          break;
+        case '(':
+          token.kind = TokenKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          token.kind = TokenKind::kRParen;
+          ++i;
+          break;
+        case '*':
+          token.kind = TokenKind::kStar;
+          ++i;
+          break;
+        case '=':
+          token.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && text[i + 1] == '=') {
+            token.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text[i + 1] == '=') {
+            token.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace evident

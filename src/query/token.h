@@ -1,0 +1,48 @@
+#ifndef EVIDENT_QUERY_TOKEN_H_
+#define EVIDENT_QUERY_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace evident {
+
+/// \brief Lexical token kinds of EQL (the evidential query language).
+enum class TokenKind {
+  kIdentifier,   // rname, best-dish, RA.rname
+  kNumber,       // 0.5, 42
+  kString,       // "quoted"
+  kEvidence,     // [si^0.5, Θ^0.5]  (captured raw, parsed at bind time)
+  kComma,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kStar,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/string/evidence body
+  double number = 0;  // for kNumber
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// \brief Tokenizes an EQL query. Keywords are returned as identifiers
+/// (the parser matches them case-insensitively). Evidence literals
+/// ('['...']') are captured as single raw tokens since their internal
+/// syntax is domain-dependent.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_TOKEN_H_

@@ -1,0 +1,79 @@
+#include "storage/catalog.h"
+
+namespace evident {
+
+Status Catalog::RegisterDomain(const DomainPtr& domain) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("cannot register a null domain");
+  }
+  auto it = domains_.find(domain->name());
+  if (it != domains_.end()) {
+    if (it->second->Equals(*domain)) return Status::OK();
+    return Status::AlreadyExists("domain '" + domain->name() +
+                                 "' already registered with different values");
+  }
+  domains_.emplace(domain->name(), domain);
+  return Status::OK();
+}
+
+Result<DomainPtr> Catalog::GetDomain(const std::string& name) const {
+  auto it = domains_.find(name);
+  if (it == domains_.end()) {
+    return Status::NotFound("no domain '" + name + "' in catalog");
+  }
+  return it->second;
+}
+
+bool Catalog::HasDomain(const std::string& name) const {
+  return domains_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::DomainNames() const {
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const auto& [name, domain] : domains_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::RegisterRelation(ExtendedRelation relation, bool replace) {
+  if (relation.name().empty()) {
+    return Status::InvalidArgument("relation must be named to be registered");
+  }
+  if (relation.schema() == nullptr) {
+    return Status::InvalidArgument("relation '" + relation.name() +
+                                   "' has no schema");
+  }
+  if (!replace && relations_.count(relation.name()) > 0) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already registered");
+  }
+  for (const AttributeDef& attr : relation.schema()->attributes()) {
+    if (attr.domain != nullptr) {
+      EVIDENT_RETURN_NOT_OK(RegisterDomain(attr.domain));
+    }
+  }
+  relations_.insert_or_assign(relation.name(), std::move(relation));
+  return Status::OK();
+}
+
+Result<const ExtendedRelation*> Catalog::GetRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "' in catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace evident

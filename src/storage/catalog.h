@@ -1,0 +1,44 @@
+#ifndef EVIDENT_STORAGE_CATALOG_H_
+#define EVIDENT_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+
+namespace evident {
+
+/// \brief A named collection of domains and extended relations — the
+/// in-memory database the query engine runs against and the unit the
+/// .erel format serializes.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// \brief Registers a domain; fails on a name clash with a different
+  /// structure (re-registering an equal domain is a no-op).
+  Status RegisterDomain(const DomainPtr& domain);
+  Result<DomainPtr> GetDomain(const std::string& name) const;
+  bool HasDomain(const std::string& name) const;
+  std::vector<std::string> DomainNames() const;
+
+  /// \brief Registers (or replaces, when `replace`) a relation under its
+  /// name; also registers the domains its schema references.
+  Status RegisterRelation(ExtendedRelation relation, bool replace = false);
+  Result<const ExtendedRelation*> GetRelation(const std::string& name) const;
+  bool HasRelation(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  size_t RelationCount() const { return relations_.size(); }
+
+ private:
+  // std::map keeps iteration deterministic for serialization.
+  std::map<std::string, DomainPtr> domains_;
+  std::map<std::string, ExtendedRelation> relations_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_CATALOG_H_

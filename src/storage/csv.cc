@@ -1,0 +1,120 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace evident {
+
+namespace {
+
+/// Splits one CSV record, honoring double quotes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char separator, size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": quote in the middle of a field");
+      }
+      quoted = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (quoted) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": unterminated quote");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field, char separator) {
+  return field.find(separator) != std::string::npos ||
+         field.find('"') != std::string::npos;
+}
+
+}  // namespace
+
+Result<RawTable> ParseCsv(const std::string& name, const std::string& text,
+                          char separator) {
+  RawTable table;
+  table.name = name;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    EVIDENT_ASSIGN_OR_RETURN(auto fields,
+                             SplitCsvLine(line, separator, line_no));
+    if (table.columns.empty()) {
+      table.columns = std::move(fields);
+    } else {
+      if (fields.size() != table.columns.size()) {
+        return Status::ParseError(
+            "line " + std::to_string(line_no) + ": " +
+            std::to_string(fields.size()) + " fields, header has " +
+            std::to_string(table.columns.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (table.columns.empty()) {
+    return Status::ParseError("CSV '" + name + "' has no header");
+  }
+  return table;
+}
+
+Result<RawTable> LoadCsvFile(const std::string& name, const std::string& path,
+                             char separator) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(name, buffer.str(), separator);
+}
+
+std::string WriteCsv(const RawTable& table, char separator) {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i) os << separator;
+      if (NeedsQuoting(fields[i], separator)) {
+        os << '"';
+        for (char c : fields[i]) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << fields[i];
+      }
+    }
+    os << "\n";
+  };
+  emit(table.columns);
+  for (const auto& row : table.rows) emit(row);
+  return os.str();
+}
+
+}  // namespace evident

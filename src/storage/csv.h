@@ -1,0 +1,30 @@
+#ifndef EVIDENT_STORAGE_CSV_H_
+#define EVIDENT_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "integration/raw_table.h"
+
+namespace evident {
+
+/// \brief Parses CSV text (first line = header) into a RawTable — the
+/// export format component databases hand to attribute preprocessing.
+///
+/// Supports double-quoted fields (embedded separators and doubled-quote
+/// escapes); no multi-line fields. `separator` defaults to ','; survey
+/// exports with vote syntax ("d1:3; d2:2") typically use ';'-free commas
+/// inside quotes.
+Result<RawTable> ParseCsv(const std::string& name, const std::string& text,
+                          char separator = ',');
+
+/// \brief Reads a CSV file.
+Result<RawTable> LoadCsvFile(const std::string& name, const std::string& path,
+                             char separator = ',');
+
+/// \brief Serializes a RawTable back to CSV (quoting when needed).
+std::string WriteCsv(const RawTable& table, char separator = ',');
+
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_CSV_H_

@@ -1,0 +1,211 @@
+#include "storage/erel_format.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "text/evidence_literal.h"
+
+namespace evident {
+
+namespace {
+
+/// Quotes a definite value if needed so Value::Parse round-trips it:
+/// strings that would parse as numbers get quoted.
+std::string WriteDefiniteValue(const Value& v) {
+  if (!v.is_string()) return v.ToString();
+  const Value reparsed = Value::Parse(v.string_value());
+  if (reparsed.is_string()) return v.string_value();
+  return "\"" + v.string_value() + "\"";
+}
+
+}  // namespace
+
+std::string WriteErel(const Catalog& catalog, int mass_decimals) {
+  std::ostringstream os;
+  os << "# evident .erel catalog\n";
+  for (const std::string& name : catalog.DomainNames()) {
+    const DomainPtr domain = catalog.GetDomain(name).value();
+    os << "domain " << name << ":";
+    for (size_t i = 0; i < domain->size(); ++i) {
+      os << (i ? ", " : " ") << domain->value(i);
+    }
+    os << "\n";
+  }
+  for (const std::string& name : catalog.RelationNames()) {
+    const ExtendedRelation* rel = catalog.GetRelation(name).value();
+    os << "\nrelation " << name << "\n";
+    for (const AttributeDef& attr : rel->schema()->attributes()) {
+      os << "attr " << attr.name << " " << AttributeKindToString(attr.kind);
+      if (attr.is_uncertain()) os << " " << attr.domain->name();
+      os << "\n";
+    }
+    for (const ExtendedTuple& t : rel->rows()) {
+      os << "row ";
+      for (size_t c = 0; c < t.cells.size(); ++c) {
+        if (c) os << " | ";
+        if (CellIsValue(t.cells[c])) {
+          os << WriteDefiniteValue(std::get<Value>(t.cells[c]));
+        } else {
+          os << std::get<EvidenceSet>(t.cells[c]).ToString(mass_decimals);
+        }
+      }
+      os << " | " << t.membership.ToString(mass_decimals) << "\n";
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+Result<Catalog> ReadErel(const std::string& text) {
+  Catalog catalog;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+
+  // Relation being parsed (between "relation" and "end").
+  bool in_relation = false;
+  std::string rel_name;
+  std::vector<AttributeDef> attrs;
+  SchemaPtr schema;
+  ExtendedRelation relation;
+
+  auto fail = [&](const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    if (StartsWith(trimmed, "domain ")) {
+      if (in_relation) return fail("'domain' inside relation block");
+      const auto colon = trimmed.find(':');
+      if (colon == std::string::npos) return fail("missing ':' in domain");
+      const std::string name = Trim(trimmed.substr(7, colon - 7));
+      std::vector<Value> values;
+      for (const std::string& v : Split(trimmed.substr(colon + 1), ',')) {
+        values.push_back(Value::Parse(Trim(v)));
+      }
+      auto domain = Domain::Make(name, std::move(values));
+      if (!domain.ok()) return fail(domain.status().message());
+      EVIDENT_RETURN_NOT_OK(catalog.RegisterDomain(*domain));
+      continue;
+    }
+
+    if (StartsWith(trimmed, "relation ")) {
+      if (in_relation) return fail("nested relation block");
+      in_relation = true;
+      rel_name = Trim(trimmed.substr(9));
+      if (rel_name.empty()) return fail("relation needs a name");
+      attrs.clear();
+      schema = nullptr;
+      continue;
+    }
+
+    if (StartsWith(trimmed, "attr ")) {
+      if (!in_relation) return fail("'attr' outside relation block");
+      if (schema != nullptr) return fail("'attr' after first 'row'");
+      const auto parts = Split(trimmed.substr(5), ' ');
+      std::vector<std::string> tokens;
+      for (const auto& p : parts) {
+        if (!Trim(p).empty()) tokens.push_back(Trim(p));
+      }
+      if (tokens.size() < 2) return fail("attr needs a name and a kind");
+      const std::string& attr_name = tokens[0];
+      const std::string& kind = tokens[1];
+      if (kind == "key") {
+        attrs.push_back(AttributeDef::Key(attr_name));
+      } else if (kind == "definite") {
+        attrs.push_back(AttributeDef::Definite(attr_name));
+      } else if (kind == "uncertain") {
+        if (tokens.size() != 3) return fail("uncertain attr needs a domain");
+        auto domain = catalog.GetDomain(tokens[2]);
+        if (!domain.ok()) return fail(domain.status().message());
+        attrs.push_back(AttributeDef::Uncertain(attr_name, *domain));
+      } else {
+        return fail("unknown attribute kind '" + kind + "'");
+      }
+      continue;
+    }
+
+    if (StartsWith(trimmed, "row ") || trimmed == "row") {
+      if (!in_relation) return fail("'row' outside relation block");
+      if (schema == nullptr) {
+        auto made = RelationSchema::Make(attrs);
+        if (!made.ok()) return fail(made.status().message());
+        schema = *made;
+        relation = ExtendedRelation(rel_name, schema);
+      }
+      const auto fields = SplitTopLevel(trimmed.substr(4), '|');
+      if (fields.size() != schema->size() + 1) {
+        return fail("row has " + std::to_string(fields.size()) +
+                    " fields, expected " + std::to_string(schema->size() + 1));
+      }
+      ExtendedTuple t;
+      t.cells.resize(schema->size());
+      for (size_t c = 0; c < schema->size(); ++c) {
+        const std::string field = Trim(fields[c]);
+        const AttributeDef& attr = schema->attribute(c);
+        if (attr.is_uncertain()) {
+          auto es = ParseEvidenceLiteral(attr.domain, field);
+          if (!es.ok()) return fail(es.status().message());
+          t.cells[c] = std::move(es).value();
+        } else {
+          t.cells[c] = Value::Parse(field);
+        }
+      }
+      auto membership = ParseSupportPair(Trim(fields.back()));
+      if (!membership.ok()) return fail(membership.status().message());
+      t.membership = *membership;
+      EVIDENT_RETURN_NOT_OK(relation.Insert(std::move(t)));
+      continue;
+    }
+
+    if (trimmed == "end") {
+      if (!in_relation) return fail("'end' outside relation block");
+      if (schema == nullptr) {
+        // Relation with no rows: build the schema now.
+        auto made = RelationSchema::Make(attrs);
+        if (!made.ok()) return fail(made.status().message());
+        schema = *made;
+        relation = ExtendedRelation(rel_name, schema);
+      }
+      EVIDENT_RETURN_NOT_OK(catalog.RegisterRelation(std::move(relation)));
+      in_relation = false;
+      schema = nullptr;
+      continue;
+    }
+
+    return fail("unrecognized line '" + trimmed + "'");
+  }
+  if (in_relation) {
+    return Status::ParseError("unterminated relation block '" + rel_name +
+                              "'");
+  }
+  return catalog;
+}
+
+Status SaveErelFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << WriteErel(catalog);
+  out.close();
+  if (!out) return Status::Internal("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<Catalog> LoadErelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadErel(buffer.str());
+}
+
+}  // namespace evident

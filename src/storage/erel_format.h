@@ -1,0 +1,44 @@
+#ifndef EVIDENT_STORAGE_EREL_FORMAT_H_
+#define EVIDENT_STORAGE_EREL_FORMAT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace evident {
+
+/// \brief The .erel text format: a human-readable, round-trip-safe
+/// serialization of a Catalog (domains + extended relations).
+///
+/// ```
+/// # comment
+/// domain speciality: am, hu, si, ca, mu, it, ta
+///
+/// relation RA
+/// attr rname key
+/// attr street definite
+/// attr speciality uncertain speciality
+/// row garden | univ.ave. | [si^0.5, hu^0.25, Θ^0.25] | (1,1)
+/// end
+/// ```
+///
+/// Rules: a `row` line has one '|'-separated field per attribute plus a
+/// trailing "(sn,sp)" membership field; evidence fields use the literal
+/// syntax of ParseEvidenceLiteral; definite fields are parsed by
+/// Value::Parse (quote to force string typing). Domains must be declared
+/// before the relations that use them.
+
+/// \brief Serializes every domain and relation in the catalog.
+std::string WriteErel(const Catalog& catalog, int mass_decimals = 9);
+
+/// \brief Parses an .erel document into a catalog.
+Result<Catalog> ReadErel(const std::string& text);
+
+/// \brief File convenience wrappers.
+Status SaveErelFile(const Catalog& catalog, const std::string& path);
+Result<Catalog> LoadErelFile(const std::string& path);
+
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_EREL_FORMAT_H_

@@ -1,0 +1,88 @@
+#include "text/evidence_literal.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace evident {
+
+namespace {
+
+Result<double> ParseMass(const std::string& text) {
+  char* end = nullptr;
+  const double mass = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return Status::ParseError("bad mass '" + text + "'");
+  }
+  return mass;
+}
+
+bool IsThetaToken(const std::string& token) {
+  return token == "*" || token == "Θ" || token == "Theta" ||
+         token == "theta" || token == "Omega" || token == "Ω";
+}
+
+}  // namespace
+
+Result<EvidenceSet> ParseEvidenceLiteral(const DomainPtr& domain,
+                                         const std::string& text) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("null domain for evidence literal");
+  }
+  const std::string trimmed = Trim(text);
+  if (trimmed.size() < 2 || trimmed.front() != '[' || trimmed.back() != ']') {
+    return Status::ParseError("evidence literal must be bracketed: '" + text +
+                              "'");
+  }
+  const std::string body = trimmed.substr(1, trimmed.size() - 2);
+  if (Trim(body).empty()) {
+    return Status::ParseError("empty evidence literal '" + text + "'");
+  }
+  std::vector<std::pair<std::vector<Value>, double>> pairs;
+  for (const std::string& raw_focal : SplitTopLevel(body, ',')) {
+    const std::string focal = Trim(raw_focal);
+    const auto parts = SplitTopLevel(focal, '^');
+    if (parts.empty() || parts.size() > 2) {
+      return Status::ParseError("bad focal element '" + focal + "'");
+    }
+    double mass = 1.0;
+    if (parts.size() == 2) {
+      EVIDENT_ASSIGN_OR_RETURN(mass, ParseMass(Trim(parts[1])));
+    }
+    const std::string subset = Trim(parts[0]);
+    std::vector<Value> values;
+    if (IsThetaToken(subset)) {
+      // Θ: empty list means the full frame in FromPairs.
+    } else if (subset.size() >= 2 && subset.front() == '{' &&
+               subset.back() == '}') {
+      for (const std::string& v :
+           Split(subset.substr(1, subset.size() - 2), ',')) {
+        values.push_back(Value::Parse(Trim(v)));
+      }
+    } else {
+      values.push_back(Value::Parse(subset));
+    }
+    pairs.emplace_back(std::move(values), mass);
+  }
+  return EvidenceSet::FromPairs(domain, pairs);
+}
+
+Result<SupportPair> ParseSupportPair(const std::string& text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.size() < 2 || trimmed.front() != '(' || trimmed.back() != ')') {
+    return Status::ParseError("support pair must be parenthesized: '" + text +
+                              "'");
+  }
+  const auto parts = Split(trimmed.substr(1, trimmed.size() - 2), ',');
+  if (parts.size() != 2) {
+    return Status::ParseError("support pair must have two components: '" +
+                              text + "'");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(double sn, ParseMass(Trim(parts[0])));
+  EVIDENT_ASSIGN_OR_RETURN(double sp, ParseMass(Trim(parts[1])));
+  SupportPair pair{sn, sp};
+  EVIDENT_RETURN_NOT_OK(pair.Validate());
+  return pair;
+}
+
+}  // namespace evident

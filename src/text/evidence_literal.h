@@ -1,0 +1,30 @@
+#ifndef EVIDENT_TEXT_EVIDENCE_LITERAL_H_
+#define EVIDENT_TEXT_EVIDENCE_LITERAL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/support_pair.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief Parses the paper-style evidence set literal produced by
+/// EvidenceSet::ToString():
+///
+///   [si^0.5, {hu,si}^0.33, Θ^0.17]
+///
+/// Grammar: '[' focal (',' focal)* ']' where focal is
+/// (value | '{' value (',' value)* '}' | 'Θ' | '*' | 'Theta') '^' mass.
+/// Values are resolved against `domain`; masses must form a valid mass
+/// function. A bare value with no '^' is shorthand for mass 1 (a
+/// definite value), so "[si]" parses as [si^1].
+Result<EvidenceSet> ParseEvidenceLiteral(const DomainPtr& domain,
+                                         const std::string& text);
+
+/// \brief Parses "(sn,sp)" into a SupportPair, validating the bounds.
+Result<SupportPair> ParseSupportPair(const std::string& text);
+
+}  // namespace evident
+
+#endif  // EVIDENT_TEXT_EVIDENCE_LITERAL_H_

@@ -1,0 +1,28 @@
+#ifndef EVIDENT_TEXT_TABLE_RENDERER_H_
+#define EVIDENT_TEXT_TABLE_RENDERER_H_
+
+#include <string>
+
+#include "core/extended_relation.h"
+
+namespace evident {
+
+/// \brief Rendering options for paper-style tables.
+struct RenderOptions {
+  /// Decimal digits for masses and support values (the paper uses 2-3).
+  int mass_decimals = 3;
+  /// Prefix uncertain column headers with '†' like the paper's tables.
+  bool mark_uncertain = true;
+  /// Title line above the table (defaults to the relation name).
+  std::string title;
+};
+
+/// \brief Renders an extended relation as an aligned monospaced table in
+/// the style of the paper's Tables 1–5: one column per attribute plus the
+/// trailing "(sn,sp)" membership column.
+std::string RenderTable(const ExtendedRelation& relation,
+                        const RenderOptions& options = RenderOptions());
+
+}  // namespace evident
+
+#endif  // EVIDENT_TEXT_TABLE_RENDERER_H_

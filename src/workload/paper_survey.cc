@@ -1,0 +1,138 @@
+#include "workload/paper_survey.h"
+
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace paper {
+
+RawTable RawSurveyA() {
+  RawTable t;
+  t.name = "RA";
+  t.columns = {"rname", "street",      "bldg-no", "phone", "menu",
+               "dish_votes", "rating_votes", "sn",      "sp"};
+  t.rows = {
+      {"garden", "univ.ave.", "2011", "371-2155", "kungpao|twicecooked|wonton|chefsurprise",
+       "d31:3; {d35,d36}:3", "ex:2; gd:3; avg:1", "1", "1"},
+      {"wok", "wash.ave.", "600", "382-4165", "kungpao|twicecooked",
+       "d6:2; d7:2; d25:2", "gd:1; avg:3", "1", "1"},
+      {"country", "plato.blvd", "12", "293-9111", "burger",
+       "d1:3; d2:2; *:1", "ex:6", "1", "1"},
+      {"olive", "nic.ave.", "514", "338-0355", "lasagna",
+       "d1:6", "gd:3; avg:3", "1", "1"},
+      {"mehl", "9th-street", "820", "333-4035",
+       "biryani|korma|tandoori|naan|padthai",
+       "d24:2; d31:3", "ex:4; gd:1", "0.5", "0.5"},
+      {"ashiana", "univ.ave.", "353", "371-0824",
+       "biryani|korma|tandoori|naan|kebab|haleem|nihari|paya|kheer|chefsurprise",
+       "d34:4; d25:1", "ex:6", "1", "1"},
+  };
+  return t;
+}
+
+RawTable RawSurveyB() {
+  RawTable t;
+  t.name = "RB";
+  t.columns = {"rname", "street",      "bldg-no", "phone", "menu",
+               "dish_votes", "rating_votes", "sn",      "sp"};
+  // Source B's rating votes use the agency's own vocabulary
+  // ("excellent", "good", "average"); the derivation's value map
+  // translates them to the global domain {ex, gd, avg}.
+  t.rows = {
+      {"garden", "univ.ave.", "2011", "371-2155",
+       "kungpao|mapotofu|dumpling|twicecooked|congee|wonton|hotdish|stew|"
+       "special1|special2",
+       "d31:7; d35:3", "excellent:1; good:4", "1", "1"},
+      {"wok", "wash.ave.", "600", "382-4165",
+       "dimsum|roastduck|kungpao|mapotofu|dumpling|congee|twicecooked|hotpot|"
+       "noodles|special1",
+       "d6:2; d7:1; d25:1", "good:6", "1", "1"},
+      {"country", "plato.blvd", "12", "293-9111", "burger",
+       "d1:1; d2:4", "excellent:7; good:3", "1", "1"},
+      {"olive", "nic.ave.", "514", "338-0355", "lasagna",
+       "d1:4; d2:1", "good:4; average:1", "1", "1"},
+      {"mehl", "9th-street", "820", "333-4035", "biryani|korma",
+       "d24:1; d31:9", "excellent:5", "0.8", "1"},
+  };
+  return t;
+}
+
+const MenuClassifier* PaperMenuClassifier() {
+  static const MenuClassifier* classifier = [] {
+    auto* c = new MenuClassifier(SpecialityDomain());
+    const Value si("si");
+    const Value hu("hu");
+    const Value ca("ca");
+    const Value am("am");
+    const Value it("it");
+    const Value mu("mu");
+    const Value ta("ta");
+    // Unambiguous items.
+    struct Entry {
+      const char* item;
+      Value category;
+    };
+    const Entry entries[] = {
+        {"kungpao", si},   {"mapotofu", si}, {"dumpling", si},
+        {"congee", si},    {"hotpot", si},   {"noodles", si},
+        {"twicecooked", si},
+        {"wonton", hu},    {"hotdish", hu},  {"stew", hu},
+        {"dimsum", ca},    {"roastduck", ca},
+        {"burger", am},
+        {"lasagna", it},
+        {"biryani", mu},   {"korma", mu},    {"tandoori", mu},
+        {"naan", mu},      {"kebab", mu},    {"haleem", mu},
+        {"nihari", mu},    {"paya", mu},     {"kheer", mu},
+        {"padthai", ta},
+    };
+    for (const Entry& e : entries) {
+      Status st = c->AddItem(e.item, {e.category});
+      (void)st;
+    }
+    // Items deliberately absent from the taxonomy ("chefsurprise",
+    // "special1", "special2") contribute nonbelief (Θ).
+    return c;
+  }();
+  return classifier;
+}
+
+namespace {
+
+/// RA's 4-item garden menu is [si^0.5, hu^0.25, Θ^0.25]: kungpao and
+/// twicecooked are si, wonton is hu, chefsurprise is unknown. The same
+/// taxonomy reproduces every speciality evidence set in Table 1.
+std::vector<AttributeDerivation> CommonDerivations(bool map_ratings) {
+  std::vector<AttributeDerivation> d;
+  d.push_back({"rname", "rname", DerivationKind::kCopy, {}, nullptr});
+  d.push_back({"street", "street", DerivationKind::kCopy, {}, nullptr});
+  d.push_back({"bldg-no", "bldg-no", DerivationKind::kCopy, {}, nullptr});
+  d.push_back({"phone", "phone", DerivationKind::kCopy, {}, nullptr});
+  d.push_back({"speciality", "menu", DerivationKind::kClassify, {},
+               PaperMenuClassifier()});
+  d.push_back({"best-dish", "dish_votes", DerivationKind::kVotes, {},
+               nullptr});
+  AttributeDerivation rating{"rating", "rating_votes",
+                             DerivationKind::kVotes, {}, nullptr};
+  if (map_ratings) {
+    rating.value_map = {{"excellent", "ex"},
+                        {"good", "gd"},
+                        {"average", "avg"}};
+  }
+  d.push_back(std::move(rating));
+  return d;
+}
+
+}  // namespace
+
+Result<PipelineConfig> PaperPipelineConfig() {
+  PipelineConfig config;
+  EVIDENT_ASSIGN_OR_RETURN(config.global_schema, RestaurantSchema());
+  config.derivations_a = CommonDerivations(/*map_ratings=*/false);
+  config.derivations_b = CommonDerivations(/*map_ratings=*/true);
+  config.membership_a = MembershipDerivation{"sn", "sp", 1.0, 1.0};
+  config.membership_b = MembershipDerivation{"sn", "sp", 1.0, 1.0};
+  config.identification = EntityIdentification::kByKey;
+  return config;
+}
+
+}  // namespace paper
+}  // namespace evident

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aggregates.h"
+#include "baselines/comparison.h"
+#include "baselines/partial_value.h"
+#include "baselines/probabilistic_value.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+DomainPtr Spec() { return paper::SpecialityDomain(); }
+
+// --- DeMichiel partial values ----------------------------------------------
+
+TEST(PartialValueTest, MakeRejectsEmptySet) {
+  EXPECT_FALSE(PartialValue::Make(Spec(), ValueSet(Spec()->size())).ok());
+}
+
+TEST(PartialValueTest, DefiniteAndUnknown) {
+  auto pv = PartialValue::Definite(Spec(), Value("si")).value();
+  EXPECT_TRUE(pv.IsDefinite());
+  auto unknown = PartialValue::Unknown(Spec());
+  EXPECT_EQ(unknown.Cardinality(), Spec()->size());
+}
+
+TEST(PartialValueTest, CombineIsIntersection) {
+  auto a = PartialValue::Make(Spec(), ValueSet::Of(Spec()->size(), {0, 1, 2}))
+               .value();
+  auto b = PartialValue::Make(Spec(), ValueSet::Of(Spec()->size(), {1, 2, 3}))
+               .value();
+  auto combined = a.Combine(b);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->set(), ValueSet::Of(Spec()->size(), {1, 2}));
+}
+
+TEST(PartialValueTest, CombineDisjointConflicts) {
+  auto a = PartialValue::Definite(Spec(), Value("si")).value();
+  auto b = PartialValue::Definite(Spec(), Value("hu")).value();
+  EXPECT_EQ(a.Combine(b).status().code(), StatusCode::kTotalConflict);
+}
+
+TEST(PartialValueTest, CombineWithUnknownIsIdentity) {
+  auto a = PartialValue::Make(Spec(), ValueSet::Of(Spec()->size(), {0, 2}))
+               .value();
+  auto combined = a.Combine(PartialValue::Unknown(Spec()));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->set(), a.set());
+}
+
+TEST(PartialValueTest, FromEvidenceKeepsPlausibleValues) {
+  // [si^0.5, hu^0.25, Θ^0.25] — every domain value is plausible via Θ.
+  auto es = EvidenceSet::FromPairs(
+                Spec(),
+                {{{Value("si")}, 0.5}, {{Value("hu")}, 0.25}, {{}, 0.25}})
+                .value();
+  auto pv = PartialValue::FromEvidence(es).value();
+  EXPECT_EQ(pv.Cardinality(), Spec()->size());
+  // Without the Θ mass only {si,hu} survive: graded belief is lost but
+  // the possibility structure is kept.
+  auto es2 = EvidenceSet::FromPairs(
+                 Spec(), {{{Value("si")}, 0.7}, {{Value("hu")}, 0.3}})
+                 .value();
+  auto pv2 = PartialValue::FromEvidence(es2).value();
+  EXPECT_EQ(pv2.Cardinality(), 2u);
+}
+
+TEST(PartialValueTest, ThreeValuedMembership) {
+  auto pv = PartialValue::Make(Spec(), ValueSet::Of(Spec()->size(), {1, 2}))
+                .value();  // {hu, si}
+  EXPECT_EQ(pv.IsIn({Value("hu"), Value("si")}).value(),
+            PartialValue::Truth::kTrue);
+  EXPECT_EQ(pv.IsIn({Value("hu")}).value(), PartialValue::Truth::kMaybe);
+  EXPECT_EQ(pv.IsIn({Value("am")}).value(), PartialValue::Truth::kFalse);
+}
+
+TEST(PartialValueTest, ToString) {
+  auto pv = PartialValue::Make(Spec(), ValueSet::Of(Spec()->size(), {1, 2}))
+                .value();
+  EXPECT_EQ(pv.ToString(), "{hu,si}");
+}
+
+// --- Tseng probabilistic partial values -------------------------------------
+
+TEST(ProbabilisticValueTest, MakeValidatesDistribution) {
+  EXPECT_FALSE(ProbabilisticValue::Make(Spec(), {}).ok());
+  EXPECT_FALSE(ProbabilisticValue::Make(Spec(), {{0, 0.5}}).ok());
+  EXPECT_FALSE(ProbabilisticValue::Make(Spec(), {{99, 1.0}}).ok());
+  EXPECT_TRUE(ProbabilisticValue::Make(Spec(), {{0, 0.5}, {1, 0.5}}).ok());
+}
+
+TEST(ProbabilisticValueTest, ProbInSums) {
+  auto pv = ProbabilisticValue::Make(Spec(), {{0, 0.2}, {1, 0.3}, {2, 0.5}})
+                .value();
+  EXPECT_NEAR(pv.ProbIn({Value("am"), Value("hu")}).value(), 0.5, 1e-12);
+  EXPECT_NEAR(pv.ProbIn({Value("si")}).value(), 0.5, 1e-12);
+}
+
+TEST(ProbabilisticValueTest, FromEvidenceIsPignistic) {
+  // [si^0.5, {hu,si}^0.3, Θ^0.2] → si: 0.5 + 0.15 + 0.2/7, ...
+  auto es = EvidenceSet::FromPairs(Spec(),
+                                   {{{Value("si")}, 0.5},
+                                    {{Value("hu"), Value("si")}, 0.3},
+                                    {{}, 0.2}})
+                .value();
+  auto pv = ProbabilisticValue::FromEvidence(es).value();
+  EXPECT_NEAR(pv.ProbOf(Value("si")).value(), 0.5 + 0.15 + 0.2 / 7, 1e-12);
+  EXPECT_NEAR(pv.ProbOf(Value("hu")).value(), 0.15 + 0.2 / 7, 1e-12);
+  EXPECT_NEAR(pv.ProbOf(Value("am")).value(), 0.2 / 7, 1e-12);
+}
+
+TEST(ProbabilisticValueTest, MixtureRetainsInconsistency) {
+  // Totally disagreeing sources: mixture keeps both candidates (the
+  // paper's point: Tseng's model retains inconsistent information).
+  auto a = ProbabilisticValue::Definite(Spec(), Value("si")).value();
+  auto b = ProbabilisticValue::Definite(Spec(), Value("hu")).value();
+  auto combined = a.CombineMixture(b);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->ProbOf(Value("si")).value(), 0.5, 1e-12);
+  EXPECT_NEAR(combined->ProbOf(Value("hu")).value(), 0.5, 1e-12);
+}
+
+TEST(ProbabilisticValueTest, ProductConflictsWhenDisjoint) {
+  auto a = ProbabilisticValue::Definite(Spec(), Value("si")).value();
+  auto b = ProbabilisticValue::Definite(Spec(), Value("hu")).value();
+  EXPECT_EQ(a.CombineProduct(b).status().code(), StatusCode::kTotalConflict);
+}
+
+TEST(ProbabilisticValueTest, ProductSharpens) {
+  auto a = ProbabilisticValue::Make(Spec(), {{2, 0.6}, {1, 0.4}}).value();
+  auto b = ProbabilisticValue::Make(Spec(), {{2, 0.6}, {0, 0.4}}).value();
+  auto combined = a.CombineProduct(b);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->ProbOfIndex(2), 1.0, 1e-12);
+}
+
+TEST(ProbabilisticValueTest, ArgMaxDeterministicOnTies) {
+  auto pv = ProbabilisticValue::Make(Spec(), {{3, 0.5}, {1, 0.5}}).value();
+  EXPECT_EQ(pv.ArgMax(), 1u);
+}
+
+TEST(ProbabilisticValueTest, UniformCannotExpressNonbelief) {
+  // The closest probabilistic analogue of the vacuous evidence set is
+  // the uniform distribution, which *asserts* equal support — one of the
+  // modeling gaps the paper's §1.3 discussion highlights.
+  auto uniform = ProbabilisticValue::Uniform(Spec());
+  EXPECT_NEAR(uniform.ProbOf(Value("si")).value(),
+              1.0 / static_cast<double>(Spec()->size()), 1e-12);
+}
+
+// --- Dayal aggregates --------------------------------------------------------
+
+TEST(AggregateTest, Average) {
+  auto v = ResolveByAggregate({Value(int64_t{30000}), Value(int64_t{34000})},
+                              AggregateFunction::kAverage);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 32000.0);
+}
+
+TEST(AggregateTest, MinMaxSum) {
+  std::vector<Value> values{Value(int64_t{3}), Value(int64_t{1}),
+                            Value(int64_t{2})};
+  EXPECT_EQ(ResolveByAggregate(values, AggregateFunction::kMin)->int_value(),
+            1);
+  EXPECT_EQ(ResolveByAggregate(values, AggregateFunction::kMax)->int_value(),
+            3);
+  EXPECT_EQ(ResolveByAggregate(values, AggregateFunction::kSum)->int_value(),
+            6);
+}
+
+TEST(AggregateTest, SumPromotesToReal) {
+  auto v = ResolveByAggregate({Value(1.5), Value(int64_t{2})},
+                              AggregateFunction::kSum);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_real());
+  EXPECT_DOUBLE_EQ(v->real_value(), 3.5);
+}
+
+TEST(AggregateTest, FirstKeepsAnyType) {
+  auto v = ResolveByAggregate({Value("cantonese"), Value("hunan")},
+                              AggregateFunction::kFirst);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value("cantonese"));
+}
+
+TEST(AggregateTest, RejectsCategoricalForNumericAggregates) {
+  // The paper's motivating limitation of Dayal's approach.
+  auto v = ResolveByAggregate({Value("cantonese"), Value("hunan")},
+                              AggregateFunction::kAverage);
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateTest, RejectsEmpty) {
+  EXPECT_FALSE(ResolveByAggregate({}, AggregateFunction::kAverage).ok());
+}
+
+// --- Cross-approach comparison ------------------------------------------------
+
+class ComparisonTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComparisonTest, EvidentialDecidesMoreAndAtLeastAsAccurately) {
+  WorkloadGenerator gen(GetParam());
+  GroundTruthOptions options;
+  options.num_entities = 150;
+  options.domain_size = 6;
+  options.observation_noise = 0.25;
+  auto workload = gen.MakeGroundTruth(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  auto evidential =
+      RunComparison(*workload, MergeApproach::kEvidential).value();
+  auto partial =
+      RunComparison(*workload, MergeApproach::kPartialValues).value();
+  auto probabilistic =
+      RunComparison(*workload, MergeApproach::kProbabilisticMixture).value();
+
+  // The paper's qualitative claims: the evidential approach commits to a
+  // decision for (almost) every entity, while partial values often
+  // cannot; and its graded belief yields at least the decision accuracy
+  // of the coarser models.
+  EXPECT_EQ(evidential.entities, 150u);
+  EXPECT_GT(evidential.decided, partial.decided);
+  EXPECT_GE(evidential.DecisionAccuracy(), partial.DecisionAccuracy());
+  EXPECT_GE(evidential.DecisionAccuracy() + 0.05,
+            probabilistic.DecisionAccuracy());
+  // All approaches retain the truth among candidates for most entities.
+  EXPECT_GT(evidential.TruthRetention(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(ComparisonTest, RenderTableHasAllApproaches) {
+  WorkloadGenerator gen(7);
+  auto workload = gen.MakeGroundTruth(GroundTruthOptions{}).value();
+  auto table = RenderComparisonTable(workload);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(table->find("evidential"), std::string::npos);
+  EXPECT_NE(table->find("DeMichiel"), std::string::npos);
+  EXPECT_NE(table->find("Tseng"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evident

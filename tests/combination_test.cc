@@ -1,0 +1,317 @@
+#include "ds/combination.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+// Frame {am=0, hu=1, si=2, ca=3, mu=4, it=5} as in §2.1/§2.2.
+MassFunction M1() {
+  MassFunction m(6);
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {3}), 1.0 / 2).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {1, 2}), 1.0 / 3).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Full(6), 1.0 / 6).ok());
+  return m;
+}
+
+MassFunction M2() {
+  MassFunction m(6);
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {3, 1}), 1.0 / 2).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {1}), 1.0 / 4).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Full(6), 1.0 / 4).ok());
+  return m;
+}
+
+TEST(DempsterCombinationTest, PaperSection22Numbers) {
+  // The worked example of §2.2: kappa = 1/8 and the combined masses
+  // {ca}:3/7, {hu}:1/3, {ca,hu}:2/21, {hu,si}:2/21, Θ:1/21.
+  double kappa = -1.0;
+  auto combined = CombineDempster(M1(), M2(), &kappa);
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_NEAR(kappa, 1.0 / 8, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {3})), 3.0 / 7, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {1})), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {3, 1})), 2.0 / 21, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {1, 2})), 2.0 / 21, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Full(6)), 1.0 / 21, 1e-12);
+  EXPECT_DOUBLE_EQ(combined->EmptyMass(), 0.0);
+  EXPECT_TRUE(combined->Validate().ok());
+}
+
+TEST(DempsterCombinationTest, EvidenceSetWrapperMatchesPaper) {
+  auto es1 = paper::Section21EvidenceSet();
+  auto es2 = paper::Section22SecondEvidence();
+  ASSERT_TRUE(es1.ok());
+  ASSERT_TRUE(es2.ok());
+  double kappa = 0.0;
+  auto combined = CombineEvidence(*es1, *es2, &kappa);
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_NEAR(kappa, 1.0 / 8, 1e-12);
+  auto bel = combined->Belief({Value("hunan")});
+  ASSERT_TRUE(bel.ok());
+  EXPECT_NEAR(*bel, 1.0 / 3, 1e-12);
+}
+
+TEST(DempsterCombinationTest, VacuousIsIdentity) {
+  MassFunction m = M1();
+  auto combined = CombineDempster(m, MassFunction::Vacuous(6));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_TRUE(combined->ApproxEquals(m, 1e-12));
+}
+
+TEST(DempsterCombinationTest, Commutative) {
+  auto ab = CombineDempster(M1(), M2());
+  auto ba = CombineDempster(M2(), M1());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_TRUE(ab->ApproxEquals(*ba, 1e-12));
+}
+
+TEST(DempsterCombinationTest, TotalConflictReported) {
+  MassFunction a = MassFunction::Definite(4, 0);
+  MassFunction b = MassFunction::Definite(4, 1);
+  double kappa = 0.0;
+  auto combined = CombineDempster(a, b, &kappa);
+  EXPECT_FALSE(combined.ok());
+  EXPECT_EQ(combined.status().code(), StatusCode::kTotalConflict);
+  EXPECT_NEAR(kappa, 1.0, 1e-12);
+}
+
+TEST(DempsterCombinationTest, MismatchedFramesRejected) {
+  auto combined = CombineDempster(MassFunction::Vacuous(4),
+                                  MassFunction::Vacuous(5));
+  EXPECT_EQ(combined.status().code(), StatusCode::kIncompatible);
+}
+
+TEST(DempsterCombinationTest, CombinationReducesUncertaintyOnAgreement) {
+  // Combining two copies of the same non-definite evidence sharpens it:
+  // belief in the focal singleton must not decrease.
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {0}), 0.6).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Full(4), 0.4).ok());
+  auto combined = CombineDempster(m, m);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_GT(combined->Belief(ValueSet::Of(4, {0})),
+            m.Belief(ValueSet::Of(4, {0})));
+}
+
+TEST(ConflictMassTest, MatchesDempsterKappa) {
+  auto kappa = ConflictMass(M1(), M2());
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_NEAR(*kappa, 1.0 / 8, 1e-12);
+}
+
+TEST(ConflictMassTest, ZeroWhenCompatible) {
+  auto kappa = ConflictMass(M1(), MassFunction::Vacuous(6));
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_DOUBLE_EQ(*kappa, 0.0);
+}
+
+TEST(TBMCombinationTest, KeepsConflictOnEmptySet) {
+  auto combined = CombineTBM(M1(), M2());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->EmptyMass(), 1.0 / 8, 1e-12);
+  EXPECT_NEAR(combined->TotalMass(), 1.0, 1e-12);
+}
+
+TEST(TBMCombinationTest, NoConflictMatchesDempster) {
+  MassFunction v = MassFunction::Vacuous(6);
+  auto tbm = CombineTBM(M1(), v);
+  auto dempster = CombineDempster(M1(), v);
+  ASSERT_TRUE(tbm.ok());
+  ASSERT_TRUE(dempster.ok());
+  EXPECT_TRUE(tbm->ApproxEquals(*dempster, 1e-12));
+}
+
+TEST(YagerCombinationTest, MovesConflictToIgnorance) {
+  auto combined = CombineYager(M1(), M2());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_DOUBLE_EQ(combined->EmptyMass(), 0.0);
+  // Θ gets the unnormalized product mass 1/24 plus kappa 1/8 = 1/6.
+  EXPECT_NEAR(combined->MassOf(ValueSet::Full(6)), 1.0 / 24 + 1.0 / 8, 1e-12);
+  EXPECT_TRUE(combined->Validate().ok());
+}
+
+TEST(YagerCombinationTest, TotalConflictYieldsVacuous) {
+  MassFunction a = MassFunction::Definite(4, 0);
+  MassFunction b = MassFunction::Definite(4, 1);
+  auto combined = CombineYager(a, b);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_TRUE(combined->IsVacuous());
+}
+
+TEST(MixingCombinationTest, AveragesMasses) {
+  auto combined = CombineMixing(M1(), M2());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {3})), 1.0 / 4, 1e-12);
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(6, {1})), 1.0 / 8, 1e-12);
+  EXPECT_TRUE(combined->Validate().ok());
+}
+
+TEST(MixingCombinationTest, NeverConflicts) {
+  MassFunction a = MassFunction::Definite(4, 0);
+  MassFunction b = MassFunction::Definite(4, 1);
+  auto combined = CombineMixing(a, b);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->MassOf(ValueSet::Of(4, {0})), 0.5, 1e-12);
+}
+
+TEST(CombineAllTest, FoldsLeftToRight) {
+  auto es1 = paper::Section21EvidenceSet().value();
+  auto es2 = paper::Section22SecondEvidence().value();
+  auto all = CombineAll({es1, es2});
+  ASSERT_TRUE(all.ok());
+  auto direct = CombineEvidence(es1, es2);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(all->ApproxEquals(*direct, 1e-12));
+}
+
+TEST(CombineAllTest, EmptyListRejected) {
+  EXPECT_EQ(CombineAll({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CombineAllTest, SingleElementIsIdentity) {
+  auto es1 = paper::Section21EvidenceSet().value();
+  auto all = CombineAll({es1});
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->ApproxEquals(es1, 1e-12));
+}
+
+TEST(DiscountTest, FullReliabilityIsIdentity) {
+  auto d = Discount(M1(), 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->ApproxEquals(M1(), 1e-12));
+}
+
+TEST(DiscountTest, ZeroReliabilityIsVacuous) {
+  auto d = Discount(M1(), 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsVacuous());
+}
+
+TEST(DiscountTest, HalfReliability) {
+  auto d = Discount(M1(), 0.5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->MassOf(ValueSet::Of(6, {3})), 0.25, 1e-12);
+  EXPECT_NEAR(d->MassOf(ValueSet::Full(6)), 0.5 + 1.0 / 12, 1e-12);
+  EXPECT_TRUE(d->Validate().ok());
+}
+
+TEST(DiscountTest, RejectsOutOfRangeReliability) {
+  EXPECT_FALSE(Discount(M1(), -0.1).ok());
+  EXPECT_FALSE(Discount(M1(), 1.1).ok());
+}
+
+TEST(PignisticTest, DistributesMassUniformly) {
+  auto probs = PignisticTransform(M1());
+  ASSERT_TRUE(probs.ok());
+  // {ca}: 1/2; {hu,si}: 1/6 each; Θ: 1/36 each.
+  EXPECT_NEAR((*probs)[3], 0.5 + 1.0 / 36, 1e-12);
+  EXPECT_NEAR((*probs)[1], 1.0 / 6 + 1.0 / 36, 1e-12);
+  EXPECT_NEAR((*probs)[0], 1.0 / 36, 1e-12);
+  double sum = 0;
+  for (double p : *probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PignisticTest, RejectsInvalidMass) {
+  MassFunction bad(4);
+  ASSERT_TRUE(bad.Add(ValueSet::Of(4, {0}), 0.5).ok());
+  EXPECT_FALSE(PignisticTransform(bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep: associativity/commutativity of the rules.
+
+MassFunction RandomMass(Rng* rng, size_t universe, size_t max_focals) {
+  MassFunction m(universe);
+  const size_t n = 1 + rng->Below(max_focals);
+  std::vector<double> weights;
+  double total = 0;
+  std::vector<ValueSet> sets;
+  for (size_t i = 0; i < n; ++i) {
+    ValueSet s(universe);
+    while (s.IsEmpty()) {
+      for (size_t b = 0; b < universe; ++b) {
+        if (rng->Chance(0.3)) s.Set(b);
+      }
+    }
+    const double w = rng->NextDouble() + 0.05;
+    sets.push_back(s);
+    weights.push_back(w);
+    total += w;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(m.Add(sets[i], weights[i] / total).ok());
+  }
+  return m;
+}
+
+class CombinationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CombinationPropertyTest, DempsterCommutativeAndAssociative) {
+  Rng rng(GetParam());
+  MassFunction a = RandomMass(&rng, 8, 5);
+  MassFunction b = RandomMass(&rng, 8, 5);
+  MassFunction c = RandomMass(&rng, 8, 5);
+  auto ab = CombineDempster(a, b);
+  auto ba = CombineDempster(b, a);
+  if (!ab.ok()) {
+    // Conflict must be symmetric.
+    EXPECT_FALSE(ba.ok());
+    return;
+  }
+  ASSERT_TRUE(ba.ok());
+  EXPECT_TRUE(ab->ApproxEquals(*ba, 1e-9));
+
+  auto ab_c = CombineDempster(*ab, c);
+  auto bc = CombineDempster(b, c);
+  if (!bc.ok() || !ab_c.ok()) return;  // associativity needs both paths
+  auto a_bc = CombineDempster(a, *bc);
+  if (!a_bc.ok()) return;
+  EXPECT_TRUE(ab_c->ApproxEquals(*a_bc, 1e-9))
+      << "(a+b)+c = " << ab_c->ToString() << "\n a+(b+c) = "
+      << a_bc->ToString();
+}
+
+TEST_P(CombinationPropertyTest, CombinedResultIsValid) {
+  Rng rng(GetParam() * 7919 + 1);
+  MassFunction a = RandomMass(&rng, 10, 6);
+  MassFunction b = RandomMass(&rng, 10, 6);
+  for (CombinationRule rule :
+       {CombinationRule::kDempster, CombinationRule::kYager,
+        CombinationRule::kMixing}) {
+    auto combined = Combine(a, b, rule);
+    if (!combined.ok()) {
+      EXPECT_EQ(combined.status().code(), StatusCode::kTotalConflict);
+      continue;
+    }
+    EXPECT_TRUE(combined->Validate().ok())
+        << CombinationRuleToString(rule) << ": " << combined->ToString();
+  }
+}
+
+TEST_P(CombinationPropertyTest, DempsterSharpensBeliefOfAgreedSets) {
+  Rng rng(GetParam() * 31 + 5);
+  MassFunction a = RandomMass(&rng, 8, 4);
+  auto combined = CombineDempster(a, a);
+  ASSERT_TRUE(combined.ok());  // self-combination never fully conflicts
+  // Commonality is multiplicative under the conjunctive rule; in the
+  // normalized form Q'(A) = Q(A)^2 / (1-kappa) for every A.
+  auto kappa = ConflictMass(a, a);
+  ASSERT_TRUE(kappa.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    ValueSet s = ValueSet::Singleton(8, i);
+    EXPECT_NEAR(combined->Commonality(s),
+                a.Commonality(s) * a.Commonality(s) / (1 - *kappa), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinationPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+}  // namespace
+}  // namespace evident

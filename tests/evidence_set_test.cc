@@ -1,0 +1,132 @@
+#include "ds/evidence_set.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+DomainPtr Spec() { return paper::SpecialityDomain(); }
+
+TEST(EvidenceSetTest, MakeRejectsNullDomain) {
+  EXPECT_FALSE(EvidenceSet::Make(nullptr, MassFunction(3)).ok());
+}
+
+TEST(EvidenceSetTest, MakeRejectsUniverseMismatch) {
+  auto es = EvidenceSet::Make(Spec(), MassFunction::Vacuous(3));
+  EXPECT_EQ(es.status().code(), StatusCode::kIncompatible);
+}
+
+TEST(EvidenceSetTest, MakeRejectsInvalidMass) {
+  MassFunction m(Spec()->size());
+  ASSERT_TRUE(m.Add(ValueSet::Of(Spec()->size(), {0}), 0.4).ok());
+  EXPECT_FALSE(EvidenceSet::Make(Spec(), std::move(m)).ok());
+}
+
+TEST(EvidenceSetTest, DefiniteRoundTrip) {
+  auto es = EvidenceSet::Definite(Spec(), Value("si"));
+  ASSERT_TRUE(es.ok());
+  EXPECT_TRUE(es->IsDefinite());
+  EXPECT_FALSE(es->IsVacuous());
+  auto v = es->DefiniteValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value("si"));
+}
+
+TEST(EvidenceSetTest, DefiniteRejectsUnknownValue) {
+  EXPECT_EQ(EvidenceSet::Definite(Spec(), Value("sushi")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EvidenceSetTest, VacuousProperties) {
+  EvidenceSet es = EvidenceSet::Vacuous(Spec());
+  EXPECT_TRUE(es.IsVacuous());
+  EXPECT_FALSE(es.IsDefinite());
+  EXPECT_FALSE(es.DefiniteValue().ok());
+}
+
+TEST(EvidenceSetTest, FromPairsEmptyListMeansTheta) {
+  auto es = EvidenceSet::FromPairs(
+      Spec(), {{{Value("si")}, 0.7}, {{}, 0.3}});
+  ASSERT_TRUE(es.ok());
+  EXPECT_NEAR(es->mass().MassOf(ValueSet::Full(Spec()->size())), 0.3, 1e-12);
+}
+
+TEST(EvidenceSetTest, FromPairsRejectsBadSum) {
+  EXPECT_FALSE(EvidenceSet::FromPairs(Spec(), {{{Value("si")}, 0.7}}).ok());
+}
+
+TEST(EvidenceSetTest, FromPairsRejectsForeignValue) {
+  EXPECT_FALSE(
+      EvidenceSet::FromPairs(Spec(), {{{Value("sushi")}, 1.0}}).ok());
+}
+
+TEST(EvidenceSetTest, BeliefAndPlausibilityByValueNames) {
+  auto es = paper::Section21EvidenceSet();
+  ASSERT_TRUE(es.ok());
+  auto bel = es->Belief({Value("cantonese"), Value("hunan"), Value("sichuan")});
+  auto pls = es->Plausibility(
+      {Value("cantonese"), Value("hunan"), Value("sichuan")});
+  ASSERT_TRUE(bel.ok());
+  ASSERT_TRUE(pls.ok());
+  EXPECT_NEAR(*bel, 5.0 / 6, 1e-12);  // paper §2.1
+  EXPECT_NEAR(*pls, 1.0, 1e-12);      // paper §2.1
+}
+
+TEST(EvidenceSetTest, BeliefRejectsForeignValue) {
+  auto es = paper::Section21EvidenceSet();
+  ASSERT_TRUE(es.ok());
+  EXPECT_FALSE(es->Belief({Value("nope")}).ok());
+}
+
+TEST(EvidenceSetTest, CompatibleWithStructurallyEqualDomain) {
+  auto d1 = Domain::MakeSymbolic("d", {"a", "b"}).value();
+  auto d2 = Domain::MakeSymbolic("d", {"a", "b"}).value();
+  auto e1 = EvidenceSet::Definite(d1, Value("a")).value();
+  auto e2 = EvidenceSet::Definite(d2, Value("b")).value();
+  EXPECT_TRUE(e1.CompatibleWith(e2));
+}
+
+TEST(EvidenceSetTest, IncompatibleAcrossDomains) {
+  auto d1 = Domain::MakeSymbolic("d", {"a", "b"}).value();
+  auto d2 = Domain::MakeSymbolic("e", {"a", "b"}).value();
+  auto e1 = EvidenceSet::Definite(d1, Value("a")).value();
+  auto e2 = EvidenceSet::Definite(d2, Value("a")).value();
+  EXPECT_FALSE(e1.CompatibleWith(e2));
+}
+
+TEST(EvidenceSetTest, ToStringPaperStyle) {
+  auto es = EvidenceSet::FromPairs(
+      Spec(),
+      {{{Value("si")}, 0.5}, {{Value("hu"), Value("si")}, 0.25}, {{}, 0.25}});
+  ASSERT_TRUE(es.ok());
+  EXPECT_EQ(es->ToString(2), "[si^0.5, {hu,si}^0.25, Θ^0.25]");
+}
+
+TEST(EvidenceSetTest, ToStringDefinite) {
+  auto es = EvidenceSet::Definite(Spec(), Value("it")).value();
+  EXPECT_EQ(es.ToString(), "[it^1]");
+}
+
+TEST(EvidenceSetTest, ValuesOfMapsIndices) {
+  auto es = paper::Section21EvidenceSet().value();
+  auto values = es.ValuesOf(ValueSet::Of(es.domain()->size(), {1, 2}));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], Value("hunan"));
+  EXPECT_EQ(values[1], Value("sichuan"));
+}
+
+TEST(EvidenceSetTest, ApproxEqualsTolerance) {
+  auto a = EvidenceSet::FromPairs(Spec(), {{{Value("si")}, 0.5},
+                                           {{}, 0.5}});
+  auto b = EvidenceSet::FromPairs(Spec(), {{{Value("si")}, 0.5 + 1e-10},
+                                           {{}, 0.5 - 1e-10}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->ApproxEquals(*b));
+  EXPECT_FALSE(a->ApproxEquals(*b, 1e-12));
+}
+
+}  // namespace
+}  // namespace evident

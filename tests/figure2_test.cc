@@ -1,0 +1,109 @@
+// Figure 2: entity (M) and relationship (RM) relations integrate with
+// exactly the same machinery as the restaurant relation — the paper's
+// uniformity claim — plus multi-source (N > 2) integration via UnionAll.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "query/engine.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+TEST(Figure2Test, ManagerEntityUnion) {
+  auto m = Union(paper::TableMA().value(), paper::TableMB().value());
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->size(), 4u);  // chen, kumar, lee, patel
+  const auto& chen = m->row(m->FindByKey({Value("chen")}).value());
+  const auto& pos = std::get<EvidenceSet>(chen.cells[2]);
+  // [headchef^0.8, Θ^0.2] + [headchef^1] = headchef^1.
+  EXPECT_NEAR(pos.Belief({Value("headchef")}).value(), 1.0, 1e-12);
+  const auto& spec = std::get<EvidenceSet>(chen.cells[3]);
+  // kappa = 0.7*0.3 = 0.21; si = (0.35+0.14+0.15)/0.79.
+  EXPECT_NEAR(spec.Belief({Value("si")}).value(), 0.64 / 0.79, 1e-12);
+  EXPECT_NEAR(spec.Belief({Value("hu")}).value(), 0.09 / 0.79, 1e-12);
+}
+
+TEST(Figure2Test, RelationshipUnionCombinesMembership) {
+  auto rm = Union(paper::TableRMA().value(), paper::TableRMB().value());
+  ASSERT_TRUE(rm.ok()) << rm.status();
+  EXPECT_EQ(rm->size(), 4u);
+  const auto& mk =
+      rm->row(rm->FindByKey({Value("mehl"), Value("kumar")}).value());
+  // (0.5,0.5) + (0.8,1.0) = (5/6, 5/6) — same arithmetic as Table 4's
+  // mehl tuple, applied to a *relationship* instance.
+  EXPECT_NEAR(mk.membership.sn, 5.0 / 6, 1e-12);
+  EXPECT_NEAR(mk.membership.sp, 5.0 / 6, 1e-12);
+}
+
+TEST(Figure2Test, CompositeKeyKeepsCompetingRelationships) {
+  auto rm = Union(paper::TableRMA().value(), paper::TableRMB().value());
+  ASSERT_TRUE(rm.ok());
+  // The agencies disagree about garden's manager; both hypotheses stay,
+  // each with its own support.
+  EXPECT_TRUE(rm->ContainsKey({Value("garden"), Value("lee")}));
+  EXPECT_TRUE(rm->ContainsKey({Value("garden"), Value("chen")}));
+}
+
+TEST(Figure2Test, JoinRelationshipWithEntity) {
+  Catalog catalog;
+  auto m = Union(paper::TableMA().value(), paper::TableMB().value()).value();
+  auto rm =
+      Union(paper::TableRMA().value(), paper::TableRMB().value()).value();
+  m.set_name("M");
+  rm.set_name("RM");
+  ASSERT_TRUE(catalog.RegisterRelation(std::move(m)).ok());
+  ASSERT_TRUE(catalog.RegisterRelation(std::move(rm)).ok());
+  QueryEngine engine(&catalog);
+  // "rname" is unique to RM so it keeps its name; "mname" collides and
+  // gets qualified per relation.
+  auto result = engine.Execute(
+      "SELECT rname, M.mname FROM RM JOIN M WHERE RM.mname = M.mname "
+      "WITH sn > 0.5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // wok-chen (1), mehl-kumar (5/6), garden-chen (0.6) qualify;
+  // garden-lee (0.8 * 0.9 = 0.72) qualifies too.
+  EXPECT_EQ(result->size(), 4u);
+}
+
+TEST(Figure2Test, UnionAllThreeSourcesOrderInvariant) {
+  // A third agency's view of the managers.
+  auto schema = paper::ManagerSchema().value();
+  ExtendedRelation mc("MC", schema);
+  ExtendedTuple t;
+  t.cells = {Value("chen"), Value("555-1000"),
+             EvidenceSet::FromPairs(paper::PositionDomain(),
+                                    {{{Value("headchef")}, 0.6}, {{}, 0.4}})
+                 .value(),
+             EvidenceSet::FromPairs(paper::SpecialityDomain(),
+                                    {{{Value("si")}, 0.4}, {{}, 0.6}})
+                 .value()};
+  t.membership = SupportPair{0.9, 1.0};
+  ASSERT_TRUE(mc.Insert(std::move(t)).ok());
+
+  auto ma = paper::TableMA().value();
+  auto mb = paper::TableMB().value();
+  auto abc = UnionAll({ma, mb, mc});
+  auto cba = UnionAll({mc, mb, ma});
+  auto bac = UnionAll({mb, ma, mc});
+  ASSERT_TRUE(abc.ok()) << abc.status();
+  ASSERT_TRUE(cba.ok());
+  ASSERT_TRUE(bac.ok());
+  EXPECT_TRUE(abc->ApproxEquals(*cba, 1e-9));
+  EXPECT_TRUE(abc->ApproxEquals(*bac, 1e-9));
+  EXPECT_EQ(abc->size(), 4u);
+}
+
+TEST(Figure2Test, UnionAllRejectsEmptyList) {
+  EXPECT_FALSE(UnionAll({}).ok());
+}
+
+TEST(Figure2Test, UnionAllSingleSourceIsIdentity) {
+  auto ma = paper::TableMA().value();
+  auto result = UnionAll({ma});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ApproxEquals(ma, 1e-12));
+}
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,186 @@
+#include "ds/mass_function.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace evident {
+namespace {
+
+MassFunction WokExample() {
+  // §2.1: m({ca}) = 1/2, m({hu,si}) = 1/3, m(Θ) = 1/6 over a 6-value
+  // frame indexed {am=0, hu=1, si=2, ca=3, mu=4, it=5}.
+  MassFunction m(6);
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {3}), 1.0 / 2).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Of(6, {1, 2}), 1.0 / 3).ok());
+  EXPECT_TRUE(m.Add(ValueSet::Full(6), 1.0 / 6).ok());
+  return m;
+}
+
+TEST(MassFunctionTest, VacuousIsValidAndVacuous) {
+  MassFunction m = MassFunction::Vacuous(4);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_TRUE(m.IsVacuous());
+  EXPECT_FALSE(m.IsDefinite());
+}
+
+TEST(MassFunctionTest, DefiniteIsValidAndDefinite) {
+  MassFunction m = MassFunction::Definite(4, 2);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_TRUE(m.IsDefinite());
+  EXPECT_FALSE(m.IsVacuous());
+}
+
+TEST(MassFunctionTest, AddAccumulates) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {0}), 0.3).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {0}), 0.2).ok());
+  EXPECT_DOUBLE_EQ(m.MassOf(ValueSet::Of(4, {0})), 0.5);
+  EXPECT_EQ(m.FocalCount(), 1u);
+}
+
+TEST(MassFunctionTest, AddRejectsWrongUniverse) {
+  MassFunction m(4);
+  EXPECT_EQ(m.Add(ValueSet::Of(5, {0}), 0.5).code(),
+            StatusCode::kIncompatible);
+}
+
+TEST(MassFunctionTest, AddRejectsNegativeMass) {
+  MassFunction m(4);
+  EXPECT_EQ(m.Add(ValueSet::Of(4, {0}), -0.1).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MassFunctionTest, AddIgnoresZeroMass) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {0}), 0.0).ok());
+  EXPECT_EQ(m.FocalCount(), 0u);
+}
+
+TEST(MassFunctionTest, ValidateRejectsEmptyFocalSet) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet(4), 0.5).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {1}), 0.5).ok());
+  EXPECT_EQ(m.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MassFunctionTest, ValidateRejectsBadSum) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {1}), 0.5).ok());
+  EXPECT_EQ(m.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MassFunctionTest, ValidateRejectsNoFocals) {
+  MassFunction m(4);
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(MassFunctionTest, NormalizeRescalesAfterRemovingEmptyMass) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet(4), 0.5).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {1}), 0.25).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {2}), 0.25).ok());
+  ASSERT_TRUE(m.Normalize().ok());
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_DOUBLE_EQ(m.MassOf(ValueSet::Of(4, {1})), 0.5);
+}
+
+TEST(MassFunctionTest, NormalizeFailsOnTotalConflict) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet(4), 1.0).ok());
+  EXPECT_EQ(m.Normalize().code(), StatusCode::kTotalConflict);
+}
+
+TEST(MassFunctionTest, PaperBeliefExample) {
+  // Bel({ca,hu,si}) = 1/2 + 1/3 = 5/6 (§2.1).
+  MassFunction m = WokExample();
+  EXPECT_NEAR(m.Belief(ValueSet::Of(6, {1, 2, 3})), 5.0 / 6, 1e-12);
+}
+
+TEST(MassFunctionTest, PaperPlausibilityExample) {
+  // Pls({ca,hu,si}) = 1 (§2.1): every focal intersects the set.
+  MassFunction m = WokExample();
+  EXPECT_NEAR(m.Plausibility(ValueSet::Of(6, {1, 2, 3})), 1.0, 1e-12);
+}
+
+TEST(MassFunctionTest, BeliefIgnoresSupersets) {
+  // m({ca,hu}) = 0 even though m({ca}) > 0: mass is not monotone over
+  // set size (explicit remark in §2.1).
+  MassFunction m = WokExample();
+  EXPECT_DOUBLE_EQ(m.MassOf(ValueSet::Of(6, {3, 1})), 0.0);
+  EXPECT_GT(m.MassOf(ValueSet::Of(6, {3})), 0.0);
+}
+
+TEST(MassFunctionTest, BeliefOfFullFrameIsOne) {
+  MassFunction m = WokExample();
+  EXPECT_NEAR(m.Belief(ValueSet::Full(6)), 1.0, 1e-12);
+}
+
+TEST(MassFunctionTest, BeliefOfEmptySetIsZero) {
+  MassFunction m = WokExample();
+  EXPECT_DOUBLE_EQ(m.Belief(ValueSet(6)), 0.0);
+}
+
+TEST(MassFunctionTest, BeliefLeqPlausibility) {
+  MassFunction m = WokExample();
+  for (uint64_t bits = 0; bits < 64; ++bits) {
+    ValueSet s(6);
+    for (size_t i = 0; i < 6; ++i) {
+      if ((bits >> i) & 1) s.Set(i);
+    }
+    EXPECT_LE(m.Belief(s), m.Plausibility(s) + 1e-12) << s.ToString();
+  }
+}
+
+TEST(MassFunctionTest, PlausibilityIsOneMinusBeliefOfComplement) {
+  MassFunction m = WokExample();
+  for (uint64_t bits = 0; bits < 64; ++bits) {
+    ValueSet s(6);
+    for (size_t i = 0; i < 6; ++i) {
+      if ((bits >> i) & 1) s.Set(i);
+    }
+    EXPECT_NEAR(m.Plausibility(s), 1.0 - m.Belief(s.Complement()), 1e-12);
+  }
+}
+
+TEST(MassFunctionTest, CommonalityOfEmptyIsTotal) {
+  MassFunction m = WokExample();
+  EXPECT_NEAR(m.Commonality(ValueSet(6)), 1.0, 1e-12);
+}
+
+TEST(MassFunctionTest, CommonalityOfFullFrame) {
+  MassFunction m = WokExample();
+  EXPECT_NEAR(m.Commonality(ValueSet::Full(6)), 1.0 / 6, 1e-12);
+}
+
+TEST(MassFunctionTest, SortedFocalsOrderedByCardinality) {
+  MassFunction m = WokExample();
+  auto focals = m.SortedFocals();
+  ASSERT_EQ(focals.size(), 3u);
+  EXPECT_EQ(focals[0].first.Count(), 1u);
+  EXPECT_EQ(focals[1].first.Count(), 2u);
+  EXPECT_EQ(focals[2].first.Count(), 6u);
+}
+
+TEST(MassFunctionTest, PruneDropsSmallEntries) {
+  MassFunction m(4);
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {0}), 1e-15).ok());
+  ASSERT_TRUE(m.Add(ValueSet::Of(4, {1}), 1.0).ok());
+  m.Prune(1e-12);
+  EXPECT_EQ(m.FocalCount(), 1u);
+}
+
+TEST(MassFunctionTest, ApproxEquals) {
+  MassFunction a = WokExample();
+  MassFunction b = WokExample();
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-12));
+  MassFunction c(6);
+  ASSERT_TRUE(c.Add(ValueSet::Of(6, {3}), 0.5 + 1e-7).ok());
+  ASSERT_TRUE(c.Add(ValueSet::Of(6, {1, 2}), 1.0 / 3).ok());
+  ASSERT_TRUE(c.Add(ValueSet::Full(6), 1.0 / 6 - 1e-7).ok());
+  EXPECT_FALSE(a.ApproxEquals(c, 1e-9));
+  EXPECT_TRUE(a.ApproxEquals(c, 1e-5));
+}
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/csv.h"
+#include "storage/erel_format.h"
+#include "workload/generator.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+TEST(CatalogTest, RegisterAndGetRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  EXPECT_TRUE(catalog.HasRelation("RA"));
+  auto rel = catalog.GetRelation("RA");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 6u);
+  EXPECT_FALSE(catalog.GetRelation("nope").ok());
+}
+
+TEST(CatalogTest, RegisterRelationRegistersDomains) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  EXPECT_TRUE(catalog.HasDomain("speciality"));
+  EXPECT_TRUE(catalog.HasDomain("dish"));
+  EXPECT_TRUE(catalog.HasDomain("rating"));
+}
+
+TEST(CatalogTest, DuplicateRelationRejectedUnlessReplace) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  EXPECT_EQ(catalog.RegisterRelation(paper::TableRA().value()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(
+      catalog.RegisterRelation(paper::TableRA().value(), /*replace=*/true)
+          .ok());
+}
+
+TEST(CatalogTest, ConflictingDomainRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterDomain(
+          Domain::MakeSymbolic("d", {"a", "b"}).value())
+          .ok());
+  // Re-registering an equal domain is fine.
+  ASSERT_TRUE(
+      catalog.RegisterDomain(
+          Domain::MakeSymbolic("d", {"a", "b"}).value())
+          .ok());
+  EXPECT_EQ(catalog
+                .RegisterDomain(
+                    Domain::MakeSymbolic("d", {"a", "c"}).value())
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ErelFormatTest, RoundTripsPaperTables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRB().value()).ok());
+  const std::string text = WriteErel(catalog);
+  auto loaded = ReadErel(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto ra = loaded->GetRelation("RA");
+  auto rb = loaded->GetRelation("RB");
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE((*ra)->ApproxEquals(paper::TableRA().value(), 1e-8));
+  EXPECT_TRUE((*rb)->ApproxEquals(paper::TableRB().value(), 1e-8));
+}
+
+TEST(ErelFormatTest, RoundTripsGeneratedWorkload) {
+  WorkloadGenerator gen(11);
+  GeneratorOptions options;
+  options.num_tuples = 40;
+  auto schema = gen.MakeSchema(options).value();
+  auto relation = gen.MakeRelation("W", schema, options).value();
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(relation).ok());
+  auto loaded = ReadErel(WriteErel(catalog));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE((*loaded->GetRelation("W"))->ApproxEquals(relation, 1e-8));
+}
+
+TEST(ErelFormatTest, QuotedNumericStringsRoundTrip) {
+  auto schema = RelationSchema::Make({AttributeDef::Key("k"),
+                                      AttributeDef::Definite("d")})
+                    .value();
+  ExtendedRelation r("R", schema);
+  ExtendedTuple t;
+  t.cells = {Value("001"), Value("42")};  // strings that look numeric
+  ASSERT_TRUE(r.Insert(std::move(t)).ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(r).ok());
+  auto loaded = ReadErel(WriteErel(catalog));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ExtendedRelation* rel = loaded->GetRelation("R").value();
+  EXPECT_TRUE(std::get<Value>(rel->row(0).cells[0]).is_string());
+  EXPECT_TRUE(std::get<Value>(rel->row(0).cells[1]).is_string());
+}
+
+TEST(ErelFormatTest, ParseErrors) {
+  EXPECT_FALSE(ReadErel("garbage line").ok());
+  EXPECT_FALSE(ReadErel("relation R\nattr k key\nrow a | (1,1)\n").ok());
+  EXPECT_FALSE(ReadErel("relation R\nattr k key\n").ok());  // no end
+  EXPECT_FALSE(
+      ReadErel("relation R\nattr u uncertain missing\nend\n").ok());
+  EXPECT_FALSE(ReadErel("end\n").ok());
+  // Row with too few fields.
+  EXPECT_FALSE(
+      ReadErel("relation R\nattr k key\nattr d definite\nrow a | (1,1)\nend\n")
+          .ok());
+}
+
+TEST(ErelFormatTest, FileRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  const std::string path = "/tmp/evident_test_catalog.erel";
+  ASSERT_TRUE(SaveErelFile(catalog, path).ok());
+  auto loaded = LoadErelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(
+      (*loaded->GetRelation("RA"))->ApproxEquals(paper::TableRA().value(),
+                                                 1e-8));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ParseCsv("t", "a,b,c\n1,2,3\nx,y,z\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->columns, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "z");
+}
+
+TEST(CsvTest, HandlesQuotesAndEscapes) {
+  auto table = ParseCsv("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->rows[0][0], "x,y");
+  EXPECT_EQ(table->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto table = ParseCsv("t", "a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "1");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ParseCsv("t", "").ok());
+  EXPECT_FALSE(ParseCsv("t", "a,b\n1\n").ok());
+  EXPECT_FALSE(ParseCsv("t", "a,b\n\"unterminated,2\n").ok());
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  RawTable t;
+  t.name = "t";
+  t.columns = {"a", "b"};
+  t.rows = {{"plain", "with,comma"}, {"q\"uote", "x"}};
+  auto reparsed = ParseCsv("t", WriteCsv(t));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->rows, t.rows);
+}
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,154 @@
+#include "core/support_pair.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/operations.h"
+
+namespace evident {
+namespace {
+
+TEST(SupportPairTest, DefaultsToIgnorance) {
+  SupportPair m;
+  EXPECT_DOUBLE_EQ(m.sn, 0.0);
+  EXPECT_DOUBLE_EQ(m.sp, 1.0);
+  EXPECT_DOUBLE_EQ(m.UnknownMass(), 1.0);
+}
+
+TEST(SupportPairTest, NamedConstants) {
+  EXPECT_TRUE(SupportPair::Certain().HasPositiveSupport());
+  EXPECT_DOUBLE_EQ(SupportPair::Certain().FalseMass(), 0.0);
+  EXPECT_FALSE(SupportPair::Impossible().HasPositiveSupport());
+  EXPECT_DOUBLE_EQ(SupportPair::Impossible().FalseMass(), 1.0);
+  EXPECT_FALSE(SupportPair::Unknown().HasPositiveSupport());
+  EXPECT_DOUBLE_EQ(SupportPair::Unknown().UnknownMass(), 1.0);
+}
+
+TEST(SupportPairTest, ValidateAcceptsBounds) {
+  EXPECT_TRUE(SupportPair(0.0, 0.0).Validate().ok());
+  EXPECT_TRUE(SupportPair(1.0, 1.0).Validate().ok());
+  EXPECT_TRUE(SupportPair(0.3, 0.7).Validate().ok());
+}
+
+TEST(SupportPairTest, ValidateRejectsInverted) {
+  EXPECT_FALSE(SupportPair(0.7, 0.3).Validate().ok());
+}
+
+TEST(SupportPairTest, ValidateRejectsOutOfRange) {
+  EXPECT_FALSE(SupportPair(-0.1, 0.5).Validate().ok());
+  EXPECT_FALSE(SupportPair(0.5, 1.1).Validate().ok());
+}
+
+TEST(SupportPairTest, MassDecomposition) {
+  SupportPair m(0.3, 0.8);
+  EXPECT_DOUBLE_EQ(m.TrueMass(), 0.3);
+  EXPECT_NEAR(m.FalseMass(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(m.UnknownMass(), 0.5);
+  EXPECT_NEAR(m.TrueMass() + m.FalseMass() + m.UnknownMass(), 1.0, 1e-12);
+}
+
+TEST(SupportPairTest, MultiplyIsFTM) {
+  // F_TM((sn1,sp1),(sn2,sp2)) = (sn1*sn2, sp1*sp2) — §3.1.2.
+  SupportPair a(0.5, 0.5);
+  SupportPair b(0.64, 0.64);
+  SupportPair c = a.Multiply(b);
+  EXPECT_NEAR(c.sn, 0.32, 1e-12);  // Table 3, mehl
+  EXPECT_NEAR(c.sp, 0.32, 1e-12);
+}
+
+TEST(SupportPairTest, MultiplyWithCertainIsIdentity) {
+  SupportPair a(0.3, 0.8);
+  SupportPair c = a.Multiply(SupportPair::Certain());
+  EXPECT_TRUE(c.ApproxEquals(a));
+}
+
+TEST(SupportPairTest, CombineDempsterPaperTable4Mehl) {
+  // mehl: (0.5,0.5) combined with (0.8,1.0) = (0.83, 0.83) in the paper
+  // (exactly 5/6).
+  auto combined = SupportPair(0.5, 0.5).CombineDempster(SupportPair(0.8, 1.0));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->sn, 5.0 / 6, 1e-12);
+  EXPECT_NEAR(combined->sp, 5.0 / 6, 1e-12);
+}
+
+TEST(SupportPairTest, CombineWithUnknownIsIdentity) {
+  // Union retains unmatched tuples because combining with (0,1) — total
+  // ignorance — changes nothing.
+  SupportPair a(0.4, 0.9);
+  auto combined = a.CombineDempster(SupportPair::Unknown());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_TRUE(combined->ApproxEquals(a));
+}
+
+TEST(SupportPairTest, CombineCertainWithImpossibleConflicts) {
+  auto combined =
+      SupportPair::Certain().CombineDempster(SupportPair::Impossible());
+  EXPECT_EQ(combined.status().code(), StatusCode::kTotalConflict);
+}
+
+TEST(SupportPairTest, CombineAgreementSharpens) {
+  auto combined = SupportPair(0.6, 1.0).CombineDempster(SupportPair(0.6, 1.0));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_GT(combined->sn, 0.6);
+  EXPECT_DOUBLE_EQ(combined->sp, 1.0);
+}
+
+TEST(SupportPairTest, CombineCommutative) {
+  SupportPair a(0.2, 0.7);
+  SupportPair b(0.5, 0.9);
+  auto ab = a.CombineDempster(b);
+  auto ba = b.CombineDempster(a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_TRUE(ab->ApproxEquals(*ba));
+}
+
+TEST(SupportPairTest, ToStringTrimsZeros) {
+  EXPECT_EQ(SupportPair(0.5, 0.75).ToString(), "(0.5,0.75)");
+  EXPECT_EQ(SupportPair(1.0, 1.0).ToString(), "(1,1)");
+}
+
+// Cross-check the closed form against the generic DS engine on the
+// boolean frame, over a randomized sweep.
+class SupportPairCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SupportPairCrossCheck, ClosedFormMatchesGenericEngine) {
+  Rng rng(GetParam());
+  const double sn1x = rng.NextDouble();
+  const double sp1 = sn1x + (1 - sn1x) * rng.NextDouble();
+  const double sn2x = rng.NextDouble();
+  const double sp2 = sn2x + (1 - sn2x) * rng.NextDouble();
+  SupportPair a(sn1x, sp1);
+  SupportPair b(sn2x, sp2);
+  ASSERT_TRUE(a.Validate().ok());
+  ASSERT_TRUE(b.Validate().ok());
+
+  auto closed = a.CombineDempster(b);
+  // Generic path: CombineMembership with a non-Dempster-optimized rule
+  // uses the MassFunction engine; kDempster uses the closed form, so
+  // compare against the engine by building the functions directly.
+  MassFunction ma(2);
+  if (a.TrueMass() > 0) (void)ma.Add(ValueSet::Singleton(2, 0), a.TrueMass());
+  if (a.FalseMass() > 0) (void)ma.Add(ValueSet::Singleton(2, 1), a.FalseMass());
+  if (a.UnknownMass() > 0) (void)ma.Add(ValueSet::Full(2), a.UnknownMass());
+  MassFunction mb(2);
+  if (b.TrueMass() > 0) (void)mb.Add(ValueSet::Singleton(2, 0), b.TrueMass());
+  if (b.FalseMass() > 0) (void)mb.Add(ValueSet::Singleton(2, 1), b.FalseMass());
+  if (b.UnknownMass() > 0) (void)mb.Add(ValueSet::Full(2), b.UnknownMass());
+  auto engine = CombineDempster(ma, mb);
+  if (!closed.ok()) {
+    EXPECT_FALSE(engine.ok());
+    return;
+  }
+  ASSERT_TRUE(engine.ok());
+  EXPECT_NEAR(closed->TrueMass(), engine->MassOf(ValueSet::Singleton(2, 0)),
+              1e-9);
+  EXPECT_NEAR(closed->FalseMass(), engine->MassOf(ValueSet::Singleton(2, 1)),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupportPairCrossCheck,
+                         ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "text/evidence_literal.h"
+#include "text/table_renderer.h"
+#include "workload/paper_fixtures.h"
+
+namespace evident {
+namespace {
+
+DomainPtr Spec() { return paper::SpecialityDomain(); }
+
+TEST(EvidenceLiteralTest, ParsesPaperStyle) {
+  auto es = ParseEvidenceLiteral(Spec(), "[si^0.5, {hu,si}^0.25, Θ^0.25]");
+  ASSERT_TRUE(es.ok()) << es.status();
+  EXPECT_NEAR(es->Belief({Value("si")}).value(), 0.5, 1e-12);
+  EXPECT_NEAR(es->Belief({Value("hu"), Value("si")}).value(), 0.75, 1e-12);
+}
+
+TEST(EvidenceLiteralTest, AcceptsAsciiThetaSpellings) {
+  for (const char* theta : {"*", "Theta", "Omega"}) {
+    auto es = ParseEvidenceLiteral(
+        Spec(), std::string("[si^0.5, ") + theta + "^0.5]");
+    ASSERT_TRUE(es.ok()) << theta << ": " << es.status();
+    EXPECT_NEAR(es->mass().MassOf(ValueSet::Full(Spec()->size())), 0.5,
+                1e-12);
+  }
+}
+
+TEST(EvidenceLiteralTest, BareValueIsDefinite) {
+  auto es = ParseEvidenceLiteral(Spec(), "[si]");
+  ASSERT_TRUE(es.ok()) << es.status();
+  EXPECT_TRUE(es->IsDefinite());
+}
+
+TEST(EvidenceLiteralTest, RoundTripsToString) {
+  auto original = EvidenceSet::FromPairs(
+                      Spec(), {{{Value("si")}, 0.5},
+                               {{Value("hu"), Value("si")}, 0.3},
+                               {{}, 0.2}})
+                      .value();
+  auto reparsed = ParseEvidenceLiteral(Spec(), original.ToString(9));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(reparsed->ApproxEquals(original, 1e-8));
+}
+
+TEST(EvidenceLiteralTest, Errors) {
+  EXPECT_FALSE(ParseEvidenceLiteral(Spec(), "si^1").ok());
+  EXPECT_FALSE(ParseEvidenceLiteral(Spec(), "[]").ok());
+  EXPECT_FALSE(ParseEvidenceLiteral(Spec(), "[si^0.5]").ok());  // sum != 1
+  EXPECT_FALSE(ParseEvidenceLiteral(Spec(), "[nope^1]").ok());
+  EXPECT_FALSE(ParseEvidenceLiteral(Spec(), "[si^abc]").ok());
+  EXPECT_FALSE(ParseEvidenceLiteral(nullptr, "[si^1]").ok());
+}
+
+TEST(SupportPairLiteralTest, Parses) {
+  auto pair = ParseSupportPair("(0.5, 0.75)");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_DOUBLE_EQ(pair->sn, 0.5);
+  EXPECT_DOUBLE_EQ(pair->sp, 0.75);
+}
+
+TEST(SupportPairLiteralTest, Errors) {
+  EXPECT_FALSE(ParseSupportPair("0.5, 0.75").ok());
+  EXPECT_FALSE(ParseSupportPair("(0.5)").ok());
+  EXPECT_FALSE(ParseSupportPair("(0.8, 0.2)").ok());  // sn > sp
+  EXPECT_FALSE(ParseSupportPair("(a, b)").ok());
+}
+
+TEST(TableRendererTest, RendersPaperTable) {
+  auto ra = paper::TableRA().value();
+  RenderOptions options;
+  options.mass_decimals = 2;
+  const std::string table = RenderTable(ra, options);
+  // Header with † markers and the membership column.
+  EXPECT_NE(table.find("†speciality"), std::string::npos);
+  EXPECT_NE(table.find("(sn,sp)"), std::string::npos);
+  // A known tuple fragment.
+  EXPECT_NE(table.find("garden"), std::string::npos);
+  // Focal elements render sorted by cardinality, then frame order.
+  EXPECT_NE(table.find("[hu^0.25, si^0.5, Θ^0.25]"), std::string::npos);
+  EXPECT_NE(table.find("(0.5,0.5)"), std::string::npos);  // mehl
+}
+
+TEST(TableRendererTest, ColumnsAligned) {
+  auto ra = paper::TableRA().value();
+  const std::string table = RenderTable(ra);
+  // All separator lines must have equal length; data rows start with '|'.
+  size_t dash_len = 0;
+  std::istringstream in(table);
+  std::string line;
+  std::getline(in, line);  // title
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '-') {
+      if (dash_len == 0) dash_len = line.size();
+      EXPECT_EQ(line.size(), dash_len);
+    } else {
+      EXPECT_EQ(line[0], '|');
+    }
+  }
+}
+
+TEST(TableRendererTest, CustomTitle) {
+  auto ra = paper::TableRA().value();
+  RenderOptions options;
+  options.title = "Table 1: R_A";
+  EXPECT_EQ(RenderTable(ra, options).substr(0, 12), "Table 1: R_A");
+}
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,123 @@
+#include "ds/value_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace evident {
+namespace {
+
+TEST(ValueSetTest, EmptyByDefault) {
+  ValueSet s(10);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+}
+
+TEST(ValueSetTest, FullHasAllBits) {
+  ValueSet s = ValueSet::Full(70);  // spans two words
+  EXPECT_TRUE(s.IsFull());
+  EXPECT_EQ(s.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(s.Test(i));
+}
+
+TEST(ValueSetTest, FullTrimsTailBits) {
+  // A Full set followed by Complement must be empty — tail bits beyond
+  // the universe must not leak.
+  ValueSet s = ValueSet::Full(65);
+  EXPECT_TRUE(s.Complement().IsEmpty());
+}
+
+TEST(ValueSetTest, SingletonAndOf) {
+  ValueSet s = ValueSet::Singleton(8, 3);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_TRUE(s.Test(3));
+  ValueSet t = ValueSet::Of(8, {1, 3, 5});
+  EXPECT_EQ(t.Count(), 3u);
+  EXPECT_EQ(t.Indices(), (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(ValueSetTest, SetResetTest) {
+  ValueSet s(100);
+  s.Set(99);
+  EXPECT_TRUE(s.Test(99));
+  s.Reset(99);
+  EXPECT_FALSE(s.Test(99));
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(ValueSetTest, IntersectUnionDifference) {
+  ValueSet a = ValueSet::Of(10, {1, 2, 3});
+  ValueSet b = ValueSet::Of(10, {3, 4});
+  EXPECT_EQ(a.Intersect(b), ValueSet::Of(10, {3}));
+  EXPECT_EQ(a.Union(b), ValueSet::Of(10, {1, 2, 3, 4}));
+  EXPECT_EQ(a.Difference(b), ValueSet::Of(10, {1, 2}));
+  EXPECT_EQ(b.Difference(a), ValueSet::Of(10, {4}));
+}
+
+TEST(ValueSetTest, ComplementAcrossWords) {
+  ValueSet a = ValueSet::Of(130, {0, 64, 129});
+  ValueSet c = a.Complement();
+  EXPECT_EQ(c.Count(), 127u);
+  EXPECT_FALSE(c.Test(0));
+  EXPECT_FALSE(c.Test(64));
+  EXPECT_FALSE(c.Test(129));
+  EXPECT_TRUE(c.Test(1));
+  EXPECT_EQ(a.Union(c), ValueSet::Full(130));
+  EXPECT_TRUE(a.Intersect(c).IsEmpty());
+}
+
+TEST(ValueSetTest, SubsetAndIntersects) {
+  ValueSet a = ValueSet::Of(10, {1, 2});
+  ValueSet b = ValueSet::Of(10, {1, 2, 3});
+  ValueSet c = ValueSet::Of(10, {4});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(ValueSet(10).IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(ValueSet(10).Intersects(a));
+}
+
+TEST(ValueSetTest, EqualityRequiresSameUniverse) {
+  EXPECT_NE(ValueSet(5), ValueSet(6));
+  EXPECT_EQ(ValueSet::Of(5, {1}), ValueSet::Of(5, {1}));
+}
+
+TEST(ValueSetTest, HashConsistentWithEquality) {
+  std::unordered_set<ValueSet, ValueSetHash> set;
+  set.insert(ValueSet::Of(10, {1, 2}));
+  set.insert(ValueSet::Of(10, {1, 2}));
+  set.insert(ValueSet::Of(10, {2, 1}));
+  EXPECT_EQ(set.size(), 1u);
+  set.insert(ValueSet::Of(10, {1}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueSetTest, OrderingIsStrictWeak) {
+  ValueSet a = ValueSet::Of(10, {1});
+  ValueSet b = ValueSet::Of(10, {2});
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(ValueSetTest, ToString) {
+  EXPECT_EQ(ValueSet::Of(10, {1, 3}).ToString(), "{1,3}");
+  EXPECT_EQ(ValueSet(10).ToString(), "{}");
+}
+
+TEST(ValueSetTest, LargeUniverseOps) {
+  const size_t n = 4096;
+  ValueSet a(n);
+  ValueSet b(n);
+  for (size_t i = 0; i < n; i += 3) a.Set(i);
+  for (size_t i = 0; i < n; i += 5) b.Set(i);
+  ValueSet both = a.Intersect(b);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(both.Test(i), i % 15 == 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace evident

@@ -1,0 +1,131 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace evident {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), 0);
+}
+
+TEST(ValueTest, KindAccessors) {
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(3.5).is_real());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(int64_t{7}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("abc").is_numeric());
+}
+
+TEST(ValueTest, ToStringInt) { EXPECT_EQ(Value(int64_t{42}).ToString(), "42"); }
+
+TEST(ValueTest, ToStringRealShortest) {
+  EXPECT_EQ(Value(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value(1.0).ToString(), "1");
+  EXPECT_EQ(Value(0.25).ToString(), "0.25");
+}
+
+TEST(ValueTest, ToStringString) { EXPECT_EQ(Value("wok").ToString(), "wok"); }
+
+TEST(ValueTest, ParseInteger) {
+  Value v = Value::Parse("123");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), 123);
+}
+
+TEST(ValueTest, ParseNegativeInteger) {
+  Value v = Value::Parse("-5");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.int_value(), -5);
+}
+
+TEST(ValueTest, ParseReal) {
+  Value v = Value::Parse("2.75");
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.real_value(), 2.75);
+}
+
+TEST(ValueTest, ParseSymbol) {
+  Value v = Value::Parse("sichuan");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value(), "sichuan");
+}
+
+TEST(ValueTest, ParseQuotedNumberIsString) {
+  Value v = Value::Parse("\"123\"");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value(), "123");
+}
+
+TEST(ValueTest, ParseRoundTripsToString) {
+  for (const char* text : {"42", "-1", "0.5", "olive", "univ.ave."}) {
+    EXPECT_EQ(Value::Parse(text).ToString(), text) << text;
+  }
+}
+
+TEST(ValueTest, CrossKindNumericEquality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value(1.5));
+}
+
+TEST(ValueTest, CrossKindNumericHashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, NumericOrdersBeforeString) {
+  EXPECT_LT(Value(int64_t{999}), Value("a"));
+  EXPECT_GT(Value("a"), Value(3.5));
+}
+
+TEST(ValueTest, IntOrdering) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LE(Value(int64_t{2}), Value(int64_t{2}));
+  EXPECT_GE(Value(int64_t{2}), Value(int64_t{2}));
+  EXPECT_GT(Value(int64_t{3}), Value(int64_t{2}));
+}
+
+TEST(ValueTest, MixedNumericOrdering) {
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(0.5), Value(int64_t{1}));
+}
+
+TEST(ValueTest, StringOrderingLexicographic) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_FALSE(Value("banana") < Value("apple"));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::set<Value> values{Value(int64_t{3}), Value(1.5), Value("x"),
+                         Value("a"), Value(int64_t{-2})};
+  // Ordered: -2, 1.5, 3, "a", "x".
+  std::vector<Value> sorted(values.begin(), values.end());
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_EQ(sorted[0], Value(int64_t{-2}));
+  EXPECT_EQ(sorted[1], Value(1.5));
+  EXPECT_EQ(sorted[2], Value(int64_t{3}));
+  EXPECT_EQ(sorted[3], Value("a"));
+  EXPECT_EQ(sorted[4], Value("x"));
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value("a"));
+  set.insert(Value("a"));
+  set.insert(Value(int64_t{1}));
+  set.insert(Value(1.0));  // equal to int 1
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(0.25).AsDouble(), 0.25);
+}
+
+}  // namespace
+}  // namespace evident
