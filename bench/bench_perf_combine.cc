@@ -3,6 +3,7 @@
 // rules for reference.
 #include <benchmark/benchmark.h>
 
+#include "perf_bench_main.h"
 #include "common/rng.h"
 #include "ds/combination.h"
 
@@ -77,6 +78,24 @@ BENCHMARK(BM_CombineRule)
     ->Arg(static_cast<int>(CombinationRule::kYager))
     ->Arg(static_cast<int>(CombinationRule::kMixing));
 
+// The integration workload: k component databases each contribute
+// evidence about the same attribute (a paper-sized frame), all of it
+// combined into one consolidated mass function per tuple.
+void BM_MultiSourceCombine(benchmark::State& state) {
+  const size_t sources = static_cast<size_t>(state.range(0));
+  Rng rng(46);
+  std::vector<MassFunction> ms;
+  ms.reserve(sources);
+  for (size_t s = 0; s < sources; ++s) ms.push_back(RandomMass(&rng, 12, 6));
+  for (auto _ : state) {
+    auto combined = CombineAllMasses(ms, CombinationRule::kDempster);
+    benchmark::DoNotOptimize(combined);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sources));
+}
+BENCHMARK(BM_MultiSourceCombine)->RangeMultiplier(2)->Range(2, 32);
+
 void BM_BeliefQuery(benchmark::State& state) {
   const size_t focals = static_cast<size_t>(state.range(0));
   Rng rng(45);
@@ -92,4 +111,7 @@ BENCHMARK(BM_BeliefQuery)->RangeMultiplier(4)->Range(2, 512);
 }  // namespace
 }  // namespace evident
 
-BENCHMARK_MAIN();
+EVIDENT_PERF_BENCH_MAIN(
+    "bench_perf_combine",
+    "(BM_DempsterCombineByFocals/2|BM_DempsterCombineByDomainSize/8|"
+    "BM_CombineRule/0|BM_MultiSourceCombine/2|BM_BeliefQuery/2)$")

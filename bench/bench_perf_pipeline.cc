@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "perf_bench_main.h"
 #include "common/rng.h"
 #include "integration/pipeline.h"
 #include "workload/paper_fixtures.h"
@@ -122,4 +123,7 @@ BENCHMARK(BM_SimilarityIdentification)->RangeMultiplier(2)->Range(32, 256)
 }  // namespace
 }  // namespace evident
 
-BENCHMARK_MAIN();
+EVIDENT_PERF_BENCH_MAIN(
+    "bench_perf_pipeline",
+    "(BM_PreprocessOnly/100|BM_FullPipelineByKey/100|"
+    "BM_SimilarityIdentification/32)$")

@@ -3,6 +3,7 @@
 // EQL end-to-end overhead (parse + bind + execute).
 #include <benchmark/benchmark.h>
 
+#include "perf_bench_main.h"
 #include "core/operations.h"
 #include "query/engine.h"
 #include "workload/generator.h"
@@ -98,4 +99,7 @@ BENCHMARK(BM_EqlParseOnly);
 }  // namespace
 }  // namespace evident
 
-BENCHMARK_MAIN();
+EVIDENT_PERF_BENCH_MAIN(
+    "bench_perf_select_join",
+    "(BM_SelectByTuples/100|BM_SelectByConjuncts/1|BM_JoinByTuples/32|"
+    "BM_EqlParseOnly)$")

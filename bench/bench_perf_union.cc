@@ -2,6 +2,7 @@
 // size and in key overlap, the two knobs of the integration workload.
 #include <benchmark/benchmark.h>
 
+#include "perf_bench_main.h"
 #include "core/operations.h"
 #include "workload/generator.h"
 
@@ -68,4 +69,6 @@ BENCHMARK(BM_UnionRuleAblation)
 }  // namespace
 }  // namespace evident
 
-BENCHMARK_MAIN();
+EVIDENT_PERF_BENCH_MAIN(
+    "bench_perf_union",
+    "(BM_UnionByTuples/100|BM_UnionByOverlap/0|BM_UnionRuleAblation/0)$")

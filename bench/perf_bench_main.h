@@ -1,0 +1,149 @@
+#ifndef EVIDENT_BENCH_PERF_BENCH_MAIN_H_
+#define EVIDENT_BENCH_PERF_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace evident {
+namespace bench {
+
+/// Shared main() machinery for the perf benches (P1-P4).
+///
+/// Two jobs on top of BENCHMARK_MAIN():
+///  - `--smoke`: restrict the binary to its smallest workloads and a very
+///    short measurement time, so ctest can verify the benches build and
+///    run without paying for a full measurement pass. Smoke runs do not
+///    touch BENCH_PERF.json (ctest -j runs the binaries concurrently).
+///  - machine-readable output: every full run merges its results into
+///    `bench/out/BENCH_PERF.json` (override the directory with
+///    EVIDENT_BENCH_OUT_DIR), keyed by binary name, so the perf
+///    trajectory of the kernel is recorded PR over PR. Workload
+///    parameters live in the benchmark names/labels (e.g.
+///    "BM_DempsterCombineByFocals/64").
+
+/// Console reporter that additionally collects per-run stats for the
+/// merged JSON file.
+class PerfJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.report_big_o || run.report_rms) continue;
+      if (run.error_occurred) continue;
+      const double seconds_per_op =
+          run.iterations > 0 ? run.real_accumulated_time /
+                                   static_cast<double>(run.iterations)
+                             : 0.0;
+      std::ostringstream os;
+      os << "{\"name\":\"" << run.benchmark_name() << "\"";
+      if (!run.report_label.empty()) {
+        os << ",\"label\":\"" << run.report_label << "\"";
+      }
+      os << ",\"iterations\":" << run.iterations;
+      os << ",\"ns_per_op\":" << seconds_per_op * 1e9;
+      if (seconds_per_op > 0.0) {
+        os << ",\"ops_per_sec\":" << 1.0 / seconds_per_op;
+      }
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        os << ",\"items_per_sec\":" << items->second.value;
+      }
+      os << "}";
+      results_.push_back(os.str());
+    }
+  }
+
+  /// Merges this binary's results into `dir`/BENCH_PERF.json. The file is
+  /// an object with one key per bench binary, each section serialized on
+  /// its own line so re-runs of one binary can replace just their section
+  /// without a JSON parser.
+  void WriteMerged(const std::string& binary_name,
+                   const std::string& dir) const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/BENCH_PERF.json";
+    const std::string section_prefix = "\"" + binary_name + "\":";
+
+    std::vector<std::string> sections;
+    std::ifstream in(path);
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty() || line == "{" || line == "}") continue;
+      if (line.rfind(section_prefix, 0) == 0) continue;  // replaced below
+      if (line.back() == ',') line.pop_back();
+      sections.push_back(line);
+    }
+    in.close();
+
+    std::ostringstream section;
+    section << section_prefix << "[";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      if (i) section << ",";
+      section << results_[i];
+    }
+    section << "]";
+    sections.push_back(section.str());
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n";
+    for (size_t i = 0; i < sections.size(); ++i) {
+      out << sections[i] << (i + 1 < sections.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+  }
+
+ private:
+  std::vector<std::string> results_;
+};
+
+inline int PerfBenchMain(int argc, char** argv, const char* binary_name,
+                         const char* smoke_filter) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter_flag;
+  std::string min_time_flag;
+  if (smoke) {
+    filter_flag = std::string("--benchmark_filter=") + smoke_filter;
+    min_time_flag = "--benchmark_min_time=0.001";
+    args.push_back(filter_flag.data());
+    args.push_back(min_time_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  PerfJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!smoke) {
+    const char* dir = std::getenv("EVIDENT_BENCH_OUT_DIR");
+    reporter.WriteMerged(binary_name, dir != nullptr ? dir : "bench/out");
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace evident
+
+/// Replaces BENCHMARK_MAIN() in the perf benches. `smoke_filter` is a
+/// --benchmark_filter regex selecting the smallest workload of each
+/// benchmark in the binary.
+#define EVIDENT_PERF_BENCH_MAIN(binary_name, smoke_filter)       \
+  int main(int argc, char** argv) {                              \
+    return evident::bench::PerfBenchMain(argc, argv, binary_name, \
+                                         smoke_filter);          \
+  }
+
+#endif  // EVIDENT_BENCH_PERF_BENCH_MAIN_H_

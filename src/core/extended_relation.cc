@@ -65,26 +65,39 @@ Status ExtendedRelation::ValidateTuple(const ExtendedTuple& tuple,
 }
 
 Status ExtendedRelation::InsertImpl(ExtendedTuple tuple,
-                                    bool require_positive_sn) {
-  EVIDENT_RETURN_NOT_OK(ValidateTuple(tuple, require_positive_sn));
-  KeyVector key = KeyOf(tuple);
-  if (key_index_.count(key) > 0) {
-    std::string key_text;
-    for (const Value& v : key) key_text += " " + v.ToString();
-    return Status::AlreadyExists("duplicate key" + key_text +
-                                 " in relation '" + name_ + "'");
+                                    bool require_positive_sn, bool validate) {
+  if (validate) {
+    EVIDENT_RETURN_NOT_OK(ValidateTuple(tuple, require_positive_sn));
   }
-  key_index_.emplace(std::move(key), rows_.size());
-  rows_.push_back(std::move(tuple));
-  return Status::OK();
+  KeyVector key = KeyOf(tuple);
+  return InsertTrusted(std::move(tuple), std::move(key));
 }
 
 Status ExtendedRelation::Insert(ExtendedTuple tuple) {
-  return InsertImpl(std::move(tuple), /*require_positive_sn=*/true);
+  return InsertImpl(std::move(tuple), /*require_positive_sn=*/true,
+                    /*validate=*/true);
 }
 
 Status ExtendedRelation::InsertUnchecked(ExtendedTuple tuple) {
-  return InsertImpl(std::move(tuple), /*require_positive_sn=*/false);
+  return InsertImpl(std::move(tuple), /*require_positive_sn=*/false,
+                    /*validate=*/true);
+}
+
+Status ExtendedRelation::InsertTrusted(ExtendedTuple tuple) {
+  KeyVector key = KeyOf(tuple);
+  return InsertTrusted(std::move(tuple), std::move(key));
+}
+
+Status ExtendedRelation::InsertTrusted(ExtendedTuple tuple, KeyVector key) {
+  auto [it, inserted] = key_index_.try_emplace(std::move(key), rows_.size());
+  if (!inserted) {
+    std::string key_text;
+    for (const Value& v : it->first) key_text += " " + v.ToString();
+    return Status::AlreadyExists("duplicate key" + key_text +
+                                 " in relation '" + name_ + "'");
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
 }
 
 KeyVector ExtendedRelation::KeyOf(const ExtendedTuple& tuple) const {

@@ -36,6 +36,14 @@ class ExtendedRelation {
   const std::vector<ExtendedTuple>& rows() const { return rows_; }
   const ExtendedTuple& row(size_t i) const { return rows_[i]; }
 
+  /// \brief Pre-sizes the row store and key index for `n` tuples; used by
+  /// the relational operators, whose output cardinality is known (or
+  /// bounded) up front.
+  void Reserve(size_t n) {
+    rows_.reserve(n);
+    key_index_.reserve(n);
+  }
+
   /// \brief Validates the tuple against the schema and CWA_ER (sn > 0)
   /// and appends it. Fails with AlreadyExists on a duplicate key.
   Status Insert(ExtendedTuple tuple);
@@ -43,6 +51,19 @@ class ExtendedRelation {
   /// \brief Like Insert but skips the sn > 0 check (still validates
   /// shape, domains and 0 ≤ sn ≤ sp ≤ 1). For complements and tests.
   Status InsertUnchecked(ExtendedTuple tuple);
+
+  /// \brief Appends a tuple already known to satisfy this relation's
+  /// schema — cells taken (or combined) from relations validated against
+  /// a union-compatible schema. Skips per-cell validation entirely; the
+  /// duplicate-key check and key index are still maintained. This is the
+  /// relational operators' insert path: per-tuple revalidation of
+  /// unchanged evidence sets dominated their cost.
+  Status InsertTrusted(ExtendedTuple tuple);
+
+  /// \brief InsertTrusted with the tuple's key already extracted —
+  /// callers that just probed the key index (Union) hand it over instead
+  /// of paying KeyOf + hashing again.
+  Status InsertTrusted(ExtendedTuple tuple, KeyVector key);
 
   /// \brief The key of `tuple` under this relation's schema.
   KeyVector KeyOf(const ExtendedTuple& tuple) const;
@@ -66,7 +87,8 @@ class ExtendedRelation {
  private:
   Status ValidateTuple(const ExtendedTuple& tuple, bool require_positive_sn)
       const;
-  Status InsertImpl(ExtendedTuple tuple, bool require_positive_sn);
+  Status InsertImpl(ExtendedTuple tuple, bool require_positive_sn,
+                    bool validate);
 
   std::string name_;
   SchemaPtr schema_;

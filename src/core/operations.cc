@@ -26,6 +26,7 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
     return Status::InvalidArgument("null selection predicate");
   }
   ExtendedRelation out("select(" + input.name() + ")", input.schema());
+  out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {
     EVIDENT_ASSIGN_OR_RETURN(SupportPair support,
                              predicate->Evaluate(r, *input.schema()));
@@ -34,9 +35,10 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
     const SupportPair revised = r.membership.Multiply(support);
     if (!revised.HasPositiveSupport()) continue;  // CWA_ER consistency.
     if (!threshold.Accepts(revised)) continue;
-    ExtendedTuple t = r;
-    t.membership = revised;
-    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+    // Cells pass through unchanged and were validated on insertion into
+    // `input`; only the membership is revised (and stays a valid pair:
+    // the component-wise product preserves sn <= sp).
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(ExtendedTuple(r.cells, revised)));
   }
   return out;
 }
@@ -44,29 +46,33 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
 Result<SupportPair> CombineMembership(const SupportPair& a,
                                       const SupportPair& b,
                                       CombinationRule rule) {
-  if (rule == CombinationRule::kDempster) {
-    // Closed form on the boolean frame.
-    return a.CombineDempster(b);
-  }
-  // Generic path: express each pair as a mass function over Ψ =
-  // {true(0), false(1)} and dispatch to the requested rule.
-  auto to_mass = [](const SupportPair& m) {
-    MassFunction mf(2);
-    if (m.TrueMass() > 0.0) (void)mf.Add(ValueSet::Singleton(2, 0), m.TrueMass());
-    if (m.FalseMass() > 0.0) {
-      (void)mf.Add(ValueSet::Singleton(2, 1), m.FalseMass());
+  // All four rules have closed forms on the boolean frame Ψ =
+  // {true, false}; no mass function is ever materialized. Cross-checked
+  // against the generic ds/combination engine by the operations tests.
+  const double t1 = a.TrueMass(), f1 = a.FalseMass(), u1 = a.UnknownMass();
+  const double t2 = b.TrueMass(), f2 = b.FalseMass(), u2 = b.UnknownMass();
+  switch (rule) {
+    case CombinationRule::kDempster:
+      return a.CombineDempster(b);
+    case CombinationRule::kTBM: {
+      // The caller-facing support pair cannot carry empty-set mass, so
+      // the conjunctive result is renormalized — which is exactly
+      // Dempster's rule, including the total-conflict failure.
+      return a.CombineDempster(b);
     }
-    if (m.UnknownMass() > 0.0) (void)mf.Add(ValueSet::Full(2), m.UnknownMass());
-    return mf;
-  };
-  EVIDENT_ASSIGN_OR_RETURN(MassFunction combined,
-                           Combine(to_mass(a), to_mass(b), rule));
-  if (combined.EmptyMass() > 0.0) {
-    EVIDENT_RETURN_NOT_OK(combined.Normalize());
+    case CombinationRule::kYager: {
+      // Conflict becomes ignorance: m(Ψ) = u1·u2 + kappa.
+      const double t = t1 * t2 + t1 * u2 + u1 * t2;
+      const double f = f1 * f2 + f1 * u2 + u1 * f2;
+      return SupportPair{ClampUnit(t), ClampUnit(1.0 - f)};
+    }
+    case CombinationRule::kMixing: {
+      const double t = 0.5 * (t1 + t2);
+      const double f = 0.5 * (f1 + f2);
+      return SupportPair{ClampUnit(t), ClampUnit(1.0 - f)};
+    }
   }
-  const double sn = combined.MassOf(ValueSet::Singleton(2, 0));
-  const double sp = 1.0 - combined.MassOf(ValueSet::Singleton(2, 1));
-  return SupportPair{ClampUnit(sn), ClampUnit(sp)};
+  return Status::InvalidArgument("unknown combination rule");
 }
 
 Result<ExtendedRelation> Union(const ExtendedRelation& left,
@@ -81,18 +87,19 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
         " vs " + right.schema()->ToString());
   }
   ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
-  std::unordered_set<size_t> matched_right;
+  out.Reserve(left.size() + right.size());
+  std::vector<bool> matched_right(right.size(), false);
 
   for (const ExtendedTuple& r : left.rows()) {
-    const KeyVector key = left.KeyOf(r);
+    KeyVector key = left.KeyOf(r);
     auto found = right.FindByKey(key);
     if (!found.ok()) {
       // The other source is totally ignorant about this entity; combining
       // with vacuous evidence is the identity, so retain the tuple.
-      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(r));
+      EVIDENT_RETURN_NOT_OK(out.InsertTrusted(r, std::move(key)));
       continue;
     }
-    matched_right.insert(*found);
+    matched_right[*found] = true;
     const ExtendedTuple& s = right.row(*found);
 
     ExtendedTuple merged;
@@ -179,12 +186,14 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
       }
     }
     merged.membership = *membership;
-    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(merged)));
+    // Key cells come from the validated left tuple, merged evidence
+    // cells were validated by EvidenceSet::Make inside CombineEvidence.
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(merged), std::move(key)));
   }
 
   for (size_t j = 0; j < right.size(); ++j) {
-    if (matched_right.count(j) > 0) continue;
-    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(right.row(j)));
+    if (matched_right[j]) continue;
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(right.row(j)));
   }
   return out;
 }
@@ -195,10 +204,11 @@ Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
   EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation merged,
                            Union(left, right, options));
   ExtendedRelation out(left.name() + " n " + right.name(), merged.schema());
+  out.Reserve(merged.size());
   for (const ExtendedTuple& t : merged.rows()) {
     const KeyVector key = merged.KeyOf(t);
     if (left.ContainsKey(key) && right.ContainsKey(key)) {
-      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(t));
+      EVIDENT_RETURN_NOT_OK(out.InsertTrusted(t));
     }
   }
   return out;
@@ -248,12 +258,13 @@ Result<ExtendedRelation> Project(const ExtendedRelation& input,
   }
   EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
   ExtendedRelation out("project(" + input.name() + ")", schema);
+  out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {
     ExtendedTuple t;
     t.cells.reserve(indices.size());
     for (size_t index : indices) t.cells.push_back(r.cells[index]);
     t.membership = r.membership;
-    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
   }
   return out;
 }
@@ -298,6 +309,7 @@ Result<ExtendedRelation> Product(const ExtendedRelation& left,
   }
   EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
   ExtendedRelation out(left.name() + " x " + right.name(), schema);
+  out.Reserve(left.size() * right.size());
   for (const ExtendedTuple& r : left.rows()) {
     for (const ExtendedTuple& s : right.rows()) {
       ExtendedTuple t;
@@ -305,7 +317,7 @@ Result<ExtendedRelation> Product(const ExtendedRelation& left,
       t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
       t.cells.insert(t.cells.end(), s.cells.begin(), s.cells.end());
       t.membership = r.membership.Multiply(s.membership);  // F_TM
-      EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(std::move(t)));
+      EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
     }
   }
   return out;
@@ -333,8 +345,9 @@ Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
   defs[index].name = to;
   EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
   ExtendedRelation out(input.name(), schema);
+  out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {
-    EVIDENT_RETURN_NOT_OK(out.InsertUnchecked(r));
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(r));
   }
   return out;
 }

@@ -1,5 +1,10 @@
 #include "ds/combination.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
 #include "common/math_util.h"
 
 namespace evident {
@@ -19,12 +24,246 @@ Status CheckSameUniverse(const MassFunction& m1, const MassFunction& m2) {
   return Status::OK();
 }
 
-/// Computes the raw conjunctive product: intersection masses plus the
-/// conflict mass kappa accumulated on the empty set.
-MassFunction ConjunctiveProduct(const MassFunction& m1, const MassFunction& m2,
-                                double* kappa_out) {
-  MassFunction out(m1.universe_size());
+/// Open-addressing accumulator keyed by inline ValueSet words; the flat
+/// replacement for an unordered_map<ValueSet, double> in the pairwise
+/// kernel when the number of product terms is large. Word 0 (the empty
+/// set) never enters the table — empty intersections are the conflict
+/// mass — so it doubles as the free-slot sentinel.
+class WordAccumulator {
+ public:
+  void Reset(size_t expected_terms) {
+    // Distinct intersections are usually far fewer than product terms;
+    // start modest and grow at 0.75 load.
+    size_t cap = 64;
+    while (cap < 2 * expected_terms && cap < 8192) cap <<= 1;
+    if (keys_.size() != cap) {
+      keys_.assign(cap, 0);
+      vals_.assign(cap, 0.0);
+    } else {
+      std::fill(keys_.begin(), keys_.end(), 0);
+    }
+    mask_ = cap - 1;
+    count_ = 0;
+  }
+
+  void Add(uint64_t key, double value) {
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      if (keys_[i] == key) {
+        vals_[i] += value;
+        return;
+      }
+      if (keys_[i] == 0) {
+        keys_[i] = key;
+        vals_[i] = value;
+        if (++count_ * 4 > 3 * (mask_ + 1)) Grow();
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Appends the stored (word, mass) pairs to `out`, unsorted.
+  void Drain(std::vector<std::pair<uint64_t, double>>* out) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) out->emplace_back(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return x;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<double> old_vals = std::move(vals_);
+    const size_t cap = (mask_ + 1) * 2;
+    keys_.assign(cap, 0);
+    vals_.assign(cap, 0.0);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      size_t j = Mix(old_keys[i]) & mask_;
+      while (keys_[j] != 0) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<double> vals_;
+  size_t mask_ = 0;
+  size_t count_ = 0;
+};
+
+/// Buffers reused across combinations on the same thread, so per-tuple
+/// per-attribute combination in the relational operators does not
+/// allocate once the buffers have warmed up.
+struct KernelScratch {
+  MassFunction::FocalVector entries;  // multi-word product terms
+  std::vector<std::pair<uint64_t, double>> words;  // inline product terms
+  WordAccumulator accumulator;        // inline terms, hash-merged
+  std::unordered_map<ValueSet, double, ValueSetHash>
+      set_accumulator;                // multi-word terms, hash-merged
+  std::vector<double> lattice;        // dense 2^n accumulator (commonality)
+  std::vector<double> operand;        // dense 2^n operand being folded in
+};
+
+KernelScratch& Scratch() {
+  thread_local KernelScratch scratch;
+  return scratch;
+}
+
+/// Above this many product terms, merging through the flat hash beats
+/// sorting the raw term list.
+constexpr size_t kHashMergeMinTerms = 512;
+
+/// Sorts raw (word, mass) terms and folds duplicate words in place.
+void SortAndMergeWords(std::vector<std::pair<uint64_t, double>>* words) {
+  std::sort(words->begin(), words->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < words->size();) {
+    size_t j = i + 1;
+    double mass = (*words)[i].second;
+    while (j < words->size() && (*words)[j].first == (*words)[i].first) {
+      mass += (*words)[j].second;
+      ++j;
+    }
+    (*words)[out].first = (*words)[i].first;
+    (*words)[out].second = mass;
+    ++out;
+    i = j;
+  }
+  words->resize(out);
+}
+
+/// Upward (superset) zeta transform in place: q[A] := sum_{B ⊇ A} q[B].
+/// Applied to masses this yields the commonality function Q.
+void ZetaSuperset(double* q, size_t universe) {
+  const size_t n = size_t{1} << universe;
+  for (size_t i = 0; i < universe; ++i) {
+    const size_t bit = size_t{1} << i;
+    for (size_t s = 0; s < n; ++s) {
+      if ((s & bit) == 0) q[s] += q[s | bit];
+    }
+  }
+}
+
+/// Inverse of ZetaSuperset (Möbius inversion): recovers masses from a
+/// commonality function.
+void MoebiusSuperset(double* q, size_t universe) {
+  const size_t n = size_t{1} << universe;
+  for (size_t i = 0; i < universe; ++i) {
+    const size_t bit = size_t{1} << i;
+    for (size_t s = 0; s < n; ++s) {
+      if ((s & bit) == 0) q[s] -= q[s | bit];
+    }
+  }
+}
+
+/// Scatters a mass function onto the dense subset lattice.
+void DenseFromMass(const MassFunction& m, std::vector<double>* q) {
+  q->assign(size_t{1} << m.universe_size(), 0.0);
+  for (const auto& [set, mass] : m.focals()) {
+    (*q)[set.InlineWord()] += mass;
+  }
+}
+
+/// Gathers the dense lattice back into `out` (skipping the empty set,
+/// whose mass is the conflict and is returned separately) and reports
+/// kappa. Values at or below kFmtMassFloor are inverse-transform
+/// round-off, not focal elements.
+double DenseToMass(const std::vector<double>& q, MassFunction* out) {
+  // Scale the noise floor to the mass that actually survived the
+  // product: in a deeply conflicting k-way fold the genuine non-empty
+  // masses can sum to far less than 1, and an absolute floor would
+  // erase them all and fabricate total conflict.
+  double remaining = 0.0;
+  for (size_t w = 1; w < q.size(); ++w) remaining += q[w];
+  const double floor = kFmtMassFloor * std::min(1.0, std::fabs(remaining));
+  auto& words = Scratch().words;
+  words.clear();
+  for (size_t w = 1; w < q.size(); ++w) {
+    if (q[w] > floor) words.emplace_back(w, q[w]);
+  }
+  out->AssignSortedInlineWords(words);
+  return q[0] > kFmtMassFloor ? q[0] : 0.0;
+}
+
+/// True when the dense fast-Möbius kernel is expected to beat the
+/// pairwise kernel: the frame must fit the lattice and the pairwise
+/// focal-product work must exceed the (3n+2)·2^n transform work. The
+/// constant 16 weighs a pairwise term (two loads, a multiply, an AND, a
+/// branchy merge insert) against a transform add.
+bool FmtProfitable(size_t universe, size_t pairwise_terms) {
+  if (universe == 0 || universe > kFmtMaxUniverse) return false;
+  const uint64_t dense_ops = (3 * universe + 2) * (uint64_t{1} << universe);
+  return 16 * static_cast<uint64_t>(pairwise_terms) > dense_ops;
+}
+
+/// Pairwise conjunctive product into `out` (universe already set);
+/// returns kappa, the mass on empty intersections.
+double ConjunctiveProductPairwise(const MassFunction& m1,
+                                  const MassFunction& m2,
+                                  MassFunction* out) {
   double kappa = 0.0;
+  const size_t universe = m1.universe_size();
+  auto& s = Scratch();
+  if (universe <= ValueSet::kMaxInlineUniverse) {
+    // Word-at-a-time fast path: every focal element is one machine word
+    // and every intersection one AND. Small products merge duplicates by
+    // sorting the raw term list; large ones accumulate through the flat
+    // hash so the merge is O(terms), not O(terms·log terms).
+    const size_t terms = m1.FocalCount() * m2.FocalCount();
+    auto& words = s.words;
+    words.clear();
+    if (terms <= kHashMergeMinTerms) {
+      for (const auto& [x, mx] : m1.focals()) {
+        const uint64_t xw = x.InlineWord();
+        for (const auto& [y, my] : m2.focals()) {
+          const double product = mx * my;
+          if (product == 0.0) continue;
+          const uint64_t zw = xw & y.InlineWord();
+          if (zw == 0) {
+            kappa += product;
+          } else {
+            words.emplace_back(zw, product);
+          }
+        }
+      }
+      SortAndMergeWords(&words);
+    } else {
+      auto& accumulator = s.accumulator;
+      accumulator.Reset(terms);
+      for (const auto& [x, mx] : m1.focals()) {
+        const uint64_t xw = x.InlineWord();
+        for (const auto& [y, my] : m2.focals()) {
+          const double product = mx * my;
+          if (product == 0.0) continue;
+          const uint64_t zw = xw & y.InlineWord();
+          if (zw == 0) {
+            kappa += product;
+          } else {
+            accumulator.Add(zw, product);
+          }
+        }
+      }
+      accumulator.Drain(&words);
+      std::sort(words.begin(), words.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    out->AssignSortedInlineWords(words);
+    return kappa;
+  }
+  // Multi-word frames (over 64 values): merge through a hash map — the
+  // distinct intersections are few, so only they get sorted at the end.
+  auto& set_accumulator = s.set_accumulator;
+  set_accumulator.clear();
   for (const auto& [x, mx] : m1.focals()) {
     for (const auto& [y, my] : m2.focals()) {
       const double product = mx * my;
@@ -33,12 +272,54 @@ MassFunction ConjunctiveProduct(const MassFunction& m1, const MassFunction& m2,
       if (z.IsEmpty()) {
         kappa += product;
       } else {
-        // Invariants hold (same universe, non-negative), so Add cannot
-        // fail here.
-        (void)out.Add(z, product);
+        set_accumulator[std::move(z)] += product;
       }
     }
   }
+  auto& entries = s.entries;
+  entries.clear();
+  entries.reserve(set_accumulator.size());
+  for (const auto& [set, mass] : set_accumulator) {
+    entries.emplace_back(set, mass);
+  }
+  out->AssignUnmerged(&entries);
+  return kappa;
+}
+
+/// Fast-Möbius conjunctive product: masses → commonalities (zeta),
+/// pointwise Q1·Q2, commonalities → masses (Möbius). Returns kappa.
+double ConjunctiveProductFmt(const MassFunction& m1, const MassFunction& m2,
+                             MassFunction* out) {
+  const size_t universe = m1.universe_size();
+  auto& s = Scratch();
+  DenseFromMass(m1, &s.lattice);
+  ZetaSuperset(s.lattice.data(), universe);
+  DenseFromMass(m2, &s.operand);
+  ZetaSuperset(s.operand.data(), universe);
+  for (size_t i = 0; i < s.lattice.size(); ++i) s.lattice[i] *= s.operand[i];
+  MoebiusSuperset(s.lattice.data(), universe);
+  return DenseToMass(s.lattice, out);
+}
+
+/// The conjunctive product under a chosen (or cost-model-chosen) kernel.
+MassFunction ConjunctiveProduct(const MassFunction& m1, const MassFunction& m2,
+                                double* kappa_out, CombineBackend backend) {
+  MassFunction out(m1.universe_size());
+  bool use_fmt = false;
+  switch (backend) {
+    case CombineBackend::kPairwise:
+      break;
+    case CombineBackend::kFmt:
+      use_fmt = m1.universe_size() > 0 &&
+                m1.universe_size() <= kFmtMaxUniverse;
+      break;
+    case CombineBackend::kAuto:
+      use_fmt = FmtProfitable(m1.universe_size(),
+                              m1.FocalCount() * m2.FocalCount());
+      break;
+  }
+  const double kappa = use_fmt ? ConjunctiveProductFmt(m1, m2, &out)
+                               : ConjunctiveProductPairwise(m1, m2, &out);
   if (kappa_out != nullptr) *kappa_out = kappa;
   return out;
 }
@@ -61,10 +342,11 @@ const char* CombinationRuleToString(CombinationRule rule) {
 
 Result<MassFunction> CombineDempster(const MassFunction& m1,
                                      const MassFunction& m2,
-                                     double* kappa_out) {
+                                     double* kappa_out,
+                                     CombineBackend backend) {
   EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
   double kappa = 0.0;
-  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa, backend);
   if (kappa_out != nullptr) *kappa_out = kappa;
   if (kappa >= 1.0 - kMassEpsilon) {
     return Status::TotalConflict(
@@ -72,19 +354,18 @@ Result<MassFunction> CombineDempster(const MassFunction& m1,
         "the component databases disagree completely and the integrator "
         "must be notified");
   }
-  const double norm = 1.0 - kappa;
-  MassFunction normalized(out.universe_size());
-  for (const auto& [set, mass] : out.focals()) {
-    (void)normalized.Add(set, mass / norm);
-  }
-  return normalized;
+  EVIDENT_RETURN_NOT_OK(out.Normalize());
+  return out;
 }
 
 Result<MassFunction> CombineTBM(const MassFunction& m1,
-                                const MassFunction& m2) {
+                                const MassFunction& m2,
+                                double* kappa_out,
+                                CombineBackend backend) {
   EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
   double kappa = 0.0;
-  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa, backend);
+  if (kappa_out != nullptr) *kappa_out = kappa;
   if (kappa > 0.0) {
     (void)out.Add(ValueSet(out.universe_size()), kappa);
   }
@@ -92,10 +373,13 @@ Result<MassFunction> CombineTBM(const MassFunction& m1,
 }
 
 Result<MassFunction> CombineYager(const MassFunction& m1,
-                                  const MassFunction& m2) {
+                                  const MassFunction& m2,
+                                  double* kappa_out,
+                                  CombineBackend backend) {
   EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
   double kappa = 0.0;
-  MassFunction out = ConjunctiveProduct(m1, m2, &kappa);
+  MassFunction out = ConjunctiveProduct(m1, m2, &kappa, backend);
+  if (kappa_out != nullptr) *kappa_out = kappa;
   if (kappa > 0.0) {
     (void)out.Add(ValueSet::Full(out.universe_size()), kappa);
   }
@@ -105,29 +389,30 @@ Result<MassFunction> CombineYager(const MassFunction& m1,
 Result<MassFunction> CombineMixing(const MassFunction& m1,
                                    const MassFunction& m2) {
   EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
+  auto& entries = Scratch().entries;
+  entries.clear();
+  entries.reserve(m1.FocalCount() + m2.FocalCount());
+  for (const auto& [set, mass] : m1.focals()) {
+    entries.emplace_back(set, 0.5 * mass);
+  }
+  for (const auto& [set, mass] : m2.focals()) {
+    entries.emplace_back(set, 0.5 * mass);
+  }
   MassFunction out(m1.universe_size());
-  for (const auto& [set, mass] : m1.focals()) (void)out.Add(set, 0.5 * mass);
-  for (const auto& [set, mass] : m2.focals()) (void)out.Add(set, 0.5 * mass);
+  out.AssignUnmerged(&entries);
   return out;
 }
 
 Result<MassFunction> Combine(const MassFunction& m1, const MassFunction& m2,
-                             CombinationRule rule, double* kappa_out) {
+                             CombinationRule rule, double* kappa_out,
+                             CombineBackend backend) {
   switch (rule) {
     case CombinationRule::kDempster:
-      return CombineDempster(m1, m2, kappa_out);
-    case CombinationRule::kTBM: {
-      if (kappa_out != nullptr) {
-        EVIDENT_ASSIGN_OR_RETURN(*kappa_out, ConflictMass(m1, m2));
-      }
-      return CombineTBM(m1, m2);
-    }
-    case CombinationRule::kYager: {
-      if (kappa_out != nullptr) {
-        EVIDENT_ASSIGN_OR_RETURN(*kappa_out, ConflictMass(m1, m2));
-      }
-      return CombineYager(m1, m2);
-    }
+      return CombineDempster(m1, m2, kappa_out, backend);
+    case CombinationRule::kTBM:
+      return CombineTBM(m1, m2, kappa_out, backend);
+    case CombinationRule::kYager:
+      return CombineYager(m1, m2, kappa_out, backend);
     case CombinationRule::kMixing: {
       if (kappa_out != nullptr) *kappa_out = 0.0;
       return CombineMixing(m1, m2);
@@ -136,9 +421,108 @@ Result<MassFunction> Combine(const MassFunction& m1, const MassFunction& m2,
   return Status::InvalidArgument("unknown combination rule");
 }
 
+Result<MassFunction> CombineAllMasses(const std::vector<MassFunction>& ms,
+                                      CombinationRule rule,
+                                      double* kappa_out) {
+  if (ms.empty()) {
+    return Status::InvalidArgument("CombineAllMasses over an empty list");
+  }
+  if (kappa_out != nullptr) *kappa_out = 0.0;
+  for (size_t i = 1; i < ms.size(); ++i) {
+    EVIDENT_RETURN_NOT_OK(CheckSameUniverse(ms.front(), ms[i]));
+  }
+  if (ms.size() == 1) return ms.front();
+
+  const size_t universe = ms.front().universe_size();
+  const bool conjunctive =
+      rule == CombinationRule::kDempster || rule == CombinationRule::kTBM;
+
+  if (!conjunctive) {
+    // Yager and mixing are not associative; k-way means the left fold.
+    MassFunction acc = ms.front();
+    for (size_t i = 1; i < ms.size(); ++i) {
+      Result<MassFunction> combined = Combine(acc, ms[i], rule);
+      if (!combined.ok()) return combined.status();
+      acc = std::move(combined).value();
+    }
+    return acc;
+  }
+
+  // Dempster/TBM are associative, so the fold may run any prefix
+  // pairwise and finish in commonality space. Start pairwise — real
+  // workloads' intersections collapse, keeping focal counts tiny — and
+  // switch to the dense lattice the moment one step's focal product
+  // grows past the transform cost; from then on each remaining operand
+  // costs one zeta transform and a pointwise multiply, with a single
+  // inverse transform at the end and no materialized intermediates.
+  auto& s = Scratch();
+  double surviving = 1.0;  // ∏ (1 - kappa_step) over pairwise steps
+  bool dense = false;
+  MassFunction acc = ms.front();
+  for (size_t i = 1; i < ms.size(); ++i) {
+    if (!dense &&
+        FmtProfitable(universe, acc.FocalCount() * ms[i].FocalCount())) {
+      DenseFromMass(acc, &s.lattice);
+      ZetaSuperset(s.lattice.data(), universe);
+      dense = true;
+    }
+    if (dense) {
+      DenseFromMass(ms[i], &s.operand);
+      ZetaSuperset(s.operand.data(), universe);
+      for (size_t j = 0; j < s.lattice.size(); ++j) {
+        s.lattice[j] *= s.operand[j];
+      }
+      continue;
+    }
+    double step_kappa = 0.0;
+    Result<MassFunction> combined =
+        Combine(acc, ms[i], rule, &step_kappa, CombineBackend::kPairwise);
+    if (!combined.ok()) return combined.status();
+    acc = std::move(combined).value();
+    surviving *= 1.0 - step_kappa;
+  }
+
+  if (dense) {
+    MoebiusSuperset(s.lattice.data(), universe);
+    const double dense_kappa = DenseToMass(s.lattice, &acc);
+    if (rule == CombinationRule::kDempster) {
+      if (kappa_out != nullptr) {
+        *kappa_out = 1.0 - surviving * (1.0 - dense_kappa);
+      }
+      if (dense_kappa >= 1.0 - kMassEpsilon) {
+        return Status::TotalConflict(
+            "Dempster combination of totally conflicting evidence "
+            "(kappa == 1) across the component databases");
+      }
+      EVIDENT_RETURN_NOT_OK(acc.Normalize());
+    } else {
+      // TBM: the running empty-set mass went through the transform like
+      // any other subset; restore it as a focal element.
+      if (kappa_out != nullptr) *kappa_out = dense_kappa;
+      if (dense_kappa > 0.0) (void)acc.Add(ValueSet(universe), dense_kappa);
+    }
+    return acc;
+  }
+
+  if (kappa_out != nullptr) {
+    *kappa_out = rule == CombinationRule::kTBM ? acc.EmptyMass()
+                                               : 1.0 - surviving;
+  }
+  return acc;
+}
+
 Result<double> ConflictMass(const MassFunction& m1, const MassFunction& m2) {
   EVIDENT_RETURN_NOT_OK(CheckSameUniverse(m1, m2));
   double kappa = 0.0;
+  if (m1.universe_size() <= ValueSet::kMaxInlineUniverse) {
+    for (const auto& [x, mx] : m1.focals()) {
+      const uint64_t xw = x.InlineWord();
+      for (const auto& [y, my] : m2.focals()) {
+        if ((xw & y.InlineWord()) == 0) kappa += mx * my;
+      }
+    }
+    return kappa;
+  }
   for (const auto& [x, mx] : m1.focals()) {
     for (const auto& [y, my] : m2.focals()) {
       if (!x.Intersects(y)) kappa += mx * my;
@@ -174,11 +558,21 @@ Result<EvidenceSet> CombineAll(const std::vector<EvidenceSet>& sets) {
   if (sets.empty()) {
     return Status::InvalidArgument("CombineAll over an empty list");
   }
-  EvidenceSet acc = sets.front();
   for (size_t i = 1; i < sets.size(); ++i) {
-    EVIDENT_ASSIGN_OR_RETURN(acc, CombineEvidence(acc, sets[i]));
+    if (!sets.front().CompatibleWith(sets[i])) {
+      return Status::Incompatible(
+          "evidence sets over different domains: '" +
+          sets.front().domain()->name() + "' vs '" +
+          sets[i].domain()->name() + "'");
+    }
   }
-  return acc;
+  std::vector<MassFunction> masses;
+  masses.reserve(sets.size());
+  for (const EvidenceSet& es : sets) masses.push_back(es.mass());
+  EVIDENT_ASSIGN_OR_RETURN(
+      MassFunction combined,
+      CombineAllMasses(masses, CombinationRule::kDempster));
+  return EvidenceSet::Make(sets.front().domain(), std::move(combined));
 }
 
 Result<MassFunction> Discount(const MassFunction& m, double reliability) {
@@ -186,11 +580,15 @@ Result<MassFunction> Discount(const MassFunction& m, double reliability) {
     return Status::OutOfRange("reliability must be in [0,1], got " +
                               std::to_string(reliability));
   }
-  MassFunction out(m.universe_size());
+  auto& entries = Scratch().entries;
+  entries.clear();
+  entries.reserve(m.FocalCount() + 1);
   for (const auto& [set, mass] : m.focals()) {
-    (void)out.Add(set, reliability * mass);
+    entries.emplace_back(set, reliability * mass);
   }
-  (void)out.Add(ValueSet::Full(m.universe_size()), 1.0 - reliability);
+  entries.emplace_back(ValueSet::Full(m.universe_size()), 1.0 - reliability);
+  MassFunction out(m.universe_size());
+  out.AssignUnmerged(&entries);
   return out;
 }
 
@@ -224,9 +622,17 @@ Result<std::vector<double>> PignisticTransform(const MassFunction& m) {
   EVIDENT_RETURN_NOT_OK(m.Validate());
   std::vector<double> probs(m.universe_size(), 0.0);
   for (const auto& [set, mass] : m.focals()) {
-    const auto indices = set.Indices();
-    const double share = mass / static_cast<double>(indices.size());
-    for (size_t i : indices) probs[i] += share;
+    const size_t count = set.Count();
+    const double share = mass / static_cast<double>(count);
+    if (set.IsInline()) {
+      uint64_t w = set.InlineWord();
+      while (w != 0) {
+        probs[static_cast<size_t>(std::countr_zero(w))] += share;
+        w &= w - 1;
+      }
+    } else {
+      for (size_t i : set.Indices()) probs[i] += share;
+    }
   }
   return probs;
 }

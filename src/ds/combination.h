@@ -29,6 +29,32 @@ enum class CombinationRule {
 
 const char* CombinationRuleToString(CombinationRule rule);
 
+/// \brief Which kernel evaluates the conjunctive product at the heart of
+/// the Dempster/TBM/Yager rules.
+///
+/// Both kernels produce identical results up to floating-point noise
+/// (enforced by differential tests); kAuto picks by a cost model.
+enum class CombineBackend {
+  /// Cost-model selection between the two kernels.
+  kAuto,
+  /// Pairwise O(|F1|·|F2|) intersection of focal elements.
+  kPairwise,
+  /// Fast Möbius transform: map both operands to commonality space over
+  /// the dense 2^n subset lattice, multiply pointwise, transform back.
+  /// O(n·2^n) regardless of focal counts; frames of at most
+  /// kFmtMaxUniverse values only.
+  kFmt,
+};
+
+/// Largest frame eligible for the fast-Möbius kernel: the dense lattice
+/// holds 2^n doubles (128 KiB of thread-local scratch at n = 14).
+inline constexpr size_t kFmtMaxUniverse = 14;
+
+/// Masses below this floor after the inverse Möbius transform are
+/// treated as transform round-off and dropped rather than becoming
+/// spurious focal elements.
+inline constexpr double kFmtMassFloor = 1e-13;
+
 /// \brief Dempster's rule of combination m1 (+) m2.
 ///
 /// Computes sum over X ∩ Y = Z of m1(X)·m2(Y), renormalized by 1 - kappa
@@ -38,16 +64,24 @@ const char* CombinationRuleToString(CombinationRule rule);
 /// paper requires to be reported to the data integrator.
 Result<MassFunction> CombineDempster(const MassFunction& m1,
                                      const MassFunction& m2,
-                                     double* kappa_out = nullptr);
+                                     double* kappa_out = nullptr,
+                                     CombineBackend backend =
+                                         CombineBackend::kAuto);
 
 /// \brief Conjunctive (TBM) combination: like Dempster but kappa stays on
 /// the empty set and no renormalization happens.
 Result<MassFunction> CombineTBM(const MassFunction& m1,
-                                const MassFunction& m2);
+                                const MassFunction& m2,
+                                double* kappa_out = nullptr,
+                                CombineBackend backend =
+                                    CombineBackend::kAuto);
 
 /// \brief Yager's rule: conflict mass is transferred to the full frame.
 Result<MassFunction> CombineYager(const MassFunction& m1,
-                                  const MassFunction& m2);
+                                  const MassFunction& m2,
+                                  double* kappa_out = nullptr,
+                                  CombineBackend backend =
+                                      CombineBackend::kAuto);
 
 /// \brief Equal-weight linear mixing (averaging) of two mass functions.
 Result<MassFunction> CombineMixing(const MassFunction& m1,
@@ -56,7 +90,23 @@ Result<MassFunction> CombineMixing(const MassFunction& m1,
 /// \brief Dispatches to the rule named by `rule`.
 Result<MassFunction> Combine(const MassFunction& m1, const MassFunction& m2,
                              CombinationRule rule,
-                             double* kappa_out = nullptr);
+                             double* kappa_out = nullptr,
+                             CombineBackend backend = CombineBackend::kAuto);
+
+/// \brief k-way combination of mass functions over one frame, with left
+/// fold semantics (the order is irrelevant for the associative Dempster
+/// and TBM rules). For Dempster/TBM on fast-Möbius-eligible frames the
+/// whole fold collapses into one commonality-space product — each
+/// operand is transformed once, multiplied pointwise into an
+/// accumulator, and a single inverse transform materializes the result,
+/// reusing thread-local scratch instead of building k-1 intermediates.
+/// `kappa_out` receives the total conflict mass of the raw conjunctive
+/// product for Dempster/TBM, 0 for the other rules. Fails on an empty
+/// list.
+Result<MassFunction> CombineAllMasses(const std::vector<MassFunction>& ms,
+                                      CombinationRule rule =
+                                          CombinationRule::kDempster,
+                                      double* kappa_out = nullptr);
 
 /// \brief The conflict mass kappa between two mass functions (sum of
 /// m1(X)·m2(Y) over disjoint X, Y) without performing the combination.
@@ -73,8 +123,9 @@ Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
                                     CombinationRule rule,
                                     double* kappa_out = nullptr);
 
-/// \brief Left fold of Dempster combination over `sets` (associative and
-/// commutative, so order does not matter); fails on an empty list.
+/// \brief Dempster combination of `sets` (associative and commutative,
+/// so order does not matter) via the k-way mass kernel; fails on an
+/// empty list.
 Result<EvidenceSet> CombineAll(const std::vector<EvidenceSet>& sets);
 
 /// \brief Shafer discounting: scales every focal mass by `reliability`

@@ -8,16 +8,71 @@
 
 namespace evident {
 
+namespace {
+
+bool EntrySetLess(const MassFunction::FocalEntry& a,
+                  const MassFunction::FocalEntry& b) {
+  return a.first < b.first;
+}
+
+/// Sorts `entries` by subset and folds duplicate subsets into one entry
+/// (summing masses), dropping zero-mass entries. The merge-on-build core
+/// shared by AssignUnmerged and FromUnmerged.
+void SortAndMerge(MassFunction::FocalVector* entries) {
+  std::sort(entries->begin(), entries->end(), EntrySetLess);
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size();) {
+    size_t j = i + 1;
+    double mass = (*entries)[i].second;
+    while (j < entries->size() &&
+           (*entries)[j].first == (*entries)[i].first) {
+      mass += (*entries)[j].second;
+      ++j;
+    }
+    if (mass != 0.0) {
+      if (out != i) (*entries)[out].first = std::move((*entries)[i].first);
+      (*entries)[out].second = mass;
+      ++out;
+    }
+    i = j;
+  }
+  entries->resize(out);
+}
+
+}  // namespace
+
 MassFunction MassFunction::Vacuous(size_t universe_size) {
   MassFunction m(universe_size);
-  m.focals_.emplace(ValueSet::Full(universe_size), 1.0);
+  m.focals_.emplace_back(ValueSet::Full(universe_size), 1.0);
   return m;
 }
 
 MassFunction MassFunction::Definite(size_t universe_size, size_t index) {
   MassFunction m(universe_size);
-  m.focals_.emplace(ValueSet::Singleton(universe_size, index), 1.0);
+  m.focals_.emplace_back(ValueSet::Singleton(universe_size, index), 1.0);
   return m;
+}
+
+MassFunction MassFunction::FromUnmerged(size_t universe_size,
+                                        FocalVector entries) {
+  MassFunction m(universe_size);
+  SortAndMerge(&entries);
+  m.focals_ = std::move(entries);
+  return m;
+}
+
+void MassFunction::AssignUnmerged(FocalVector* entries) {
+  SortAndMerge(entries);
+  focals_.assign(entries->begin(), entries->end());
+}
+
+void MassFunction::AssignSortedInlineWords(
+    const std::vector<std::pair<uint64_t, double>>& entries) {
+  focals_.clear();
+  focals_.reserve(entries.size());
+  for (const auto& [word, mass] : entries) {
+    focals_.emplace_back(ValueSet::FromWord(universe_size_, word), mass);
+  }
 }
 
 Status MassFunction::Add(const ValueSet& set, double mass) {
@@ -32,17 +87,28 @@ Status MassFunction::Add(const ValueSet& set, double mass) {
                               std::to_string(mass));
   }
   if (mass == 0.0) return Status::OK();
-  focals_[set] += mass;
+  auto it = std::lower_bound(focals_.begin(), focals_.end(), set,
+                             [](const FocalEntry& e, const ValueSet& s) {
+                               return e.first < s;
+                             });
+  if (it != focals_.end() && it->first == set) {
+    it->second += mass;
+  } else {
+    focals_.insert(it, {set, mass});
+  }
   return Status::OK();
 }
 
 double MassFunction::MassOf(const ValueSet& set) const {
-  auto it = focals_.find(set);
-  return it == focals_.end() ? 0.0 : it->second;
+  auto it = std::lower_bound(focals_.begin(), focals_.end(), set,
+                             [](const FocalEntry& e, const ValueSet& s) {
+                               return e.first < s;
+                             });
+  return it != focals_.end() && it->first == set ? it->second : 0.0;
 }
 
-std::vector<std::pair<ValueSet, double>> MassFunction::SortedFocals() const {
-  std::vector<std::pair<ValueSet, double>> out(focals_.begin(), focals_.end());
+MassFunction::FocalVector MassFunction::SortedFocals() const {
+  FocalVector out = focals_;
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) {
               const size_t ca = a.first.Count();
@@ -60,7 +126,12 @@ double MassFunction::TotalMass() const {
 }
 
 double MassFunction::EmptyMass() const {
-  return MassOf(ValueSet(universe_size_));
+  // The empty set is minimal in the sort order, so it can only be the
+  // first focal element.
+  if (!focals_.empty() && focals_.front().first.IsEmpty()) {
+    return focals_.front().second;
+  }
+  return 0.0;
 }
 
 Status MassFunction::Validate() const {
@@ -86,17 +157,17 @@ Status MassFunction::Validate() const {
 }
 
 void MassFunction::Prune(double floor) {
-  for (auto it = focals_.begin(); it != focals_.end();) {
-    if (it->second <= floor) {
-      it = focals_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  focals_.erase(std::remove_if(focals_.begin(), focals_.end(),
+                               [floor](const FocalEntry& e) {
+                                 return e.second <= floor;
+                               }),
+                focals_.end());
 }
 
 Status MassFunction::Normalize() {
-  focals_.erase(ValueSet(universe_size_));
+  if (!focals_.empty() && focals_.front().first.IsEmpty()) {
+    focals_.erase(focals_.begin());
+  }
   const double total = TotalMass();
   if (total <= kMassEpsilon) {
     return Status::TotalConflict("all mass on the empty set");
@@ -130,13 +201,13 @@ double MassFunction::Commonality(const ValueSet& set) const {
 }
 
 bool MassFunction::IsVacuous() const {
-  return focals_.size() == 1 && focals_.begin()->first.IsFull() &&
-         ApproxEqual(focals_.begin()->second, 1.0);
+  return focals_.size() == 1 && focals_.front().first.IsFull() &&
+         ApproxEqual(focals_.front().second, 1.0);
 }
 
 bool MassFunction::IsDefinite() const {
-  return focals_.size() == 1 && focals_.begin()->first.Count() == 1 &&
-         ApproxEqual(focals_.begin()->second, 1.0);
+  return focals_.size() == 1 && focals_.front().first.Count() == 1 &&
+         ApproxEqual(focals_.front().second, 1.0);
 }
 
 bool MassFunction::operator==(const MassFunction& other) const {
@@ -146,10 +217,12 @@ bool MassFunction::operator==(const MassFunction& other) const {
 bool MassFunction::ApproxEquals(const MassFunction& other, double eps) const {
   if (universe_size_ != other.universe_size_) return false;
   if (focals_.size() != other.focals_.size()) return false;
-  for (const auto& [set, mass] : focals_) {
-    auto it = other.focals_.find(set);
-    if (it == other.focals_.end()) return false;
-    if (!ApproxEqual(mass, it->second, eps)) return false;
+  // Both stores are sorted by subset, so a single parallel walk suffices.
+  for (size_t i = 0; i < focals_.size(); ++i) {
+    if (focals_[i].first != other.focals_[i].first) return false;
+    if (!ApproxEqual(focals_[i].second, other.focals_[i].second, eps)) {
+      return false;
+    }
   }
   return true;
 }

@@ -2,7 +2,6 @@
 #define EVIDENT_DS_MASS_FUNCTION_H_
 
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,8 +19,19 @@ namespace evident {
 /// being built; Validate() checks the invariants, and the higher-level
 /// EvidenceSet only wraps validated functions. The empty set may carry
 /// transient mass inside combination rules (the TBM variant exposes it).
+///
+/// The focal store is a flat vector of (ValueSet, mass) pairs kept
+/// sorted by ValueSet order with unique sets, giving cache-friendly
+/// iteration in the combination/measure hot loops and a deterministic
+/// focal order everywhere. Bulk builders that produce duplicate subsets
+/// (e.g. the conjunctive product) should collect raw entries and call
+/// AssignUnmerged/FromUnmerged, which sorts once and merges duplicates,
+/// instead of paying a sorted insert per entry.
 class MassFunction {
  public:
+  using FocalEntry = std::pair<ValueSet, double>;
+  using FocalVector = std::vector<FocalEntry>;
+
   explicit MassFunction(size_t universe_size = 0)
       : universe_size_(universe_size) {}
 
@@ -32,7 +42,29 @@ class MassFunction {
   /// \brief Mass 1 on the singleton {index} (a definite value).
   static MassFunction Definite(size_t universe_size, size_t index);
 
+  /// \brief Builds from unsorted entries that may repeat subsets:
+  /// sorts, merges duplicates by summing, and drops zero-mass entries.
+  /// Entries must all share `universe_size` and carry non-negative mass
+  /// (callers are the combination kernels, which guarantee both).
+  static MassFunction FromUnmerged(size_t universe_size, FocalVector entries);
+
   size_t universe_size() const { return universe_size_; }
+
+  /// \brief Pre-sizes the focal store for `n` focal elements.
+  void Reserve(size_t n) { focals_.reserve(n); }
+
+  /// \brief Replaces the focal store with the merged form of `entries`
+  /// (see FromUnmerged). `entries` is left holding its capacity for
+  /// reuse as a scratch buffer by the next build.
+  void AssignUnmerged(FocalVector* entries);
+
+  /// \brief Replaces the focal store with entries given as inline bit
+  /// patterns over this (inline-sized) universe. `entries` must already
+  /// be sorted by word, unique, and free of zero words/masses — the
+  /// combination kernels produce exactly that shape, and this skips the
+  /// sort-merge pass entirely.
+  void AssignSortedInlineWords(
+      const std::vector<std::pair<uint64_t, double>>& entries);
 
   /// \brief Adds `mass` to subset `set` (accumulating if present).
   /// Fails if the set's universe disagrees or mass is negative.
@@ -46,12 +78,10 @@ class MassFunction {
 
   /// \brief Focal elements in a deterministic order (by cardinality, then
   /// bit pattern), paired with their masses.
-  std::vector<std::pair<ValueSet, double>> SortedFocals() const;
+  FocalVector SortedFocals() const;
 
-  /// \brief Unordered access for hot loops.
-  const std::unordered_map<ValueSet, double, ValueSetHash>& focals() const {
-    return focals_;
-  }
+  /// \brief Direct access for hot loops; sorted by ValueSet order.
+  const FocalVector& focals() const { return focals_; }
 
   /// \brief Sum of all stored masses (1 for a valid function).
   double TotalMass() const;
@@ -95,7 +125,9 @@ class MassFunction {
 
  private:
   size_t universe_size_;
-  std::unordered_map<ValueSet, double, ValueSetHash> focals_;
+  // Sorted by ValueSet::operator<, unique sets. The empty set, when
+  // transiently present, is always focals_.front().
+  FocalVector focals_;
 };
 
 }  // namespace evident

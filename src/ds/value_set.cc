@@ -7,18 +7,20 @@
 namespace evident {
 
 namespace {
-constexpr size_t kWordBits = 64;
-size_t WordCount(size_t universe_size) {
-  return (universe_size + kWordBits - 1) / kWordBits;
+/// Mask of the valid bits in the last word of a universe.
+uint64_t TailMask(size_t universe_size) {
+  const size_t rem = universe_size % ValueSet::kWordBits;
+  return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
 }
 }  // namespace
 
-ValueSet::ValueSet(size_t universe_size)
-    : universe_size_(universe_size), words_(WordCount(universe_size), 0) {}
-
 ValueSet ValueSet::Full(size_t universe_size) {
   ValueSet s(universe_size);
-  for (auto& w : s.words_) w = ~uint64_t{0};
+  if (s.IsInline()) {
+    if (universe_size > 0) s.word_ = TailMask(universe_size);
+    return s;
+  }
+  for (auto& w : s.ext_) w = ~uint64_t{0};
   s.TrimTail();
   return s;
 }
@@ -36,48 +38,69 @@ ValueSet ValueSet::Of(size_t universe_size,
   return s;
 }
 
+ValueSet ValueSet::FromWord(size_t universe_size, uint64_t word) {
+  assert(universe_size <= kMaxInlineUniverse);
+  assert((word & ~TailMask(universe_size)) == 0 || universe_size == 0);
+  ValueSet s(universe_size);
+  s.word_ = word;
+  return s;
+}
+
 void ValueSet::TrimTail() {
-  const size_t rem = universe_size_ % kWordBits;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (uint64_t{1} << rem) - 1;
-  }
+  if (word_count() > 0) words()[word_count() - 1] &= TailMask(universe_size_);
 }
 
 bool ValueSet::Test(size_t index) const {
   assert(index < universe_size_);
-  return (words_[index / kWordBits] >> (index % kWordBits)) & 1;
+  if (IsInline()) return (word_ >> index) & 1;
+  return (ext_[index / kWordBits] >> (index % kWordBits)) & 1;
 }
 
 void ValueSet::Set(size_t index) {
   assert(index < universe_size_);
-  words_[index / kWordBits] |= uint64_t{1} << (index % kWordBits);
+  if (IsInline()) {
+    word_ |= uint64_t{1} << index;
+    return;
+  }
+  ext_[index / kWordBits] |= uint64_t{1} << (index % kWordBits);
 }
 
 void ValueSet::Reset(size_t index) {
   assert(index < universe_size_);
-  words_[index / kWordBits] &= ~(uint64_t{1} << (index % kWordBits));
+  if (IsInline()) {
+    word_ &= ~(uint64_t{1} << index);
+    return;
+  }
+  ext_[index / kWordBits] &= ~(uint64_t{1} << (index % kWordBits));
 }
 
 size_t ValueSet::Count() const {
+  if (IsInline()) return static_cast<size_t>(std::popcount(word_));
   size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : ext_) n += static_cast<size_t>(std::popcount(w));
   return n;
 }
 
 bool ValueSet::IsEmpty() const {
-  for (uint64_t w : words_) {
+  if (IsInline()) return word_ == 0;
+  for (uint64_t w : ext_) {
     if (w != 0) return false;
   }
   return true;
 }
 
-bool ValueSet::IsFull() const { return Count() == universe_size_; }
+bool ValueSet::IsFull() const {
+  if (IsInline()) return word_ == (universe_size_ > 0 ? TailMask(universe_size_)
+                                                      : 0);
+  return Count() == universe_size_;
+}
 
 std::vector<size_t> ValueSet::Indices() const {
   std::vector<size_t> out;
   out.reserve(Count());
-  for (size_t wi = 0; wi < words_.size(); ++wi) {
-    uint64_t w = words_[wi];
+  const uint64_t* ws = words();
+  for (size_t wi = 0; wi < word_count(); ++wi) {
+    uint64_t w = ws[wi];
     while (w != 0) {
       const int bit = std::countr_zero(w);
       out.push_back(wi * kWordBits + static_cast<size_t>(bit));
@@ -90,8 +113,12 @@ std::vector<size_t> ValueSet::Indices() const {
 ValueSet ValueSet::Intersect(const ValueSet& other) const {
   assert(universe_size_ == other.universe_size_);
   ValueSet out(universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] & other.words_[i];
+  if (IsInline()) {
+    out.word_ = word_ & other.word_;
+    return out;
+  }
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    out.ext_[i] = ext_[i] & other.ext_[i];
   }
   return out;
 }
@@ -99,8 +126,12 @@ ValueSet ValueSet::Intersect(const ValueSet& other) const {
 ValueSet ValueSet::Union(const ValueSet& other) const {
   assert(universe_size_ == other.universe_size_);
   ValueSet out(universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] | other.words_[i];
+  if (IsInline()) {
+    out.word_ = word_ | other.word_;
+    return out;
+  }
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    out.ext_[i] = ext_[i] | other.ext_[i];
   }
   return out;
 }
@@ -108,53 +139,70 @@ ValueSet ValueSet::Union(const ValueSet& other) const {
 ValueSet ValueSet::Difference(const ValueSet& other) const {
   assert(universe_size_ == other.universe_size_);
   ValueSet out(universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] & ~other.words_[i];
+  if (IsInline()) {
+    out.word_ = word_ & ~other.word_;
+    return out;
+  }
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    out.ext_[i] = ext_[i] & ~other.ext_[i];
   }
   return out;
 }
 
 ValueSet ValueSet::Complement() const {
   ValueSet out(universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  if (IsInline()) {
+    if (universe_size_ > 0) out.word_ = ~word_ & TailMask(universe_size_);
+    return out;
+  }
+  for (size_t i = 0; i < ext_.size(); ++i) out.ext_[i] = ~ext_[i];
   out.TrimTail();
   return out;
 }
 
 bool ValueSet::IsSubsetOf(const ValueSet& other) const {
   assert(universe_size_ == other.universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  if (IsInline()) return (word_ & ~other.word_) == 0;
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    if ((ext_[i] & ~other.ext_[i]) != 0) return false;
   }
   return true;
 }
 
 bool ValueSet::Intersects(const ValueSet& other) const {
   assert(universe_size_ == other.universe_size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
+  if (IsInline()) return (word_ & other.word_) != 0;
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    if ((ext_[i] & other.ext_[i]) != 0) return true;
   }
   return false;
 }
 
 bool ValueSet::operator==(const ValueSet& other) const {
-  return universe_size_ == other.universe_size_ && words_ == other.words_;
+  if (universe_size_ != other.universe_size_) return false;
+  if (IsInline()) return word_ == other.word_;
+  return ext_ == other.ext_;
 }
 
 bool ValueSet::operator<(const ValueSet& other) const {
   if (universe_size_ != other.universe_size_) {
     return universe_size_ < other.universe_size_;
   }
+  if (IsInline()) return word_ < other.word_;
   // Lexicographic from the most significant word gives a stable order.
-  for (size_t i = words_.size(); i-- > 0;) {
-    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i];
+  for (size_t i = ext_.size(); i-- > 0;) {
+    if (ext_[i] != other.ext_[i]) return ext_[i] < other.ext_[i];
   }
   return false;
 }
 
 size_t ValueSet::Hash() const {
   size_t h = universe_size_ * 0x9e3779b97f4a7c15ULL;
-  for (uint64_t w : words_) {
+  if (IsInline()) {
+    return h ^ (static_cast<size_t>(word_) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
+  for (uint64_t w : ext_) {
     h ^= static_cast<size_t>(w) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
   return h;

@@ -14,10 +14,25 @@ namespace evident {
 /// fixed at construction; set operations require both operands to share
 /// it. The representation is index-based — the association with a Domain
 /// (which maps indices to Values) lives in EvidenceSet.
+///
+/// Storage is small-buffer optimized: universes of at most 64 values
+/// (which covers the boolean SupportPair frame and every paper domain)
+/// live in a single inline word with no heap allocation, and all set
+/// algebra on them is a single word operation. Larger universes fall
+/// back to a word vector.
 class ValueSet {
  public:
+  static constexpr size_t kWordBits = 64;
+  /// Largest universe stored inline (no heap allocation).
+  static constexpr size_t kMaxInlineUniverse = kWordBits;
+
   /// \brief The empty subset of a universe with `universe_size` elements.
-  explicit ValueSet(size_t universe_size = 0);
+  explicit ValueSet(size_t universe_size = 0)
+      : universe_size_(universe_size),
+        word_(0),
+        ext_(universe_size > kMaxInlineUniverse ? WordCount(universe_size)
+                                                : 0,
+             0) {}
 
   /// \brief The full universe (the frame Theta itself).
   static ValueSet Full(size_t universe_size);
@@ -28,7 +43,19 @@ class ValueSet {
   /// \brief The subset containing exactly `indices`.
   static ValueSet Of(size_t universe_size, const std::vector<size_t>& indices);
 
+  /// \brief Builds an inline set directly from its bit pattern; requires
+  /// universe_size <= kMaxInlineUniverse and no bits beyond the universe.
+  /// This is the bridge to the dense fast-Möbius combination lattice,
+  /// where subsets *are* their bit patterns.
+  static ValueSet FromWord(size_t universe_size, uint64_t word);
+
   size_t universe_size() const { return universe_size_; }
+
+  /// \brief True when the set is stored inline as one word.
+  bool IsInline() const { return universe_size_ <= kMaxInlineUniverse; }
+
+  /// \brief The bit pattern of an inline set (valid only when IsInline()).
+  uint64_t InlineWord() const { return word_; }
 
   bool Test(size_t index) const;
   void Set(size_t index);
@@ -64,10 +91,21 @@ class ValueSet {
   std::string ToString() const;
 
  private:
-  size_t universe_size_;
-  std::vector<uint64_t> words_;
+  static size_t WordCount(size_t universe_size) {
+    return (universe_size + kWordBits - 1) / kWordBits;
+  }
+
+  size_t word_count() const {
+    return IsInline() ? (universe_size_ > 0 ? 1 : 0) : ext_.size();
+  }
+  const uint64_t* words() const { return IsInline() ? &word_ : ext_.data(); }
+  uint64_t* words() { return IsInline() ? &word_ : ext_.data(); }
 
   void TrimTail();
+
+  size_t universe_size_;
+  uint64_t word_;               // inline storage (universes <= 64)
+  std::vector<uint64_t> ext_;   // spill storage (universes > 64)
 };
 
 struct ValueSetHash {

@@ -26,6 +26,7 @@ Result<EvidenceSet> MenuClassifier::Classify(
     return Status::InvalidArgument("cannot classify an empty menu");
   }
   MassFunction m(domain_->size());
+  m.Reserve(items.size());
   const double share = 1.0 / static_cast<double>(items.size());
   for (const std::string& item : items) {
     auto it = taxonomy_.find(item);

@@ -15,6 +15,7 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
   // reuse the extended union machinery (which matches by key). This
   // keeps one implementation of Dempster-based merging.
   ExtendedRelation rekeyed(right.name(), right.schema());
+  rekeyed.Reserve(right.size());
   const auto& key_indices = right.schema()->key_indices();
   std::vector<bool> is_matched_right(right.size(), false);
   for (const TupleMatch& m : matching.matches) {

@@ -57,6 +57,7 @@ Result<EvidenceSet> WorkloadGenerator::RandomEvidence(
   const size_t n_focals =
       1 + rng_.Below(std::max<size_t>(options.max_focals, 1));
   MassFunction m(domain->size());
+  m.Reserve(n_focals);
   std::vector<double> masses = RandomMasses(&rng_, n_focals);
   for (size_t f = 0; f < n_focals; ++f) {
     ValueSet set(domain->size());
@@ -234,6 +235,7 @@ Result<GroundTruthWorkload> WorkloadGenerator::MakeGroundTruth(
     size_t other = rng_.Below(options.domain_size);
     if (other == true_index) other = (other + 1) % options.domain_size;
     MassFunction m(options.domain_size);
+    m.Reserve(3);
     const double rest = 1.0 - options.top_mass;
     EVIDENT_RETURN_NOT_OK(
         m.Add(ValueSet::Singleton(options.domain_size, top),

@@ -1,0 +1,270 @@
+// Differential property tests for the evidence kernel's two conjunctive
+// backends (pairwise vs fast Möbius transform) and for the ValueSet
+// small-buffer representation at the inline/multi-word boundary. The
+// two backends must be interchangeable: every combination rule has to
+// produce the same focal structure with masses within 1e-12 no matter
+// which kernel evaluated the product.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/operations.h"
+#include "ds/combination.h"
+
+namespace evident {
+namespace {
+
+constexpr double kDiffEps = 1e-12;
+
+/// A random valid mass function: `focals` random non-empty subsets (with
+/// duplicates merging) whose masses sum to 1.
+MassFunction RandomMass(Rng* rng, size_t universe, size_t focals) {
+  MassFunction m(universe);
+  std::vector<double> weights(focals);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = 0.05 + rng->NextDouble();
+    total += w;
+  }
+  for (size_t f = 0; f < focals; ++f) {
+    ValueSet set(universe);
+    const size_t members = 1 + rng->Below(universe);
+    for (size_t e = 0; e < members; ++e) set.Set(rng->Below(universe));
+    EXPECT_TRUE(m.Add(set, weights[f] / total).ok());
+  }
+  return m;
+}
+
+TEST(KernelDifferentialTest, FmtMatchesPairwiseAcrossRulesAndFrames) {
+  Rng rng(2024);
+  const CombinationRule rules[] = {CombinationRule::kDempster,
+                                   CombinationRule::kTBM,
+                                   CombinationRule::kYager};
+  for (size_t universe = 1; universe <= kFmtMaxUniverse; ++universe) {
+    for (int trial = 0; trial < 8; ++trial) {
+      MassFunction a = RandomMass(&rng, universe, 1 + rng.Below(12));
+      MassFunction b = RandomMass(&rng, universe, 1 + rng.Below(12));
+      for (CombinationRule rule : rules) {
+        double kappa_pair = -1.0, kappa_fmt = -1.0;
+        auto pair =
+            Combine(a, b, rule, &kappa_pair, CombineBackend::kPairwise);
+        auto fmt = Combine(a, b, rule, &kappa_fmt, CombineBackend::kFmt);
+        ASSERT_EQ(pair.ok(), fmt.ok())
+            << CombinationRuleToString(rule) << " universe " << universe;
+        EXPECT_NEAR(kappa_pair, kappa_fmt, kDiffEps);
+        if (!pair.ok()) continue;
+        EXPECT_TRUE(pair->ApproxEquals(*fmt, kDiffEps))
+            << CombinationRuleToString(rule) << " universe " << universe
+            << "\npairwise: " << pair->ToString()
+            << "\nfmt:      " << fmt->ToString();
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, FmtMatchesPairwiseOnTotalConflict) {
+  // Disjoint definite evidence: kappa == 1 on both backends.
+  MassFunction a = MassFunction::Definite(6, 0);
+  MassFunction b = MassFunction::Definite(6, 3);
+  for (CombineBackend backend :
+       {CombineBackend::kPairwise, CombineBackend::kFmt}) {
+    double kappa = 0.0;
+    auto combined = CombineDempster(a, b, &kappa, backend);
+    EXPECT_FALSE(combined.ok());
+    EXPECT_EQ(combined.status().code(), StatusCode::kTotalConflict);
+    EXPECT_NEAR(kappa, 1.0, kDiffEps);
+  }
+}
+
+TEST(KernelDifferentialTest, FmtKeepsGenuineTinyMassesUnderDeepConflict) {
+  // Nearly total conflict: the surviving non-empty masses are ~5e-14,
+  // below the absolute transform-noise floor. The floor is relative to
+  // the surviving mass, so the FMT backend must keep these focal
+  // elements exactly like the pairwise backend does.
+  const double d = 5e-14;
+  MassFunction a(4), b(4);
+  ASSERT_TRUE(a.Add(ValueSet::Singleton(4, 0), 1.0 - d).ok());
+  ASSERT_TRUE(a.Add(ValueSet::Singleton(4, 1), d).ok());
+  ASSERT_TRUE(b.Add(ValueSet::Singleton(4, 0), d).ok());
+  ASSERT_TRUE(b.Add(ValueSet::Singleton(4, 1), 1.0 - d).ok());
+  auto pair = CombineTBM(a, b, nullptr, CombineBackend::kPairwise);
+  auto fmt = CombineTBM(a, b, nullptr, CombineBackend::kFmt);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt->FocalCount(), pair->FocalCount());
+  EXPECT_GT(fmt->MassOf(ValueSet::Singleton(4, 0)), 0.0);
+  EXPECT_GT(fmt->MassOf(ValueSet::Singleton(4, 1)), 0.0);
+  EXPECT_TRUE(fmt->ApproxEquals(*pair, kDiffEps));
+}
+
+TEST(KernelDifferentialTest, CombineAllMassesMatchesPairwiseFold) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t universe = 4 + rng.Below(7);
+    std::vector<MassFunction> sources;
+    // Large focal counts force the k-way kernel through its dense
+    // commonality-space path; the reference fold stays pairwise.
+    for (int s = 0; s < 4; ++s) {
+      sources.push_back(RandomMass(&rng, universe, 24 + rng.Below(24)));
+    }
+    for (CombinationRule rule :
+         {CombinationRule::kDempster, CombinationRule::kTBM}) {
+      MassFunction reference = sources.front();
+      double surviving = 1.0;
+      for (size_t i = 1; i < sources.size(); ++i) {
+        double step_kappa = 0.0;
+        auto step = Combine(reference, sources[i], rule, &step_kappa,
+                            CombineBackend::kPairwise);
+        ASSERT_TRUE(step.ok()) << step.status().ToString();
+        reference = std::move(step).value();
+        surviving *= 1.0 - step_kappa;
+      }
+      double kappa = 0.0;
+      auto kway = CombineAllMasses(sources, rule, &kappa);
+      ASSERT_TRUE(kway.ok()) << kway.status().ToString();
+      EXPECT_TRUE(kway->ApproxEquals(reference, kDiffEps))
+          << CombinationRuleToString(rule) << " universe " << universe;
+      const double expected_kappa = rule == CombinationRule::kTBM
+                                        ? reference.EmptyMass()
+                                        : 1.0 - surviving;
+      EXPECT_NEAR(kappa, expected_kappa, kDiffEps);
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, CombineMembershipMatchesGenericEngine) {
+  // The closed forms in CombineMembership must agree with building the
+  // boolean-frame mass functions and running the generic kernel, the way
+  // the seed implementation did.
+  auto to_mass = [](const SupportPair& p) {
+    MassFunction mf(2);
+    if (p.TrueMass() > 0.0) {
+      (void)mf.Add(ValueSet::Singleton(2, 0), p.TrueMass());
+    }
+    if (p.FalseMass() > 0.0) {
+      (void)mf.Add(ValueSet::Singleton(2, 1), p.FalseMass());
+    }
+    if (p.UnknownMass() > 0.0) (void)mf.Add(ValueSet::Full(2), p.UnknownMass());
+    return mf;
+  };
+  Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    const double sn1 = rng.NextDouble(), sp1 = sn1 + rng.NextDouble() * (1 - sn1);
+    const double sn2 = rng.NextDouble(), sp2 = sn2 + rng.NextDouble() * (1 - sn2);
+    const SupportPair a{sn1, sp1}, b{sn2, sp2};
+    for (CombinationRule rule :
+         {CombinationRule::kDempster, CombinationRule::kTBM,
+          CombinationRule::kYager, CombinationRule::kMixing}) {
+      auto closed = CombineMembership(a, b, rule);
+      auto generic = Combine(to_mass(a), to_mass(b), rule);
+      ASSERT_EQ(closed.ok(), generic.ok());
+      if (!closed.ok()) continue;
+      MassFunction combined = std::move(generic).value();
+      if (combined.EmptyMass() > 0.0) ASSERT_TRUE(combined.Normalize().ok());
+      const SupportPair expected{
+          combined.MassOf(ValueSet::Singleton(2, 0)),
+          1.0 - combined.MassOf(ValueSet::Singleton(2, 1))};
+      EXPECT_TRUE(closed->ApproxEquals(expected, kDiffEps))
+          << CombinationRuleToString(rule) << " " << closed->ToString()
+          << " vs " << expected.ToString();
+    }
+  }
+}
+
+/// Reference set implementation for the SBO boundary checks.
+std::set<size_t> ReferenceIndices(Rng* rng, size_t universe, size_t members) {
+  std::set<size_t> out;
+  for (size_t i = 0; i < members; ++i) out.insert(rng->Below(universe));
+  return out;
+}
+
+TEST(ValueSetBoundaryTest, InlineAndMultiWordSemanticsAgree) {
+  // The same abstract subsets must behave identically whether the
+  // universe is inline (<= 64) or spills to the word vector (>= 65).
+  Rng rng(512);
+  for (size_t universe : {63u, 64u, 65u, 66u, 128u}) {
+    for (int trial = 0; trial < 32; ++trial) {
+      const std::set<size_t> ia = ReferenceIndices(&rng, universe, 8);
+      const std::set<size_t> ib = ReferenceIndices(&rng, universe, 8);
+      ValueSet a(universe), b(universe);
+      for (size_t i : ia) a.Set(i);
+      for (size_t i : ib) b.Set(i);
+
+      EXPECT_EQ(a.Count(), ia.size());
+      std::vector<size_t> expected_indices(ia.begin(), ia.end());
+      EXPECT_EQ(a.Indices(), expected_indices);
+
+      std::set<size_t> expect_and, expect_or, expect_diff;
+      for (size_t i : ia) {
+        if (ib.count(i)) expect_and.insert(i);
+        if (!ib.count(i)) expect_diff.insert(i);
+        expect_or.insert(i);
+      }
+      for (size_t i : ib) expect_or.insert(i);
+
+      EXPECT_EQ(a.Intersect(b).Indices(),
+                std::vector<size_t>(expect_and.begin(), expect_and.end()));
+      EXPECT_EQ(a.Union(b).Indices(),
+                std::vector<size_t>(expect_or.begin(), expect_or.end()));
+      EXPECT_EQ(a.Difference(b).Indices(),
+                std::vector<size_t>(expect_diff.begin(), expect_diff.end()));
+      EXPECT_EQ(a.Intersects(b), !expect_and.empty());
+      EXPECT_EQ(a.IsSubsetOf(b), expect_diff.empty());
+      EXPECT_EQ(a.Complement().Count(), universe - ia.size());
+      EXPECT_TRUE(a.Complement().Intersect(a).IsEmpty());
+      EXPECT_TRUE(a.Complement().Union(a).IsFull());
+    }
+    // Boundary invariants independent of the trial sets.
+    EXPECT_TRUE(ValueSet::Full(universe).IsFull());
+    EXPECT_EQ(ValueSet::Full(universe).Count(), universe);
+    EXPECT_TRUE(ValueSet::Full(universe).Complement().IsEmpty());
+    EXPECT_EQ(ValueSet(universe).IsInline(), universe <= 64);
+  }
+}
+
+TEST(ValueSetBoundaryTest, InlineWordRoundTripAt64) {
+  // Bit 63 is the last inline bit; exercise it explicitly.
+  ValueSet s = ValueSet::Singleton(64, 63);
+  EXPECT_TRUE(s.IsInline());
+  EXPECT_EQ(s.InlineWord(), uint64_t{1} << 63);
+  EXPECT_EQ(ValueSet::FromWord(64, s.InlineWord()), s);
+  EXPECT_EQ(ValueSet::FromWord(64, ~uint64_t{0}), ValueSet::Full(64));
+
+  // One more value forces the spill representation with identical
+  // observable behavior for the shared indices.
+  ValueSet t = ValueSet::Singleton(65, 63);
+  EXPECT_FALSE(t.IsInline());
+  EXPECT_EQ(t.Indices(), std::vector<size_t>{63});
+  ValueSet u = ValueSet::Singleton(65, 64);
+  EXPECT_EQ(u.Indices(), std::vector<size_t>{64});
+  EXPECT_FALSE(t.Intersects(u));
+  EXPECT_TRUE(t.Union(u).Count() == 2);
+}
+
+TEST(ValueSetBoundaryTest, OrderAndHashConsistentAcrossBoundary) {
+  // Equal sets hash equal and order consistently on both sides of the
+  // inline boundary; sorting a mixed population must be strict-weak.
+  Rng rng(4096);
+  for (size_t universe : {64u, 65u}) {
+    std::vector<ValueSet> sets;
+    for (int i = 0; i < 64; ++i) {
+      ValueSet s(universe);
+      const size_t members = 1 + rng.Below(6);
+      for (size_t e = 0; e < members; ++e) s.Set(rng.Below(universe));
+      sets.push_back(s);
+    }
+    std::sort(sets.begin(), sets.end());
+    for (size_t i = 1; i < sets.size(); ++i) {
+      EXPECT_FALSE(sets[i] < sets[i - 1]);
+      if (sets[i] == sets[i - 1]) {
+        EXPECT_EQ(sets[i].Hash(), sets[i - 1].Hash());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evident
