@@ -65,10 +65,43 @@ void BM_JoinByTuples(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetComplexityN(static_cast<int64_t>(n));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
 }
-BENCHMARK(BM_JoinByTuples)->RangeMultiplier(2)->Range(32, 512)
+// Hash partitioning turned the quadratic Select-over-Product join linear;
+// the range extends to 8192 (the old implementation took minutes there).
+BENCHMARK(BM_JoinByTuples)->RangeMultiplier(2)->Range(32, 8192)
     ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oNSquared);
+    ->Complexity(benchmark::oN);
+
+// Probe-side sensitivity to the match rate: the fraction of keys present
+// on both sides ranges from 0% (probes all miss) to 100% (every probe
+// materializes a tuple). Output cardinality, not table size, dominates.
+void BM_JoinByMatchRate(benchmark::State& state) {
+  const size_t n = 4096;
+  WorkloadGenerator gen(901);
+  GeneratorOptions options;
+  options.num_tuples = n;
+  options.num_uncertain = 3;
+  options.domain_size = 12;
+  auto schema = gen.MakeSchema(options).value();
+  ExtendedRelation left =
+      gen.MakeRelation("L", schema, options, /*key_start=*/0).value();
+  const size_t match = n * static_cast<size_t>(state.range(0)) / 100;
+  ExtendedRelation right =
+      gen.MakeRelation("R", schema, options, /*key_start=*/n - match).value();
+  PredicatePtr pred = Theta(ThetaOperand::Attr("L.key"), ThetaOp::kEq,
+                            ThetaOperand::Attr("R.key"));
+  for (auto _ : state) {
+    auto result = Join(left, right, pred);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("match=" + std::to_string(state.range(0)) + "%");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinByMatchRate)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EqlEndToEnd(benchmark::State& state) {
   Catalog catalog;
@@ -102,4 +135,4 @@ BENCHMARK(BM_EqlParseOnly);
 EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_select_join",
     "(BM_SelectByTuples/100|BM_SelectByConjuncts/1|BM_JoinByTuples/32|"
-    "BM_EqlParseOnly)$")
+    "BM_JoinByTuples/2048|BM_JoinByMatchRate/50|BM_EqlParseOnly)$")

@@ -1,0 +1,110 @@
+#include "core/join_plan.h"
+
+#include <algorithm>
+
+namespace evident {
+
+namespace {
+
+/// Depth-first left-to-right flattening of nested conjunctions, matching
+/// AndPredicate::Evaluate's order so plan-time errors surface in the same
+/// order evaluation over the materialized product would report them.
+void FlattenConjuncts(const PredicatePtr& predicate,
+                      std::vector<PredicatePtr>* out) {
+  if (const auto* conj = dynamic_cast<const AndPredicate*>(predicate.get())) {
+    if (!conj->children().empty()) {
+      for (const PredicatePtr& child : conj->children()) {
+        FlattenConjuncts(child, out);
+      }
+      return;
+    }
+    // An empty conjunction fails per tuple in AndPredicate::Evaluate;
+    // keep it as a leaf so analysis reports the same error at plan time.
+  }
+  out->push_back(predicate);
+}
+
+/// True when the attribute at `index` of the product schema holds a
+/// definite value in every tuple — the trusted-cell requirement for hash
+/// partitioning (evidence cells only ever yield graded support).
+bool IsDefiniteAttribute(const RelationSchema& schema, size_t index) {
+  const AttributeKind kind = schema.attribute(index).kind;
+  return kind == AttributeKind::kKey || kind == AttributeKind::kDefinite;
+}
+
+}  // namespace
+
+Result<JoinPlan> AnalyzeJoinPredicate(const PredicatePtr& predicate,
+                                      const RelationSchema& product_schema,
+                                      size_t left_attr_count) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null join predicate");
+  }
+  std::vector<PredicatePtr> conjuncts;
+  FlattenConjuncts(predicate, &conjuncts);
+
+  JoinPlan plan;
+  std::vector<PredicatePtr> residual;
+  for (const PredicatePtr& conjunct : conjuncts) {
+    if (dynamic_cast<const AndPredicate*>(conjunct.get()) != nullptr) {
+      return Status::InvalidArgument("empty conjunction");
+    }
+    if (const auto* is_pred =
+            dynamic_cast<const IsPredicate*>(conjunct.get())) {
+      // IS-conditions are single-sided filters, never join keys; checking
+      // the reference here keeps unresolvable names an error exactly as
+      // evaluation over the product would make them.
+      EVIDENT_ASSIGN_OR_RETURN(size_t index,
+                               product_schema.IndexOf(is_pred->attribute()));
+      // Over an uncertain attribute, evaluation resolves the named
+      // constants against the frame for *every* tuple; resolve them once
+      // here so a constant outside the frame fails the join whether or
+      // not any pair hash-matches (as it fails Select over the product).
+      const AttributeDef& attr = product_schema.attribute(index);
+      if (attr.is_uncertain()) {
+        for (const Value& v : is_pred->values()) {
+          EVIDENT_RETURN_NOT_OK(attr.domain->IndexOf(v).status());
+        }
+      }
+      residual.push_back(conjunct);
+      continue;
+    }
+    const auto* theta = dynamic_cast<const ThetaPredicate*>(conjunct.get());
+    if (theta == nullptr) {
+      residual.push_back(conjunct);
+      continue;
+    }
+    size_t lhs_index = 0, rhs_index = 0;
+    bool lhs_is_attr = theta->lhs().is_attribute();
+    bool rhs_is_attr = theta->rhs().is_attribute();
+    if (lhs_is_attr) {
+      EVIDENT_ASSIGN_OR_RETURN(lhs_index,
+                               product_schema.IndexOf(theta->lhs().attribute()));
+    }
+    if (rhs_is_attr) {
+      EVIDENT_ASSIGN_OR_RETURN(rhs_index,
+                               product_schema.IndexOf(theta->rhs().attribute()));
+    }
+    const bool equi =
+        theta->op() == ThetaOp::kEq && lhs_is_attr && rhs_is_attr &&
+        IsDefiniteAttribute(product_schema, lhs_index) &&
+        IsDefiniteAttribute(product_schema, rhs_index) &&
+        (lhs_index < left_attr_count) != (rhs_index < left_attr_count);
+    if (!equi) {
+      residual.push_back(conjunct);
+      continue;
+    }
+    const size_t left_side = std::min(lhs_index, rhs_index);
+    const size_t right_side = std::max(lhs_index, rhs_index);
+    plan.keys.push_back(EquiKey{left_side, right_side - left_attr_count});
+  }
+
+  if (residual.size() == 1) {
+    plan.residual = residual.front();
+  } else if (!residual.empty()) {
+    plan.residual = And(std::move(residual));
+  }
+  return plan;
+}
+
+}  // namespace evident

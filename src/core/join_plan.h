@@ -1,0 +1,62 @@
+#ifndef EVIDENT_CORE_JOIN_PLAN_H_
+#define EVIDENT_CORE_JOIN_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/predicate.h"
+#include "core/schema.h"
+
+namespace evident {
+
+/// \brief One hash-join key: attribute positions in the *left* and
+/// *right* operand schemas (not the concatenated product schema) whose
+/// definite values must be equal for a tuple pair to match.
+struct EquiKey {
+  size_t left_index;
+  size_t right_index;
+};
+
+/// \brief The result of splitting a join predicate into a hash-key part
+/// and a residual part.
+///
+/// Semantics: a conjunct `A = B` where A resolves to a *definite* (key or
+/// definite-kind) attribute of one operand and B to a definite attribute
+/// of the other contributes support (1,1) to F_SS when the two cell
+/// values are equal and (0,0) otherwise — under both ThetaSemantics,
+/// since definite cells decompose to singleton focals. A (0,0) factor
+/// zeroes the revised membership, and extended selection always drops
+/// sn = 0 tuples (CWA_ER) regardless of the threshold Q, so non-matching
+/// pairs can never reach the result: equality on definite attributes
+/// partitions the product exactly, which is what makes hash-partitioning
+/// sound. Everything else — theta comparisons involving uncertain
+/// attributes or literals, IS-conditions, non-equality operators — stays
+/// in `residual`, evaluated per matched pair exactly as Select would.
+struct JoinPlan {
+  std::vector<EquiKey> keys;
+  /// Conjunction of the non-equi conjuncts; nullptr when the equi keys
+  /// cover the whole predicate (every matched pair then carries support
+  /// (1,1) from the predicate).
+  PredicatePtr residual;
+};
+
+/// \brief Splits `predicate` (written against the concatenated product
+/// schema of the two operands) into hash-join equi-keys and a residual.
+///
+/// `product_schema` must be the schema MakeProductSchema builds for the
+/// operands and `left_attr_count` the left operand's attribute count (the
+/// first `left_attr_count` product attributes are the left's). Attribute
+/// references that do not resolve against the product schema are an
+/// error, mirroring what predicate evaluation over the materialized
+/// product would report. An empty `keys` vector means the predicate has
+/// no usable equi-conjunct and the caller must fall back to
+/// Select-over-Product.
+Result<JoinPlan> AnalyzeJoinPredicate(const PredicatePtr& predicate,
+                                      const RelationSchema& product_schema,
+                                      size_t left_attr_count);
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_JOIN_PLAN_H_

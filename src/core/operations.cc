@@ -1,8 +1,14 @@
 #include "core/operations.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <unordered_set>
+#include <utility>
 
 #include "common/math_util.h"
+#include "core/join_plan.h"
+#include "core/parallel.h"
 
 namespace evident {
 
@@ -13,6 +19,169 @@ std::string KeyToString(const KeyVector& key) {
   for (size_t i = 0; i < key.size(); ++i) {
     if (i) out += ",";
     out += key[i].ToString();
+  }
+  return out;
+}
+
+/// Minimum tuples per shard before the executor spawns a thread for it: a
+/// per-tuple merge/probe is ~1-10 µs, so anything below this is cheaper
+/// run inline than handed to a thread.
+constexpr size_t kParallelGrain = 256;
+
+/// Cap on up-front row reservations in operators whose output cardinality
+/// is a *bound*, not a count (Product, Join): |L|·|R| can overflow size_t
+/// or demand multi-GB buffers for inputs that are themselves modest.
+/// Reserve at most this many rows and let the row store grow
+/// geometrically past it.
+constexpr size_t kMaxReserveRows = size_t{1} << 20;
+
+/// min(l·r, kMaxReserveRows) without evaluating the overflowing product.
+size_t CappedProductReserve(size_t l, size_t r) {
+  if (l == 0 || r == 0) return 0;
+  if (r > kMaxReserveRows / l) return kMaxReserveRows;
+  return l * r;
+}
+
+/// Hash of the definite cells at `indices`, mixed exactly like
+/// KeyVectorHash so equal key tuples hash equally across operands
+/// (Value::Hash already makes 1 and 1.0 agree, matching operator==).
+uint64_t RowKeyHash(const ExtendedTuple& tuple,
+                    const std::vector<size_t>& indices) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t i : indices) {
+    h ^= static_cast<uint64_t>(std::get<Value>(tuple.cells[i]).Hash()) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowKeysEqual(const ExtendedTuple& a, const std::vector<size_t>& a_indices,
+                  const ExtendedTuple& b,
+                  const std::vector<size_t>& b_indices) {
+  for (size_t k = 0; k < a_indices.size(); ++k) {
+    if (!(std::get<Value>(a.cells[a_indices[k]]) ==
+          std::get<Value>(b.cells[b_indices[k]]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The hash-partitioned equi-join executor. Builds an open-addressing
+/// table on `build`'s equi-key cells (slots hold the first row of each
+/// distinct key; duplicate-key rows chain in ascending row order), then
+/// probes with every `probe` row, sharding probe ranges across threads.
+/// Matching pairs are materialized in left-cells-then-right-cells order,
+/// filtered by the residual predicate and the threshold, and emitted
+/// grouped by probe row — so the output is deterministic for any thread
+/// count.
+Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
+                                      const ExtendedRelation& right,
+                                      const JoinPlan& plan,
+                                      const SchemaPtr& schema,
+                                      const MembershipThreshold& threshold,
+                                      ExtendedRelation out) {
+  constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
+  const bool build_left = left.size() < right.size();
+  const ExtendedRelation& build = build_left ? left : right;
+  const ExtendedRelation& probe = build_left ? right : left;
+  std::vector<size_t> build_indices, probe_indices;
+  build_indices.reserve(plan.keys.size());
+  probe_indices.reserve(plan.keys.size());
+  for (const EquiKey& key : plan.keys) {
+    build_indices.push_back(build_left ? key.left_index : key.right_index);
+    probe_indices.push_back(build_left ? key.right_index : key.left_index);
+  }
+
+  const size_t build_size = build.size();
+  size_t capacity = 16;
+  while (capacity < 2 * build_size) capacity <<= 1;
+  const uint64_t mask = capacity - 1;
+  std::vector<uint32_t> slot_row(capacity, kEmpty);  // first row of the key
+  std::vector<uint32_t> chain(build_size, kEmpty);   // same-key successors
+  std::vector<uint64_t> row_hash(build_size);
+  for (size_t i = 0; i < build_size; ++i) {
+    row_hash[i] = RowKeyHash(build.row(i), build_indices);
+  }
+  // Insert rows in reverse: each insertion prepends to its key's chain,
+  // so chains end up in ascending row order for deterministic probing.
+  for (size_t i = build_size; i-- > 0;) {
+    size_t s = row_hash[i] & mask;
+    while (slot_row[s] != kEmpty &&
+           !(row_hash[slot_row[s]] == row_hash[i] &&
+             RowKeysEqual(build.row(slot_row[s]), build_indices, build.row(i),
+                          build_indices))) {
+      s = (s + 1) & mask;
+    }
+    if (slot_row[s] != kEmpty) chain[i] = slot_row[s];
+    slot_row[s] = static_cast<uint32_t>(i);
+  }
+
+  // Probe in parallel; shard outputs concatenate in shard (= probe row)
+  // order. The first failing shard in shard order reports its error.
+  // The exact-shard form keeps the executor's partition in lockstep with
+  // the buffers sized here even if the thread cap changes concurrently.
+  const size_t shard_count = ParallelShardCount(probe.size(), kParallelGrain);
+  std::vector<std::vector<ExtendedTuple>> shard_rows(shard_count);
+  std::vector<Status> shard_status(shard_count);
+  const PredicatePtr& residual = plan.residual;
+  ParallelForExactShards(
+      probe.size(), shard_count,
+      [&](size_t shard, size_t begin, size_t end) {
+        std::vector<ExtendedTuple>& rows = shard_rows[shard];
+        for (size_t p = begin; p < end; ++p) {
+          const ExtendedTuple& probe_row = probe.row(p);
+          const uint64_t h = RowKeyHash(probe_row, probe_indices);
+          size_t s = h & mask;
+          uint32_t head = kEmpty;
+          while (slot_row[s] != kEmpty) {
+            const uint32_t candidate = slot_row[s];
+            if (row_hash[candidate] == h &&
+                RowKeysEqual(build.row(candidate), build_indices, probe_row,
+                             probe_indices)) {
+              head = candidate;
+              break;
+            }
+            s = (s + 1) & mask;
+          }
+          for (uint32_t b = head; b != kEmpty; b = chain[b]) {
+            const ExtendedTuple& l = build_left ? build.row(b) : probe_row;
+            const ExtendedTuple& r = build_left ? probe_row : build.row(b);
+            ExtendedTuple t;
+            t.cells.reserve(l.cells.size() + r.cells.size());
+            t.cells.insert(t.cells.end(), l.cells.begin(), l.cells.end());
+            t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
+            t.membership = l.membership.Multiply(r.membership);  // F_TM
+            // The equi-conjuncts contribute exactly (1,1) on a match, so
+            // the full predicate's support reduces to the residual's.
+            SupportPair support = SupportPair::Certain();
+            if (residual != nullptr) {
+              Result<SupportPair> evaluated =
+                  residual->Evaluate(t, *schema);
+              if (!evaluated.ok()) {
+                shard_status[shard] = evaluated.status();
+                return;
+              }
+              support = *evaluated;
+            }
+            const SupportPair revised = t.membership.Multiply(support);
+            if (!revised.HasPositiveSupport()) continue;  // CWA_ER.
+            if (!threshold.Accepts(revised)) continue;
+            t.membership = revised;
+            rows.push_back(std::move(t));
+          }
+        }
+      });
+  size_t total = 0;
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    EVIDENT_RETURN_NOT_OK(shard_status[shard]);
+    total += shard_rows[shard].size();
+  }
+  out.Reserve(total);
+  for (std::vector<ExtendedTuple>& rows : shard_rows) {
+    for (ExtendedTuple& t : rows) {
+      EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
+    }
   }
   return out;
 }
@@ -88,24 +257,47 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
   }
   ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
   out.Reserve(left.size() + right.size());
-  std::vector<bool> matched_right(right.size(), false);
 
-  for (const ExtendedTuple& r : left.rows()) {
-    KeyVector key = left.KeyOf(r);
-    auto found = right.FindByKey(key);
+  // Per-tuple combinations are independent (the combination kernels keep
+  // their scratch thread-local), so the merge pass runs in two phases:
+  // a parallel phase computes one MergeSlot per left row — the merged
+  // tuple, a skip marker, or the error the row's policies produced — and
+  // a serial phase walks the slots in row order, so insertion order,
+  // first-error semantics and the right-side bookkeeping are identical
+  // to serial execution for any thread count. Evidence cells were
+  // validated when the operand relations were built and the schemas were
+  // just checked union-compatible (SameDomain per attribute), so the
+  // inner loop uses the trusted combination path instead of re-checking
+  // per combination.
+  enum class SlotKind : uint8_t { kKeep, kMerged, kSkip, kError };
+  struct MergeSlot {
+    SlotKind kind = SlotKind::kKeep;
+    bool matched = false;
+    size_t right_row = 0;
+    ExtendedTuple merged;
+    KeyVector key;
+    Status error;
+  };
+  std::vector<MergeSlot> slots(left.size());
+
+  auto merge_row = [&](size_t row) {
+    MergeSlot& slot = slots[row];
+    const ExtendedTuple& r = left.row(row);
+    slot.key = left.KeyOf(r);
+    auto found = right.FindByKey(slot.key);
     if (!found.ok()) {
       // The other source is totally ignorant about this entity; combining
       // with vacuous evidence is the identity, so retain the tuple.
-      EVIDENT_RETURN_NOT_OK(out.InsertTrusted(r, std::move(key)));
-      continue;
+      slot.kind = SlotKind::kKeep;
+      return;
     }
-    matched_right[*found] = true;
+    slot.matched = true;
+    slot.right_row = *found;
     const ExtendedTuple& s = right.row(*found);
 
     ExtendedTuple merged;
     merged.cells.resize(r.cells.size());
-    bool skip_tuple = false;
-    for (size_t i = 0; i < r.cells.size() && !skip_tuple; ++i) {
+    for (size_t i = 0; i < r.cells.size(); ++i) {
       const AttributeDef& attr = left.schema()->attribute(i);
       switch (attr.kind) {
         case AttributeKind::kKey:
@@ -120,11 +312,13 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
           }
           switch (options.on_definite_conflict) {
             case DefiniteConflictPolicy::kError:
-              return Status::Incompatible(
+              slot.kind = SlotKind::kError;
+              slot.error = Status::Incompatible(
                   "definite attribute '" + attr.name + "' conflicts on key (" +
-                  KeyToString(key) + "): " + lv.ToString() + " vs " +
+                  KeyToString(slot.key) + "): " + lv.ToString() + " vs " +
                   rv.ToString() +
                   "; attribute preprocessing should have aligned these");
+              return;
             case DefiniteConflictPolicy::kPreferLeft:
               merged.cells[i] = r.cells[i];
               break;
@@ -138,25 +332,29 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
           const EvidenceSet& les = std::get<EvidenceSet>(r.cells[i]);
           const EvidenceSet& res = std::get<EvidenceSet>(s.cells[i]);
           Result<EvidenceSet> combined =
-              CombineEvidence(les, res, options.rule);
+              CombineEvidenceTrusted(les, res, options.rule);
           if (combined.ok()) {
             merged.cells[i] = std::move(combined).value();
             break;
           }
           if (combined.status().code() != StatusCode::kTotalConflict) {
-            return combined.status();
+            slot.kind = SlotKind::kError;
+            slot.error = combined.status();
+            return;
           }
           switch (options.on_total_conflict) {
             case TotalConflictPolicy::kError:
-              return Status::TotalConflict(
+              slot.kind = SlotKind::kError;
+              slot.error = Status::TotalConflict(
                   "attribute '" + attr.name + "' of key (" +
-                  KeyToString(key) +
+                  KeyToString(slot.key) +
                   ") is totally conflicting between the sources: " +
                   les.ToString() + " vs " + res.ToString() +
                   "; the data administrators must be informed");
+              return;
             case TotalConflictPolicy::kSkipTuple:
-              skip_tuple = true;
-              break;
+              slot.kind = SlotKind::kSkip;
+              return;
             case TotalConflictPolicy::kVacuous:
               merged.cells[i] = EvidenceSet::Vacuous(attr.domain);
               break;
@@ -165,30 +363,59 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
         }
       }
     }
-    if (skip_tuple) continue;
 
     Result<SupportPair> membership =
         CombineMembership(r.membership, s.membership, options.rule);
     if (!membership.ok()) {
       if (membership.status().code() != StatusCode::kTotalConflict) {
-        return membership.status();
+        slot.kind = SlotKind::kError;
+        slot.error = membership.status();
+        return;
       }
       switch (options.on_total_conflict) {
         case TotalConflictPolicy::kError:
-          return Status::TotalConflict(
-              "membership of key (" + KeyToString(key) +
+          slot.kind = SlotKind::kError;
+          slot.error = Status::TotalConflict(
+              "membership of key (" + KeyToString(slot.key) +
               ") is totally conflicting between the sources");
+          return;
         case TotalConflictPolicy::kSkipTuple:
-          continue;
+          slot.kind = SlotKind::kSkip;
+          return;
         case TotalConflictPolicy::kVacuous:
           membership = SupportPair::Unknown();
           break;
       }
     }
     merged.membership = *membership;
-    // Key cells come from the validated left tuple, merged evidence
-    // cells were validated by EvidenceSet::Make inside CombineEvidence.
-    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(merged), std::move(key)));
+    slot.merged = std::move(merged);
+    slot.kind = SlotKind::kMerged;
+  };
+  ParallelForShards(left.size(), kParallelGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) merge_row(i);
+                    });
+
+  std::vector<uint8_t> matched_right(right.size(), 0);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    MergeSlot& slot = slots[i];
+    if (slot.matched) matched_right[slot.right_row] = 1;
+    switch (slot.kind) {
+      case SlotKind::kError:
+        return slot.error;
+      case SlotKind::kSkip:
+        break;
+      case SlotKind::kKeep:
+        EVIDENT_RETURN_NOT_OK(
+            out.InsertTrusted(left.row(i), std::move(slot.key)));
+        break;
+      case SlotKind::kMerged:
+        // Key cells come from the validated left tuple; merged evidence
+        // cells are combination-kernel output (valid by construction).
+        EVIDENT_RETURN_NOT_OK(
+            out.InsertTrusted(std::move(slot.merged), std::move(slot.key)));
+        break;
+    }
   }
 
   for (size_t j = 0; j < right.size(); ++j) {
@@ -269,12 +496,12 @@ Result<ExtendedRelation> Project(const ExtendedRelation& input,
   return out;
 }
 
-Result<ExtendedRelation> Product(const ExtendedRelation& left,
-                                 const ExtendedRelation& right) {
+Result<SchemaPtr> MakeProductSchema(const ExtendedRelation& left,
+                                    const ExtendedRelation& right) {
   if (left.schema() == nullptr || right.schema() == nullptr) {
     return Status::InvalidArgument("product of relations without schemas");
   }
-  // Build the concatenated schema, qualifying colliding names.
+  // Concatenate the attribute lists, qualifying colliding names.
   std::unordered_set<std::string> left_names;
   for (const AttributeDef& a : left.schema()->attributes()) {
     left_names.insert(a.name);
@@ -307,9 +534,18 @@ Result<ExtendedRelation> Product(const ExtendedRelation& left,
     }
     defs.push_back(std::move(d));
   }
-  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  return RelationSchema::Make(std::move(defs));
+}
+
+namespace {
+
+/// Product materialization over an already-built product schema, shared
+/// by Product and the hash join's no-equi-conjunct fallback.
+Result<ExtendedRelation> ProductWithSchema(const ExtendedRelation& left,
+                                           const ExtendedRelation& right,
+                                           const SchemaPtr& schema) {
   ExtendedRelation out(left.name() + " x " + right.name(), schema);
-  out.Reserve(left.size() * right.size());
+  out.Reserve(CappedProductReserve(left.size(), right.size()));
   for (const ExtendedTuple& r : left.rows()) {
     for (const ExtendedTuple& s : right.rows()) {
       ExtendedTuple t;
@@ -323,12 +559,55 @@ Result<ExtendedRelation> Product(const ExtendedRelation& left,
   return out;
 }
 
+}  // namespace
+
+Result<ExtendedRelation> Product(const ExtendedRelation& left,
+                                 const ExtendedRelation& right) {
+  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, MakeProductSchema(left, right));
+  return ProductWithSchema(left, right, schema);
+}
+
 Result<ExtendedRelation> Join(const ExtendedRelation& left,
                               const ExtendedRelation& right,
                               const PredicatePtr& predicate,
                               const MembershipThreshold& threshold) {
-  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation product, Product(left, right));
-  return Select(product, predicate, threshold);
+  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, MakeProductSchema(left, right));
+  return JoinWithProductSchema(left, right, predicate, threshold,
+                               std::move(schema));
+}
+
+Result<ExtendedRelation> JoinWithProductSchema(
+    const ExtendedRelation& left, const ExtendedRelation& right,
+    const PredicatePtr& predicate, const MembershipThreshold& threshold,
+    SchemaPtr schema) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null selection predicate");
+  }
+  ExtendedRelation out("select(" + left.name() + " x " + right.name() + ")",
+                       schema);
+  if (left.empty() || right.empty()) {
+    // The product is empty; selection over it never evaluates the
+    // predicate, and neither do we.
+    return out;
+  }
+  EVIDENT_ASSIGN_OR_RETURN(
+      JoinPlan plan,
+      AnalyzeJoinPredicate(predicate, *schema, left.schema()->size()));
+  // The hash table stores row indices (and its empty-slot sentinel) in
+  // uint32_t; operands at or beyond that bound — unreachable for
+  // in-memory relations today — take the materialized path rather than
+  // silently aliasing rows.
+  const bool table_fits =
+      std::min(left.size(), right.size()) <
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max());
+  if (plan.keys.empty() || !table_fits) {
+    // No definite equi-conjunct to partition on: the paper's definition,
+    // σ̃ over the materialized product.
+    EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation product,
+                             ProductWithSchema(left, right, schema));
+    return Select(product, predicate, threshold);
+  }
+  return HashEquiJoin(left, right, plan, schema, threshold, std::move(out));
 }
 
 Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,

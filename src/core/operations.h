@@ -92,6 +92,14 @@ Result<ExtendedRelation> UnionAll(const std::vector<ExtendedRelation>& sources,
 Result<ExtendedRelation> Project(const ExtendedRelation& input,
                                  const std::vector<std::string>& attributes);
 
+/// \brief The concatenated schema of R ×̃ S: left's attributes then
+/// right's, with colliding names qualified as "<relation>.<attribute>".
+/// Shared by Product, the hash join and the query engine's join
+/// dispatch (which binds the join predicate against this schema without
+/// materializing the product).
+Result<SchemaPtr> MakeProductSchema(const ExtendedRelation& left,
+                                    const ExtendedRelation& right);
+
 /// \brief Extended cartesian product R ×̃ S (§3.4): concatenates tuple
 /// pairs and multiplies memberships via F_TM. Attribute name collisions
 /// are qualified as "<relation>.<attribute>"; the result's key is the
@@ -99,12 +107,39 @@ Result<ExtendedRelation> Project(const ExtendedRelation& input,
 Result<ExtendedRelation> Product(const ExtendedRelation& left,
                                  const ExtendedRelation& right);
 
-/// \brief Extended join R ⋈̃^Q_P S (§3.5): σ̃^Q_P (R ×̃ S).
+/// \brief Extended join R ⋈̃^Q_P S (§3.5), defined as σ̃^Q_P (R ×̃ S).
+///
+/// Execution does not materialize the product when it can avoid it: the
+/// predicate is split into definite equi-conjuncts (L.a = R.b) and a
+/// residual (see AnalyzeJoinPredicate). With at least one equi-conjunct
+/// the join hash-partitions — an open-addressing table is built on the
+/// smaller operand keyed by the equi-key cell values, the larger operand
+/// probes it (tuple ranges sharded across threads), and only matching
+/// pairs are materialized and filtered by the residual + threshold.
+/// Equality of definite cells contributes exactly (1,1)/(0,0) support,
+/// and sn = 0 pairs are always dropped under CWA_ER, so the result is
+/// identical (bit-for-bit on masses and memberships) to the definition;
+/// predicates without equi-conjuncts fall back to Select-over-Product.
+/// Relations are sets: the result's *row order* is implementation-
+/// defined (the hash path emits rows grouped by probe-side tuple, and
+/// the probe side is whichever operand is larger), deterministic for
+/// fixed operands and any thread count, but not necessarily the
+/// left-major order of the materialized product.
 Result<ExtendedRelation> Join(const ExtendedRelation& left,
                               const ExtendedRelation& right,
                               const PredicatePtr& predicate,
                               const MembershipThreshold& threshold =
                                   MembershipThreshold());
+
+/// \brief Join for callers that already built the operands' product
+/// schema (the query engine binds WHERE against it before joining);
+/// `product_schema` must be MakeProductSchema(left, right)'s result.
+/// Saves rebuilding the schema once per call — Join(l, r, p, q) is
+/// exactly this with a fresh schema.
+Result<ExtendedRelation> JoinWithProductSchema(
+    const ExtendedRelation& left, const ExtendedRelation& right,
+    const PredicatePtr& predicate, const MembershipThreshold& threshold,
+    SchemaPtr product_schema);
 
 /// \brief Renames one attribute; useful before Product/Union when names
 /// collide or differ across sources.

@@ -1,0 +1,88 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace evident {
+
+namespace {
+
+/// 0 means "use the hardware default"; any positive value is an explicit
+/// cap set through SetParallelMaxThreads.
+std::atomic<size_t> g_max_threads{0};
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+void SetParallelMaxThreads(size_t n) {
+  g_max_threads.store(n, std::memory_order_relaxed);
+}
+
+size_t ParallelMaxThreads() {
+  const size_t configured = g_max_threads.load(std::memory_order_relaxed);
+  return configured == 0 ? HardwareThreads() : configured;
+}
+
+size_t ParallelShardCount(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  const size_t by_grain = (n + grain - 1) / grain;
+  return std::max<size_t>(1, std::min(ParallelMaxThreads(), by_grain));
+}
+
+void ParallelForShards(size_t n, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  ParallelForExactShards(n, ParallelShardCount(n, grain), fn);
+}
+
+void ParallelForExactShards(
+    size_t n, size_t shard_count,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t shards = n == 0 ? 0 : std::min(std::max<size_t>(shard_count, 1), n);
+  if (shards == 0) return;
+  // Deterministic partition: the first (n % shards) shards get one extra
+  // item, so boundaries depend only on (n, shards).
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  auto bounds = [&](size_t shard) {
+    const size_t begin = shard * base + std::min(shard, extra);
+    const size_t end = begin + base + (shard < extra ? 1 : 0);
+    return std::pair<size_t, size_t>(begin, end);
+  };
+  if (shards == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  size_t spawned = shards;  // first shard that could NOT be spawned
+  for (size_t shard = 1; shard < shards; ++shard) {
+    const auto [begin, end] = bounds(shard);
+    try {
+      workers.emplace_back(
+          [&fn, shard, begin, end] { fn(shard, begin, end); });
+    } catch (const std::system_error&) {
+      // Thread creation failed (e.g. the process thread limit): degrade
+      // gracefully — the unspawned shards run inline below. Letting the
+      // exception unwind would destroy joinable threads and terminate.
+      spawned = shard;
+      break;
+    }
+  }
+  const auto [begin0, end0] = bounds(0);
+  fn(0, begin0, end0);
+  for (size_t shard = spawned; shard < shards; ++shard) {
+    const auto [begin, end] = bounds(shard);
+    fn(shard, begin, end);
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace evident

@@ -128,6 +128,15 @@ class ThetaPredicate : public Predicate {
         rhs_(std::move(rhs)),
         semantics_(semantics) {}
 
+  /// \name Structural accessors, used by the join planner to recognize
+  /// equi-conjuncts without re-parsing ToString().
+  /// @{
+  const ThetaOperand& lhs() const { return lhs_; }
+  ThetaOp op() const { return op_; }
+  const ThetaOperand& rhs() const { return rhs_; }
+  ThetaSemantics semantics() const { return semantics_; }
+  /// @}
+
   Result<SupportPair> Evaluate(const ExtendedTuple& tuple,
                                const RelationSchema& schema) const override;
   std::string ToString() const override;

@@ -554,6 +554,18 @@ Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
   return EvidenceSet::Make(a.domain(), std::move(combined));
 }
 
+Result<EvidenceSet> CombineEvidenceTrusted(const EvidenceSet& a,
+                                           const EvidenceSet& b,
+                                           CombinationRule rule,
+                                           double* kappa_out) {
+  EVIDENT_ASSIGN_OR_RETURN(MassFunction combined,
+                           Combine(a.mass(), b.mass(), rule, kappa_out));
+  if (rule == CombinationRule::kTBM && combined.EmptyMass() > 0.0) {
+    EVIDENT_RETURN_NOT_OK(combined.Normalize());
+  }
+  return EvidenceSet::MakeTrusted(a.domain(), std::move(combined));
+}
+
 Result<EvidenceSet> CombineAll(const std::vector<EvidenceSet>& sets) {
   if (sets.empty()) {
     return Status::InvalidArgument("CombineAll over an empty list");

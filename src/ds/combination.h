@@ -123,6 +123,17 @@ Result<EvidenceSet> CombineEvidence(const EvidenceSet& a, const EvidenceSet& b,
                                     CombinationRule rule,
                                     double* kappa_out = nullptr);
 
+/// \brief CombineEvidence for operator inner loops (Union, MergeTuples):
+/// the caller has already established domain compatibility for the whole
+/// attribute column — union-compatible schemas imply SameDomain per
+/// attribute — so the per-combination compatibility check and the
+/// per-result EvidenceSet::Make re-validation are skipped. Combination
+/// failures (e.g. TotalConflict) are still reported.
+Result<EvidenceSet> CombineEvidenceTrusted(const EvidenceSet& a,
+                                           const EvidenceSet& b,
+                                           CombinationRule rule,
+                                           double* kappa_out = nullptr);
+
 /// \brief Dempster combination of `sets` (associative and commutative,
 /// so order does not matter) via the k-way mass kernel; fails on an
 /// empty list.

@@ -24,6 +24,17 @@ class EvidenceSet {
   /// not validate or its universe size disagrees with the domain.
   static Result<EvidenceSet> Make(DomainPtr domain, MassFunction mass);
 
+  /// \brief Wraps a mass function that is valid *by construction* — the
+  /// output of the combination kernels, whose results are normalized,
+  /// empty-free and over the operands' universe. Skips the O(|focals|)
+  /// Validate() pass that Make pays. Callers are the relational
+  /// operators' per-tuple loops, which establish domain agreement once
+  /// per operator call (schema compatibility) instead of once per
+  /// combination.
+  static EvidenceSet MakeTrusted(DomainPtr domain, MassFunction mass) {
+    return EvidenceSet(std::move(domain), std::move(mass));
+  }
+
   /// \brief The definite value `v` (singleton focal with mass 1).
   static Result<EvidenceSet> Definite(DomainPtr domain, const Value& v);
 

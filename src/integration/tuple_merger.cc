@@ -1,5 +1,10 @@
 #include "integration/tuple_merger.h"
 
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
 namespace evident {
 
 Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
@@ -12,12 +17,15 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
         "tuple merging requires union-compatible relations");
   }
   // Rewrite each matched right tuple's key to the left tuple's key, then
-  // reuse the extended union machinery (which matches by key). This
-  // keeps one implementation of Dempster-based merging.
+  // reuse the extended union machinery (which matches by key, and runs
+  // the per-tuple combination pass on the parallel executor). This keeps
+  // one implementation of Dempster-based merging.
   ExtendedRelation rekeyed(right.name(), right.schema());
   rekeyed.Reserve(right.size());
   const auto& key_indices = right.schema()->key_indices();
-  std::vector<bool> is_matched_right(right.size(), false);
+  std::vector<uint8_t> is_matched_right(right.size(), 0);
+  std::unordered_set<KeyVector, KeyVectorHash> matched_left_keys;
+  matched_left_keys.reserve(matching.matches.size());
   for (const TupleMatch& m : matching.matches) {
     if (m.left_row >= left.size() || m.right_row >= right.size()) {
       return Status::InvalidArgument("matching references rows out of range");
@@ -27,12 +35,18 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
           "matching assigns right row " + std::to_string(m.right_row) +
           " twice");
     }
-    is_matched_right[m.right_row] = true;
+    is_matched_right[m.right_row] = 1;
     ExtendedTuple t = right.row(m.right_row);
     const ExtendedTuple& l = left.row(m.left_row);
     for (size_t k : key_indices) t.cells[k] = l.cells[k];
-    EVIDENT_RETURN_NOT_OK(rekeyed.InsertUnchecked(std::move(t)));
+    matched_left_keys.insert(left.KeyOf(l));
+    // Every cell of the rekeyed tuple comes from a row already validated
+    // against one of the two union-compatible (Equals, incl. domains)
+    // schemas, so the tuple is schema-valid by construction; the trusted
+    // insert still performs the duplicate-key check.
+    EVIDENT_RETURN_NOT_OK(rekeyed.InsertTrusted(std::move(t)));
   }
+
   for (size_t j : matching.unmatched_right) {
     if (j >= right.size()) {
       return Status::InvalidArgument("matching references rows out of range");
@@ -41,26 +55,19 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
       return Status::InvalidArgument(
           "row " + std::to_string(j) + " is both matched and unmatched");
     }
-    is_matched_right[j] = true;
+    is_matched_right[j] = 1;
     // An unmatched right tuple whose key collides with an (unmatched)
     // left key would wrongly merge; the matching info is authoritative,
     // so such a collision is an error the caller must resolve by
-    // renaming keys.
-    if (left.ContainsKey(right.KeyOf(right.row(j)))) {
-      bool left_matched = false;
-      for (const TupleMatch& m : matching.matches) {
-        if (left.KeyOf(left.row(m.left_row)) == right.KeyOf(right.row(j))) {
-          left_matched = true;
-          break;
-        }
-      }
-      if (!left_matched) {
-        return Status::InvalidArgument(
-            "unmatched right tuple shares key with a left tuple; matching "
-            "info and keys disagree");
-      }
+    // renaming keys. Matched left keys were collected above, replacing
+    // the former rescan of the whole match list per unmatched row.
+    const KeyVector key = right.KeyOf(right.row(j));
+    if (left.ContainsKey(key) && matched_left_keys.count(key) == 0) {
+      return Status::InvalidArgument(
+          "unmatched right tuple shares key with a left tuple; matching "
+          "info and keys disagree");
     }
-    EVIDENT_RETURN_NOT_OK(rekeyed.InsertUnchecked(right.row(j)));
+    EVIDENT_RETURN_NOT_OK(rekeyed.InsertTrusted(right.row(j)));
   }
   for (size_t j = 0; j < right.size(); ++j) {
     if (!is_matched_right[j]) {

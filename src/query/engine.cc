@@ -44,31 +44,44 @@ Result<ThetaOperand> BindOperand(const eql::RawOperand& raw,
   return Status::Internal("unreachable operand kind");
 }
 
+/// The FROM clause's operand relations resolved against the catalog
+/// (right is null for a scan); the single home of catalog lookups so
+/// every source shape reports missing catalogs/relations identically.
+struct BoundOperands {
+  const ExtendedRelation* left = nullptr;
+  const ExtendedRelation* right = nullptr;
+};
+
+Result<BoundOperands> ResolveOperands(const Catalog* catalog,
+                                      const eql::FromClause& from) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("query engine has no catalog");
+  }
+  BoundOperands operands;
+  EVIDENT_ASSIGN_OR_RETURN(operands.left, catalog->GetRelation(from.left));
+  if (from.op != eql::SourceOp::kScan) {
+    EVIDENT_ASSIGN_OR_RETURN(operands.right, catalog->GetRelation(from.right));
+  }
+  return operands;
+}
+
 }  // namespace
 
 Result<ExtendedRelation> QueryEngine::BindFrom(
     const eql::ParsedQuery& query) const {
-  if (catalog_ == nullptr) {
-    return Status::InvalidArgument("query engine has no catalog");
-  }
-  EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* left,
-                           catalog_->GetRelation(query.from.left));
+  EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
+                           ResolveOperands(catalog_, query.from));
   switch (query.from.op) {
     case eql::SourceOp::kScan:
-      return *left;
-    case eql::SourceOp::kUnion: {
-      EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* right,
-                               catalog_->GetRelation(query.from.right));
-      return Union(*left, *right, union_options_);
-    }
+      return *operands.left;
+    case eql::SourceOp::kUnion:
+      return Union(*operands.left, *operands.right, union_options_);
     case eql::SourceOp::kProduct:
-    case eql::SourceOp::kJoin: {
+    case eql::SourceOp::kJoin:
       // JOIN is product + WHERE-as-join-condition (the paper's ⋈̃ = σ̃∘×̃);
-      // the distinction is purely syntactic sugar.
-      EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* right,
-                               catalog_->GetRelation(query.from.right));
-      return Product(*left, *right);
-    }
+      // the distinction is purely syntactic sugar. (With a WHERE clause,
+      // ExecuteParsed routes both through Join before reaching here.)
+      return Product(*operands.left, *operands.right);
   }
   return Status::Internal("unreachable source op");
 }
@@ -101,20 +114,41 @@ Result<PredicatePtr> QueryEngine::BindWhere(
 
 Result<ExtendedRelation> QueryEngine::ExecuteParsed(
     const eql::ParsedQuery& query) const {
-  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation source, BindFrom(query));
-  EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
-                           BindWhere(query, *source.schema()));
-  ExtendedRelation filtered = std::move(source);
-  if (predicate != nullptr || !query.with.atoms().empty()) {
-    // A WITH clause without WHERE still thresholds the (unchanged)
-    // membership; model that as selection with an always-true predicate.
-    PredicatePtr effective =
-        predicate != nullptr
-            ? predicate
-            : Theta(ThetaOperand::LitValue(Value(int64_t{0})), ThetaOp::kEq,
-                    ThetaOperand::LitValue(Value(int64_t{0})));
-    EVIDENT_ASSIGN_OR_RETURN(filtered,
-                             Select(filtered, effective, query.with));
+  ExtendedRelation filtered;
+  const bool join_like = query.from.op == eql::SourceOp::kProduct ||
+                         query.from.op == eql::SourceOp::kJoin;
+  if (join_like && !query.where.empty()) {
+    // Join dispatch: bind WHERE against the product *schema* and hand the
+    // operand relations to Join, which hash-partitions on any definite
+    // equi-conjunct instead of materializing |L|·|R| product tuples
+    // (falling back to product + selection when there is none).
+    EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
+                             ResolveOperands(catalog_, query.from));
+    EVIDENT_ASSIGN_OR_RETURN(
+        SchemaPtr product_schema,
+        MakeProductSchema(*operands.left, *operands.right));
+    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                             BindWhere(query, *product_schema));
+    EVIDENT_ASSIGN_OR_RETURN(
+        filtered,
+        JoinWithProductSchema(*operands.left, *operands.right, predicate,
+                              query.with, std::move(product_schema)));
+  } else {
+    EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation source, BindFrom(query));
+    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                             BindWhere(query, *source.schema()));
+    filtered = std::move(source);
+    if (predicate != nullptr || !query.with.atoms().empty()) {
+      // A WITH clause without WHERE still thresholds the (unchanged)
+      // membership; model that as selection with an always-true predicate.
+      PredicatePtr effective =
+          predicate != nullptr
+              ? predicate
+              : Theta(ThetaOperand::LitValue(Value(int64_t{0})), ThetaOp::kEq,
+                      ThetaOperand::LitValue(Value(int64_t{0})));
+      EVIDENT_ASSIGN_OR_RETURN(filtered,
+                               Select(filtered, effective, query.with));
+    }
   }
   ExtendedRelation projected = std::move(filtered);
   if (!query.select.empty()) {
