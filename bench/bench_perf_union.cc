@@ -1,8 +1,11 @@
 // P2: extended-union (tuple merging) throughput — scaling in relation
-// size and in key overlap, the two knobs of the integration workload.
+// size, key overlap, and uncertain-column count (the knobs of the
+// integration workload) — plus a columnar-scan micro-benchmark for the
+// packed evidence layout itself.
 #include <benchmark/benchmark.h>
 
 #include "perf_bench_main.h"
+#include "core/column_store.h"
 #include "core/operations.h"
 #include "workload/generator.h"
 
@@ -66,9 +69,72 @@ BENCHMARK(BM_UnionRuleAblation)
     ->Arg(static_cast<int>(CombinationRule::kMixing))
     ->Unit(benchmark::kMillisecond);
 
+// Scaling in the number of uncertain columns: each adds one packed
+// evidence column to probe/batch-combine/splice per merged pair.
+void BM_UnionByAttrs(benchmark::State& state) {
+  const size_t uncertain = static_cast<size_t>(state.range(0));
+  WorkloadGenerator gen(4321 + uncertain);
+  SourcePairOptions options;
+  options.base.num_tuples = 10000;
+  options.base.num_uncertain = uncertain;
+  options.base.domain_size = 12;
+  options.base.max_focals = 4;
+  options.key_overlap = 0.5;
+  options.conflict_rate = 0.0;
+  auto pair = gen.MakeSourcePair(options).value();
+  for (auto _ : state) {
+    auto merged = Union(pair.first, pair.second);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000 *
+                          static_cast<int64_t>(uncertain));
+  state.SetLabel("uncertain=" + std::to_string(uncertain));
+}
+BENCHMARK(BM_UnionByAttrs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw scan throughput of the packed evidence layout: Bel/Pls of a fixed
+// subset over every row of one column — the columnar Select inner loop,
+// free of predicate binding and output building. Items are tuples.
+void BM_ColumnarScan(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  WorkloadGenerator gen(99 + tuples);
+  GeneratorOptions options;
+  options.num_tuples = tuples;
+  options.num_uncertain = 1;
+  options.domain_size = 12;
+  options.max_focals = 4;
+  auto schema = gen.MakeSchema(options).value();
+  ExtendedRelation r = gen.MakeRelation("R", schema, options).value();
+  const ColumnStore& store = r.columns();
+  size_t attr = 0;
+  for (size_t a = 0; a < schema->size(); ++a) {
+    if (store.kind(a) == ColumnStore::ColumnKind::kEvidence) attr = a;
+  }
+  const ColumnStore::EvidenceColumn& col = store.evidence_column(attr);
+  const uint64_t subset = 0x7;  // {v0, v1, v2}
+  for (auto _ : state) {
+    double bel = 0.0, pls = 0.0;
+    for (size_t row = 0; row < tuples; ++row) {
+      for (uint32_t k = col.offsets[row]; k < col.offsets[row + 1]; ++k) {
+        const uint64_t w = col.words[k];
+        if ((w & ~subset) == 0) bel += col.masses[k];
+        if ((w & subset) != 0) pls += col.masses[k];
+      }
+    }
+    benchmark::DoNotOptimize(bel);
+    benchmark::DoNotOptimize(pls);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_ColumnarScan)->RangeMultiplier(10)->Range(1000, 100000)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace evident
 
 EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_union",
-    "(BM_UnionByTuples/100|BM_UnionByOverlap/0|BM_UnionRuleAblation/0)$")
+    "(BM_UnionByTuples/100|BM_UnionByOverlap/0|BM_UnionRuleAblation/0|"
+    "BM_UnionByAttrs/1|BM_ColumnarScan/1000)$")

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace evident {
 namespace {
@@ -87,6 +88,44 @@ bool Value::operator==(const Value& other) const {
 
 bool Value::operator<(const Value& other) const {
   return Compare(*this, other) < 0;
+}
+
+void Value::AppendCanonicalKey(std::string* out) const {
+  // Numerics canonicalize through double so that 1 and 1.0 (equal per
+  // operator==) encode identically — mirroring Hash(). Integers a double
+  // cannot represent exactly keep a lossless tagged form instead of
+  // colliding with their rounded neighbours.
+  if (is_numeric()) {
+    double d = AsDouble();
+    const bool representable =
+        !is_int() ||
+        (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+         static_cast<int64_t>(d) == int_value());
+    if (representable) {
+      if (d == 0.0) d = 0.0;  // collapse -0.0 (equal to 0.0) onto +0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      out->push_back('\x01');
+      for (int shift = 0; shift < 64; shift += 8) {
+        out->push_back(static_cast<char>((bits >> shift) & 0xff));
+      }
+      return;
+    }
+    const uint64_t bits = static_cast<uint64_t>(int_value());
+    out->push_back('\x02');
+    for (int shift = 0; shift < 64; shift += 8) {
+      out->push_back(static_cast<char>((bits >> shift) & 0xff));
+    }
+    return;
+  }
+  const std::string& s = string_value();
+  const uint32_t length = static_cast<uint32_t>(s.size());
+  out->push_back('\x03');
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  out->append(s);
 }
 
 size_t Value::Hash() const {

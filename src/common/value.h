@@ -62,6 +62,21 @@ class Value {
 
   size_t Hash() const;
 
+  /// \brief Appends a compact byte encoding of this value to `out` such
+  /// that equal values (per operator==, including cross-kind numeric
+  /// equality like 1 == 1.0) encode identically and concatenations of
+  /// encodings stay unambiguous (each piece is self-delimiting). This is
+  /// the relation key index's storage form: probing encodes into a
+  /// reused buffer instead of materializing temporary key vectors.
+  ///
+  /// Caveat: operator== is not transitive for int64 magnitudes beyond
+  /// 2^53 (ints compare exactly with each other but through double
+  /// rounding with reals), so no encoding can match it everywhere. The
+  /// encoding keeps such ints lossless (distinct huge ints stay
+  /// distinct, as int-int operator== demands) at the price of *not*
+  /// matching a real that operator== would round-equate to one of them.
+  void AppendCanonicalKey(std::string* out) const;
+
  private:
   std::variant<int64_t, double, std::string> rep_;
 };

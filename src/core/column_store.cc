@@ -1,0 +1,159 @@
+#include "core/column_store.h"
+
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+namespace evident {
+
+ColumnStore ColumnStore::FromRelation(const ExtendedRelation& rel) {
+  ColumnStore store;
+  store.schema_ = rel.schema();
+  store.name_ = rel.name();
+  const size_t rows = rel.size();
+  const size_t attrs = store.schema_ != nullptr ? store.schema_->size() : 0;
+  store.kinds_.resize(attrs);
+  store.slots_.resize(attrs);
+
+  for (size_t a = 0; a < attrs; ++a) {
+    const AttributeDef& attr = store.schema_->attribute(a);
+    if (attr.kind != AttributeKind::kUncertain) {
+      store.kinds_[a] = ColumnKind::kValue;
+      store.slots_[a] = static_cast<uint32_t>(store.value_columns_.size());
+      ValueColumn col;
+      col.values.reserve(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        col.values.push_back(std::get<Value>(rel.row(r).cells[a]));
+      }
+      store.value_columns_.push_back(std::move(col));
+      continue;
+    }
+    if (attr.domain->size() > ValueSet::kMaxInlineUniverse) {
+      store.kinds_[a] = ColumnKind::kBoxed;
+      store.slots_[a] = static_cast<uint32_t>(store.boxed_columns_.size());
+      BoxedColumn col;
+      col.sets.reserve(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        col.sets.push_back(std::get<EvidenceSet>(rel.row(r).cells[a]));
+      }
+      store.boxed_columns_.push_back(std::move(col));
+      continue;
+    }
+    store.kinds_[a] = ColumnKind::kEvidence;
+    store.slots_[a] = static_cast<uint32_t>(store.evidence_columns_.size());
+    EvidenceColumn col;
+    col.domain = attr.domain;
+    col.universe = attr.domain->size();
+    size_t total_focals = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      total_focals +=
+          std::get<EvidenceSet>(rel.row(r).cells[a]).mass().FocalCount();
+    }
+    // Spans are addressed with 32-bit offsets; a column with 2^32 focal
+    // elements (> 64 GiB packed) exhausts memory long before this, so
+    // the limit fails loudly instead of wrapping offsets silently.
+    if (total_focals > std::numeric_limits<uint32_t>::max()) std::abort();
+    col.words.reserve(total_focals);
+    col.masses.reserve(total_focals);
+    col.offsets.reserve(rows + 1);
+    col.offsets.push_back(0);
+    for (size_t r = 0; r < rows; ++r) {
+      const MassFunction& mass =
+          std::get<EvidenceSet>(rel.row(r).cells[a]).mass();
+      for (const auto& [set, m] : mass.focals()) {
+        col.words.push_back(set.InlineWord());
+        col.masses.push_back(m);
+      }
+      col.offsets.push_back(static_cast<uint32_t>(col.words.size()));
+    }
+    store.evidence_columns_.push_back(std::move(col));
+  }
+
+  store.sn_.reserve(rows);
+  store.sp_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    store.sn_.push_back(rel.row(r).membership.sn);
+    store.sp_.push_back(rel.row(r).membership.sp);
+  }
+  return store;
+}
+
+ColumnStore ColumnStore::EmptyLike(SchemaPtr schema, std::string name) {
+  ColumnStore store;
+  store.schema_ = std::move(schema);
+  store.name_ = std::move(name);
+  const size_t attrs = store.schema_ != nullptr ? store.schema_->size() : 0;
+  store.kinds_.resize(attrs);
+  store.slots_.resize(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    const AttributeDef& attr = store.schema_->attribute(a);
+    if (attr.kind != AttributeKind::kUncertain) {
+      store.kinds_[a] = ColumnKind::kValue;
+      store.slots_[a] = static_cast<uint32_t>(store.value_columns_.size());
+      store.value_columns_.emplace_back();
+    } else if (attr.domain->size() > ValueSet::kMaxInlineUniverse) {
+      store.kinds_[a] = ColumnKind::kBoxed;
+      store.slots_[a] = static_cast<uint32_t>(store.boxed_columns_.size());
+      store.boxed_columns_.emplace_back();
+    } else {
+      store.kinds_[a] = ColumnKind::kEvidence;
+      store.slots_[a] = static_cast<uint32_t>(store.evidence_columns_.size());
+      EvidenceColumn col;
+      col.domain = attr.domain;
+      col.universe = attr.domain->size();
+      col.offsets.push_back(0);
+      store.evidence_columns_.push_back(std::move(col));
+    }
+  }
+  return store;
+}
+
+void ColumnStore::EncodeKeyOfRow(size_t row, std::string* out) const {
+  out->clear();
+  for (size_t a : schema_->key_indices()) {
+    value_columns_[slots_[a]].values[row].AppendCanonicalKey(out);
+  }
+}
+
+ExtendedTuple ColumnStore::MaterializeRow(size_t row) const {
+  ExtendedTuple t;
+  const size_t attrs = schema_ != nullptr ? schema_->size() : 0;
+  t.cells.reserve(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    switch (kinds_[a]) {
+      case ColumnKind::kValue:
+        t.cells.emplace_back(value_column(a).values[row]);
+        break;
+      case ColumnKind::kEvidence:
+        t.cells.emplace_back(MaterializeEvidence(a, row));
+        break;
+      case ColumnKind::kBoxed:
+        t.cells.emplace_back(boxed_column(a).sets[row]);
+        break;
+    }
+  }
+  t.membership = membership(row);
+  return t;
+}
+
+EvidenceSet ColumnStore::MaterializeEvidence(size_t attr, size_t row) const {
+  const EvidenceColumn& col = evidence_columns_[slots_[attr]];
+  MassFunction mass(col.universe);
+  const uint32_t begin = col.offsets[row];
+  mass.AssignSortedInlineWords(col.words.data() + begin,
+                               col.masses.data() + begin,
+                               col.offsets[row + 1] - begin);
+  return EvidenceSet::MakeTrusted(col.domain, std::move(mass));
+}
+
+Result<ExtendedRelation> ColumnStore::ToRelation() const {
+  ExtendedRelation out(name_, schema_);
+  const size_t n = rows();
+  out.Reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    EVIDENT_RETURN_NOT_OK(out.InsertTrusted(MaterializeRow(r)));
+  }
+  return out;
+}
+
+}  // namespace evident

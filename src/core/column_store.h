@@ -1,0 +1,151 @@
+#ifndef EVIDENT_CORE_COLUMN_STORE_H_
+#define EVIDENT_CORE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+#include "core/schema.h"
+#include "core/support_pair.h"
+#include "ds/combination.h"
+#include "ds/evidence_set.h"
+
+namespace evident {
+
+/// \brief The column-major storage mode of an extended relation: one
+/// column per schema attribute plus the membership support pairs as
+/// parallel sn/sp arrays.
+///
+/// Key and definite attributes become plain Value columns. Uncertain
+/// attributes over inline (≤ 64 value) domains — every paper domain —
+/// pack every row's mass function into contiguous (word, mass) spans
+/// with a per-row offset array, the layout the batch combination kernel
+/// (CombineColumnBatch) and the columnar predicate paths consume
+/// directly: a whole attribute's evidence is one flat scan instead of a
+/// pointer chase through row objects. Uncertain attributes over wider
+/// domains stay boxed as EvidenceSet objects (rare; the row kernels
+/// handle them).
+///
+/// The conversion is lossless: FromRelation walks the rows once,
+/// ToRelation rebuilds a relation whose tuples equal the originals.
+class ColumnStore {
+ public:
+  /// One packed uncertain attribute. Row r's focal elements occupy
+  /// words[offsets[r] .. offsets[r+1]) with parallel masses, in the mass
+  /// function's focal-store order (ascending word).
+  struct EvidenceColumn {
+    DomainPtr domain;               // the schema attribute's domain
+    size_t universe = 0;            // == domain->size(), <= 64
+    std::vector<uint64_t> words;
+    std::vector<double> masses;
+    std::vector<uint32_t> offsets;  // rows + 1 entries
+
+    FocalSpanColumn Spans() const {
+      return FocalSpanColumn{words.data(), masses.data(), offsets.data()};
+    }
+    size_t FocalCount(size_t row) const {
+      return offsets[row + 1] - offsets[row];
+    }
+  };
+
+  /// A definite (or key) attribute as a contiguous value array.
+  struct ValueColumn {
+    std::vector<Value> values;
+  };
+
+  /// An uncertain attribute whose domain exceeds the inline word — kept
+  /// as row-wise evidence objects (the pairwise multi-word kernel path).
+  struct BoxedColumn {
+    std::vector<EvidenceSet> sets;
+  };
+
+  enum class ColumnKind { kValue, kEvidence, kBoxed };
+
+  ColumnStore() = default;
+
+  /// \brief Packs `rel` column-major. O(total cells + total focal
+  /// elements); performs no validation (the relation's invariants hold
+  /// by construction).
+  static ColumnStore FromRelation(const ExtendedRelation& rel);
+
+  /// \brief An empty store with `schema`'s column layout (kinds and
+  /// slots prepared, zero rows) — the starting point for operators that
+  /// build their output column-at-a-time; fill through the *_mut
+  /// accessors and AppendMembership, keeping all columns the same
+  /// length.
+  static ColumnStore EmptyLike(SchemaPtr schema, std::string name);
+
+  /// \brief Rebuilds the row representation. The result's tuples are
+  /// bit-identical to the relation the store was packed from.
+  Result<ExtendedRelation> ToRelation() const;
+
+  /// \brief Materializes one row as a tuple (cells in schema order plus
+  /// membership), bit-identical to the row the store was packed from.
+  ExtendedTuple MaterializeRow(size_t row) const;
+
+  /// \brief Writes the canonical encoding of row `row`'s key cells to
+  /// `out` (cleared first) — same bytes as
+  /// ExtendedRelation::EncodeKeyOf of the materialized row, straight off
+  /// the contiguous key value columns.
+  void EncodeKeyOfRow(size_t row, std::string* out) const;
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  size_t rows() const { return sn_.size(); }
+
+  ColumnKind kind(size_t attr) const { return kinds_[attr]; }
+  const ValueColumn& value_column(size_t attr) const {
+    return value_columns_[slots_[attr]];
+  }
+  const EvidenceColumn& evidence_column(size_t attr) const {
+    return evidence_columns_[slots_[attr]];
+  }
+  const BoxedColumn& boxed_column(size_t attr) const {
+    return boxed_columns_[slots_[attr]];
+  }
+
+  /// \brief Membership supports as parallel arrays.
+  const std::vector<double>& sn() const { return sn_; }
+  const std::vector<double>& sp() const { return sp_; }
+  SupportPair membership(size_t row) const { return {sn_[row], sp_[row]}; }
+
+  /// \brief Materializes row `row`'s evidence for attribute `attr`
+  /// (kEvidence columns) as an EvidenceSet, for the row-store boundary.
+  EvidenceSet MaterializeEvidence(size_t attr, size_t row) const;
+
+  /// \name Output building (EmptyLike stores).
+  /// @{
+  ValueColumn& value_column_mut(size_t attr) {
+    return value_columns_[slots_[attr]];
+  }
+  EvidenceColumn& evidence_column_mut(size_t attr) {
+    return evidence_columns_[slots_[attr]];
+  }
+  BoxedColumn& boxed_column_mut(size_t attr) {
+    return boxed_columns_[slots_[attr]];
+  }
+  void AppendMembership(SupportPair membership) {
+    sn_.push_back(membership.sn);
+    sp_.push_back(membership.sp);
+  }
+  void ReserveRows(size_t n) {
+    sn_.reserve(n);
+    sp_.reserve(n);
+  }
+  /// @}
+
+ private:
+  SchemaPtr schema_;
+  std::string name_;
+  std::vector<ColumnKind> kinds_;   // per schema attribute
+  std::vector<uint32_t> slots_;     // attr -> index into its kind's vector
+  std::vector<ValueColumn> value_columns_;
+  std::vector<EvidenceColumn> evidence_columns_;
+  std::vector<BoxedColumn> boxed_columns_;
+  std::vector<double> sn_, sp_;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_COLUMN_STORE_H_

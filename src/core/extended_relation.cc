@@ -1,8 +1,71 @@
 #include "core/extended_relation.h"
 
 #include <sstream>
+#include <utility>
+
+#include "core/column_store.h"
 
 namespace evident {
+
+namespace {
+
+/// Reused per-thread encode buffer for the KeyVector-based probe API, so
+/// FindByKey/ContainsKey allocate nothing in steady state.
+std::string& EncodeScratch() {
+  thread_local std::string scratch;
+  return scratch;
+}
+
+void EncodeKeyVector(const KeyVector& key, std::string* out) {
+  out->clear();
+  for (const Value& v : key) v.AppendCanonicalKey(out);
+}
+
+}  // namespace
+
+ExtendedRelation ExtendedRelation::AdoptColumns(ColumnStore store) {
+  ExtendedRelation rel(store.name(), store.schema());
+  rel.columns_ = std::make_shared<const ColumnStore>(std::move(store));
+  rel.rows_built_ = false;
+  rel.index_built_ = false;
+  return rel;
+}
+
+size_t ExtendedRelation::size() const {
+  return rows_built_ ? rows_.size() : columns_->rows();
+}
+
+void ExtendedRelation::MaterializeRows() const {
+  if (rows_built_) return;
+  const ColumnStore& store = *columns_;
+  rows_.clear();
+  rows_.reserve(store.rows());
+  for (size_t r = 0; r < store.rows(); ++r) {
+    rows_.push_back(store.MaterializeRow(r));
+  }
+  rows_built_ = true;
+}
+
+void ExtendedRelation::EnsureKeyIndex() const {
+  if (index_built_) return;
+  key_index_.Clear();
+  const ColumnStore& store = *columns_;
+  key_index_.Reserve(store.rows());
+  std::string key;
+  for (size_t r = 0; r < store.rows(); ++r) {
+    store.EncodeKeyOfRow(r, &key);
+    // Adopted stores carry unique keys by construction (see
+    // AdoptColumns); a duplicate here would be an operator bug, and
+    // first-wins matches the insert-time index's behaviour.
+    key_index_.Insert(key);
+  }
+  index_built_ = true;
+}
+
+void ExtendedRelation::PrepareForInsert() {
+  MaterializeRows();
+  EnsureKeyIndex();
+}
 
 Status ExtendedRelation::ValidateTuple(const ExtendedTuple& tuple,
                                        bool require_positive_sn) const {
@@ -69,8 +132,7 @@ Status ExtendedRelation::InsertImpl(ExtendedTuple tuple,
   if (validate) {
     EVIDENT_RETURN_NOT_OK(ValidateTuple(tuple, require_positive_sn));
   }
-  KeyVector key = KeyOf(tuple);
-  return InsertTrusted(std::move(tuple), std::move(key));
+  return InsertTrusted(std::move(tuple));
 }
 
 Status ExtendedRelation::Insert(ExtendedTuple tuple) {
@@ -84,19 +146,17 @@ Status ExtendedRelation::InsertUnchecked(ExtendedTuple tuple) {
 }
 
 Status ExtendedRelation::InsertTrusted(ExtendedTuple tuple) {
-  KeyVector key = KeyOf(tuple);
-  return InsertTrusted(std::move(tuple), std::move(key));
-}
-
-Status ExtendedRelation::InsertTrusted(ExtendedTuple tuple, KeyVector key) {
-  auto [it, inserted] = key_index_.try_emplace(std::move(key), rows_.size());
-  if (!inserted) {
+  PrepareForInsert();
+  std::string& encoded = EncodeScratch();
+  EncodeKeyOf(tuple, &encoded);
+  if (key_index_.Insert(encoded) != EncodedKeyIndex::kNoRow) {
     std::string key_text;
-    for (const Value& v : it->first) key_text += " " + v.ToString();
+    for (const Value& v : KeyOf(tuple)) key_text += " " + v.ToString();
     return Status::AlreadyExists("duplicate key" + key_text +
                                  " in relation '" + name_ + "'");
   }
   rows_.push_back(std::move(tuple));
+  columns_.reset();
   return Status::OK();
 }
 
@@ -109,21 +169,47 @@ KeyVector ExtendedRelation::KeyOf(const ExtendedTuple& tuple) const {
   return key;
 }
 
+void ExtendedRelation::EncodeKeyOf(const ExtendedTuple& tuple,
+                                   std::string* out) const {
+  out->clear();
+  for (size_t i : schema_->key_indices()) {
+    std::get<Value>(tuple.cells[i]).AppendCanonicalKey(out);
+  }
+}
+
 Result<size_t> ExtendedRelation::FindByKey(const KeyVector& key) const {
-  auto it = key_index_.find(key);
-  if (it == key_index_.end()) {
+  std::string& encoded = EncodeScratch();
+  EncodeKeyVector(key, &encoded);
+  return FindByEncodedKey(encoded);
+}
+
+Result<size_t> ExtendedRelation::FindByEncodedKey(
+    std::string_view key) const {
+  EnsureKeyIndex();
+  const uint32_t row = key_index_.Find(key);
+  if (row == EncodedKeyIndex::kNoRow) {
     return Status::NotFound("no tuple with the given key in relation '" +
                             name_ + "'");
   }
-  return it->second;
+  return static_cast<size_t>(row);
 }
 
 bool ExtendedRelation::ContainsKey(const KeyVector& key) const {
-  return key_index_.count(key) > 0;
+  std::string& encoded = EncodeScratch();
+  EncodeKeyVector(key, &encoded);
+  return ContainsEncodedKey(encoded);
+}
+
+const ColumnStore& ExtendedRelation::columns() const {
+  if (columns_ == nullptr) {
+    columns_ = std::make_shared<const ColumnStore>(
+        ColumnStore::FromRelation(*this));
+  }
+  return *columns_;
 }
 
 Status ExtendedRelation::ValidateInvariants() const {
-  for (const ExtendedTuple& t : rows_) {
+  for (const ExtendedTuple& t : rows()) {
     EVIDENT_RETURN_NOT_OK(ValidateTuple(t, /*require_positive_sn=*/true));
   }
   return Status::OK();
@@ -135,11 +221,11 @@ bool ExtendedRelation::ApproxEquals(const ExtendedRelation& other,
     return schema_ == other.schema_;
   }
   if (!schema_->Equals(*other.schema_)) return false;
-  if (rows_.size() != other.rows_.size()) return false;
-  for (const ExtendedTuple& t : rows_) {
+  if (size() != other.size()) return false;
+  for (const ExtendedTuple& t : rows()) {
     auto found = other.FindByKey(KeyOf(t));
     if (!found.ok()) return false;
-    const ExtendedTuple& o = other.rows_[*found];
+    const ExtendedTuple& o = other.row(*found);
     if (!t.membership.ApproxEquals(o.membership, eps)) return false;
     for (size_t i = 0; i < t.cells.size(); ++i) {
       if (!CellApproxEquals(t.cells[i], o.cells[i], eps)) return false;
@@ -151,8 +237,8 @@ bool ExtendedRelation::ApproxEquals(const ExtendedRelation& other,
 std::string ExtendedRelation::ToString(int mass_decimals) const {
   std::ostringstream os;
   os << name_ << " " << (schema_ ? schema_->ToString() : "(null schema)")
-     << " [" << rows_.size() << " tuples]\n";
-  for (const ExtendedTuple& t : rows_) {
+     << " [" << size() << " tuples]\n";
+  for (const ExtendedTuple& t : rows()) {
     os << "  " << t.ToString(mass_decimals) << "\n";
   }
   return os.str();

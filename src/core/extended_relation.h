@@ -1,15 +1,30 @@
 #ifndef EVIDENT_CORE_EXTENDED_RELATION_H_
 #define EVIDENT_CORE_EXTENDED_RELATION_H_
 
+#include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "core/key_index.h"
 #include "core/schema.h"
 #include "core/tuple.h"
 
 namespace evident {
+
+class ColumnStore;
+
+/// \brief Transparent hash over encoded keys for callers that keep their
+/// own key sets (e.g. MergeTuples' matched-key bookkeeping); pairs with
+/// std::equal_to<> so string_view probes allocate nothing.
+struct EncodedKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view key) const {
+    return std::hash<std::string_view>()(key);
+  }
+};
 
 /// \brief An extended relation (the paper's §2.3): tuples with definite
 /// keys, evidence-set non-key attributes, and a per-tuple membership
@@ -21,27 +36,54 @@ namespace evident {
 /// with unconstrained sp. Insert enforces this; InsertUnchecked exists so
 /// tests and the boundedness property checker can materialize complement
 /// relations whose hypothetical tuples have sn = 0.
+///
+/// A relation lives in one of two storage modes. Row mode is the
+/// classic tuple store: inserts append rows and maintain the key index
+/// eagerly (duplicate keys are rejected at insert time). Columnar mode
+/// holds only a ColumnStore image — the columnar operators build their
+/// outputs this way (AdoptColumns) so a result that is only ever
+/// scanned column-at-a-time, or fed into the next columnar operator,
+/// never pays for materializing row objects or an index it does not
+/// probe. The row image and the key index are each materialized lazily
+/// on first use and the relation behaves identically from then on; a
+/// row-mode relation symmetrically caches its column image via
+/// columns(). Lazy materialization is not thread-safe — operators touch
+/// columns()/EnsureKeyIndex()/rows() once on the calling thread before
+/// sharding work.
 class ExtendedRelation {
  public:
   ExtendedRelation() = default;
   ExtendedRelation(std::string name, SchemaPtr schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  /// \brief Wraps a column image as a relation in columnar mode. The
+  /// store's row keys must be unique — the operators' outputs guarantee
+  /// this by construction (a relation's keys are unique and the
+  /// operators only ever narrow or disjointly combine key sets); the
+  /// lazily-built index does not re-check.
+  static ExtendedRelation AdoptColumns(ColumnStore store);
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const SchemaPtr& schema() const { return schema_; }
 
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
-  const std::vector<ExtendedTuple>& rows() const { return rows_; }
-  const ExtendedTuple& row(size_t i) const { return rows_[i]; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  const std::vector<ExtendedTuple>& rows() const {
+    MaterializeRows();
+    return rows_;
+  }
+  const ExtendedTuple& row(size_t i) const {
+    MaterializeRows();
+    return rows_[i];
+  }
 
   /// \brief Pre-sizes the row store and key index for `n` tuples; used by
   /// the relational operators, whose output cardinality is known (or
   /// bounded) up front.
   void Reserve(size_t n) {
     rows_.reserve(n);
-    key_index_.reserve(n);
+    key_index_.Reserve(n);
   }
 
   /// \brief Validates the tuple against the schema and CWA_ER (sn > 0)
@@ -56,21 +98,46 @@ class ExtendedRelation {
   /// schema — cells taken (or combined) from relations validated against
   /// a union-compatible schema. Skips per-cell validation entirely; the
   /// duplicate-key check and key index are still maintained. This is the
-  /// relational operators' insert path: per-tuple revalidation of
+  /// row-mode relational insert path: per-tuple revalidation of
   /// unchanged evidence sets dominated their cost.
   Status InsertTrusted(ExtendedTuple tuple);
-
-  /// \brief InsertTrusted with the tuple's key already extracted —
-  /// callers that just probed the key index (Union) hand it over instead
-  /// of paying KeyOf + hashing again.
-  Status InsertTrusted(ExtendedTuple tuple, KeyVector key);
 
   /// \brief The key of `tuple` under this relation's schema.
   KeyVector KeyOf(const ExtendedTuple& tuple) const;
 
+  /// \brief Writes the canonical byte encoding of `tuple`'s key cells to
+  /// `out` (cleared first) — the index's storage form. Probing with the
+  /// encoded form through FindByEncodedKey avoids allocating a KeyVector
+  /// (and its Value copies) per lookup.
+  void EncodeKeyOf(const ExtendedTuple& tuple, std::string* out) const;
+
   /// \brief Index of the row with key `key`, or NotFound.
   Result<size_t> FindByKey(const KeyVector& key) const;
   bool ContainsKey(const KeyVector& key) const;
+
+  /// \brief FindByKey over an already-encoded key (see EncodeKeyOf).
+  Result<size_t> FindByEncodedKey(std::string_view key) const;
+  bool ContainsEncodedKey(std::string_view key) const {
+    return ProbeEncodedKey(key) != EncodedKeyIndex::kNoRow;
+  }
+
+  /// \brief The allocation-free probe form: the row holding `key`, or
+  /// EncodedKeyIndex::kNoRow — no Status is built on a miss. The hot
+  /// operator probe loops use this.
+  uint32_t ProbeEncodedKey(std::string_view key) const {
+    EnsureKeyIndex();
+    return key_index_.Find(key);
+  }
+
+  /// \brief Builds the key index if this columnar-mode relation has not
+  /// been probed yet (no-op in row mode). Operators call it before
+  /// sharding probe loops across threads.
+  void EnsureKeyIndex() const;
+
+  /// \brief The column-major image of this relation: the native store in
+  /// columnar mode, a lazily-built cached image in row mode (invalidated
+  /// by inserts). See the class comment for thread-safety.
+  const ColumnStore& columns() const;
 
   /// \brief Checks every stored tuple against the schema and the CWA_ER
   /// invariant; used by property tests and after deserialization.
@@ -89,11 +156,21 @@ class ExtendedRelation {
       const;
   Status InsertImpl(ExtendedTuple tuple, bool require_positive_sn,
                     bool validate);
+  /// Row-mode entry for inserts: materializes rows and the index when
+  /// the relation is still columnar, drops the stale column cache.
+  void PrepareForInsert();
+  void MaterializeRows() const;
 
   std::string name_;
   SchemaPtr schema_;
-  std::vector<ExtendedTuple> rows_;
-  std::unordered_map<KeyVector, size_t, KeyVectorHash> key_index_;
+  mutable std::vector<ExtendedTuple> rows_;
+  mutable EncodedKeyIndex key_index_;
+  // Column image: the native store in columnar mode, a cache in row mode
+  // (shared so copies of an unchanged relation reuse it; reset by any
+  // insert — copy-on-write at relation level).
+  mutable std::shared_ptr<const ColumnStore> columns_;
+  mutable bool rows_built_ = true;
+  mutable bool index_built_ = true;
 };
 
 }  // namespace evident

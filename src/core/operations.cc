@@ -1,18 +1,26 @@
 #include "core/operations.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
 #include "common/math_util.h"
+#include "core/bound_predicate.h"
+#include "core/column_store.h"
 #include "core/join_plan.h"
 #include "core/parallel.h"
 
 namespace evident {
 
 namespace {
+
+/// Storage mode of the operator implementations (see operations.h).
+std::atomic<bool> g_columnar_execution{true};
 
 std::string KeyToString(const KeyVector& key) {
   std::string out;
@@ -42,9 +50,9 @@ size_t CappedProductReserve(size_t l, size_t r) {
   return l * r;
 }
 
-/// Hash of the definite cells at `indices`, mixed exactly like
-/// KeyVectorHash so equal key tuples hash equally across operands
-/// (Value::Hash already makes 1 and 1.0 agree, matching operator==).
+/// Hash of the definite cells at `indices`, mixed exactly like the key
+/// index so equal key tuples hash equally across operands (Value::Hash
+/// already makes 1 and 1.0 agree, matching operator==).
 uint64_t RowKeyHash(const ExtendedTuple& tuple,
                     const std::vector<size_t>& indices) {
   uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -75,12 +83,25 @@ bool RowKeysEqual(const ExtendedTuple& a, const std::vector<size_t>& a_indices,
 /// filtered by the residual predicate and the threshold, and emitted
 /// grouped by probe row — so the output is deterministic for any thread
 /// count.
+///
+/// Residual filtering runs in one of two modes. When columnar execution
+/// is on and the residual binds completely (BoundPredicate), each
+/// matched pair is filtered *before* its result tuple is materialized —
+/// pairs the threshold rejects never allocate. Otherwise the pair is
+/// materialized first and the interpreted predicate evaluates over the
+/// concatenated tuple, the reference behaviour. Both orders compute the
+/// identical support and revised membership.
 Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
                                       const ExtendedRelation& right,
                                       const JoinPlan& plan,
                                       const SchemaPtr& schema,
                                       const MembershipThreshold& threshold,
                                       ExtendedRelation out) {
+  // Lazy row materialization is not thread-safe; touch it on this thread
+  // before the sharded probe loop reads rows (no-ops for row-mode
+  // operands).
+  (void)left.rows();
+  (void)right.rows();
   constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
   const bool build_left = left.size() < right.size();
   const ExtendedRelation& build = build_left ? left : right;
@@ -117,6 +138,15 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
     slot_row[s] = static_cast<uint32_t>(i);
   }
 
+  const PredicatePtr& residual = plan.residual;
+  BoundPredicate bound_residual;
+  bool prefilter = false;
+  if (ColumnarExecutionEnabled() && residual != nullptr) {
+    bound_residual = BoundPredicate::BindPair(residual, schema,
+                                              left.schema()->size());
+    prefilter = bound_residual.fully_bound();
+  }
+
   // Probe in parallel; shard outputs concatenate in shard (= probe row)
   // order. The first failing shard in shard order reports its error.
   // The exact-shard form keeps the executor's partition in lockstep with
@@ -124,7 +154,6 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
   const size_t shard_count = ParallelShardCount(probe.size(), kParallelGrain);
   std::vector<std::vector<ExtendedTuple>> shard_rows(shard_count);
   std::vector<Status> shard_status(shard_count);
-  const PredicatePtr& residual = plan.residual;
   ParallelForExactShards(
       probe.size(), shard_count,
       [&](size_t shard, size_t begin, size_t end) {
@@ -147,6 +176,24 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
           for (uint32_t b = head; b != kEmpty; b = chain[b]) {
             const ExtendedTuple& l = build_left ? build.row(b) : probe_row;
             const ExtendedTuple& r = build_left ? probe_row : build.row(b);
+            if (prefilter) {
+              // The equi-conjuncts contribute exactly (1,1) on a match,
+              // so the full predicate's support reduces to the
+              // residual's — evaluated straight off the operand rows;
+              // the pair tuple only exists if it survives.
+              const SupportPair support = bound_residual.EvaluatePair(l, r);
+              const SupportPair revised =
+                  l.membership.Multiply(r.membership).Multiply(support);
+              if (!revised.HasPositiveSupport()) continue;  // CWA_ER.
+              if (!threshold.Accepts(revised)) continue;
+              ExtendedTuple t;
+              t.cells.reserve(l.cells.size() + r.cells.size());
+              t.cells.insert(t.cells.end(), l.cells.begin(), l.cells.end());
+              t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
+              t.membership = revised;
+              rows.push_back(std::move(t));
+              continue;
+            }
             ExtendedTuple t;
             t.cells.reserve(l.cells.size() + r.cells.size());
             t.cells.insert(t.cells.end(), l.cells.begin(), l.cells.end());
@@ -188,12 +235,21 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
 
 }  // namespace
 
-Result<ExtendedRelation> Select(const ExtendedRelation& input,
-                                const PredicatePtr& predicate,
-                                const MembershipThreshold& threshold) {
-  if (predicate == nullptr) {
-    return Status::InvalidArgument("null selection predicate");
-  }
+void SetColumnarExecution(bool enabled) {
+  g_columnar_execution.store(enabled, std::memory_order_relaxed);
+}
+
+bool ColumnarExecutionEnabled() {
+  return g_columnar_execution.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Reference implementation of extended selection: tuple-at-a-time over
+/// the row store with the interpreted predicate.
+Result<ExtendedRelation> SelectRows(const ExtendedRelation& input,
+                                    const PredicatePtr& predicate,
+                                    const MembershipThreshold& threshold) {
   ExtendedRelation out("select(" + input.name() + ")", input.schema());
   out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {
@@ -210,6 +266,110 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
     EVIDENT_RETURN_NOT_OK(out.InsertTrusted(ExtendedTuple(r.cells, revised)));
   }
   return out;
+}
+
+/// Appends row `src` of `col` to `dst` (packed span copy).
+void AppendSpan(const ColumnStore::EvidenceColumn& col, size_t src,
+                ColumnStore::EvidenceColumn* dst) {
+  const uint32_t first = col.offsets[src];
+  const uint32_t last = col.offsets[src + 1];
+  dst->words.insert(dst->words.end(), col.words.begin() + first,
+                    col.words.begin() + last);
+  dst->masses.insert(dst->masses.end(), col.masses.begin() + first,
+                     col.masses.begin() + last);
+  dst->offsets.push_back(static_cast<uint32_t>(dst->words.size()));
+}
+
+/// The key of row `row` as Values, for error messages.
+KeyVector KeyOfStoreRow(const ColumnStore& store, size_t row) {
+  KeyVector key;
+  for (size_t a : store.schema()->key_indices()) {
+    key.push_back(store.value_column(a).values[row]);
+  }
+  return key;
+}
+
+/// Columnar extended selection: the predicate is bound once (attribute
+/// positions, IS-masks, theta tables) and evaluated column-at-a-time
+/// over the packed evidence spans, sharded across threads; the serial
+/// output pass filters in row order and splices the surviving rows'
+/// column slices into a fresh column image — no row objects are built
+/// unless a downstream consumer asks for them. Falls back to the row
+/// path whenever the predicate does not bind completely — including
+/// predicates that error per row — so behaviour is identical.
+Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
+                                        const PredicatePtr& predicate,
+                                        const MembershipThreshold& threshold) {
+  const BoundPredicate bound =
+      BoundPredicate::Bind(predicate, input.schema());
+  if (!bound.fully_bound()) return SelectRows(input, predicate, threshold);
+  const ColumnStore& store = input.columns();
+  const size_t n = input.size();
+  std::vector<SupportPair> supports(n);
+  ParallelForShards(n, kParallelGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      bound.EvaluateColumns(store, begin, end,
+                                            supports.data());
+                    });
+
+  std::vector<uint32_t> keep;
+  std::vector<SupportPair> revised_memberships;
+  for (size_t i = 0; i < n; ++i) {
+    // F_TM: predicate satisfaction and original membership are treated
+    // as independent events (Figure 3).
+    const SupportPair revised = store.membership(i).Multiply(supports[i]);
+    if (!revised.HasPositiveSupport()) continue;  // CWA_ER consistency.
+    if (!threshold.Accepts(revised)) continue;
+    keep.push_back(static_cast<uint32_t>(i));
+    revised_memberships.push_back(revised);
+  }
+
+  ColumnStore out =
+      ColumnStore::EmptyLike(input.schema(), "select(" + input.name() + ")");
+  out.ReserveRows(keep.size());
+  const size_t attrs = input.schema()->size();
+  for (size_t a = 0; a < attrs; ++a) {
+    switch (store.kind(a)) {
+      case ColumnStore::ColumnKind::kValue: {
+        const std::vector<Value>& src = store.value_column(a).values;
+        std::vector<Value>& dst = out.value_column_mut(a).values;
+        dst.reserve(keep.size());
+        for (uint32_t i : keep) dst.push_back(src[i]);
+        break;
+      }
+      case ColumnStore::ColumnKind::kEvidence: {
+        const ColumnStore::EvidenceColumn& src = store.evidence_column(a);
+        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
+        dst.offsets.reserve(keep.size() + 1);
+        for (uint32_t i : keep) AppendSpan(src, i, &dst);
+        break;
+      }
+      case ColumnStore::ColumnKind::kBoxed: {
+        const std::vector<EvidenceSet>& src = store.boxed_column(a).sets;
+        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
+        dst.reserve(keep.size());
+        for (uint32_t i : keep) dst.push_back(src[i]);
+        break;
+      }
+    }
+  }
+  for (const SupportPair& membership : revised_memberships) {
+    out.AppendMembership(membership);
+  }
+  return ExtendedRelation::AdoptColumns(std::move(out));
+}
+
+}  // namespace
+
+Result<ExtendedRelation> Select(const ExtendedRelation& input,
+                                const PredicatePtr& predicate,
+                                const MembershipThreshold& threshold) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null selection predicate");
+  }
+  return ColumnarExecutionEnabled()
+             ? SelectColumnar(input, predicate, threshold)
+             : SelectRows(input, predicate, threshold);
 }
 
 Result<SupportPair> CombineMembership(const SupportPair& a,
@@ -244,31 +404,30 @@ Result<SupportPair> CombineMembership(const SupportPair& a,
   return Status::InvalidArgument("unknown combination rule");
 }
 
-Result<ExtendedRelation> Union(const ExtendedRelation& left,
-                               const ExtendedRelation& right,
-                               const UnionOptions& options) {
-  if (left.schema() == nullptr || right.schema() == nullptr) {
-    return Status::InvalidArgument("union of relations without schemas");
-  }
-  if (!left.schema()->UnionCompatibleWith(*right.schema())) {
-    return Status::Incompatible(
-        "relations are not union-compatible: " + left.schema()->ToString() +
-        " vs " + right.schema()->ToString());
-  }
-  ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
-  out.Reserve(left.size() + right.size());
+namespace {
 
-  // Per-tuple combinations are independent (the combination kernels keep
-  // their scratch thread-local), so the merge pass runs in two phases:
-  // a parallel phase computes one MergeSlot per left row — the merged
-  // tuple, a skip marker, or the error the row's policies produced — and
-  // a serial phase walks the slots in row order, so insertion order,
-  // first-error semantics and the right-side bookkeeping are identical
-  // to serial execution for any thread count. Evidence cells were
-  // validated when the operand relations were built and the schemas were
-  // just checked union-compatible (SameDomain per attribute), so the
-  // inner loop uses the trusted combination path instead of re-checking
-  // per combination.
+/// Reference implementation of extended union: tuple-at-a-time over the
+/// row store (see the columnar implementation below for the production
+/// path). Per-tuple combinations are independent (the combination
+/// kernels keep their scratch thread-local), so the merge pass runs in
+/// two phases: a parallel phase computes one MergeSlot per left row —
+/// the merged tuple, a skip marker, or the error the row's policies
+/// produced — and a serial phase walks the slots in row order, so
+/// insertion order, first-error semantics and the right-side bookkeeping
+/// are identical to serial execution for any thread count. Evidence
+/// cells were validated when the operand relations were built and the
+/// schemas were just checked union-compatible (SameDomain per
+/// attribute), so the inner loop uses the trusted combination path
+/// instead of re-checking per combination.
+Result<ExtendedRelation> UnionRows(const ExtendedRelation& left,
+                                   const ExtendedRelation& right,
+                                   const UnionOptions& options,
+                                   ExtendedRelation out) {
+  // Materialize lazy state on this thread before the sharded merge pass
+  // touches rows and the right index (no-ops for row-mode operands).
+  (void)left.rows();
+  (void)right.rows();
+  right.EnsureKeyIndex();
   enum class SlotKind : uint8_t { kKeep, kMerged, kSkip, kError };
   struct MergeSlot {
     SlotKind kind = SlotKind::kKeep;
@@ -406,14 +565,12 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
       case SlotKind::kSkip:
         break;
       case SlotKind::kKeep:
-        EVIDENT_RETURN_NOT_OK(
-            out.InsertTrusted(left.row(i), std::move(slot.key)));
+        EVIDENT_RETURN_NOT_OK(out.InsertTrusted(left.row(i)));
         break;
       case SlotKind::kMerged:
         // Key cells come from the validated left tuple; merged evidence
         // cells are combination-kernel output (valid by construction).
-        EVIDENT_RETURN_NOT_OK(
-            out.InsertTrusted(std::move(slot.merged), std::move(slot.key)));
+        EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(slot.merged)));
         break;
     }
   }
@@ -425,6 +582,402 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
   return out;
 }
 
+/// Columnar extended union. Four phases over the operands' ColumnStore
+/// images:
+///
+///  1. Probe — every left row's key is encoded off the contiguous key
+///     value columns into a reused buffer and looked up in the right
+///     relation's flat encoded-key index (no per-row key
+///     materialization), sharded across threads.
+///  2. Batch combine — for each packed uncertain attribute, the matched
+///     row pairs go through CombineColumnBatch over the contiguous focal
+///     spans, sharded over the pair range (each shard handles all
+///     attributes of its pair slice for locality). Wide (> 64 value)
+///     domains keep the row-store kernel and are combined in the verdict
+///     pass.
+///  3. Verdict — a serial pass in left-row order applies the conflict
+///     policies in schema-attribute order (exactly the row path's
+///     error/skip precedence, including first-error and its messages)
+///     and combines memberships via the closed forms, deciding for each
+///     output row where its cells come from.
+///  4. Build — the output's column image is assembled column-at-a-time
+///     by splicing value/span slices from the operand stores and the
+///     batch results, and adopted as a columnar-mode relation: no row
+///     objects, no index inserts — both materialize lazily if a
+///     downstream consumer needs them.
+///
+/// The combination arithmetic runs through the same span kernels as the
+/// row path, so the result is bit-identical in both storage modes for
+/// any thread count.
+Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
+                                       const ExtendedRelation& right,
+                                       const UnionOptions& options) {
+  const SchemaPtr& schema = left.schema();
+  const size_t n = left.size();
+  const ColumnStore& left_store = left.columns();
+  const ColumnStore& right_store = right.columns();
+  right.EnsureKeyIndex();
+
+  // Phase 1: probe. (ProbeEncodedKey, not FindByEncodedKey: a miss per
+  // unmatched left row must not build a NotFound Status string.)
+  static_assert(EncodedKeyIndex::kNoRow ==
+                std::numeric_limits<uint32_t>::max());
+  constexpr uint32_t kNoMatch = EncodedKeyIndex::kNoRow;
+  std::vector<uint32_t> match(n, kNoMatch);
+  ParallelForShards(n, kParallelGrain,
+                    [&](size_t, size_t begin, size_t end) {
+                      std::string key;
+                      for (size_t i = begin; i < end; ++i) {
+                        left_store.EncodeKeyOfRow(i, &key);
+                        match[i] = right.ProbeEncodedKey(key);
+                      }
+                    });
+
+  std::vector<uint32_t> pair_left, pair_right;
+  for (size_t i = 0; i < n; ++i) {
+    if (match[i] != kNoMatch) {
+      pair_left.push_back(static_cast<uint32_t>(i));
+      pair_right.push_back(match[i]);
+    }
+  }
+  const size_t pairs = pair_left.size();
+
+  // Phase 2: batch combine per packed uncertain attribute.
+  struct AttrBatch {
+    size_t attr = 0;
+    const ColumnStore::EvidenceColumn* left_col = nullptr;
+    const ColumnStore::EvidenceColumn* right_col = nullptr;
+    std::vector<BatchCombineResult> shards;
+  };
+  std::vector<AttrBatch> batches;
+  std::vector<int> batch_of_attr(schema->size(), -1);
+  std::vector<int> boxed_slot_of_attr(schema->size(), -1);
+  std::vector<std::vector<std::optional<EvidenceSet>>> boxed_results;
+  for (size_t a = 0; a < schema->size(); ++a) {
+    if (schema->attribute(a).kind != AttributeKind::kUncertain) continue;
+    if (left_store.kind(a) == ColumnStore::ColumnKind::kEvidence) {
+      batch_of_attr[a] = static_cast<int>(batches.size());
+      AttrBatch batch;
+      batch.attr = a;
+      batch.left_col = &left_store.evidence_column(a);
+      batch.right_col = &right_store.evidence_column(a);
+      batches.push_back(std::move(batch));
+    } else {
+      boxed_slot_of_attr[a] = static_cast<int>(boxed_results.size());
+      boxed_results.emplace_back(pairs);  // slots filled by the verdict pass
+    }
+  }
+  const size_t shard_count = ParallelShardCount(pairs, kParallelGrain);
+  std::vector<size_t> shard_begin(shard_count, 0), shard_end(shard_count, 0);
+  if (pairs > 0) {
+    // Size every per-shard output before the workers start: each shard
+    // writes only its own slot.
+    for (AttrBatch& batch : batches) batch.shards.resize(shard_count);
+    ParallelForExactShards(
+        pairs, shard_count, [&](size_t shard, size_t begin, size_t end) {
+          shard_begin[shard] = begin;
+          shard_end[shard] = end;
+          for (AttrBatch& batch : batches) {
+            CombineColumnBatch(batch.left_col->universe, options.rule,
+                               batch.left_col->Spans(),
+                               pair_left.data() + begin,
+                               batch.right_col->Spans(),
+                               pair_right.data() + begin, end - begin,
+                               &batch.shards[shard]);
+          }
+        });
+  }
+
+  // Phase 3: verdict, in left-row order.
+  enum class RowSource : uint8_t { kLeft, kMerged, kRight };
+  struct OutRow {
+    RowSource source;
+    uint32_t src;   // left row (kLeft, kMerged) or right row (kRight)
+    uint32_t pair;  // kMerged: index into the pair lists
+  };
+  std::vector<OutRow> out_rows;
+  out_rows.reserve(n + right.size() - pairs);
+  std::vector<SupportPair> pair_membership(pairs);
+  size_t pair_index = 0;
+  size_t shard = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (match[i] == kNoMatch) {
+      out_rows.push_back({RowSource::kLeft, static_cast<uint32_t>(i), 0});
+      continue;
+    }
+    while (shard + 1 < shard_count && pair_index >= shard_end[shard]) ++shard;
+    const size_t local = pair_index - shard_begin[shard];
+    const size_t right_row = match[i];
+    bool skip = false;
+    for (size_t a = 0; a < schema->size() && !skip; ++a) {
+      const AttributeDef& attr = schema->attribute(a);
+      switch (attr.kind) {
+        case AttributeKind::kKey:
+          break;
+        case AttributeKind::kDefinite: {
+          const Value& lv = left_store.value_column(a).values[i];
+          const Value& rv = right_store.value_column(a).values[right_row];
+          if (lv == rv) break;
+          if (options.on_definite_conflict == DefiniteConflictPolicy::kError) {
+            return Status::Incompatible(
+                "definite attribute '" + attr.name + "' conflicts on key (" +
+                KeyToString(KeyOfStoreRow(left_store, i)) + "): " +
+                lv.ToString() + " vs " + rv.ToString() +
+                "; attribute preprocessing should have aligned these");
+          }
+          // kPreferLeft/kPreferRight: the build pass picks the side.
+          break;
+        }
+        case AttributeKind::kUncertain: {
+          bool conflict;
+          const int boxed_slot = boxed_slot_of_attr[a];
+          if (boxed_slot < 0) {
+            conflict = batches[batch_of_attr[a]]
+                           .shards[shard]
+                           .total_conflict[local] != 0;
+          } else {
+            // Wide domain: row-store kernel, combined here (serially) so
+            // the error/skip precedence stays in attribute order.
+            Result<EvidenceSet> combined = CombineEvidenceTrusted(
+                left_store.boxed_column(a).sets[i],
+                right_store.boxed_column(a).sets[right_row], options.rule);
+            if (combined.ok()) {
+              boxed_results[boxed_slot][pair_index] =
+                  std::move(combined).value();
+              break;
+            }
+            if (combined.status().code() != StatusCode::kTotalConflict) {
+              return combined.status();
+            }
+            conflict = true;
+          }
+          if (!conflict) break;
+          switch (options.on_total_conflict) {
+            case TotalConflictPolicy::kError:
+              return Status::TotalConflict(
+                  "attribute '" + attr.name + "' of key (" +
+                  KeyToString(KeyOfStoreRow(left_store, i)) +
+                  ") is totally conflicting between the sources: " +
+                  left_store.MaterializeEvidence(a, i).ToString() + " vs " +
+                  right_store.MaterializeEvidence(a, right_row).ToString() +
+                  "; the data administrators must be informed");
+            case TotalConflictPolicy::kSkipTuple:
+              skip = true;
+              break;
+            case TotalConflictPolicy::kVacuous:
+              // The build pass substitutes the vacuous span (packed) or
+              // evidence set (boxed).
+              if (boxed_slot >= 0) {
+                boxed_results[boxed_slot][pair_index] =
+                    EvidenceSet::Vacuous(attr.domain);
+              }
+              break;
+          }
+          break;
+        }
+      }
+    }
+    if (skip) {
+      ++pair_index;
+      continue;
+    }
+
+    Result<SupportPair> membership = CombineMembership(
+        left_store.membership(i), right_store.membership(right_row),
+        options.rule);
+    if (!membership.ok()) {
+      if (membership.status().code() != StatusCode::kTotalConflict) {
+        return membership.status();
+      }
+      switch (options.on_total_conflict) {
+        case TotalConflictPolicy::kError:
+          return Status::TotalConflict(
+              "membership of key (" +
+              KeyToString(KeyOfStoreRow(left_store, i)) +
+              ") is totally conflicting between the sources");
+        case TotalConflictPolicy::kSkipTuple:
+          ++pair_index;
+          skip = true;
+          break;
+        case TotalConflictPolicy::kVacuous:
+          membership = SupportPair::Unknown();
+          break;
+      }
+      if (skip) continue;
+    }
+    pair_membership[pair_index] = *membership;
+    out_rows.push_back({RowSource::kMerged, static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(pair_index)});
+    ++pair_index;
+  }
+  {
+    std::vector<uint8_t> matched_right(right.size(), 0);
+    for (uint32_t j : pair_right) matched_right[j] = 1;
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (!matched_right[j]) {
+        out_rows.push_back({RowSource::kRight, static_cast<uint32_t>(j), 0});
+      }
+    }
+  }
+
+  // Phase 4: build the output's column image.
+  ColumnStore out = ColumnStore::EmptyLike(
+      schema, left.name() + " u " + right.name());
+  out.ReserveRows(out_rows.size());
+  for (size_t a = 0; a < schema->size(); ++a) {
+    const AttributeDef& attr = schema->attribute(a);
+    switch (left_store.kind(a)) {
+      case ColumnStore::ColumnKind::kValue: {
+        const std::vector<Value>& lvals = left_store.value_column(a).values;
+        const std::vector<Value>& rvals = right_store.value_column(a).values;
+        // Merged definite cells take the left value unless the policy
+        // prefers the right side *and* the cells actually conflict — on
+        // equality the row path keeps the left cell, which matters for
+        // cross-kind-equal values (int 1 vs real 1.0).
+        const bool prefer_right =
+            attr.kind == AttributeKind::kDefinite &&
+            options.on_definite_conflict == DefiniteConflictPolicy::kPreferRight;
+        std::vector<Value>& dst = out.value_column_mut(a).values;
+        dst.reserve(out_rows.size());
+        for (const OutRow& row : out_rows) {
+          switch (row.source) {
+            case RowSource::kLeft:
+              dst.push_back(lvals[row.src]);
+              break;
+            case RowSource::kMerged: {
+              const Value& lv = lvals[row.src];
+              if (prefer_right) {
+                const Value& rv = rvals[pair_right[row.pair]];
+                dst.push_back(lv == rv ? lv : rv);
+              } else {
+                dst.push_back(lv);
+              }
+              break;
+            }
+            case RowSource::kRight:
+              dst.push_back(rvals[row.src]);
+              break;
+          }
+        }
+        break;
+      }
+      case ColumnStore::ColumnKind::kEvidence: {
+        const ColumnStore::EvidenceColumn& lcol =
+            left_store.evidence_column(a);
+        const ColumnStore::EvidenceColumn& rcol =
+            right_store.evidence_column(a);
+        const AttrBatch& batch = batches[batch_of_attr[a]];
+        const uint64_t full = lcol.universe >= 64
+                                  ? ~uint64_t{0}
+                                  : (uint64_t{1} << lcol.universe) - 1;
+        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
+        dst.words.reserve(lcol.words.size() + rcol.words.size());
+        dst.masses.reserve(lcol.words.size() + rcol.words.size());
+        dst.offsets.reserve(out_rows.size() + 1);
+        size_t cursor_shard = 0;
+        for (const OutRow& row : out_rows) {
+          switch (row.source) {
+            case RowSource::kLeft:
+              AppendSpan(lcol, row.src, &dst);
+              break;
+            case RowSource::kRight:
+              AppendSpan(rcol, row.src, &dst);
+              break;
+            case RowSource::kMerged: {
+              while (cursor_shard + 1 < shard_count &&
+                     row.pair >= shard_end[cursor_shard]) {
+                ++cursor_shard;
+              }
+              const size_t local = row.pair - shard_begin[cursor_shard];
+              const BatchCombineResult& result = batch.shards[cursor_shard];
+              if (result.total_conflict[local]) {
+                // Policy kVacuous (kError/kSkipTuple rows never reach the
+                // build pass): total ignorance, all mass on the frame.
+                dst.words.push_back(full);
+                dst.masses.push_back(1.0);
+                dst.offsets.push_back(
+                    static_cast<uint32_t>(dst.words.size()));
+              } else {
+                const uint32_t first = result.offsets[local];
+                const uint32_t last = result.offsets[local + 1];
+                dst.words.insert(dst.words.end(),
+                                 result.words.begin() + first,
+                                 result.words.begin() + last);
+                dst.masses.insert(dst.masses.end(),
+                                  result.masses.begin() + first,
+                                  result.masses.begin() + last);
+                dst.offsets.push_back(
+                    static_cast<uint32_t>(dst.words.size()));
+              }
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case ColumnStore::ColumnKind::kBoxed: {
+        const std::vector<EvidenceSet>& lsets =
+            left_store.boxed_column(a).sets;
+        const std::vector<EvidenceSet>& rsets =
+            right_store.boxed_column(a).sets;
+        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
+        dst.reserve(out_rows.size());
+        std::vector<std::optional<EvidenceSet>>& combined =
+            boxed_results[boxed_slot_of_attr[a]];
+        for (const OutRow& row : out_rows) {
+          switch (row.source) {
+            case RowSource::kLeft:
+              dst.push_back(lsets[row.src]);
+              break;
+            case RowSource::kMerged:
+              dst.push_back(std::move(*combined[row.pair]));
+              break;
+            case RowSource::kRight:
+              dst.push_back(rsets[row.src]);
+              break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (const OutRow& row : out_rows) {
+    switch (row.source) {
+      case RowSource::kLeft:
+        out.AppendMembership(left_store.membership(row.src));
+        break;
+      case RowSource::kMerged:
+        out.AppendMembership(pair_membership[row.pair]);
+        break;
+      case RowSource::kRight:
+        out.AppendMembership(right_store.membership(row.src));
+        break;
+    }
+  }
+  return ExtendedRelation::AdoptColumns(std::move(out));
+}
+
+}  // namespace
+
+Result<ExtendedRelation> Union(const ExtendedRelation& left,
+                               const ExtendedRelation& right,
+                               const UnionOptions& options) {
+  if (left.schema() == nullptr || right.schema() == nullptr) {
+    return Status::InvalidArgument("union of relations without schemas");
+  }
+  if (!left.schema()->UnionCompatibleWith(*right.schema())) {
+    return Status::Incompatible(
+        "relations are not union-compatible: " + left.schema()->ToString() +
+        " vs " + right.schema()->ToString());
+  }
+  if (ColumnarExecutionEnabled()) {
+    return UnionColumnar(left, right, options);
+  }
+  ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
+  out.Reserve(left.size() + right.size());
+  return UnionRows(left, right, options, std::move(out));
+}
+
 Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
                                    const ExtendedRelation& right,
                                    const UnionOptions& options) {
@@ -432,9 +985,10 @@ Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
                            Union(left, right, options));
   ExtendedRelation out(left.name() + " n " + right.name(), merged.schema());
   out.Reserve(merged.size());
+  std::string key;
   for (const ExtendedTuple& t : merged.rows()) {
-    const KeyVector key = merged.KeyOf(t);
-    if (left.ContainsKey(key) && right.ContainsKey(key)) {
+    merged.EncodeKeyOf(t, &key);
+    if (left.ContainsEncodedKey(key) && right.ContainsEncodedKey(key)) {
       EVIDENT_RETURN_NOT_OK(out.InsertTrusted(t));
     }
   }

@@ -12,6 +12,20 @@
 
 namespace evident {
 
+/// \brief Selects the storage mode the relational operators execute in.
+///
+/// Columnar execution (the default) runs the hot operators —
+/// Select's predicate evaluation, Union/MergeTuples' per-key combination
+/// pass, and the hash-join probe's residual filtering — column-at-a-time
+/// over each relation's packed ColumnStore image and the batch
+/// combination kernel. Row execution is the reference interpretation,
+/// tuple-at-a-time over the row store. Both modes produce bit-identical
+/// relations and identical first-error behaviour (enforced by
+/// kernel_differential_test); the toggle exists for that differential
+/// and for embedders that want to avoid the column image's memory.
+void SetColumnarExecution(bool enabled);
+bool ColumnarExecutionEnabled();
+
 /// \brief Extended selection σ̃^Q_P (§3.1).
 ///
 /// For each tuple r: computes the predicate support F_SS(r, P), revises

@@ -81,6 +81,16 @@ class ThetaOperand {
 
   bool is_attribute() const { return rep_.index() == 0; }
   const std::string& attribute() const { return std::get<std::string>(rep_); }
+  /// \name Literal accessors, used by the predicate binder to
+  /// pre-decompose literal operands once per operator call.
+  /// @{
+  bool is_literal_evidence() const { return rep_.index() == 1; }
+  const EvidenceSet& literal_evidence() const {
+    return std::get<EvidenceSet>(rep_);
+  }
+  bool is_literal_value() const { return rep_.index() == 2; }
+  const Value& literal_value() const { return std::get<Value>(rep_); }
+  /// @}
 
   /// \brief Decomposes the operand (resolving attribute references
   /// against the tuple) into focal elements: (set-of-values, mass) pairs.

@@ -6,123 +6,17 @@
 #include <unordered_map>
 
 #include "common/math_util.h"
+#include "ds/combination_internal.h"
 
 namespace evident {
 
-namespace {
-
-Status CheckSameUniverse(const MassFunction& m1, const MassFunction& m2) {
-  if (m1.universe_size() != m2.universe_size()) {
-    return Status::Incompatible(
-        "cannot combine mass functions over different frames (" +
-        std::to_string(m1.universe_size()) + " vs " +
-        std::to_string(m2.universe_size()) + ")");
-  }
-  if (m1.FocalCount() == 0 || m2.FocalCount() == 0) {
-    return Status::InvalidArgument("cannot combine an empty mass function");
-  }
-  return Status::OK();
-}
-
-/// Open-addressing accumulator keyed by inline ValueSet words; the flat
-/// replacement for an unordered_map<ValueSet, double> in the pairwise
-/// kernel when the number of product terms is large. Word 0 (the empty
-/// set) never enters the table — empty intersections are the conflict
-/// mass — so it doubles as the free-slot sentinel.
-class WordAccumulator {
- public:
-  void Reset(size_t expected_terms) {
-    // Distinct intersections are usually far fewer than product terms;
-    // start modest and grow at 0.75 load.
-    size_t cap = 64;
-    while (cap < 2 * expected_terms && cap < 8192) cap <<= 1;
-    if (keys_.size() != cap) {
-      keys_.assign(cap, 0);
-      vals_.assign(cap, 0.0);
-    } else {
-      std::fill(keys_.begin(), keys_.end(), 0);
-    }
-    mask_ = cap - 1;
-    count_ = 0;
-  }
-
-  void Add(uint64_t key, double value) {
-    size_t i = Mix(key) & mask_;
-    while (true) {
-      if (keys_[i] == key) {
-        vals_[i] += value;
-        return;
-      }
-      if (keys_[i] == 0) {
-        keys_[i] = key;
-        vals_[i] = value;
-        if (++count_ * 4 > 3 * (mask_ + 1)) Grow();
-        return;
-      }
-      i = (i + 1) & mask_;
-    }
-  }
-
-  /// Appends the stored (word, mass) pairs to `out`, unsorted.
-  void Drain(std::vector<std::pair<uint64_t, double>>* out) const {
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != 0) out->emplace_back(keys_[i], vals_[i]);
-    }
-  }
-
- private:
-  static uint64_t Mix(uint64_t x) {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 29;
-    return x;
-  }
-
-  void Grow() {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<double> old_vals = std::move(vals_);
-    const size_t cap = (mask_ + 1) * 2;
-    keys_.assign(cap, 0);
-    vals_.assign(cap, 0.0);
-    mask_ = cap - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == 0) continue;
-      size_t j = Mix(old_keys[i]) & mask_;
-      while (keys_[j] != 0) j = (j + 1) & mask_;
-      keys_[j] = old_keys[i];
-      vals_[j] = old_vals[i];
-    }
-  }
-
-  std::vector<uint64_t> keys_;
-  std::vector<double> vals_;
-  size_t mask_ = 0;
-  size_t count_ = 0;
-};
-
-/// Buffers reused across combinations on the same thread, so per-tuple
-/// per-attribute combination in the relational operators does not
-/// allocate once the buffers have warmed up.
-struct KernelScratch {
-  MassFunction::FocalVector entries;  // multi-word product terms
-  std::vector<std::pair<uint64_t, double>> words;  // inline product terms
-  WordAccumulator accumulator;        // inline terms, hash-merged
-  std::unordered_map<ValueSet, double, ValueSetHash>
-      set_accumulator;                // multi-word terms, hash-merged
-  std::vector<double> lattice;        // dense 2^n accumulator (commonality)
-  std::vector<double> operand;        // dense 2^n operand being folded in
-};
+namespace ds_internal {
 
 KernelScratch& Scratch() {
   thread_local KernelScratch scratch;
   return scratch;
 }
 
-/// Above this many product terms, merging through the flat hash beats
-/// sorting the raw term list.
-constexpr size_t kHashMergeMinTerms = 512;
-
-/// Sorts raw (word, mass) terms and folds duplicate words in place.
 void SortAndMergeWords(std::vector<std::pair<uint64_t, double>>* words) {
   std::sort(words->begin(), words->end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -142,8 +36,6 @@ void SortAndMergeWords(std::vector<std::pair<uint64_t, double>>* words) {
   words->resize(out);
 }
 
-/// Upward (superset) zeta transform in place: q[A] := sum_{B ⊇ A} q[B].
-/// Applied to masses this yields the commonality function Q.
 void ZetaSuperset(double* q, size_t universe) {
   const size_t n = size_t{1} << universe;
   for (size_t i = 0; i < universe; ++i) {
@@ -154,8 +46,6 @@ void ZetaSuperset(double* q, size_t universe) {
   }
 }
 
-/// Inverse of ZetaSuperset (Möbius inversion): recovers masses from a
-/// commonality function.
 void MoebiusSuperset(double* q, size_t universe) {
   const size_t n = size_t{1} << universe;
   for (size_t i = 0; i < universe; ++i) {
@@ -164,6 +54,127 @@ void MoebiusSuperset(double* q, size_t universe) {
       if ((s & bit) == 0) q[s] -= q[s | bit];
     }
   }
+}
+
+bool FmtProfitable(size_t universe, size_t pairwise_terms) {
+  if (universe == 0 || universe > kFmtMaxUniverse) return false;
+  const uint64_t dense_ops = (3 * universe + 2) * (uint64_t{1} << universe);
+  return 16 * static_cast<uint64_t>(pairwise_terms) > dense_ops;
+}
+
+double PairwiseInlineSpans(const InlineSpan& a, const InlineSpan& b,
+                           KernelScratch& s) {
+  double kappa = 0.0;
+  // Word-at-a-time fast path: every focal element is one machine word
+  // and every intersection one AND. Small products merge duplicates by
+  // sorting the raw term list; large ones accumulate through the flat
+  // hash so the merge is O(terms), not O(terms·log terms).
+  const size_t terms = a.size * b.size;
+  auto& words = s.words;
+  words.clear();
+  if (terms <= kHashMergeMinTerms) {
+    for (size_t i = 0; i < a.size; ++i) {
+      const uint64_t xw = a.words[i];
+      const double mx = a.masses[i];
+      for (size_t j = 0; j < b.size; ++j) {
+        const double product = mx * b.masses[j];
+        if (product == 0.0) continue;
+        const uint64_t zw = xw & b.words[j];
+        if (zw == 0) {
+          kappa += product;
+        } else {
+          words.emplace_back(zw, product);
+        }
+      }
+    }
+    SortAndMergeWords(&words);
+  } else {
+    auto& accumulator = s.accumulator;
+    accumulator.Reset(terms);
+    for (size_t i = 0; i < a.size; ++i) {
+      const uint64_t xw = a.words[i];
+      const double mx = a.masses[i];
+      for (size_t j = 0; j < b.size; ++j) {
+        const double product = mx * b.masses[j];
+        if (product == 0.0) continue;
+        const uint64_t zw = xw & b.words[j];
+        if (zw == 0) {
+          kappa += product;
+        } else {
+          accumulator.Add(zw, product);
+        }
+      }
+    }
+    accumulator.Drain(&words);
+    std::sort(words.begin(), words.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+  }
+  return kappa;
+}
+
+double FmtInlineSpans(size_t universe, const InlineSpan& a,
+                      const InlineSpan& b, KernelScratch& s) {
+  s.lattice.assign(size_t{1} << universe, 0.0);
+  for (size_t i = 0; i < a.size; ++i) s.lattice[a.words[i]] += a.masses[i];
+  ZetaSuperset(s.lattice.data(), universe);
+  s.operand.assign(size_t{1} << universe, 0.0);
+  for (size_t j = 0; j < b.size; ++j) s.operand[b.words[j]] += b.masses[j];
+  ZetaSuperset(s.operand.data(), universe);
+  for (size_t i = 0; i < s.lattice.size(); ++i) s.lattice[i] *= s.operand[i];
+  MoebiusSuperset(s.lattice.data(), universe);
+  // Gather, scaling the noise floor to the mass that actually survived
+  // the product: in a deeply conflicting fold the genuine non-empty
+  // masses can sum to far less than 1, and an absolute floor would
+  // erase them all and fabricate total conflict.
+  const std::vector<double>& q = s.lattice;
+  double remaining = 0.0;
+  for (size_t w = 1; w < q.size(); ++w) remaining += q[w];
+  const double floor = kFmtMassFloor * std::min(1.0, std::fabs(remaining));
+  auto& words = s.words;
+  words.clear();
+  for (size_t w = 1; w < q.size(); ++w) {
+    if (q[w] > floor) words.emplace_back(w, q[w]);
+  }
+  return q[0] > kFmtMassFloor ? q[0] : 0.0;
+}
+
+}  // namespace ds_internal
+
+namespace {
+
+using ds_internal::FmtProfitable;
+using ds_internal::InlineSpan;
+using ds_internal::KernelScratch;
+using ds_internal::MoebiusSuperset;
+using ds_internal::Scratch;
+using ds_internal::ZetaSuperset;
+
+Status CheckSameUniverse(const MassFunction& m1, const MassFunction& m2) {
+  if (m1.universe_size() != m2.universe_size()) {
+    return Status::Incompatible(
+        "cannot combine mass functions over different frames (" +
+        std::to_string(m1.universe_size()) + " vs " +
+        std::to_string(m2.universe_size()) + ")");
+  }
+  if (m1.FocalCount() == 0 || m2.FocalCount() == 0) {
+    return Status::InvalidArgument("cannot combine an empty mass function");
+  }
+  return Status::OK();
+}
+
+/// Copies a mass function's focal store into the scratch span arrays;
+/// the bridge from the row-store (ValueSet, mass) layout to the packed
+/// layout the shared span kernels (and the ColumnStore) operate on.
+InlineSpan GatherSpan(const MassFunction& m, std::vector<uint64_t>* words,
+                      std::vector<double>* masses) {
+  const auto& focals = m.focals();
+  words->resize(focals.size());
+  masses->resize(focals.size());
+  for (size_t i = 0; i < focals.size(); ++i) {
+    (*words)[i] = focals[i].first.InlineWord();
+    (*masses)[i] = focals[i].second;
+  }
+  return InlineSpan{words->data(), masses->data(), focals.size()};
 }
 
 /// Scatters a mass function onto the dense subset lattice.
@@ -179,10 +190,7 @@ void DenseFromMass(const MassFunction& m, std::vector<double>* q) {
 /// kappa. Values at or below kFmtMassFloor are inverse-transform
 /// round-off, not focal elements.
 double DenseToMass(const std::vector<double>& q, MassFunction* out) {
-  // Scale the noise floor to the mass that actually survived the
-  // product: in a deeply conflicting k-way fold the genuine non-empty
-  // masses can sum to far less than 1, and an absolute floor would
-  // erase them all and fabricate total conflict.
+  // Same relative-floor rule as FmtInlineSpans (see there for why).
   double remaining = 0.0;
   for (size_t w = 1; w < q.size(); ++w) remaining += q[w];
   const double floor = kFmtMassFloor * std::min(1.0, std::fabs(remaining));
@@ -195,17 +203,6 @@ double DenseToMass(const std::vector<double>& q, MassFunction* out) {
   return q[0] > kFmtMassFloor ? q[0] : 0.0;
 }
 
-/// True when the dense fast-Möbius kernel is expected to beat the
-/// pairwise kernel: the frame must fit the lattice and the pairwise
-/// focal-product work must exceed the (3n+2)·2^n transform work. The
-/// constant 16 weighs a pairwise term (two loads, a multiply, an AND, a
-/// branchy merge insert) against a transform add.
-bool FmtProfitable(size_t universe, size_t pairwise_terms) {
-  if (universe == 0 || universe > kFmtMaxUniverse) return false;
-  const uint64_t dense_ops = (3 * universe + 2) * (uint64_t{1} << universe);
-  return 16 * static_cast<uint64_t>(pairwise_terms) > dense_ops;
-}
-
 /// Pairwise conjunctive product into `out` (universe already set);
 /// returns kappa, the mass on empty intersections.
 double ConjunctiveProductPairwise(const MassFunction& m1,
@@ -215,49 +212,13 @@ double ConjunctiveProductPairwise(const MassFunction& m1,
   const size_t universe = m1.universe_size();
   auto& s = Scratch();
   if (universe <= ValueSet::kMaxInlineUniverse) {
-    // Word-at-a-time fast path: every focal element is one machine word
-    // and every intersection one AND. Small products merge duplicates by
-    // sorting the raw term list; large ones accumulate through the flat
-    // hash so the merge is O(terms), not O(terms·log terms).
-    const size_t terms = m1.FocalCount() * m2.FocalCount();
-    auto& words = s.words;
-    words.clear();
-    if (terms <= kHashMergeMinTerms) {
-      for (const auto& [x, mx] : m1.focals()) {
-        const uint64_t xw = x.InlineWord();
-        for (const auto& [y, my] : m2.focals()) {
-          const double product = mx * my;
-          if (product == 0.0) continue;
-          const uint64_t zw = xw & y.InlineWord();
-          if (zw == 0) {
-            kappa += product;
-          } else {
-            words.emplace_back(zw, product);
-          }
-        }
-      }
-      SortAndMergeWords(&words);
-    } else {
-      auto& accumulator = s.accumulator;
-      accumulator.Reset(terms);
-      for (const auto& [x, mx] : m1.focals()) {
-        const uint64_t xw = x.InlineWord();
-        for (const auto& [y, my] : m2.focals()) {
-          const double product = mx * my;
-          if (product == 0.0) continue;
-          const uint64_t zw = xw & y.InlineWord();
-          if (zw == 0) {
-            kappa += product;
-          } else {
-            accumulator.Add(zw, product);
-          }
-        }
-      }
-      accumulator.Drain(&words);
-      std::sort(words.begin(), words.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-    }
-    out->AssignSortedInlineWords(words);
+    // Inline frames run through the shared span kernel — the same code
+    // path the columnar batch kernel uses, so both storage modes agree
+    // bitwise.
+    const InlineSpan a = GatherSpan(m1, &s.gather_words_a, &s.gather_masses_a);
+    const InlineSpan b = GatherSpan(m2, &s.gather_words_b, &s.gather_masses_b);
+    kappa = ds_internal::PairwiseInlineSpans(a, b, s);
+    out->AssignSortedInlineWords(s.words);
     return kappa;
   }
   // Multi-word frames (over 64 values): merge through a hash map — the
@@ -292,13 +253,11 @@ double ConjunctiveProductFmt(const MassFunction& m1, const MassFunction& m2,
                              MassFunction* out) {
   const size_t universe = m1.universe_size();
   auto& s = Scratch();
-  DenseFromMass(m1, &s.lattice);
-  ZetaSuperset(s.lattice.data(), universe);
-  DenseFromMass(m2, &s.operand);
-  ZetaSuperset(s.operand.data(), universe);
-  for (size_t i = 0; i < s.lattice.size(); ++i) s.lattice[i] *= s.operand[i];
-  MoebiusSuperset(s.lattice.data(), universe);
-  return DenseToMass(s.lattice, out);
+  const InlineSpan a = GatherSpan(m1, &s.gather_words_a, &s.gather_masses_a);
+  const InlineSpan b = GatherSpan(m2, &s.gather_words_b, &s.gather_masses_b);
+  const double kappa = ds_internal::FmtInlineSpans(universe, a, b, s);
+  out->AssignSortedInlineWords(s.words);
+  return kappa;
 }
 
 /// The conjunctive product under a chosen (or cost-model-chosen) kernel.

@@ -1,6 +1,7 @@
 #ifndef EVIDENT_DS_COMBINATION_H_
 #define EVIDENT_DS_COMBINATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -111,6 +112,61 @@ Result<MassFunction> CombineAllMasses(const std::vector<MassFunction>& ms,
 /// \brief The conflict mass kappa between two mass functions (sum of
 /// m1(X)·m2(Y) over disjoint X, Y) without performing the combination.
 Result<double> ConflictMass(const MassFunction& m1, const MassFunction& m2);
+
+/// \name Columnar batch combination
+/// The batch entry points the columnar operators use: mass functions
+/// over inline (<= 64 value) frames packed as contiguous (word, mass)
+/// spans with a per-row offset array — the ColumnStore's evidence-column
+/// layout — combined N row pairs at a time over flat memory instead of
+/// one MassFunction object pair at a time.
+/// @{
+
+/// \brief A borrowed packed evidence column: row r's focal elements are
+/// words[offsets[r] .. offsets[r+1]) with parallel masses. Words are
+/// sorted ascending and unique within a row, masses positive — the shape
+/// MassFunction's focal store guarantees and the kernels emit.
+struct FocalSpanColumn {
+  const uint64_t* words = nullptr;
+  const double* masses = nullptr;
+  const uint32_t* offsets = nullptr;
+};
+
+/// \brief The packed output of CombineColumnBatch: result i's focal
+/// elements are words[offsets[i] .. offsets[i+1]); total_conflict[i] is
+/// nonzero when pair i failed with total conflict (its span is empty).
+struct BatchCombineResult {
+  std::vector<uint64_t> words;
+  std::vector<double> masses;
+  std::vector<uint32_t> offsets;        // n + 1 entries, offsets[0] == 0
+  std::vector<uint8_t> total_conflict;  // n entries
+};
+
+/// \brief Combines the N row pairs (a[a_rows[i]], b[b_rows[i]]) under
+/// `rule` in one pass over the packed columns (null a_rows/b_rows mean
+/// the identity selection a[i], b[i]).
+///
+/// Per pair this matches CombineEvidenceTrusted bit for bit: the same
+/// kAuto cost model picks the pairwise or fast-Möbius kernel, Dempster
+/// and evidence-facing TBM renormalize identically, and total conflict
+/// is reported through `total_conflict` instead of a Status. Pairs that
+/// take the fast-Möbius path are executed four at a time through the
+/// 4-lane lattice kernels (AVX2 when built and supported, a
+/// bit-compatible scalar fallback otherwise). `universe` must be at most
+/// ValueSet::kMaxInlineUniverse.
+void CombineColumnBatch(size_t universe, CombinationRule rule,
+                        const FocalSpanColumn& a, const uint32_t* a_rows,
+                        const FocalSpanColumn& b, const uint32_t* b_rows,
+                        size_t n, BatchCombineResult* out);
+
+/// \brief Forces the scalar 4-lane lattice kernels even when the AVX2
+/// build and CPU would allow SIMD; used by the differential tests to
+/// compare the two implementations. `true` restores runtime dispatch.
+void SetBatchSimdEnabled(bool enabled);
+
+/// \brief True when the batch kernel currently dispatches to AVX2.
+bool BatchSimdActive();
+
+/// @}
 
 /// \brief EvidenceSet-level Dempster combination; requires compatible
 /// domains.

@@ -75,6 +75,17 @@ void MassFunction::AssignSortedInlineWords(
   }
 }
 
+void MassFunction::AssignSortedInlineWords(const uint64_t* words,
+                                           const double* masses,
+                                           size_t count) {
+  focals_.clear();
+  focals_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    focals_.emplace_back(ValueSet::FromWord(universe_size_, words[i]),
+                         masses[i]);
+  }
+}
+
 Status MassFunction::Add(const ValueSet& set, double mass) {
   if (set.universe_size() != universe_size_) {
     return Status::Incompatible(

@@ -66,6 +66,13 @@ class MassFunction {
   void AssignSortedInlineWords(
       const std::vector<std::pair<uint64_t, double>>& entries);
 
+  /// \brief AssignSortedInlineWords over parallel spans — the packed
+  /// layout of the ColumnStore's evidence columns and the batch
+  /// combination kernel's output, adopted without an intermediate pair
+  /// vector.
+  void AssignSortedInlineWords(const uint64_t* words, const double* masses,
+                               size_t count);
+
   /// \brief Adds `mass` to subset `set` (accumulating if present).
   /// Fails if the set's universe disagrees or mass is negative.
   Status Add(const ValueSet& set, double mass);

@@ -24,8 +24,13 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
   rekeyed.Reserve(right.size());
   const auto& key_indices = right.schema()->key_indices();
   std::vector<uint8_t> is_matched_right(right.size(), 0);
-  std::unordered_set<KeyVector, KeyVectorHash> matched_left_keys;
+  // Matched left keys in the index's encoded form: probing and inserting
+  // reuse one buffer instead of materializing a KeyVector (with its
+  // Value copies) per match.
+  std::unordered_set<std::string, EncodedKeyHash, std::equal_to<>>
+      matched_left_keys;
   matched_left_keys.reserve(matching.matches.size());
+  std::string encoded_key;
   for (const TupleMatch& m : matching.matches) {
     if (m.left_row >= left.size() || m.right_row >= right.size()) {
       return Status::InvalidArgument("matching references rows out of range");
@@ -39,7 +44,8 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
     ExtendedTuple t = right.row(m.right_row);
     const ExtendedTuple& l = left.row(m.left_row);
     for (size_t k : key_indices) t.cells[k] = l.cells[k];
-    matched_left_keys.insert(left.KeyOf(l));
+    left.EncodeKeyOf(l, &encoded_key);
+    matched_left_keys.insert(encoded_key);
     // Every cell of the rekeyed tuple comes from a row already validated
     // against one of the two union-compatible (Equals, incl. domains)
     // schemas, so the tuple is schema-valid by construction; the trusted
@@ -61,8 +67,9 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
     // so such a collision is an error the caller must resolve by
     // renaming keys. Matched left keys were collected above, replacing
     // the former rescan of the whole match list per unmatched row.
-    const KeyVector key = right.KeyOf(right.row(j));
-    if (left.ContainsKey(key) && matched_left_keys.count(key) == 0) {
+    right.EncodeKeyOf(right.row(j), &encoded_key);
+    if (left.ContainsEncodedKey(encoded_key) &&
+        matched_left_keys.count(encoded_key) == 0) {
       return Status::InvalidArgument(
           "unmatched right tuple shares key with a left tuple; matching "
           "info and keys disagree");

@@ -134,20 +134,36 @@ Result<ExtendedRelation> QueryEngine::ExecuteParsed(
         JoinWithProductSchema(*operands.left, *operands.right, predicate,
                               query.with, std::move(product_schema)));
   } else {
-    EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation source, BindFrom(query));
+    // Scans reference the catalog relation in place instead of
+    // deep-copying it first — a filtered scan's Select only reads the
+    // relation's cached column image, so repeated queries over the same
+    // relation share one packed representation. Derived sources (union,
+    // product without WHERE) are materialized and owned here.
+    ExtendedRelation owned;
+    const ExtendedRelation* source;
+    if (query.from.op == eql::SourceOp::kScan) {
+      EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
+                               ResolveOperands(catalog_, query.from));
+      source = operands.left;
+    } else {
+      EVIDENT_ASSIGN_OR_RETURN(owned, BindFrom(query));
+      source = &owned;
+    }
     EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
-                             BindWhere(query, *source.schema()));
-    filtered = std::move(source);
-    if (predicate != nullptr || !query.with.atoms().empty()) {
+                             BindWhere(query, *source->schema()));
+    if (predicate == nullptr && query.with.atoms().empty()) {
+      filtered = source == &owned ? std::move(owned) : *source;
+    } else {
       // A WITH clause without WHERE still thresholds the (unchanged)
-      // membership; model that as selection with an always-true predicate.
+      // membership; model that as selection with an always-true
+      // predicate.
       PredicatePtr effective =
           predicate != nullptr
               ? predicate
               : Theta(ThetaOperand::LitValue(Value(int64_t{0})), ThetaOp::kEq,
                       ThetaOperand::LitValue(Value(int64_t{0})));
       EVIDENT_ASSIGN_OR_RETURN(filtered,
-                               Select(filtered, effective, query.with));
+                               Select(*source, effective, query.with));
     }
   }
   ExtendedRelation projected = std::move(filtered);

@@ -7,12 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/column_store.h"
 #include "core/operations.h"
+#include "core/parallel.h"
 #include "ds/combination.h"
+#include "integration/tuple_merger.h"
+#include "workload/generator.h"
 
 namespace evident {
 namespace {
@@ -242,6 +248,318 @@ TEST(ValueSetBoundaryTest, InlineWordRoundTripAt64) {
   EXPECT_EQ(u.Indices(), std::vector<size_t>{64});
   EXPECT_FALSE(t.Intersects(u));
   EXPECT_TRUE(t.Union(u).Count() == 2);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar vs row storage-mode differentials: every operator must produce
+// *bit-identical* relations in both modes — same row order, same focal
+// structures, exactly equal masses and memberships — and identical
+// error behaviour, for any thread count.
+
+/// Exact relation equality: same schema, same row order, cells equal
+/// with eps 0 (focal sets identical, masses bitwise equal through the
+/// |a-b| <= 0 comparison), memberships bitwise equal.
+void ExpectBitIdentical(const ExtendedRelation& a, const ExtendedRelation& b,
+                        const std::string& what) {
+  ASSERT_TRUE(a.schema()->Equals(*b.schema())) << what;
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const ExtendedTuple& x = a.row(i);
+    const ExtendedTuple& y = b.row(i);
+    ASSERT_EQ(x.membership.sn, y.membership.sn) << what << " row " << i;
+    ASSERT_EQ(x.membership.sp, y.membership.sp) << what << " row " << i;
+    ASSERT_EQ(x.cells.size(), y.cells.size()) << what << " row " << i;
+    for (size_t c = 0; c < x.cells.size(); ++c) {
+      ASSERT_TRUE(CellApproxEquals(x.cells[c], y.cells[c], 0.0))
+          << what << " row " << i << " cell " << c;
+    }
+  }
+}
+
+/// Runs `op` in row mode then in columnar mode (restoring the global
+/// toggle) and asserts bit-identical results and identical statuses.
+void ExpectModeIdentical(
+    const std::function<Result<ExtendedRelation>()>& op,
+    const std::string& what) {
+  SetColumnarExecution(false);
+  Result<ExtendedRelation> row_result = op();
+  SetColumnarExecution(true);
+  Result<ExtendedRelation> columnar_result = op();
+  ASSERT_EQ(row_result.ok(), columnar_result.ok())
+      << what << "\nrow: " << row_result.status().ToString()
+      << "\ncolumnar: " << columnar_result.status().ToString();
+  if (!row_result.ok()) {
+    EXPECT_EQ(row_result.status().code(), columnar_result.status().code())
+        << what;
+    EXPECT_EQ(row_result.status().message(),
+              columnar_result.status().message())
+        << what;
+    return;
+  }
+  ExpectBitIdentical(*row_result, *columnar_result, what);
+}
+
+std::pair<ExtendedRelation, ExtendedRelation> MakeSources(uint64_t seed,
+                                                          size_t tuples,
+                                                          double conflict) {
+  WorkloadGenerator gen(seed);
+  SourcePairOptions options;
+  options.base.num_tuples = tuples;
+  options.base.num_definite = 2;
+  options.base.num_uncertain = 2;
+  options.base.domain_size = 10;
+  options.base.max_focals = 5;
+  options.key_overlap = 0.6;
+  options.conflict_rate = conflict;
+  auto made = gen.MakeSourcePair(options);
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  return std::move(made).value();
+}
+
+TEST(ColumnarDifferentialTest, ColumnStoreRoundTripIsLossless) {
+  auto [a, b] = MakeSources(42, 80, 0.2);
+  ColumnStore store = ColumnStore::FromRelation(a);
+  auto back = store.ToRelation();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitIdentical(a, *back, "column store round trip");
+  // The adopted (columnar-mode) relation materializes the same rows.
+  ExtendedRelation adopted =
+      ExtendedRelation::AdoptColumns(ColumnStore::FromRelation(a));
+  ExpectBitIdentical(a, adopted, "adopted column image");
+  // And serves key probes from its lazily-built index.
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto found = adopted.FindByKey(a.KeyOf(a.row(i)));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, i);
+  }
+}
+
+TEST(ColumnarDifferentialTest, SelectMatchesRowModeBitForBit) {
+  auto [a, b] = MakeSources(7, 120, 0.0);
+  (void)b;
+  const ExtendedRelation input = a;
+  const std::vector<PredicatePtr> predicates = {
+      IsSym("unc0", {"v0", "v1", "v2"}),
+      And(IsSym("unc0", {"v1", "v3"}), IsSym("unc1", {"v0"})),
+      Theta(ThetaOperand::Attr("unc0"), ThetaOp::kEq,
+            ThetaOperand::Attr("unc1")),
+      Theta(ThetaOperand::Attr("def0"), ThetaOp::kEq,
+            ThetaOperand::Attr("def1")),
+      // Unknown attribute: both modes must report the identical error.
+      IsSym("nope", {"v0"}),
+  };
+  for (size_t p = 0; p < predicates.size(); ++p) {
+    ExpectModeIdentical(
+        [&, p] { return Select(input, predicates[p]); },
+        "select predicate " + std::to_string(p));
+  }
+}
+
+TEST(ColumnarDifferentialTest, UnionMatchesRowModeAcrossRulesAndPolicies) {
+  for (double conflict : {0.0, 0.5}) {
+    auto [a, b] = MakeSources(1000 + static_cast<uint64_t>(conflict * 10),
+                              100, conflict);
+    for (CombinationRule rule :
+         {CombinationRule::kDempster, CombinationRule::kYager,
+          CombinationRule::kMixing}) {
+      for (TotalConflictPolicy policy :
+           {TotalConflictPolicy::kError, TotalConflictPolicy::kSkipTuple,
+            TotalConflictPolicy::kVacuous}) {
+        UnionOptions options;
+        options.rule = rule;
+        options.on_total_conflict = policy;
+        ExpectModeIdentical(
+            [&] { return Union(a, b, options); },
+            std::string("union rule ") + CombinationRuleToString(rule) +
+                " policy " + std::to_string(static_cast<int>(policy)) +
+                " conflict " + std::to_string(conflict));
+      }
+    }
+  }
+}
+
+TEST(ColumnarDifferentialTest, JoinAndMergeTuplesMatchRowMode) {
+  auto [a, b] = MakeSources(77, 90, 0.3);
+  a.set_name("L");
+  b.set_name("R");
+  // Equi-join with an uncertain residual conjunct.
+  PredicatePtr join_pred =
+      And(Theta(ThetaOperand::Attr("L.key"), ThetaOp::kEq,
+                ThetaOperand::Attr("R.key")),
+          IsSym("L.unc0", {"v0", "v1", "v2", "v3"}));
+  ExpectModeIdentical([&] { return Join(a, b, join_pred); },
+                      "hash join with residual");
+  // MergeTuples via key matching (inherits Union's merge pass).
+  auto matching = MatchByKey(a, b);
+  ASSERT_TRUE(matching.ok()) << matching.status().ToString();
+  UnionOptions options;
+  options.on_total_conflict = TotalConflictPolicy::kVacuous;
+  ExpectModeIdentical(
+      [&] { return MergeTuples(a, b, *matching, options); },
+      "merge tuples by key");
+}
+
+TEST(ColumnarDifferentialTest, PreferRightKeepsLeftCellOnCrossKindEquality) {
+  // int 1 and real 1.0 compare equal (Value's cross-kind numeric rule),
+  // so ApproxEquals cannot distinguish them — but the row path keeps the
+  // *left* cell on equality, and the columnar build must too, or the
+  // merged cell's kind flips under kPreferRight and kind-sensitive
+  // consumers (serialization) diverge between modes.
+  auto schema = RelationSchema::Make({AttributeDef::Key("k"),
+                                      AttributeDef::Definite("d")})
+                    .value();
+  ExtendedRelation a("A", schema), b("B", schema);
+  ASSERT_TRUE(a.Insert(ExtendedTuple({Cell(Value("x")),
+                                      Cell(Value(int64_t{1}))},
+                                     SupportPair::Certain()))
+                  .ok());
+  ASSERT_TRUE(b.Insert(ExtendedTuple({Cell(Value("x")), Cell(Value(1.0))},
+                                     SupportPair::Certain()))
+                  .ok());
+  UnionOptions options;
+  options.on_definite_conflict = DefiniteConflictPolicy::kPreferRight;
+  for (bool columnar : {false, true}) {
+    SetColumnarExecution(columnar);
+    auto merged = Union(a, b, options);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ASSERT_EQ(merged->size(), 1u);
+    const Value& cell = std::get<Value>(merged->row(0).cells[1]);
+    EXPECT_TRUE(cell.is_int()) << "columnar=" << columnar;
+  }
+  SetColumnarExecution(true);
+}
+
+TEST(ColumnarDifferentialTest, FirstErrorIdenticalAcrossModesAndThreads) {
+  auto [a, b] = MakeSources(555, 150, 0.6);
+  UnionOptions options;  // kError policies
+  for (size_t threads : {size_t{1}, size_t{7}}) {
+    SetParallelMaxThreads(threads);
+    ExpectModeIdentical(
+        [&] { return Union(a, b, options); },
+        "union first-error threads=" + std::to_string(threads));
+  }
+  // The error itself must also agree across thread counts.
+  SetParallelMaxThreads(1);
+  auto serial = Union(a, b, options);
+  SetParallelMaxThreads(7);
+  auto threaded = Union(a, b, options);
+  SetParallelMaxThreads(0);
+  ASSERT_EQ(serial.ok(), threaded.ok());
+  if (!serial.ok()) {
+    EXPECT_EQ(serial.status().message(), threaded.status().message());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernel differentials: CombineColumnBatch against the row-store
+// kernel pair by pair, and its SIMD dispatch against the scalar 4-lane
+// fallback.
+
+/// Packs `ms` as one evidence column.
+void PackColumn(const std::vector<MassFunction>& ms,
+                std::vector<uint64_t>* words, std::vector<double>* masses,
+                std::vector<uint32_t>* offsets) {
+  offsets->assign(1, 0);
+  for (const MassFunction& m : ms) {
+    for (const auto& [set, mass] : m.focals()) {
+      words->push_back(set.InlineWord());
+      masses->push_back(mass);
+    }
+    offsets->push_back(static_cast<uint32_t>(words->size()));
+  }
+}
+
+TEST(ColumnarDifferentialTest, BatchCombineMatchesRowKernelExactly) {
+  Rng rng(31337);
+  const size_t universe = 8;
+  const size_t n = 64;
+  std::vector<MassFunction> lhs, rhs;
+  for (size_t i = 0; i < n; ++i) {
+    // Mix focal counts so the batch routes some pairs through the
+    // pairwise kernel and others through the 4-lane lattice (24x24
+    // focal products cross the kAuto threshold at universe 8).
+    const size_t focals = i % 3 == 0 ? 24 + rng.Below(16) : 1 + rng.Below(5);
+    lhs.push_back(RandomMass(&rng, universe, focals));
+    rhs.push_back(RandomMass(&rng, universe, i % 4 == 0 ? 24 : 3));
+  }
+  std::vector<uint64_t> lw, rw;
+  std::vector<double> lm, rm;
+  std::vector<uint32_t> lo, ro;
+  PackColumn(lhs, &lw, &lm, &lo);
+  PackColumn(rhs, &rw, &rm, &ro);
+  const FocalSpanColumn lcol{lw.data(), lm.data(), lo.data()};
+  const FocalSpanColumn rcol{rw.data(), rm.data(), ro.data()};
+
+  for (CombinationRule rule :
+       {CombinationRule::kDempster, CombinationRule::kTBM,
+        CombinationRule::kYager, CombinationRule::kMixing}) {
+    BatchCombineResult batch;
+    CombineColumnBatch(universe, rule, lcol, nullptr, rcol, nullptr, n,
+                       &batch);
+    ASSERT_EQ(batch.offsets.size(), n + 1);
+    DomainPtr domain =
+        Domain::MakeIntRange("frame", 0, static_cast<int64_t>(universe) - 1)
+            .value();
+    for (size_t i = 0; i < n; ++i) {
+      auto reference = CombineEvidenceTrusted(
+          EvidenceSet::MakeTrusted(domain, lhs[i]),
+          EvidenceSet::MakeTrusted(domain, rhs[i]), rule);
+      if (!reference.ok()) {
+        ASSERT_EQ(reference.status().code(), StatusCode::kTotalConflict);
+        EXPECT_TRUE(batch.total_conflict[i]) << "pair " << i;
+        continue;
+      }
+      ASSERT_FALSE(batch.total_conflict[i]) << "pair " << i;
+      const auto& focals = reference->mass().focals();
+      const uint32_t first = batch.offsets[i];
+      ASSERT_EQ(batch.offsets[i + 1] - first, focals.size()) << "pair " << i;
+      for (size_t f = 0; f < focals.size(); ++f) {
+        EXPECT_EQ(batch.words[first + f], focals[f].first.InlineWord())
+            << "pair " << i << " focal " << f;
+        EXPECT_EQ(batch.masses[first + f], focals[f].second)
+            << "pair " << i << " focal " << f
+            << " rule " << CombinationRuleToString(rule);
+      }
+    }
+  }
+}
+
+TEST(ColumnarDifferentialTest, SimdLatticeMatchesScalarWithinBound) {
+  Rng rng(90210);
+  const size_t universe = 10;
+  const size_t n = 37;  // exercises partial 4-lane groups
+  std::vector<MassFunction> lhs, rhs;
+  for (size_t i = 0; i < n; ++i) {
+    // Dense focal sets force every pair through the lattice path.
+    lhs.push_back(RandomMass(&rng, universe, 40 + rng.Below(24)));
+    rhs.push_back(RandomMass(&rng, universe, 40 + rng.Below(24)));
+  }
+  std::vector<uint64_t> lw, rw;
+  std::vector<double> lm, rm;
+  std::vector<uint32_t> lo, ro;
+  PackColumn(lhs, &lw, &lm, &lo);
+  PackColumn(rhs, &rw, &rm, &ro);
+  const FocalSpanColumn lcol{lw.data(), lm.data(), lo.data()};
+  const FocalSpanColumn rcol{rw.data(), rm.data(), ro.data()};
+
+  SetBatchSimdEnabled(false);
+  ASSERT_FALSE(BatchSimdActive());
+  BatchCombineResult scalar;
+  CombineColumnBatch(universe, CombinationRule::kDempster, lcol, nullptr,
+                     rcol, nullptr, n, &scalar);
+  SetBatchSimdEnabled(true);
+  // (BatchSimdActive() is true only on AVX2 builds running on AVX2
+  // hardware; either way the results must agree.)
+  BatchCombineResult simd;
+  CombineColumnBatch(universe, CombinationRule::kDempster, lcol, nullptr,
+                     rcol, nullptr, n, &simd);
+
+  ASSERT_EQ(scalar.offsets, simd.offsets);
+  ASSERT_EQ(scalar.total_conflict, simd.total_conflict);
+  ASSERT_EQ(scalar.words, simd.words);
+  for (size_t k = 0; k < scalar.masses.size(); ++k) {
+    EXPECT_NEAR(scalar.masses[k], simd.masses[k], kDiffEps) << "term " << k;
+  }
 }
 
 TEST(ValueSetBoundaryTest, OrderAndHashConsistentAcrossBoundary) {
