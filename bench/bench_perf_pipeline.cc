@@ -9,7 +9,9 @@
 
 #include "perf_bench_main.h"
 #include "common/rng.h"
+#include "core/operations.h"
 #include "integration/pipeline.h"
+#include "workload/generator.h"
 #include "workload/paper_fixtures.h"
 #include "workload/paper_survey.h"
 
@@ -120,10 +122,48 @@ BENCHMARK(BM_SimilarityIdentification)->RangeMultiplier(2)->Range(32, 256)
     ->Unit(benchmark::kMillisecond)
     ->Complexity(benchmark::oNSquared);
 
+// The fully-columnar join: every key matches (the worst case for output
+// cardinality), the residual binds, and the output's column image is
+// spliced straight from the operand images. Arg 0 toggles the executor:
+// /n/0 is the row-materializing reference, /n/1 the columnar splice —
+// the gap is what carrying columnar pipelines through joins buys.
+void BM_JoinColumnarSplice(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool columnar = state.range(1) != 0;
+  WorkloadGenerator gen(417);
+  GeneratorOptions options;
+  options.num_tuples = n;
+  options.num_uncertain = 3;
+  options.domain_size = 12;
+  auto schema = gen.MakeSchema(options).value();
+  ExtendedRelation left = gen.MakeRelation("L", schema, options).value();
+  ExtendedRelation right = gen.MakeRelation("R", schema, options).value();
+  PredicatePtr pred =
+      And(Theta(ThetaOperand::Attr("L.key"), ThetaOp::kEq,
+                ThetaOperand::Attr("R.key")),
+          IsSym("L.unc0", {"v0", "v1", "v2", "v3", "v4", "v5"}));
+  (void)left.columns();  // packed once, outside the timed region
+  (void)right.columns();
+  SetColumnarExecution(columnar);
+  for (auto _ : state) {
+    auto result = Join(left, right, pred);
+    benchmark::DoNotOptimize(result);
+  }
+  SetColumnarExecution(true);
+  state.SetLabel(columnar ? "columnar-splice" : "row-materializing");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinColumnarSplice)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({16384, 0})->Args({16384, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace evident
 
 EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_pipeline",
     "(BM_PreprocessOnly/100|BM_FullPipelineByKey/100|"
-    "BM_SimilarityIdentification/32)$")
+    "BM_SimilarityIdentification/32|BM_JoinColumnarSplice/1024/[01])$")

@@ -364,6 +364,62 @@ SupportPair BoundPredicate::EvaluatePair(const ExtendedTuple& left,
   return acc;
 }
 
+SupportPair BoundPredicate::EvaluatePairColumns(const ColumnStore& left,
+                                                size_t lrow,
+                                                const ColumnStore& right,
+                                                size_t rrow) const {
+  EvalScratch& s = Scratch();
+  // Bound conjuncts only reference kValue columns (definite attributes)
+  // and kEvidence columns (inline-frame uncertain attributes) — wider
+  // frames never bind — so the two stores cover every resolvable
+  // operand. Product-schema attribute `a` maps to left attribute `a` or
+  // right attribute `a - left_cells_`.
+  auto value_at = [&](size_t a) -> const Value& {
+    return a < left_cells_
+               ? left.value_column(a).values[lrow]
+               : right.value_column(a - left_cells_).values[rrow];
+  };
+  auto span_of = [&](size_t a, const ColumnStore::EvidenceColumn** col,
+                     uint32_t* first, uint32_t* count) {
+    const bool from_left = a < left_cells_;
+    const ColumnStore& store = from_left ? left : right;
+    const size_t row = from_left ? lrow : rrow;
+    *col = &store.evidence_column(from_left ? a : a - left_cells_);
+    *first = (*col)->offsets[row];
+    *count = (*col)->offsets[row + 1] - *first;
+  };
+  auto gather = [&](size_t a, FocalBuf* buf) {
+    const ColumnStore::EvidenceColumn* col;
+    uint32_t first, count;
+    span_of(a, &col, &first, &count);
+    for (uint32_t k = 0; k < count; ++k) {
+      buf->emplace_back(col->words[first + k], col->masses[first + k]);
+    }
+  };
+  SupportPair acc = SupportPair::Certain();
+  for (const Conjunct& c : conjuncts_) {
+    SupportPair support;
+    switch (c.kind) {
+      case Conjunct::Kind::kIsDefinite:
+        support = IsDefiniteSupport(value_at(c.attr), *c.is_values);
+        break;
+      case Conjunct::Kind::kIsEvidence: {
+        const ColumnStore::EvidenceColumn* col;
+        uint32_t first, count;
+        span_of(c.attr, &col, &first, &count);
+        support = IsEvidenceSupportSpan(c.set_word, col->words.data() + first,
+                                        col->masses.data() + first, count);
+        break;
+      }
+      case Conjunct::Kind::kTheta:
+        support = EvalTheta(c, value_at, gather, s);
+        break;
+    }
+    acc = acc.Multiply(support);
+  }
+  return acc;
+}
+
 void BoundPredicate::EvaluateColumns(const ColumnStore& store, size_t begin,
                                      size_t end, SupportPair* out) const {
   EvalScratch& s = Scratch();

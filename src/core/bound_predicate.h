@@ -51,6 +51,16 @@ class BoundPredicate {
   SupportPair EvaluatePair(const ExtendedTuple& left,
                            const ExtendedTuple& right) const;
 
+  /// \brief EvaluatePair straight off the operands' column stores:
+  /// evaluates the pair (left row `lrow`, right row `rrow`) reading
+  /// packed value/evidence columns — the join splice path, which never
+  /// materializes operand row objects. Requires fully_bound() and a
+  /// BindPair-compiled predicate; arithmetic-identical to EvaluatePair
+  /// (same focal orders, same accumulation sequences).
+  SupportPair EvaluatePairColumns(const ColumnStore& left, size_t lrow,
+                                  const ColumnStore& right,
+                                  size_t rrow) const;
+
   /// \brief Evaluates rows [begin, end) of the column store, writing
   /// out[row] for each. Requires fully_bound(); reads packed evidence
   /// spans directly (no per-row evidence objects). Thread-safe across

@@ -47,6 +47,20 @@ class ColumnStore {
     size_t FocalCount(size_t row) const {
       return offsets[row + 1] - offsets[row];
     }
+
+    /// \brief Appends row `row` of `src` to this column: one packed
+    /// span copy with the offset rebased onto this arena. The splice
+    /// primitive of the columnar operators (Select's keep list, Union's
+    /// unmatched sides, Join/Product's pair lists).
+    void AppendRowFrom(const EvidenceColumn& src, size_t row) {
+      const uint32_t first = src.offsets[row];
+      const uint32_t last = src.offsets[row + 1];
+      words.insert(words.end(), src.words.begin() + first,
+                   src.words.begin() + last);
+      masses.insert(masses.end(), src.masses.begin() + first,
+                    src.masses.begin() + last);
+      offsets.push_back(static_cast<uint32_t>(words.size()));
+    }
   };
 
   /// A definite (or key) attribute as a contiguous value array.

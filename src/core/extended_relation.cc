@@ -37,6 +37,7 @@ size_t ExtendedRelation::size() const {
 
 void ExtendedRelation::MaterializeRows() const {
   if (rows_built_) return;
+  ++rows_materialized_;
   const ColumnStore& store = *columns_;
   rows_.clear();
   rows_.reserve(store.rows());

@@ -1,6 +1,7 @@
 #ifndef EVIDENT_CORE_EXTENDED_RELATION_H_
 #define EVIDENT_CORE_EXTENDED_RELATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -139,6 +140,19 @@ class ExtendedRelation {
   /// by inserts). See the class comment for thread-safety.
   const ColumnStore& columns() const;
 
+  /// \brief True while this relation holds only its column image (rows
+  /// not yet materialized). Storage decides how it is serialized: the
+  /// column-image file format persists a columnar relation without ever
+  /// building row objects.
+  bool columnar_mode() const { return !rows_built_; }
+
+  /// \brief How many times this relation converted its column image to
+  /// row objects (0 or 1 per instance; copies inherit the count).
+  /// Observability for tests asserting that columnar pipelines — e.g.
+  /// save → load → scan through the column-image format — never
+  /// materialize rows as a side effect.
+  uint64_t rows_materialized() const { return rows_materialized_; }
+
   /// \brief Checks every stored tuple against the schema and the CWA_ER
   /// invariant; used by property tests and after deserialization.
   Status ValidateInvariants() const;
@@ -171,6 +185,7 @@ class ExtendedRelation {
   mutable std::shared_ptr<const ColumnStore> columns_;
   mutable bool rows_built_ = true;
   mutable bool index_built_ = true;
+  mutable uint64_t rows_materialized_ = 0;
 };
 
 }  // namespace evident

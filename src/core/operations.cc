@@ -84,13 +84,12 @@ bool RowKeysEqual(const ExtendedTuple& a, const std::vector<size_t>& a_indices,
 /// grouped by probe row — so the output is deterministic for any thread
 /// count.
 ///
-/// Residual filtering runs in one of two modes. When columnar execution
-/// is on and the residual binds completely (BoundPredicate), each
-/// matched pair is filtered *before* its result tuple is materialized —
-/// pairs the threshold rejects never allocate. Otherwise the pair is
-/// materialized first and the interpreted predicate evaluates over the
-/// concatenated tuple, the reference behaviour. Both orders compute the
-/// identical support and revised membership.
+/// This is the row-mode (and interpreted-residual) executor: each pair
+/// is materialized first and the interpreted predicate evaluates over
+/// the concatenated tuple, the reference behaviour including per-pair
+/// errors. Fully-bound residuals under columnar execution take
+/// HashEquiJoinColumnarSplice instead, which computes the identical
+/// support and revised membership without building any rows.
 Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
                                       const ExtendedRelation& right,
                                       const JoinPlan& plan,
@@ -139,13 +138,6 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
   }
 
   const PredicatePtr& residual = plan.residual;
-  BoundPredicate bound_residual;
-  bool prefilter = false;
-  if (ColumnarExecutionEnabled() && residual != nullptr) {
-    bound_residual = BoundPredicate::BindPair(residual, schema,
-                                              left.schema()->size());
-    prefilter = bound_residual.fully_bound();
-  }
 
   // Probe in parallel; shard outputs concatenate in shard (= probe row)
   // order. The first failing shard in shard order reports its error.
@@ -176,24 +168,6 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
           for (uint32_t b = head; b != kEmpty; b = chain[b]) {
             const ExtendedTuple& l = build_left ? build.row(b) : probe_row;
             const ExtendedTuple& r = build_left ? probe_row : build.row(b);
-            if (prefilter) {
-              // The equi-conjuncts contribute exactly (1,1) on a match,
-              // so the full predicate's support reduces to the
-              // residual's — evaluated straight off the operand rows;
-              // the pair tuple only exists if it survives.
-              const SupportPair support = bound_residual.EvaluatePair(l, r);
-              const SupportPair revised =
-                  l.membership.Multiply(r.membership).Multiply(support);
-              if (!revised.HasPositiveSupport()) continue;  // CWA_ER.
-              if (!threshold.Accepts(revised)) continue;
-              ExtendedTuple t;
-              t.cells.reserve(l.cells.size() + r.cells.size());
-              t.cells.insert(t.cells.end(), l.cells.begin(), l.cells.end());
-              t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
-              t.membership = revised;
-              rows.push_back(std::move(t));
-              continue;
-            }
             ExtendedTuple t;
             t.cells.reserve(l.cells.size() + r.cells.size());
             t.cells.insert(t.cells.end(), l.cells.begin(), l.cells.end());
@@ -268,18 +242,6 @@ Result<ExtendedRelation> SelectRows(const ExtendedRelation& input,
   return out;
 }
 
-/// Appends row `src` of `col` to `dst` (packed span copy).
-void AppendSpan(const ColumnStore::EvidenceColumn& col, size_t src,
-                ColumnStore::EvidenceColumn* dst) {
-  const uint32_t first = col.offsets[src];
-  const uint32_t last = col.offsets[src + 1];
-  dst->words.insert(dst->words.end(), col.words.begin() + first,
-                    col.words.begin() + last);
-  dst->masses.insert(dst->masses.end(), col.masses.begin() + first,
-                     col.masses.begin() + last);
-  dst->offsets.push_back(static_cast<uint32_t>(dst->words.size()));
-}
-
 /// The key of row `row` as Values, for error messages.
 KeyVector KeyOfStoreRow(const ColumnStore& store, size_t row) {
   KeyVector key;
@@ -341,7 +303,7 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
         const ColumnStore::EvidenceColumn& src = store.evidence_column(a);
         ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
         dst.offsets.reserve(keep.size() + 1);
-        for (uint32_t i : keep) AppendSpan(src, i, &dst);
+        for (uint32_t i : keep) dst.AppendRowFrom(src, i);
         break;
       }
       case ColumnStore::ColumnKind::kBoxed: {
@@ -878,10 +840,10 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
         for (const OutRow& row : out_rows) {
           switch (row.source) {
             case RowSource::kLeft:
-              AppendSpan(lcol, row.src, &dst);
+              dst.AppendRowFrom(lcol, row.src);
               break;
             case RowSource::kRight:
-              AppendSpan(rcol, row.src, &dst);
+              dst.AppendRowFrom(rcol, row.src);
               break;
             case RowSource::kMerged: {
               while (cursor_shard + 1 < shard_count &&
@@ -1093,11 +1055,272 @@ Result<SchemaPtr> MakeProductSchema(const ExtendedRelation& left,
 
 namespace {
 
+/// The focal-span arena reservation bound for the columnar splice paths:
+/// the same 2^20 cap CappedProductReserve applies to row reservations.
+/// Join/Product output arenas are sized from a *bound* (pairs x average
+/// span), and a pathological high-match-rate join can push that bound
+/// into the billions while the operands stay modest — reserve at most
+/// this many entries and let the arena grow geometrically past it.
+size_t CappedArenaReserve(size_t rows, size_t avg_span) {
+  if (rows == 0) return 0;
+  if (avg_span == 0) avg_span = 1;
+  if (avg_span > kMaxReserveRows / rows) return kMaxReserveRows;
+  return rows * avg_span;
+}
+
+/// Splices the output column image of a concatenated-pair operator
+/// (Join, Product): output row i takes its left cells from `left_store`
+/// row pair_left[i] and its right cells from `right_store` row
+/// pair_right[i]; `memberships` supplies the revised membership per
+/// pair. Key/definite columns are copied value-by-value, packed
+/// uncertain columns have their (word, mass) focal spans repacked with
+/// rebased offsets (EvidenceColumn::AppendRowFrom), boxed sets are shared — no row objects
+/// exist at any point.
+ColumnStore SplicePairColumns(const SchemaPtr& schema, std::string name,
+                              const ColumnStore& left_store,
+                              const ColumnStore& right_store,
+                              const std::vector<uint32_t>& pair_left,
+                              const std::vector<uint32_t>& pair_right,
+                              const std::vector<SupportPair>& memberships) {
+  const size_t n = pair_left.size();
+  const size_t left_attrs = left_store.schema()->size();
+  ColumnStore out = ColumnStore::EmptyLike(schema, std::move(name));
+  out.ReserveRows(n);
+  for (size_t a = 0; a < schema->size(); ++a) {
+    const bool from_left = a < left_attrs;
+    const ColumnStore& src_store = from_left ? left_store : right_store;
+    const size_t src_attr = from_left ? a : a - left_attrs;
+    const std::vector<uint32_t>& rows = from_left ? pair_left : pair_right;
+    // The product schema qualifies colliding names but keeps kinds and
+    // domains, so the output's column kinds equal the source's.
+    switch (src_store.kind(src_attr)) {
+      case ColumnStore::ColumnKind::kValue: {
+        const std::vector<Value>& src =
+            src_store.value_column(src_attr).values;
+        std::vector<Value>& dst = out.value_column_mut(a).values;
+        dst.reserve(n);
+        for (uint32_t r : rows) dst.push_back(src[r]);
+        break;
+      }
+      case ColumnStore::ColumnKind::kEvidence: {
+        const ColumnStore::EvidenceColumn& src =
+            src_store.evidence_column(src_attr);
+        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
+        const size_t avg =
+            src.words.size() / std::max<size_t>(src_store.rows(), 1);
+        dst.words.reserve(CappedArenaReserve(n, avg + 1));
+        dst.masses.reserve(CappedArenaReserve(n, avg + 1));
+        dst.offsets.reserve(n + 1);
+        for (uint32_t r : rows) dst.AppendRowFrom(src, r);
+        break;
+      }
+      case ColumnStore::ColumnKind::kBoxed: {
+        const std::vector<EvidenceSet>& src =
+            src_store.boxed_column(src_attr).sets;
+        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
+        dst.reserve(n);
+        for (uint32_t r : rows) dst.push_back(src[r]);
+        break;
+      }
+    }
+  }
+  for (const SupportPair& m : memberships) out.AppendMembership(m);
+  return out;
+}
+
+/// Hash of the definite cells at `indices` of store row `row`, mixed
+/// exactly like RowKeyHash so the splice probe partitions identically.
+uint64_t StoreKeyHash(const ColumnStore& store, size_t row,
+                      const std::vector<size_t>& indices) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t i : indices) {
+    h ^= static_cast<uint64_t>(store.value_column(i).values[row].Hash()) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool StoreKeysEqual(const ColumnStore& a, size_t a_row,
+                    const std::vector<size_t>& a_indices,
+                    const ColumnStore& b, size_t b_row,
+                    const std::vector<size_t>& b_indices) {
+  for (size_t k = 0; k < a_indices.size(); ++k) {
+    if (!(a.value_column(a_indices[k]).values[a_row] ==
+          b.value_column(b_indices[k]).values[b_row])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The columnar splice form of the hash equi-join, taken when the
+/// residual predicate binds completely (or is absent). Three phases over
+/// the operands' column stores:
+///
+///  1. Build — the same open-addressing table as HashEquiJoin, keyed by
+///     hashes taken straight off the contiguous key/definite value
+///     columns (chains in ascending row order).
+///  2. Probe — probe rows sharded across threads; each matched
+///     (left, right) pair runs the bound residual column-at-a-time over
+///     the packed spans (EvaluatePairColumns), computes the revised
+///     membership, and survives CWA_ER + threshold filtering before
+///     anything is allocated for it.
+///  3. Splice — the surviving pairs' column slices are copied by span
+///     into a fresh column image (SplicePairColumns) and adopted as a
+///     columnar-mode relation.
+///
+/// Neither operand rows nor result rows are ever materialized, and the
+/// pair emission order (probe rows ascending, build chains ascending,
+/// shards concatenated in order) is identical to the row path's, so the
+/// result is bit-identical to HashEquiJoin for any thread count.
+Result<ExtendedRelation> HashEquiJoinColumnarSplice(
+    const ExtendedRelation& left, const ExtendedRelation& right,
+    const JoinPlan& plan, const SchemaPtr& schema,
+    const MembershipThreshold& threshold, const BoundPredicate* residual,
+    std::string name) {
+  const ColumnStore& lstore = left.columns();
+  const ColumnStore& rstore = right.columns();
+  constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
+  const bool build_left = left.size() < right.size();
+  const ColumnStore& build = build_left ? lstore : rstore;
+  const ColumnStore& probe = build_left ? rstore : lstore;
+  std::vector<size_t> build_indices, probe_indices;
+  build_indices.reserve(plan.keys.size());
+  probe_indices.reserve(plan.keys.size());
+  for (const EquiKey& key : plan.keys) {
+    build_indices.push_back(build_left ? key.left_index : key.right_index);
+    probe_indices.push_back(build_left ? key.right_index : key.left_index);
+  }
+
+  const size_t build_size = build.rows();
+  size_t capacity = 16;
+  while (capacity < 2 * build_size) capacity <<= 1;
+  const uint64_t mask = capacity - 1;
+  std::vector<uint32_t> slot_row(capacity, kEmpty);  // first row of the key
+  std::vector<uint32_t> chain(build_size, kEmpty);   // same-key successors
+  std::vector<uint64_t> row_hash(build_size);
+  for (size_t i = 0; i < build_size; ++i) {
+    row_hash[i] = StoreKeyHash(build, i, build_indices);
+  }
+  // Insert rows in reverse: each insertion prepends to its key's chain,
+  // so chains end up in ascending row order for deterministic probing.
+  for (size_t i = build_size; i-- > 0;) {
+    size_t s = row_hash[i] & mask;
+    while (slot_row[s] != kEmpty &&
+           !(row_hash[slot_row[s]] == row_hash[i] &&
+             StoreKeysEqual(build, slot_row[s], build_indices, build, i,
+                            build_indices))) {
+      s = (s + 1) & mask;
+    }
+    if (slot_row[s] != kEmpty) chain[i] = slot_row[s];
+    slot_row[s] = static_cast<uint32_t>(i);
+  }
+
+  struct ShardPairs {
+    std::vector<uint32_t> pair_left, pair_right;
+    std::vector<SupportPair> memberships;
+  };
+  const size_t shard_count = ParallelShardCount(probe.rows(), kParallelGrain);
+  std::vector<ShardPairs> shards(shard_count);
+  ParallelForExactShards(
+      probe.rows(), shard_count,
+      [&](size_t shard, size_t begin, size_t end) {
+        ShardPairs& out = shards[shard];
+        for (size_t p = begin; p < end; ++p) {
+          const uint64_t h = StoreKeyHash(probe, p, probe_indices);
+          size_t s = h & mask;
+          uint32_t head = kEmpty;
+          while (slot_row[s] != kEmpty) {
+            const uint32_t candidate = slot_row[s];
+            if (row_hash[candidate] == h &&
+                StoreKeysEqual(build, candidate, build_indices, probe, p,
+                               probe_indices)) {
+              head = candidate;
+              break;
+            }
+            s = (s + 1) & mask;
+          }
+          for (uint32_t b = head; b != kEmpty; b = chain[b]) {
+            const uint32_t l =
+                build_left ? b : static_cast<uint32_t>(p);
+            const uint32_t r =
+                build_left ? static_cast<uint32_t>(p) : b;
+            // The equi-conjuncts contribute exactly (1,1) on a match, so
+            // the full predicate's support reduces to the residual's.
+            SupportPair support = SupportPair::Certain();
+            if (residual != nullptr) {
+              support = residual->EvaluatePairColumns(lstore, l, rstore, r);
+            }
+            const SupportPair revised = lstore.membership(l)
+                                            .Multiply(rstore.membership(r))
+                                            .Multiply(support);
+            if (!revised.HasPositiveSupport()) continue;  // CWA_ER.
+            if (!threshold.Accepts(revised)) continue;
+            out.pair_left.push_back(l);
+            out.pair_right.push_back(r);
+            out.memberships.push_back(revised);
+          }
+        }
+      });
+
+  size_t total = 0;
+  for (const ShardPairs& shard : shards) total += shard.pair_left.size();
+  std::vector<uint32_t> pair_left, pair_right;
+  std::vector<SupportPair> memberships;
+  pair_left.reserve(total);
+  pair_right.reserve(total);
+  memberships.reserve(total);
+  for (const ShardPairs& shard : shards) {
+    pair_left.insert(pair_left.end(), shard.pair_left.begin(),
+                     shard.pair_left.end());
+    pair_right.insert(pair_right.end(), shard.pair_right.begin(),
+                      shard.pair_right.end());
+    memberships.insert(memberships.end(), shard.memberships.begin(),
+                       shard.memberships.end());
+  }
+  return ExtendedRelation::AdoptColumns(
+      SplicePairColumns(schema, std::move(name), lstore, rstore, pair_left,
+                        pair_right, memberships));
+}
+
+/// Columnar cartesian product: left columns repeat each row |R| times,
+/// right columns tile |L| times, memberships are the F_TM products — in
+/// the row path's left-major order, spliced straight into the output's
+/// column image.
+Result<ExtendedRelation> ProductColumnarSplice(const ExtendedRelation& left,
+                                               const ExtendedRelation& right,
+                                               const SchemaPtr& schema) {
+  const ColumnStore& lstore = left.columns();
+  const ColumnStore& rstore = right.columns();
+  const size_t ln = lstore.rows();
+  const size_t rn = rstore.rows();
+  const size_t reserve = CappedProductReserve(ln, rn);
+  std::vector<uint32_t> pair_left, pair_right;
+  std::vector<SupportPair> memberships;
+  pair_left.reserve(reserve);
+  pair_right.reserve(reserve);
+  memberships.reserve(reserve);
+  for (size_t i = 0; i < ln; ++i) {
+    const SupportPair lm = lstore.membership(i);
+    for (size_t j = 0; j < rn; ++j) {
+      pair_left.push_back(static_cast<uint32_t>(i));
+      pair_right.push_back(static_cast<uint32_t>(j));
+      memberships.push_back(lm.Multiply(rstore.membership(j)));  // F_TM
+    }
+  }
+  return ExtendedRelation::AdoptColumns(SplicePairColumns(
+      schema, left.name() + " x " + right.name(), lstore, rstore, pair_left,
+      pair_right, memberships));
+}
+
 /// Product materialization over an already-built product schema, shared
 /// by Product and the hash join's no-equi-conjunct fallback.
 Result<ExtendedRelation> ProductWithSchema(const ExtendedRelation& left,
                                            const ExtendedRelation& right,
                                            const SchemaPtr& schema) {
+  if (ColumnarExecutionEnabled()) {
+    return ProductColumnarSplice(left, right, schema);
+  }
   ExtendedRelation out(left.name() + " x " + right.name(), schema);
   out.Reserve(CappedProductReserve(left.size(), right.size()));
   for (const ExtendedTuple& r : left.rows()) {
@@ -1160,6 +1383,23 @@ Result<ExtendedRelation> JoinWithProductSchema(
     EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation product,
                              ProductWithSchema(left, right, schema));
     return Select(product, predicate, threshold);
+  }
+  if (ColumnarExecutionEnabled()) {
+    // The splice path requires the residual to bind completely (then
+    // evaluation cannot fail); interpreted residuals — which can error
+    // per pair — keep the materializing executor below.
+    BoundPredicate bound_residual;
+    bool splice = plan.residual == nullptr;
+    if (plan.residual != nullptr) {
+      bound_residual = BoundPredicate::BindPair(plan.residual, schema,
+                                                left.schema()->size());
+      splice = bound_residual.fully_bound();
+    }
+    if (splice) {
+      return HashEquiJoinColumnarSplice(
+          left, right, plan, schema, threshold,
+          plan.residual != nullptr ? &bound_residual : nullptr, out.name());
+    }
   }
   return HashEquiJoin(left, right, plan, schema, threshold, std::move(out));
 }

@@ -117,7 +117,9 @@ Result<SchemaPtr> MakeProductSchema(const ExtendedRelation& left,
 /// \brief Extended cartesian product R ×̃ S (§3.4): concatenates tuple
 /// pairs and multiplies memberships via F_TM. Attribute name collisions
 /// are qualified as "<relation>.<attribute>"; the result's key is the
-/// union of both keys.
+/// union of both keys. Under columnar execution the output's column
+/// image is spliced directly from the operands' images (no row objects
+/// are built); the result is bit-identical to the row path.
 Result<ExtendedRelation> Product(const ExtendedRelation& left,
                                  const ExtendedRelation& right);
 
@@ -134,6 +136,10 @@ Result<ExtendedRelation> Product(const ExtendedRelation& left,
 /// and sn = 0 pairs are always dropped under CWA_ER, so the result is
 /// identical (bit-for-bit on masses and memberships) to the definition;
 /// predicates without equi-conjuncts fall back to Select-over-Product.
+/// Under columnar execution with a fully-bindable residual, the join
+/// probes the operands' column stores and splices the matched pairs'
+/// column slices straight into the output's column image — neither
+/// operand rows nor result rows are materialized.
 /// Relations are sets: the result's *row order* is implementation-
 /// defined (the hash path emits rows grouped by probe-side tuple, and
 /// the probe side is whichever operand is larger), deterministic for

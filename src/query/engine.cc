@@ -81,6 +81,8 @@ Result<ExtendedRelation> QueryEngine::BindFrom(
       // JOIN is product + WHERE-as-join-condition (the paper's ⋈̃ = σ̃∘×̃);
       // the distinction is purely syntactic sugar. (With a WHERE clause,
       // ExecuteParsed routes both through Join before reaching here.)
+      // Under columnar execution the product arrives as a spliced column
+      // image, so a following WITH-threshold Select stays columnar too.
       return Product(*operands.left, *operands.right);
   }
   return Status::Internal("unreachable source op");
@@ -207,6 +209,7 @@ Result<ExtendedRelation> QueryEngine::ExecuteParsed(
                           ? order.size()
                           : std::min(query.limit, order.size());
   ExtendedRelation ranked(projected.name(), projected.schema());
+  ranked.Reserve(keep);
   for (size_t i = 0; i < keep; ++i) {
     EVIDENT_RETURN_NOT_OK(ranked.InsertUnchecked(projected.row(order[i])));
   }

@@ -31,6 +31,12 @@ class Catalog {
   bool HasRelation(const std::string& name) const;
   std::vector<std::string> RelationNames() const;
 
+  /// \brief Name-ordered iteration without per-name lookups — the
+  /// serializers' walk (deterministic output, no copies).
+  const std::map<std::string, ExtendedRelation>& relations() const {
+    return relations_;
+  }
+
   size_t RelationCount() const { return relations_.size(); }
 
  private:

@@ -1,9 +1,17 @@
 #include "storage/erel_format.h"
 
+#include <bit>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
+#include "common/math_util.h"
 #include "common/str_util.h"
+#include "core/column_store.h"
 #include "text/evidence_literal.h"
 
 namespace evident {
@@ -32,15 +40,14 @@ std::string WriteErel(const Catalog& catalog, int mass_decimals) {
     }
     os << "\n";
   }
-  for (const std::string& name : catalog.RelationNames()) {
-    const ExtendedRelation* rel = catalog.GetRelation(name).value();
+  for (const auto& [name, rel] : catalog.relations()) {
     os << "\nrelation " << name << "\n";
-    for (const AttributeDef& attr : rel->schema()->attributes()) {
+    for (const AttributeDef& attr : rel.schema()->attributes()) {
       os << "attr " << attr.name << " " << AttributeKindToString(attr.kind);
       if (attr.is_uncertain()) os << " " << attr.domain->name();
       os << "\n";
     }
-    for (const ExtendedTuple& t : rel->rows()) {
+    for (const ExtendedTuple& t : rel.rows()) {
       os << "row ";
       for (size_t c = 0; c < t.cells.size(); ++c) {
         if (c) os << " | ";
@@ -57,7 +64,535 @@ std::string WriteErel(const Catalog& catalog, int mass_decimals) {
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// v2 column image. The layout is documented bytes-exactly in
+// erel_format.h; writer and reader below mirror it section for section.
+
+namespace {
+
+constexpr char kColumnImageMagic[] = "EVCIMG";  // + 2 version digits
+constexpr char kColumnImageVersion[] = "02";
+constexpr uint32_t kNoDomain = std::numeric_limits<uint32_t>::max();
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case Value::Kind::kReal:
+      PutF64(out, v.real_value());
+      break;
+    case Value::Kind::kString:
+      PutStr(out, v.string_value());
+      break;
+  }
+}
+
+/// Bounds-checked cursor over the serialized blob. Every read names what
+/// it was reading so truncation errors point at the damaged section.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status Take(size_t n, const char* what, const char** bytes) {
+    if (remaining() < n) {
+      return Status::ParseError(
+          std::string("column-image file truncated reading ") + what);
+    }
+    *bytes = data_.data() + pos_;
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint8_t> U8(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(1, what, &p));
+    return static_cast<uint8_t>(*p);
+  }
+
+  Result<uint32_t> U32(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(4, what, &p));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<uint64_t> U64(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(8, what, &p));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<double> F64(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint64_t bits, U64(what));
+    return std::bit_cast<double>(bits);
+  }
+
+  Result<std::string> Str(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint32_t n, U32(what));
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(n, what, &p));
+    return std::string(p, n);
+  }
+
+  Result<Value> ReadValue(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint8_t kind, U8(what));
+    switch (kind) {
+      case 0: {
+        EVIDENT_ASSIGN_OR_RETURN(uint64_t v, U64(what));
+        return Value(static_cast<int64_t>(v));
+      }
+      case 1: {
+        EVIDENT_ASSIGN_OR_RETURN(double v, F64(what));
+        return Value(v);
+      }
+      case 2: {
+        EVIDENT_ASSIGN_OR_RETURN(std::string v, Str(what));
+        return Value(std::move(v));
+      }
+      default:
+        return Status::ParseError("unknown value kind tag " +
+                                  std::to_string(kind) + " in " + what);
+    }
+  }
+
+  /// Rejects an element count whose minimal serialized size already
+  /// exceeds the remaining bytes — a corrupt count must fail here, not
+  /// in a multi-gigabyte vector reserve.
+  Status CheckCount(uint64_t count, size_t min_bytes_each, const char* what) {
+    if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
+      return Status::ParseError(std::string("implausible ") + what +
+                                " count " + std::to_string(count) +
+                                " for the remaining file size");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+/// Validates one packed evidence column row by row: strictly ascending
+/// nonzero in-frame words, masses in (0, 1], per-row sums within
+/// kMassEpsilon of 1 — the invariants MassFunction::Validate enforces,
+/// checked straight on the spans.
+Status ValidateEvidenceColumn(const std::string& attr_name, size_t universe,
+                              const ColumnStore::EvidenceColumn& col,
+                              size_t rows) {
+  const uint64_t frame_mask =
+      universe >= 64 ? ~uint64_t{0} : (uint64_t{1} << universe) - 1;
+  auto fail = [&](size_t row, const std::string& msg) {
+    return Status::ParseError("attribute '" + attr_name + "' row " +
+                              std::to_string(row) + ": " + msg);
+  };
+  if (col.offsets.size() != rows + 1 || col.offsets[0] != 0) {
+    return Status::ParseError("attribute '" + attr_name +
+                              "': malformed focal offset array");
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t first = col.offsets[r];
+    const uint32_t last = col.offsets[r + 1];
+    if (last < first || last > col.words.size()) {
+      return fail(r, "focal offsets not monotone within the span arena");
+    }
+    if (first == last) return fail(r, "empty mass function");
+    double sum = 0.0;
+    uint64_t prev = 0;
+    for (uint32_t k = first; k < last; ++k) {
+      const uint64_t w = col.words[k];
+      if (w == 0) return fail(r, "mass on the empty set");
+      if ((w & ~frame_mask) != 0) return fail(r, "focal word outside frame");
+      if (k > first && w <= prev) {
+        return fail(r, "focal words not strictly ascending");
+      }
+      prev = w;
+      const double m = col.masses[k];
+      if (!(m > 0.0) || m > 1.0 + kMassEpsilon) {
+        return fail(r, "focal mass outside (0, 1]");
+      }
+      sum += m;
+    }
+    // Same tolerance as MassFunction::Validate: relations built from
+    // rounded text literals carry sums within 1e-6 of 1, not 1e-9.
+    if (!ApproxEqual(sum, 1.0, 1e-6)) {
+      return fail(r, "focal masses sum to " + std::to_string(sum) +
+                         ", expected 1");
+    }
+  }
+  if (col.offsets[rows] != col.words.size()) {
+    return Status::ParseError("attribute '" + attr_name +
+                              "': focal span arena size disagrees with the "
+                              "offset array");
+  }
+  return Status::OK();
+}
+
+Result<Catalog> ReadErelColumnImage(const std::string& data) {
+  if (data.size() < 8 ||
+      data.compare(6, 2, kColumnImageVersion) != 0) {
+    return Status::ParseError(
+        "unsupported column-image version (expected EVCIMG" +
+        std::string(kColumnImageVersion) + ")");
+  }
+  ByteReader in(data);
+  {
+    const char* magic;
+    EVIDENT_RETURN_NOT_OK(in.Take(8, "magic", &magic));
+  }
+  Catalog catalog;
+
+  EVIDENT_ASSIGN_OR_RETURN(uint32_t domain_count, in.U32("domain count"));
+  EVIDENT_RETURN_NOT_OK(in.CheckCount(domain_count, 8, "domain"));
+  std::vector<DomainPtr> domains;
+  domains.reserve(domain_count);
+  for (uint32_t d = 0; d < domain_count; ++d) {
+    EVIDENT_ASSIGN_OR_RETURN(std::string name, in.Str("domain name"));
+    EVIDENT_ASSIGN_OR_RETURN(uint32_t value_count,
+                             in.U32("domain value count"));
+    EVIDENT_RETURN_NOT_OK(in.CheckCount(value_count, 1, "domain value"));
+    std::vector<Value> values;
+    values.reserve(value_count);
+    for (uint32_t v = 0; v < value_count; ++v) {
+      EVIDENT_ASSIGN_OR_RETURN(Value value, in.ReadValue("domain value"));
+      values.push_back(std::move(value));
+    }
+    EVIDENT_ASSIGN_OR_RETURN(DomainPtr domain,
+                             Domain::Make(std::move(name), std::move(values)));
+    EVIDENT_RETURN_NOT_OK(catalog.RegisterDomain(domain));
+    domains.push_back(std::move(domain));
+  }
+
+  EVIDENT_ASSIGN_OR_RETURN(uint32_t relation_count, in.U32("relation count"));
+  EVIDENT_RETURN_NOT_OK(in.CheckCount(relation_count, 17, "relation"));
+  for (uint32_t rel_index = 0; rel_index < relation_count; ++rel_index) {
+    EVIDENT_ASSIGN_OR_RETURN(std::string rel_name, in.Str("relation name"));
+    EVIDENT_ASSIGN_OR_RETURN(uint32_t attr_count,
+                             in.U32("attribute count"));
+    EVIDENT_RETURN_NOT_OK(in.CheckCount(attr_count, 9, "attribute"));
+    std::vector<AttributeDef> attrs;
+    attrs.reserve(attr_count);
+    for (uint32_t a = 0; a < attr_count; ++a) {
+      EVIDENT_ASSIGN_OR_RETURN(std::string attr_name,
+                               in.Str("attribute name"));
+      EVIDENT_ASSIGN_OR_RETURN(uint8_t kind, in.U8("attribute kind"));
+      if (kind > 2) {
+        return Status::ParseError("unknown attribute kind tag " +
+                                  std::to_string(kind));
+      }
+      EVIDENT_ASSIGN_OR_RETURN(uint32_t domain_index,
+                               in.U32("attribute domain index"));
+      DomainPtr domain;
+      if (domain_index != kNoDomain) {
+        if (domain_index >= domains.size()) {
+          return Status::ParseError("attribute '" + attr_name +
+                                    "' references domain " +
+                                    std::to_string(domain_index) +
+                                    " of " + std::to_string(domains.size()));
+        }
+        domain = domains[domain_index];
+      }
+      attrs.emplace_back(std::move(attr_name),
+                         static_cast<AttributeKind>(kind), std::move(domain));
+    }
+    EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema,
+                             RelationSchema::Make(std::move(attrs)));
+    EVIDENT_ASSIGN_OR_RETURN(uint64_t row_count, in.U64("row count"));
+    EVIDENT_RETURN_NOT_OK(in.CheckCount(row_count, 16, "row"));
+    const size_t rows = static_cast<size_t>(row_count);
+
+    ColumnStore store = ColumnStore::EmptyLike(schema, rel_name);
+    store.ReserveRows(rows);
+    for (size_t a = 0; a < schema->size(); ++a) {
+      const AttributeDef& attr = schema->attribute(a);
+      EVIDENT_ASSIGN_OR_RETURN(uint8_t column_kind, in.U8("column kind"));
+      if (column_kind != static_cast<uint8_t>(store.kind(a))) {
+        return Status::ParseError(
+            "attribute '" + attr.name + "' stored as column kind " +
+            std::to_string(column_kind) +
+            ", but its declaration implies kind " +
+            std::to_string(static_cast<int>(store.kind(a))));
+      }
+      switch (store.kind(a)) {
+        case ColumnStore::ColumnKind::kValue: {
+          std::vector<Value>& dst = store.value_column_mut(a).values;
+          dst.reserve(rows);
+          for (size_t r = 0; r < rows; ++r) {
+            EVIDENT_ASSIGN_OR_RETURN(Value v, in.ReadValue("column value"));
+            if (attr.domain != nullptr && !attr.domain->Contains(v)) {
+              return Status::ParseError(
+                  "value " + v.ToString() + " outside domain of '" +
+                  attr.name + "'");
+            }
+            dst.push_back(std::move(v));
+          }
+          break;
+        }
+        case ColumnStore::ColumnKind::kEvidence: {
+          ColumnStore::EvidenceColumn& col = store.evidence_column_mut(a);
+          EVIDENT_ASSIGN_OR_RETURN(uint64_t focal_count,
+                                   in.U64("focal count"));
+          EVIDENT_RETURN_NOT_OK(in.CheckCount(focal_count, 16, "focal"));
+          if (focal_count > std::numeric_limits<uint32_t>::max()) {
+            return Status::ParseError(
+                "focal count exceeds the 32-bit offset space");
+          }
+          col.words.clear();
+          col.words.reserve(focal_count);
+          for (uint64_t k = 0; k < focal_count; ++k) {
+            EVIDENT_ASSIGN_OR_RETURN(uint64_t w, in.U64("focal word"));
+            col.words.push_back(w);
+          }
+          col.masses.reserve(focal_count);
+          for (uint64_t k = 0; k < focal_count; ++k) {
+            EVIDENT_ASSIGN_OR_RETURN(double m, in.F64("focal mass"));
+            col.masses.push_back(m);
+          }
+          col.offsets.clear();
+          col.offsets.reserve(rows + 1);
+          for (size_t r = 0; r < rows + 1; ++r) {
+            EVIDENT_ASSIGN_OR_RETURN(uint32_t o, in.U32("focal offset"));
+            col.offsets.push_back(o);
+          }
+          EVIDENT_RETURN_NOT_OK(
+              ValidateEvidenceColumn(attr.name, col.universe, col, rows));
+          break;
+        }
+        case ColumnStore::ColumnKind::kBoxed: {
+          std::vector<EvidenceSet>& dst = store.boxed_column_mut(a).sets;
+          dst.reserve(rows);
+          const size_t universe = attr.domain->size();
+          for (size_t r = 0; r < rows; ++r) {
+            EVIDENT_ASSIGN_OR_RETURN(uint32_t focal_count,
+                                     in.U32("boxed focal count"));
+            EVIDENT_RETURN_NOT_OK(
+                in.CheckCount(focal_count, 12, "boxed focal"));
+            MassFunction mass(universe);
+            mass.Reserve(focal_count);
+            for (uint32_t f = 0; f < focal_count; ++f) {
+              EVIDENT_ASSIGN_OR_RETURN(uint32_t member_count,
+                                       in.U32("boxed member count"));
+              EVIDENT_RETURN_NOT_OK(
+                  in.CheckCount(member_count, 4, "boxed member"));
+              ValueSet set(universe);
+              for (uint32_t e = 0; e < member_count; ++e) {
+                EVIDENT_ASSIGN_OR_RETURN(uint32_t index,
+                                         in.U32("boxed member index"));
+                if (index >= universe) {
+                  return Status::ParseError(
+                      "boxed focal member " + std::to_string(index) +
+                      " outside the " + std::to_string(universe) +
+                      "-value frame of '" + attr.name + "'");
+                }
+                set.Set(index);
+              }
+              EVIDENT_ASSIGN_OR_RETURN(double m, in.F64("boxed mass"));
+              EVIDENT_RETURN_NOT_OK(mass.Add(set, m));
+            }
+            Result<EvidenceSet> es = EvidenceSet::Make(attr.domain,
+                                                       std::move(mass));
+            if (!es.ok()) {
+              return Status::ParseError(
+                  "attribute '" + attr.name + "' row " + std::to_string(r) +
+                  ": " + es.status().message());
+            }
+            dst.push_back(std::move(es).value());
+          }
+          break;
+        }
+      }
+    }
+
+    std::vector<double> sn(rows), sp(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      EVIDENT_ASSIGN_OR_RETURN(sn[r], in.F64("sn"));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      EVIDENT_ASSIGN_OR_RETURN(sp[r], in.F64("sp"));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      const SupportPair membership{sn[r], sp[r]};
+      EVIDENT_RETURN_NOT_OK(membership.Validate());
+      if (!membership.HasPositiveSupport()) {
+        return Status::ParseError(
+            "CWA_ER violation in relation '" + rel_name + "' row " +
+            std::to_string(r) + ": stored tuples must have sn > 0");
+      }
+      store.AppendMembership(membership);
+    }
+
+    // Key arena: must reproduce the canonical encodings of the key value
+    // columns exactly, with unique keys — the lazily-built probe index
+    // of the adopted relation assumes both.
+    EVIDENT_ASSIGN_OR_RETURN(uint64_t arena_size, in.U64("key arena size"));
+    const char* arena;
+    EVIDENT_RETURN_NOT_OK(
+        in.Take(static_cast<size_t>(arena_size), "key arena", &arena));
+    std::vector<uint32_t> key_offsets(rows + 1);
+    for (size_t r = 0; r < rows + 1; ++r) {
+      EVIDENT_ASSIGN_OR_RETURN(key_offsets[r], in.U32("key offset"));
+    }
+    if (key_offsets[0] != 0 || key_offsets[rows] != arena_size) {
+      return Status::ParseError("relation '" + rel_name +
+                                "': malformed key arena offsets");
+    }
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(rows);
+    std::string encoded;
+    for (size_t r = 0; r < rows; ++r) {
+      if (key_offsets[r + 1] < key_offsets[r]) {
+        return Status::ParseError("relation '" + rel_name +
+                                  "': malformed key arena offsets");
+      }
+      const std::string_view stored(arena + key_offsets[r],
+                                    key_offsets[r + 1] - key_offsets[r]);
+      store.EncodeKeyOfRow(r, &encoded);
+      if (stored != encoded) {
+        return Status::ParseError(
+            "relation '" + rel_name + "' row " + std::to_string(r) +
+            ": key arena disagrees with the key value columns");
+      }
+      if (!seen.insert(stored).second) {
+        return Status::ParseError("duplicate key in relation '" + rel_name +
+                                  "' row " + std::to_string(r));
+      }
+    }
+
+    EVIDENT_RETURN_NOT_OK(catalog.RegisterRelation(
+        ExtendedRelation::AdoptColumns(std::move(store))));
+  }
+  if (in.remaining() != 0) {
+    return Status::ParseError("trailing bytes after the last relation");
+  }
+  return catalog;
+}
+
+}  // namespace
+
+std::string WriteErelColumnImage(const Catalog& catalog) {
+  std::string out;
+  out.append(kColumnImageMagic, 6);
+  out.append(kColumnImageVersion, 2);
+
+  const std::vector<std::string> domain_names = catalog.DomainNames();
+  std::unordered_map<std::string, uint32_t> domain_index;
+  PutU32(&out, static_cast<uint32_t>(domain_names.size()));
+  for (const std::string& name : domain_names) {
+    domain_index.emplace(name, static_cast<uint32_t>(domain_index.size()));
+    const DomainPtr domain = catalog.GetDomain(name).value();
+    PutStr(&out, name);
+    PutU32(&out, static_cast<uint32_t>(domain->size()));
+    for (const Value& v : domain->values()) PutValue(&out, v);
+  }
+
+  PutU32(&out, static_cast<uint32_t>(catalog.relations().size()));
+  for (const auto& [name, rel] : catalog.relations()) {
+    const ColumnStore& store = rel.columns();
+    const SchemaPtr& schema = rel.schema();
+    PutStr(&out, name);
+    PutU32(&out, static_cast<uint32_t>(schema->size()));
+    for (const AttributeDef& attr : schema->attributes()) {
+      PutStr(&out, attr.name);
+      PutU8(&out, static_cast<uint8_t>(attr.kind));
+      PutU32(&out, attr.domain != nullptr
+                       ? domain_index.at(attr.domain->name())
+                       : kNoDomain);
+    }
+    const size_t rows = store.rows();
+    PutU64(&out, rows);
+    for (size_t a = 0; a < schema->size(); ++a) {
+      PutU8(&out, static_cast<uint8_t>(store.kind(a)));
+      switch (store.kind(a)) {
+        case ColumnStore::ColumnKind::kValue: {
+          for (const Value& v : store.value_column(a).values) {
+            PutValue(&out, v);
+          }
+          break;
+        }
+        case ColumnStore::ColumnKind::kEvidence: {
+          const ColumnStore::EvidenceColumn& col = store.evidence_column(a);
+          PutU64(&out, col.words.size());
+          for (uint64_t w : col.words) PutU64(&out, w);
+          for (double m : col.masses) PutF64(&out, m);
+          for (uint32_t o : col.offsets) PutU32(&out, o);
+          break;
+        }
+        case ColumnStore::ColumnKind::kBoxed: {
+          for (const EvidenceSet& es : store.boxed_column(a).sets) {
+            const MassFunction::FocalVector& focals = es.mass().focals();
+            PutU32(&out, static_cast<uint32_t>(focals.size()));
+            for (const auto& [set, mass] : focals) {
+              const std::vector<size_t> indices = set.Indices();
+              PutU32(&out, static_cast<uint32_t>(indices.size()));
+              for (size_t i : indices) {
+                PutU32(&out, static_cast<uint32_t>(i));
+              }
+              PutF64(&out, mass);
+            }
+          }
+          break;
+        }
+      }
+    }
+    for (double v : store.sn()) PutF64(&out, v);
+    for (double v : store.sp()) PutF64(&out, v);
+
+    std::string arena;
+    std::vector<uint32_t> key_offsets;
+    key_offsets.reserve(rows + 1);
+    key_offsets.push_back(0);
+    std::string encoded;
+    for (size_t r = 0; r < rows; ++r) {
+      store.EncodeKeyOfRow(r, &encoded);
+      arena += encoded;
+      key_offsets.push_back(static_cast<uint32_t>(arena.size()));
+    }
+    PutU64(&out, arena.size());
+    out += arena;
+    for (uint32_t o : key_offsets) PutU32(&out, o);
+  }
+  return out;
+}
+
 Result<Catalog> ReadErel(const std::string& text) {
+  if (text.compare(0, 6, kColumnImageMagic) == 0) {
+    return ReadErelColumnImage(text);
+  }
   Catalog catalog;
   std::istringstream in(text);
   std::string line;
@@ -187,19 +722,31 @@ Result<Catalog> ReadErel(const std::string& text) {
   return catalog;
 }
 
-Status SaveErelFile(const Catalog& catalog, const std::string& path) {
-  std::ofstream out(path);
+Status SaveErelFile(const Catalog& catalog, const std::string& path,
+                    ErelFormat format) {
+  bool column_image = format == ErelFormat::kColumnImage;
+  if (format == ErelFormat::kAuto) {
+    // Saving must not force row materialization: any columnar-mode
+    // relation routes the whole catalog through the column image.
+    for (const auto& [name, rel] : catalog.relations()) {
+      if (rel.columnar_mode()) {
+        column_image = true;
+        break;
+      }
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
   }
-  out << WriteErel(catalog);
+  out << (column_image ? WriteErelColumnImage(catalog) : WriteErel(catalog));
   out.close();
   if (!out) return Status::Internal("failed writing '" + path + "'");
   return Status::OK();
 }
 
 Result<Catalog> LoadErelFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "'");
   }

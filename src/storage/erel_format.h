@@ -8,8 +8,10 @@
 
 namespace evident {
 
-/// \brief The .erel text format: a human-readable, round-trip-safe
-/// serialization of a Catalog (domains + extended relations).
+/// \brief The .erel serialization of a Catalog (domains + extended
+/// relations), in two on-disk formats behind one Load entry point.
+///
+/// **v1 — text** (WriteErel): human-readable and round-trip-safe:
 ///
 /// ```
 /// # comment
@@ -27,16 +29,91 @@ namespace evident {
 /// trailing "(sn,sp)" membership field; evidence fields use the literal
 /// syntax of ParseEvidenceLiteral; definite fields are parsed by
 /// Value::Parse (quote to force string typing). Domains must be declared
-/// before the relations that use them.
+/// before the relations that use them. Masses are written with
+/// `mass_decimals` digits, so a text round trip is exact only to that
+/// precision.
+///
+/// **v2 — column image** (WriteErelColumnImage): the binary image of
+/// each relation's ColumnStore, so Save of a columnar relation is a
+/// straight buffer write with no row materialization and Load adopts the
+/// columns directly (a loaded relation scans column-at-a-time with zero
+/// conversion). Masses, supports and offsets are stored bit-exactly.
+///
+/// v2 layout, bytes-exactly. All integers little-endian, no alignment
+/// padding; `u8/u32/u64` are fixed-width unsigned, `f64` is the raw
+/// IEEE-754 double bit pattern, `str` is `u32 length` + that many bytes
+/// (UTF-8, no terminator), and `value` is `u8 kind` (0 = int, 1 = real,
+/// 2 = string) followed by `i64` / `f64` / `str` respectively:
+///
+/// ```
+/// magic        8 bytes: "EVCIMG02" (the trailing "02" is the version)
+/// u32          domain_count
+/// domain x domain_count:
+///   str        name
+///   u32        value_count
+///   value x value_count
+/// u32          relation_count
+/// relation x relation_count:
+///   str        name
+///   u32        attr_count
+///   attr x attr_count:
+///     str      name
+///     u8       kind (0 = key, 1 = definite, 2 = uncertain)
+///     u32      domain index into the domain table, 0xFFFFFFFF = none
+///              (uncertain attrs must carry one)
+///   u64        row_count
+///   column x attr_count (schema order), introduced by
+///   u8         column_kind (0 = value, 1 = evidence, 2 = boxed —
+///              must match what the attr kind + domain size imply):
+///     value:    value x row_count
+///     evidence: u64 focal_count, u64 word x focal_count,
+///               f64 mass x focal_count, u32 offset x (row_count + 1)
+///               (row r's focals are [offset[r], offset[r+1]))
+///     boxed:    row x row_count: u32 focal_count, then per focal
+///               u32 member_count, u32 member_index x member_count,
+///               f64 mass
+///   f64        sn x row_count
+///   f64        sp x row_count
+///   u64        key_arena_size
+///   bytes      key arena (concatenated canonical key encodings,
+///              Value::AppendCanonicalKey, in row order)
+///   u32        key_offset x (row_count + 1) (row r's encoded key is
+///              arena[key_offset[r] .. key_offset[r+1]))
+/// ```
+///
+/// Load validates everything it reads — truncation, magic/version,
+/// kinds, offset monotonicity, word order/range, per-row mass sums,
+/// support bounds, arena consistency and key uniqueness — and reports a
+/// clean ParseError Status instead of undefined behaviour on corrupt
+/// input.
 
-/// \brief Serializes every domain and relation in the catalog.
+/// \brief Serializes every domain and relation in the catalog as v1
+/// text. Materializes rows of columnar-mode relations (use the column
+/// image to avoid that).
 std::string WriteErel(const Catalog& catalog, int mass_decimals = 9);
 
-/// \brief Parses an .erel document into a catalog.
+/// \brief Serializes every domain and relation as a v2 column-image
+/// blob. Reads each relation's column image (the native store of a
+/// columnar-mode relation; the cached/derived image of a row-mode one) —
+/// never materializes row objects.
+std::string WriteErelColumnImage(const Catalog& catalog);
+
+/// \brief Parses an .erel document — either format, distinguished by the
+/// v2 magic — into a catalog. v2 relations are adopted in columnar mode.
 Result<Catalog> ReadErel(const std::string& text);
 
-/// \brief File convenience wrappers.
-Status SaveErelFile(const Catalog& catalog, const std::string& path);
+/// \brief Which format SaveErelFile writes.
+enum class ErelFormat {
+  /// Column image when any relation is columnar-mode (saving must not
+  /// force row materialization), v1 text when all are row-mode.
+  kAuto,
+  kText,
+  kColumnImage,
+};
+
+/// \brief File convenience wrappers; LoadErelFile sniffs the format.
+Status SaveErelFile(const Catalog& catalog, const std::string& path,
+                    ErelFormat format = ErelFormat::kAuto);
 Result<Catalog> LoadErelFile(const std::string& path);
 
 }  // namespace evident

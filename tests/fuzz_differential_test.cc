@@ -1,0 +1,678 @@
+// Randomized differential fuzz harness for the extended relational
+// algebra: random schemas (mixed key/definite/uncertain attributes,
+// frames of 2-64 values, adversarial focal densities straddling the
+// kAuto pairwise <-> fast-Möbius boundary), random relations, and random
+// operator trees (Select / Project / Union / Intersect / Join / Product
+// / MergeTuples with random predicates, including equi- and non-equi
+// joins). Every tree executes under every storage/kernel/thread mode —
+// {row, columnar} x {SIMD, scalar} x {threads 1, 7} — and the results
+// must be *bit-identical*: same schemas, same row order, exactly equal
+// focal structures, masses and memberships, and identical first-error
+// statuses (code and message). Trees additionally round-trip their
+// inputs through both .erel file formats (the v2 column image exactly,
+// the v1 text format within the serialized precision) and their
+// columnar outputs through the v2 format without ever materializing row
+// objects.
+//
+// The default seed runs kDefaultCases cases (one operator tree each);
+// set EVIDENT_FUZZ_ITERS for deeper runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/column_store.h"
+#include "core/operations.h"
+#include "core/parallel.h"
+#include "ds/combination.h"
+#include "integration/entity_identifier.h"
+#include "integration/tuple_merger.h"
+#include "storage/erel_format.h"
+
+namespace evident {
+namespace {
+
+constexpr size_t kDefaultCases = 200;
+
+size_t FuzzCases() {
+  const char* env = std::getenv("EVIDENT_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return kDefaultCases;
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : kDefaultCases;
+}
+
+// ---------------------------------------------------------------------------
+// Execution modes.
+
+struct Mode {
+  bool columnar;
+  bool simd;
+  size_t threads;
+  const char* name;
+};
+
+/// kModes[0] is the reference: the row-store interpretation, serial.
+/// The batch SIMD toggle only affects the columnar path, so the row mode
+/// appears once per thread count.
+constexpr Mode kModes[] = {
+    {false, true, 1, "row/t1"},
+    {false, true, 7, "row/t7"},
+    {true, false, 1, "columnar/scalar/t1"},
+    {true, false, 7, "columnar/scalar/t7"},
+    {true, true, 1, "columnar/simd/t1"},
+    {true, true, 7, "columnar/simd/t7"},
+};
+
+void SetMode(const Mode& mode) {
+  SetColumnarExecution(mode.columnar);
+  SetBatchSimdEnabled(mode.simd);
+  SetParallelMaxThreads(mode.threads);
+}
+
+void RestoreDefaults() {
+  SetColumnarExecution(true);
+  SetBatchSimdEnabled(true);
+  SetParallelMaxThreads(0);
+}
+
+// ---------------------------------------------------------------------------
+// Random inputs.
+
+DomainPtr RandomDomain(Rng* rng, const std::string& name) {
+  // Frames from 2 to the inline limit 64, deliberately crowding the
+  // fast-Möbius eligibility boundary (14) on both sides.
+  static constexpr size_t kSizes[] = {2, 3, 5, 8, 10, 12, 14, 15, 17, 33, 64};
+  const size_t n = kSizes[rng->Below(std::size(kSizes))];
+  std::vector<std::string> symbols;
+  symbols.reserve(n);
+  for (size_t i = 0; i < n; ++i) symbols.push_back("v" + std::to_string(i));
+  return Domain::MakeSymbolic(name, symbols).value();
+}
+
+SchemaPtr RandomSchema(Rng* rng, const std::string& domain_prefix) {
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef::Key("key"));
+  if (rng->Chance(0.25)) attrs.push_back(AttributeDef::Key("key2"));
+  const size_t definites = rng->Below(3);
+  for (size_t d = 0; d < definites; ++d) {
+    attrs.push_back(AttributeDef::Definite("def" + std::to_string(d)));
+  }
+  const size_t uncertains = 1 + rng->Below(3);
+  for (size_t u = 0; u < uncertains; ++u) {
+    attrs.push_back(AttributeDef::Uncertain(
+        "unc" + std::to_string(u),
+        RandomDomain(rng, domain_prefix + "dom" + std::to_string(u))));
+  }
+  return RelationSchema::Make(std::move(attrs)).value();
+}
+
+/// A random valid evidence set with an adversarial density profile:
+/// mostly sparse (1-5 focals), but a substantial fraction dense enough
+/// that pairwise products in Union/MergeTuples cross the kAuto
+/// cost-model threshold into the fast-Möbius lattice; occasional
+/// definite singletons (the total-conflict fuel) and vacuous sets.
+EvidenceSet RandomEvidence(Rng* rng, const DomainPtr& domain) {
+  const size_t universe = domain->size();
+  if (rng->Chance(0.2)) {
+    return EvidenceSet::MakeTrusted(
+        domain, MassFunction::Definite(universe, rng->Below(universe)));
+  }
+  if (rng->Chance(0.05)) return EvidenceSet::Vacuous(domain);
+  const size_t focals = rng->Chance(0.3)
+                            ? 16 + rng->Below(48)  // dense: lattice territory
+                            : 1 + rng->Below(5);   // sparse: pairwise
+  std::vector<double> weights(focals);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = 0.05 + rng->NextDouble();
+    total += w;
+  }
+  MassFunction m(universe);
+  for (size_t f = 0; f < focals; ++f) {
+    ValueSet set(universe);
+    const size_t members = 1 + rng->Below(std::min<size_t>(universe, 8));
+    for (size_t e = 0; e < members; ++e) set.Set(rng->Below(universe));
+    EXPECT_TRUE(m.Add(set, weights[f] / total).ok());
+  }
+  return EvidenceSet::MakeTrusted(domain, std::move(m));
+}
+
+ExtendedRelation RandomRelation(Rng* rng, const std::string& name,
+                                const SchemaPtr& schema, size_t rows,
+                                size_t key_range, bool string_keys) {
+  ExtendedRelation rel(name, schema);
+  std::unordered_set<int64_t> used;
+  for (size_t r = 0; r < rows; ++r) {
+    int64_t k;
+    do {
+      k = static_cast<int64_t>(rng->Below(key_range));
+    } while (!used.insert(k).second);
+    ExtendedTuple t;
+    t.cells.reserve(schema->size());
+    bool first_key = true;
+    for (const AttributeDef& attr : schema->attributes()) {
+      switch (attr.kind) {
+        case AttributeKind::kKey:
+          if (first_key) {
+            // The first key column carries the uniqueness; later key
+            // columns draw small values so composite keys still collide
+            // across relations.
+            t.cells.emplace_back(string_keys
+                                     ? Value("k" + std::to_string(k))
+                                     : Value(k));
+            first_key = false;
+          } else {
+            t.cells.emplace_back(Value(static_cast<int64_t>(rng->Below(3))));
+          }
+          break;
+        case AttributeKind::kDefinite:
+          t.cells.emplace_back(Value(static_cast<int64_t>(rng->Below(6))));
+          break;
+        case AttributeKind::kUncertain:
+          t.cells.emplace_back(RandomEvidence(rng, attr.domain));
+          break;
+      }
+    }
+    // sn is kept well above 0 so text-format rounding can never destroy
+    // the CWA_ER invariant of a stored tuple.
+    const double sn = rng->Chance(0.3) ? 0.05 + 0.95 * rng->NextDouble() : 1.0;
+    const double sp = sn + rng->NextDouble() * (1.0 - sn);
+    t.membership = SupportPair{sn, sp};
+    EXPECT_TRUE(rel.Insert(std::move(t)).ok());
+  }
+  return rel;
+}
+
+// ---------------------------------------------------------------------------
+// Random predicates.
+
+ThetaOp RandomThetaOp(Rng* rng) {
+  static constexpr ThetaOp kOps[] = {ThetaOp::kEq, ThetaOp::kLt, ThetaOp::kLe,
+                                     ThetaOp::kGt, ThetaOp::kGe};
+  return kOps[rng->Below(std::size(kOps))];
+}
+
+PredicatePtr RandomConjunct(Rng* rng, const RelationSchema& schema) {
+  // Rarely reference a missing attribute: every mode (and the bound
+  // fallback) must report the identical error.
+  if (rng->Chance(0.02)) return IsSym("no_such_attr", {"v0"});
+  const size_t a = rng->Below(schema.size());
+  const AttributeDef& attr = schema.attribute(a);
+  if (attr.kind != AttributeKind::kUncertain) {
+    if (rng->Chance(0.5)) {
+      std::vector<Value> values;
+      const size_t count = 1 + rng->Below(3);
+      for (size_t i = 0; i < count; ++i) {
+        values.emplace_back(static_cast<int64_t>(rng->Below(8)));
+      }
+      return Is(attr.name, std::move(values));
+    }
+    return Theta(ThetaOperand::Attr(attr.name), RandomThetaOp(rng),
+                 ThetaOperand::LitValue(
+                     Value(static_cast<int64_t>(rng->Below(8)))));
+  }
+  const DomainPtr& domain = attr.domain;
+  const size_t n = domain->size();
+  if (rng->Chance(0.5)) {
+    std::vector<Value> values;
+    const size_t count = 1 + rng->Below(std::min<size_t>(n, 4));
+    for (size_t i = 0; i < count; ++i) {
+      values.push_back(domain->value(rng->Below(n)));
+    }
+    // Occasionally a constant outside the frame: a per-row error in the
+    // interpreted path, which the bound path must reproduce by falling
+    // back — including producing *no* error over an empty input.
+    if (rng->Chance(0.04)) values.emplace_back("zz_outside_frame");
+    return Is(attr.name, std::move(values));
+  }
+  const ThetaSemantics semantics = rng->Chance(0.5)
+                                       ? ThetaSemantics::kForallExists
+                                       : ThetaSemantics::kForallForall;
+  ThetaOperand lhs = ThetaOperand::Attr(attr.name);
+  ThetaOperand rhs = ThetaOperand::LitValue(Value(int64_t{0}));
+  switch (rng->Below(3)) {
+    case 0: {  // another attribute (any kind)
+      const AttributeDef& other = schema.attribute(rng->Below(schema.size()));
+      rhs = ThetaOperand::Attr(other.name);
+      break;
+    }
+    case 1:  // literal evidence over this attribute's frame
+      rhs = ThetaOperand::Lit(RandomEvidence(rng, domain));
+      break;
+    case 2:  // literal domain value
+      rhs = ThetaOperand::LitValue(domain->value(rng->Below(n)));
+      break;
+  }
+  if (rng->Chance(0.3)) std::swap(lhs, rhs);
+  return Theta(std::move(lhs), RandomThetaOp(rng), std::move(rhs), semantics);
+}
+
+PredicatePtr RandomPredicate(Rng* rng, const RelationSchema& schema) {
+  const size_t conjuncts = 1 + rng->Below(3);
+  std::vector<PredicatePtr> cs;
+  for (size_t i = 0; i < conjuncts; ++i) {
+    cs.push_back(RandomConjunct(rng, schema));
+  }
+  return cs.size() == 1 ? cs.front() : And(std::move(cs));
+}
+
+/// A join predicate against the product schema: usually anchored by a
+/// definite equi-conjunct (the hash/splice path), sometimes without one
+/// (the Select-over-Product fallback), plus random residual conjuncts
+/// referencing either side.
+PredicatePtr RandomJoinPredicate(Rng* rng, const RelationSchema& product,
+                                 size_t left_attrs, bool want_equi) {
+  std::vector<PredicatePtr> cs;
+  if (want_equi) {
+    std::vector<size_t> lefts, rights;
+    for (size_t i = 0; i < product.size(); ++i) {
+      if (product.attribute(i).kind == AttributeKind::kUncertain) continue;
+      (i < left_attrs ? lefts : rights).push_back(i);
+    }
+    const size_t li = lefts[rng->Below(lefts.size())];
+    const size_t ri = rights[rng->Below(rights.size())];
+    cs.push_back(Theta(ThetaOperand::Attr(product.attribute(li).name),
+                       ThetaOp::kEq,
+                       ThetaOperand::Attr(product.attribute(ri).name)));
+  }
+  const size_t extra = want_equi ? rng->Below(3) : 1 + rng->Below(2);
+  for (size_t i = 0; i < extra; ++i) {
+    cs.push_back(RandomConjunct(rng, product));
+  }
+  return cs.size() == 1 ? cs.front() : And(std::move(cs));
+}
+
+MembershipThreshold RandomThreshold(Rng* rng) {
+  MembershipThreshold q;
+  if (rng->Chance(0.5)) return q;  // empty: the implicit sn > 0 only
+  static constexpr MembershipThreshold::Cmp kCmps[] = {
+      MembershipThreshold::Cmp::kGt, MembershipThreshold::Cmp::kGe,
+      MembershipThreshold::Cmp::kLt, MembershipThreshold::Cmp::kLe};
+  const size_t atoms = 1 + rng->Below(2);
+  for (size_t i = 0; i < atoms; ++i) {
+    q.AndAlso(rng->Chance(0.6) ? MembershipThreshold::Field::kSn
+                               : MembershipThreshold::Field::kSp,
+              kCmps[rng->Below(std::size(kCmps))], rng->NextDouble() * 0.8);
+  }
+  return q;
+}
+
+UnionOptions RandomUnionOptions(Rng* rng) {
+  static constexpr CombinationRule kRules[] = {
+      CombinationRule::kDempster, CombinationRule::kTBM,
+      CombinationRule::kYager, CombinationRule::kMixing};
+  static constexpr TotalConflictPolicy kConflict[] = {
+      TotalConflictPolicy::kError, TotalConflictPolicy::kSkipTuple,
+      TotalConflictPolicy::kVacuous};
+  static constexpr DefiniteConflictPolicy kDefinite[] = {
+      DefiniteConflictPolicy::kError, DefiniteConflictPolicy::kPreferLeft,
+      DefiniteConflictPolicy::kPreferRight};
+  UnionOptions options;
+  options.rule = kRules[rng->Below(std::size(kRules))];
+  options.on_total_conflict = kConflict[rng->Below(std::size(kConflict))];
+  options.on_definite_conflict = kDefinite[rng->Below(std::size(kDefinite))];
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Operator-tree plans.
+
+struct Node {
+  enum class Op {
+    kSelect,
+    kProject,
+    kUnion,
+    kIntersect,
+    kMerge,
+    kJoin,
+    kProduct
+  };
+  Op op;
+  size_t left = 0, right = 0;  // slot indices
+  PredicatePtr predicate;      // kSelect, kJoin
+  MembershipThreshold threshold;
+  UnionOptions options;                   // kUnion, kIntersect, kMerge
+  std::vector<std::string> project_attrs; // kProject
+  MatchingInfo matching;                  // kMerge
+};
+
+const char* NodeOpName(Node::Op op) {
+  switch (op) {
+    case Node::Op::kSelect: return "select";
+    case Node::Op::kProject: return "project";
+    case Node::Op::kUnion: return "union";
+    case Node::Op::kIntersect: return "intersect";
+    case Node::Op::kMerge: return "merge";
+    case Node::Op::kJoin: return "join";
+    case Node::Op::kProduct: return "product";
+  }
+  return "?";
+}
+
+Result<ExtendedRelation> ExecuteNode(
+    const Node& node, const std::vector<ExtendedRelation>& slots) {
+  switch (node.op) {
+    case Node::Op::kSelect:
+      return Select(slots[node.left], node.predicate, node.threshold);
+    case Node::Op::kProject:
+      return Project(slots[node.left], node.project_attrs);
+    case Node::Op::kUnion:
+      return Union(slots[node.left], slots[node.right], node.options);
+    case Node::Op::kIntersect:
+      return Intersect(slots[node.left], slots[node.right], node.options);
+    case Node::Op::kMerge:
+      return MergeTuples(slots[node.left], slots[node.right], node.matching,
+                         node.options);
+    case Node::Op::kJoin:
+      return Join(slots[node.left], slots[node.right], node.predicate,
+                  node.threshold);
+    case Node::Op::kProduct:
+      return Product(slots[node.left], slots[node.right]);
+  }
+  return Status::Internal("unreachable node op");
+}
+
+struct FuzzCase {
+  std::vector<ExtendedRelation> bases;
+  std::vector<Node> nodes;
+};
+
+/// Runs the plan over `bases`, collecting one Result per node. A node
+/// whose execution succeeds contributes a new slot consumable by later
+/// nodes (so deep pipelines carry each mode's own intermediates).
+std::vector<Result<ExtendedRelation>> RunPlan(
+    const std::vector<ExtendedRelation>& bases,
+    const std::vector<Node>& nodes) {
+  std::vector<ExtendedRelation> slots = bases;
+  std::vector<Result<ExtendedRelation>> results;
+  results.reserve(nodes.size());
+  for (const Node& node : nodes) {
+    Result<ExtendedRelation> result = ExecuteNode(node, slots);
+    if (result.ok()) slots.push_back(*result);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+/// Generates a case: base relations plus an operator tree. The planner
+/// executes each candidate node on reference slots as it goes, both to
+/// know intermediate schemas/sizes (for choosing compatible operands
+/// and bounding growth) and because error nodes end no slot.
+FuzzCase GenerateCase(uint64_t seed, bool big) {
+  Rng rng(seed);
+  FuzzCase c;
+  const bool string_keys = rng.Chance(0.3);
+  const size_t rows = big ? 300 + rng.Below(180) : 6 + rng.Below(42);
+  const size_t key_range = 2 * rows + rng.Below(2 * rows);
+  const SchemaPtr schema_a = RandomSchema(&rng, "a_");
+  const SchemaPtr schema_b = RandomSchema(&rng, "b_");
+  c.bases.push_back(
+      RandomRelation(&rng, "R0", schema_a, rows, key_range, string_keys));
+  c.bases.push_back(
+      RandomRelation(&rng, "R1", schema_a, rows, key_range, string_keys));
+  c.bases.push_back(
+      RandomRelation(&rng, "R2", schema_b, rows, key_range, string_keys));
+  if (rng.Chance(0.5)) {
+    c.bases.push_back(
+        RandomRelation(&rng, "R3", schema_b, rows, key_range, string_keys));
+  }
+
+  SetMode(kModes[0]);  // plan against the reference interpretation
+  std::vector<ExtendedRelation> slots = c.bases;
+  const size_t steps = 2 + rng.Below(4);
+  const size_t max_pairs = big ? 8192 : 20000;
+  for (size_t step = 0; step < steps; ++step) {
+    Node node;
+    bool viable = false;
+    for (int attempt = 0; attempt < 8 && !viable; ++attempt) {
+      node = Node();
+      const size_t pick = rng.Below(10);
+      node.left = rng.Below(slots.size());
+      const ExtendedRelation& l = slots[node.left];
+      if (pick < 3) {  // select
+        node.op = Node::Op::kSelect;
+        node.predicate = RandomPredicate(&rng, *l.schema());
+        node.threshold = RandomThreshold(&rng);
+        viable = true;
+      } else if (pick < 4) {  // project
+        node.op = Node::Op::kProject;
+        for (size_t k : l.schema()->key_indices()) {
+          node.project_attrs.push_back(l.schema()->attribute(k).name);
+        }
+        for (size_t i : l.schema()->nonkey_indices()) {
+          if (rng.Chance(0.6)) {
+            node.project_attrs.push_back(l.schema()->attribute(i).name);
+          }
+        }
+        viable = true;
+      } else if (pick < 7) {  // union / intersect / merge
+        std::vector<size_t> compatible;
+        for (size_t s = 0; s < slots.size(); ++s) {
+          if (slots[s].schema()->UnionCompatibleWith(*l.schema()) &&
+              slots[s].size() + l.size() <= max_pairs) {
+            compatible.push_back(s);
+          }
+        }
+        if (compatible.empty()) continue;
+        node.right = compatible[rng.Below(compatible.size())];
+        node.options = RandomUnionOptions(&rng);
+        const size_t which = rng.Below(3);
+        if (which == 0) {
+          node.op = Node::Op::kUnion;
+        } else if (which == 1) {
+          node.op = Node::Op::kIntersect;
+        } else {
+          node.op = Node::Op::kMerge;
+          auto matching = MatchByKey(l, slots[node.right]);
+          if (!matching.ok()) continue;
+          node.matching = std::move(matching).value();
+        }
+        viable = true;
+      } else {  // join / product
+        node.right = rng.Below(slots.size());
+        const ExtendedRelation& r = slots[node.right];
+        if (l.empty() || r.empty()) {
+          // Empty operands are legal (and covered by Select producing
+          // them); prefer trees that keep doing work.
+          if (attempt < 6) continue;
+        }
+        if (pick < 9) {
+          node.op = Node::Op::kJoin;
+          const bool want_equi = rng.Chance(0.75);
+          const size_t bound = l.size() * std::max<size_t>(r.size(), 1);
+          if (want_equi ? bound > 16 * max_pairs : bound > max_pairs / 4) {
+            continue;
+          }
+          auto product_schema = MakeProductSchema(l, r);
+          if (!product_schema.ok()) continue;
+          node.predicate = RandomJoinPredicate(
+              &rng, **product_schema, l.schema()->size(), want_equi);
+          node.threshold = RandomThreshold(&rng);
+        } else {
+          node.op = Node::Op::kProduct;
+          if (l.size() * std::max<size_t>(r.size(), 1) > max_pairs / 4) {
+            continue;
+          }
+        }
+        viable = true;
+      }
+    }
+    if (!viable) break;
+    // Execute to keep the planner's slots in lockstep with RunPlan (ok
+    // results become slots, error nodes do not). Error nodes stay in the
+    // plan: the error must be identical in every mode.
+    Result<ExtendedRelation> result = ExecuteNode(node, slots);
+    if (result.ok()) slots.push_back(std::move(result).value());
+    c.nodes.push_back(std::move(node));
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Comparators.
+
+/// eps == 0: bit-identical (same schema, same row order, same focal
+/// structure, bitwise-equal masses and memberships). eps > 0: same shape
+/// with numeric wiggle room (the text format's serialized precision).
+void ExpectRelationsMatch(const ExtendedRelation& ref,
+                          const ExtendedRelation& got, double eps,
+                          const std::string& what) {
+  ASSERT_TRUE(ref.schema()->Equals(*got.schema())) << what;
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const ExtendedTuple& x = ref.row(i);
+    const ExtendedTuple& y = got.row(i);
+    if (eps == 0.0) {
+      ASSERT_EQ(x.membership.sn, y.membership.sn) << what << " row " << i;
+      ASSERT_EQ(x.membership.sp, y.membership.sp) << what << " row " << i;
+    } else {
+      ASSERT_TRUE(x.membership.ApproxEquals(y.membership, eps))
+          << what << " row " << i;
+    }
+    ASSERT_EQ(x.cells.size(), y.cells.size()) << what << " row " << i;
+    for (size_t cix = 0; cix < x.cells.size(); ++cix) {
+      ASSERT_TRUE(CellApproxEquals(x.cells[cix], y.cells[cix], eps))
+          << what << " row " << i << " cell " << cix;
+    }
+  }
+}
+
+void ExpectOutcomesMatch(const std::vector<Result<ExtendedRelation>>& ref,
+                         const std::vector<Result<ExtendedRelation>>& got,
+                         double eps, bool compare_messages,
+                         const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const std::string where = what + " op " + std::to_string(i);
+    ASSERT_EQ(ref[i].ok(), got[i].ok())
+        << where << "\nref:  " << ref[i].status().ToString()
+        << "\ngot: " << got[i].status().ToString();
+    if (!ref[i].ok()) {
+      EXPECT_EQ(ref[i].status().code(), got[i].status().code()) << where;
+      if (compare_messages) {
+        EXPECT_EQ(ref[i].status().message(), got[i].status().message())
+            << where;
+      }
+      continue;
+    }
+    ExpectRelationsMatch(*ref[i], *got[i], eps, where);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The harness.
+
+TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
+  const size_t cases = FuzzCases();
+  for (size_t case_index = 0; case_index < cases; ++case_index) {
+    const uint64_t seed = 0x5EEDF00DULL + case_index * 7919;
+    const bool big = case_index % 23 == 11;  // thread-sharding exercise
+    FuzzCase c = GenerateCase(seed, big);
+    const std::string tag = "case " + std::to_string(case_index);
+
+    SetMode(kModes[0]);
+    const std::vector<Result<ExtendedRelation>> reference =
+        RunPlan(c.bases, c.nodes);
+
+    for (size_t m = 1; m < std::size(kModes); ++m) {
+      SetMode(kModes[m]);
+      const std::vector<Result<ExtendedRelation>> got =
+          RunPlan(c.bases, c.nodes);
+      ExpectOutcomesMatch(reference, got, /*eps=*/0.0,
+                          /*compare_messages=*/true,
+                          tag + " mode " + kModes[m].name);
+      if (::testing::Test::HasFatalFailure()) {
+        RestoreDefaults();
+        return;
+      }
+    }
+
+    // Round-trip the inputs through both file formats and re-execute.
+    if (case_index % 5 == 0) {
+      Catalog inputs;
+      for (const ExtendedRelation& base : c.bases) {
+        ASSERT_TRUE(inputs.RegisterRelation(base).ok()) << tag;
+      }
+
+      SetMode(kModes[0]);
+      // v2 column image: bit-exact.
+      auto v2 = ReadErel(WriteErelColumnImage(inputs));
+      ASSERT_TRUE(v2.ok()) << tag << ": " << v2.status().ToString();
+      std::vector<ExtendedRelation> v2_bases;
+      for (const ExtendedRelation& base : c.bases) {
+        const ExtendedRelation* loaded =
+            v2->GetRelation(base.name()).value();
+        EXPECT_TRUE(loaded->columnar_mode()) << tag;
+        v2_bases.push_back(*loaded);
+      }
+      ExpectOutcomesMatch(reference, RunPlan(v2_bases, c.nodes),
+                          /*eps=*/0.0, /*compare_messages=*/true,
+                          tag + " v2 round trip");
+      // v1 text: exact to the serialized precision; error *codes* must
+      // still agree (messages may print the re-rounded masses).
+      auto v1 = ReadErel(WriteErel(inputs));
+      ASSERT_TRUE(v1.ok()) << tag << ": " << v1.status().ToString();
+      std::vector<ExtendedRelation> v1_bases;
+      for (const ExtendedRelation& base : c.bases) {
+        v1_bases.push_back(*v1->GetRelation(base.name()).value());
+      }
+      ExpectOutcomesMatch(reference, RunPlan(v1_bases, c.nodes),
+                          /*eps=*/1e-6, /*compare_messages=*/false,
+                          tag + " text round trip");
+      if (::testing::Test::HasFatalFailure()) {
+        RestoreDefaults();
+        return;
+      }
+    }
+
+    // Round-trip columnar *outputs* through the v2 format: saving must
+    // not materialize rows, and load must reproduce them bit-exactly.
+    if (case_index % 5 == 2) {
+      SetMode(kModes[2]);  // columnar, scalar, serial
+      const std::vector<Result<ExtendedRelation>> columnar =
+          RunPlan(c.bases, c.nodes);
+      Catalog outputs;
+      std::vector<size_t> saved_ops;
+      for (size_t i = 0; i < columnar.size(); ++i) {
+        if (!columnar[i].ok() || columnar[i]->size() == 0) continue;
+        if (!columnar[i]->columnar_mode()) continue;  // row-built op (Project)
+        ExtendedRelation copy = *columnar[i];
+        copy.set_name("out" + std::to_string(i));
+        ASSERT_TRUE(outputs.RegisterRelation(std::move(copy)).ok()) << tag;
+        saved_ops.push_back(i);
+      }
+      const std::string blob = WriteErelColumnImage(outputs);
+      for (size_t i : saved_ops) {
+        const ExtendedRelation* rel =
+            outputs.GetRelation("out" + std::to_string(i)).value();
+        EXPECT_EQ(rel->rows_materialized(), 0u)
+            << tag << ": saving op " << i
+            << " materialized rows as a side effect";
+      }
+      auto loaded = ReadErel(blob);
+      ASSERT_TRUE(loaded.ok()) << tag << ": " << loaded.status().ToString();
+      for (size_t i : saved_ops) {
+        const ExtendedRelation* rel =
+            loaded->GetRelation("out" + std::to_string(i)).value();
+        EXPECT_TRUE(rel->columnar_mode()) << tag;
+        ExpectRelationsMatch(*columnar[i], *rel, /*eps=*/0.0,
+                             tag + " v2 output round trip op " +
+                                 std::to_string(i) + " (" +
+                                 NodeOpName(c.nodes[i].op) + ")");
+        if (::testing::Test::HasFatalFailure()) {
+          RestoreDefaults();
+          return;
+        }
+      }
+    }
+  }
+  RestoreDefaults();
+}
+
+}  // namespace
+}  // namespace evident

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/join_plan.h"
 #include "core/operations.h"
 #include "core/parallel.h"
@@ -273,6 +274,79 @@ TEST(HashJoinDifferentialTest, BadIsConstantFailsLikeReference) {
   ASSERT_FALSE(joined.ok());
   ASSERT_FALSE(reference.ok());
   EXPECT_EQ(joined.status().code(), reference.status().code());
+}
+
+TEST(HashJoinDifferentialTest, CappedArenaReservationOnHighMatchRateJoin) {
+  // Pathological match rate: every left row joins every right row on a
+  // constant definite attribute, so the splice path's focal-span arena
+  // *bound* (surviving pairs x dense average span) crosses the 2^20
+  // reservation cap — the arena must be reserved capped and grown, and
+  // the result must still be bit-identical to the row path.
+  Rng rng(20260729);
+  auto filter_dom = Domain::MakeSymbolic(
+      "filt8", {"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"}).value();
+  std::vector<std::string> dense_symbols;
+  for (int i = 0; i < 17; ++i) dense_symbols.push_back("w" + std::to_string(i));
+  auto dense_dom = Domain::MakeSymbolic("dense17", dense_symbols).value();
+  auto schema = RelationSchema::Make(
+                    {AttributeDef::Key("id"), AttributeDef::Definite("grp"),
+                     AttributeDef::Uncertain("f", filter_dom),
+                     AttributeDef::Uncertain("dense", dense_dom)})
+                    .value();
+  auto make = [&](const std::string& name, size_t rows) {
+    ExtendedRelation rel(name, schema);
+    for (size_t i = 0; i < rows; ++i) {
+      MassFunction dense(17);
+      std::vector<double> weights(100);
+      double total = 0.0;
+      for (double& w : weights) {
+        w = 0.05 + rng.NextDouble();
+        total += w;
+      }
+      for (double w : weights) {
+        ValueSet set(17);
+        const size_t members = 1 + rng.Below(6);
+        for (size_t e = 0; e < members; ++e) set.Set(rng.Below(17));
+        EXPECT_TRUE(dense.Add(set, w / total).ok());
+      }
+      ExtendedTuple t;
+      t.cells = {Value(static_cast<int64_t>(i)), Value(int64_t{1}),
+                 Cell(EvidenceSet::MakeTrusted(
+                     filter_dom, MassFunction::Definite(8, rng.Below(8)))),
+                 Cell(EvidenceSet::MakeTrusted(dense_dom, std::move(dense)))};
+      EXPECT_TRUE(rel.Insert(std::move(t)).ok());
+    }
+    return rel;
+  };
+  ExtendedRelation left = make("L", 260);
+  ExtendedRelation right = make("R", 1100);
+  // 260 x 1100 = 286k matched pairs; the residual keeps ~1/16 of them,
+  // each carrying two ~90-focal dense spans — bound >> 2^20 entries.
+  PredicatePtr pred =
+      And({Theta(ThetaOperand::Attr("L.grp"), ThetaOp::kEq,
+                 ThetaOperand::Attr("R.grp")),
+           IsSym("L.f", {"v0", "v1"}), IsSym("R.f", {"v0", "v1"})});
+  SetColumnarExecution(true);
+  auto columnar = Join(left, right, pred);
+  SetColumnarExecution(false);
+  auto row = Join(left, right, pred);
+  SetColumnarExecution(true);
+  ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_TRUE(columnar->columnar_mode());
+  EXPECT_GT(columnar->size(), 10000u);
+  ASSERT_EQ(columnar->size(), row->size());
+  ASSERT_TRUE(columnar->schema()->Equals(*row->schema()));
+  for (size_t i = 0; i < row->size(); ++i) {
+    ASSERT_EQ(columnar->row(i).membership.sn, row->row(i).membership.sn);
+    ASSERT_EQ(columnar->row(i).membership.sp, row->row(i).membership.sp);
+    for (size_t c = 0; c < row->row(i).cells.size(); ++c) {
+      ASSERT_TRUE(
+          CellApproxEquals(columnar->row(i).cells[c], row->row(i).cells[c],
+                           0.0))
+          << "row " << i << " cell " << c;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
+#include "core/column_store.h"
+#include "core/operations.h"
 #include "storage/csv.h"
 #include "storage/erel_format.h"
 #include "workload/generator.h"
@@ -125,6 +129,260 @@ TEST(ErelFormatTest, FileRoundTrip) {
       (*loaded->GetRelation("RA"))->ApproxEquals(paper::TableRA().value(),
                                                  1e-8));
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// v2 column-image format
+
+/// Exact equality: same schema, row order, focal structures, bitwise
+/// masses and memberships — the column image stores raw doubles, so a
+/// round trip must lose nothing.
+void ExpectBitExact(const ExtendedRelation& a, const ExtendedRelation& b) {
+  ASSERT_TRUE(a.schema()->Equals(*b.schema()));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.row(i).membership.sn, b.row(i).membership.sn) << "row " << i;
+    ASSERT_EQ(a.row(i).membership.sp, b.row(i).membership.sp) << "row " << i;
+    for (size_t c = 0; c < a.row(i).cells.size(); ++c) {
+      ASSERT_TRUE(CellApproxEquals(a.row(i).cells[c], b.row(i).cells[c], 0.0))
+          << "row " << i << " cell " << c;
+    }
+  }
+}
+
+Catalog GeneratedCatalog(uint64_t seed, size_t tuples) {
+  WorkloadGenerator gen(seed);
+  GeneratorOptions options;
+  options.num_tuples = tuples;
+  options.num_definite = 2;
+  options.num_uncertain = 2;
+  options.domain_size = 9;
+  auto schema = gen.MakeSchema(options).value();
+  Catalog catalog;
+  EXPECT_TRUE(
+      catalog.RegisterRelation(gen.MakeRelation("W", schema, options).value())
+          .ok());
+  return catalog;
+}
+
+TEST(ColumnImageFormatTest, RoundTripsBitExactlyAndStaysColumnar) {
+  Catalog catalog = GeneratedCatalog(17, 60);
+  const std::string blob = WriteErelColumnImage(catalog);
+  ASSERT_EQ(blob.compare(0, 8, "EVCIMG02"), 0);
+  auto loaded = ReadErel(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ExtendedRelation* rel = loaded->GetRelation("W").value();
+  // Adopted columns: scanning the image must not build rows.
+  EXPECT_TRUE(rel->columnar_mode());
+  EXPECT_EQ(rel->rows_materialized(), 0u);
+  (void)rel->columns();
+  EXPECT_EQ(rel->rows_materialized(), 0u);
+  ExpectBitExact(*catalog.GetRelation("W").value(), *rel);
+}
+
+TEST(ColumnImageFormatTest, RoundTripsColumnarOperatorOutput) {
+  // A columnar Select result (an adopted column image, never converted
+  // to rows) serializes without materializing rows and round-trips
+  // exactly.
+  Catalog catalog = GeneratedCatalog(23, 80);
+  SetColumnarExecution(true);
+  auto selected = Select(*catalog.GetRelation("W").value(),
+                         IsSym("unc0", {"v0", "v1", "v2", "v3"}));
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  ASSERT_TRUE(selected->columnar_mode());
+  ExtendedRelation copy = *selected;
+  copy.set_name("S");
+  Catalog outputs;
+  ASSERT_TRUE(outputs.RegisterRelation(std::move(copy)).ok());
+  const std::string blob = WriteErelColumnImage(outputs);
+  EXPECT_EQ(outputs.GetRelation("S").value()->rows_materialized(), 0u)
+      << "serializing a columnar relation materialized rows";
+  auto loaded = ReadErel(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectBitExact(*selected, *loaded->GetRelation("S").value());
+}
+
+TEST(ColumnImageFormatTest, RoundTripsEmptyAndRowModeRelations) {
+  auto schema = RelationSchema::Make({AttributeDef::Key("k")}).value();
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(ExtendedRelation("E", schema)).ok());
+  ASSERT_TRUE(catalog.RegisterRelation(paper::TableRA().value()).ok());
+  auto loaded = ReadErel(WriteErelColumnImage(catalog));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded->GetRelation("E"))->size(), 0u);
+  ExpectBitExact(*catalog.GetRelation("RA").value(),
+                 *loaded->GetRelation("RA").value());
+}
+
+TEST(ColumnImageFormatTest, SaveErelFilePicksFormatByStorageMode) {
+  const std::string path = "/tmp/evident_test_format_pick.erel";
+  auto first_bytes = [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    std::string head(6, '\0');
+    in.read(head.data(), 6);
+    return head;
+  };
+  // All relations row-mode: the human-readable text format.
+  Catalog rows = GeneratedCatalog(5, 10);
+  ASSERT_TRUE(SaveErelFile(rows, path).ok());
+  EXPECT_EQ(first_bytes(), "# evid");
+  // A columnar relation present: kAuto must not force row
+  // materialization, so the column image is written.
+  SetColumnarExecution(true);
+  Catalog mixed = GeneratedCatalog(6, 10);
+  auto selected = Select(*mixed.GetRelation("W").value(),
+                         IsSym("unc0", {"v0", "v1"}));
+  ASSERT_TRUE(selected.ok());
+  selected->set_name("S");
+  ASSERT_TRUE(mixed.RegisterRelation(*selected).ok());
+  ASSERT_TRUE(SaveErelFile(mixed, path).ok());
+  EXPECT_EQ(first_bytes(), "EVCIMG");
+  // Explicit format overrides win either way.
+  ASSERT_TRUE(SaveErelFile(mixed, path, ErelFormat::kText).ok());
+  EXPECT_EQ(first_bytes(), "# evid");
+  ASSERT_TRUE(SaveErelFile(rows, path, ErelFormat::kColumnImage).ok());
+  EXPECT_EQ(first_bytes(), "EVCIMG");
+  auto loaded = LoadErelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectBitExact(*rows.GetRelation("W").value(),
+                 *loaded->GetRelation("W").value());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnImageFormatTest, RejectsUnsupportedVersion) {
+  Catalog catalog = GeneratedCatalog(7, 4);
+  std::string blob = WriteErelColumnImage(catalog);
+  blob[6] = '9';
+  blob[7] = '9';
+  auto loaded = ReadErel(blob);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ColumnImageFormatTest, EveryTruncationIsACleanParseError) {
+  Catalog catalog = GeneratedCatalog(11, 6);
+  const std::string blob = WriteErelColumnImage(catalog);
+  // Every proper prefix is missing data somewhere: the reader must
+  // return a Status (never read out of bounds). Prefixes shorter than
+  // the magic fall into the text parser, which rejects them too.
+  for (size_t len = 1; len < blob.size(); ++len) {
+    auto loaded = ReadErel(blob.substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+    ASSERT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(ColumnImageFormatTest, ByteFlipsNeverCrashTheReader) {
+  // Single-byte corruption anywhere in the blob must either fail with a
+  // clean Status or produce a catalog that passed every load-time
+  // validation — never UB (this test is the ASan/UBSan target).
+  Catalog catalog = GeneratedCatalog(13, 5);
+  const std::string blob = WriteErelColumnImage(catalog);
+  std::string corrupt = blob;
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0xFF);
+    auto loaded = ReadErel(corrupt);
+    if (loaded.ok()) {
+      // A flip that survived validation (e.g. a low mantissa bit of a
+      // mass) must still yield a usable catalog: materializing rows and
+      // re-validating must not crash.
+      for (const std::string& name : loaded->RelationNames()) {
+        (void)loaded->GetRelation(name).value()->ValidateInvariants();
+      }
+    }
+    corrupt[pos] = blob[pos];
+  }
+}
+
+/// Builds a single-relation catalog around a hand-built (and possibly
+/// invalid) column store: the trusted in-memory building APIs skip
+/// validation, so the *loader* must be the one to reject the bytes.
+std::string BlobOf(ColumnStore store) {
+  Catalog catalog;
+  EXPECT_TRUE(
+      catalog.RegisterRelation(ExtendedRelation::AdoptColumns(std::move(store)))
+          .ok());
+  return WriteErelColumnImage(catalog);
+}
+
+TEST(ColumnImageFormatTest, CorruptColumnsReportCleanStatuses) {
+  auto dom = Domain::MakeSymbolic("d4", {"a", "b", "c", "d"}).value();
+  auto schema = RelationSchema::Make({AttributeDef::Key("k"),
+                                      AttributeDef::Uncertain("u", dom)})
+                    .value();
+  auto base_store = [&](ColumnStore* out) {
+    *out = ColumnStore::EmptyLike(schema, "Bad");
+    out->value_column_mut(0).values = {Value(int64_t{1}), Value(int64_t{2})};
+    out->AppendMembership(SupportPair::Certain());
+    out->AppendMembership(SupportPair::Certain());
+  };
+  auto expect_parse_error = [](const std::string& blob,
+                               const std::string& needle) {
+    auto loaded = ReadErel(blob);
+    ASSERT_FALSE(loaded.ok()) << "expected failure mentioning " << needle;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+    EXPECT_NE(loaded.status().message().find(needle), std::string::npos)
+        << loaded.status().message();
+  };
+
+  {  // Focal masses that do not sum to 1 within tolerance.
+    ColumnStore store;
+    base_store(&store);
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1, 0x2, 0x3};
+    col.masses = {0.6, 0.1, 1.0};  // row 0 sums to 0.7
+    col.offsets = {0, 2, 3};
+    expect_parse_error(BlobOf(std::move(store)), "sum");
+  }
+  {  // Corrupt (non-monotone) offset array.
+    ColumnStore store;
+    base_store(&store);
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1, 0x2};
+    col.masses = {0.6, 0.4};
+    col.offsets = {0, 2, 1};
+    expect_parse_error(BlobOf(std::move(store)), "monotone");
+  }
+  {  // Focal word outside the 4-value frame.
+    ColumnStore store;
+    base_store(&store);
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1, 0x10};
+    col.masses = {1.0, 1.0};
+    col.offsets = {0, 1, 2};
+    expect_parse_error(BlobOf(std::move(store)), "outside frame");
+  }
+  {  // Mass on the empty set.
+    ColumnStore store;
+    base_store(&store);
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1, 0x0};
+    col.masses = {1.0, 1.0};
+    col.offsets = {0, 1, 2};
+    expect_parse_error(BlobOf(std::move(store)), "empty set");
+  }
+  {  // Duplicate keys.
+    ColumnStore store;
+    base_store(&store);
+    store.value_column_mut(0).values = {Value(int64_t{1}), Value(int64_t{1})};
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1, 0x2};
+    col.masses = {1.0, 1.0};
+    col.offsets = {0, 1, 2};
+    expect_parse_error(BlobOf(std::move(store)), "duplicate key");
+  }
+  {  // CWA_ER violation: stored row with sn = 0.
+    ColumnStore store = ColumnStore::EmptyLike(schema, "Bad");
+    store.value_column_mut(0).values = {Value(int64_t{1})};
+    auto& col = store.evidence_column_mut(1);
+    col.words = {0x1};
+    col.masses = {1.0};
+    col.offsets = {0, 1};
+    store.AppendMembership(SupportPair::Unknown());  // (0, 1)
+    expect_parse_error(BlobOf(std::move(store)), "sn > 0");
+  }
 }
 
 TEST(CsvTest, ParsesHeaderAndRows) {
