@@ -8,9 +8,12 @@
 #include <string>
 
 #include "perf_bench_main.h"
+#include "common/domain.h"
 #include "common/rng.h"
 #include "core/operations.h"
 #include "integration/pipeline.h"
+#include "query/engine.h"
+#include "storage/catalog.h"
 #include "workload/generator.h"
 #include "workload/paper_fixtures.h"
 #include "workload/paper_survey.h"
@@ -160,10 +163,115 @@ BENCHMARK(BM_JoinColumnarSplice)
     ->Args({16384, 0})->Args({16384, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// A synthetic EQL catalog: relation `name` with a unique int key
+/// (`p`k), a definite attribute (`p`d) spread over 0..63, and two packed
+/// uncertain attributes over a 12-value frame — evidence-heavy tuples,
+/// so what the planner prunes or prefilters is what dominates the width.
+ExtendedRelation EqlBenchRelation(const std::string& name,
+                                  const std::string& p, size_t rows,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  DomainPtr dom = [&] {
+    std::vector<std::string> symbols;
+    for (size_t i = 0; i < 12; ++i) symbols.push_back("v" + std::to_string(i));
+    return Domain::MakeSymbolic(p + "dom", symbols).value();
+  }();
+  SchemaPtr schema =
+      RelationSchema::Make({AttributeDef::Key(p + "k"),
+                            AttributeDef::Definite(p + "d"),
+                            AttributeDef::Uncertain(p + "u0", dom),
+                            AttributeDef::Uncertain(p + "u1", dom)})
+          .value();
+  ExtendedRelation rel(name, schema);
+  for (size_t i = 0; i < rows; ++i) {
+    ExtendedTuple t;
+    MassFunction m0(12), m1(12);
+    ValueSet a(12), b(12), c(12);
+    a.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    c.Set(rng.Below(12));
+    (void)m0.Add(a, 0.6);
+    (void)m0.Add(b, 0.4);
+    (void)m1.Add(c, 1.0);
+    t.cells = {Value(static_cast<int64_t>(i)),
+               Value(static_cast<int64_t>(rng.Below(64))),
+               EvidenceSet::MakeTrusted(dom, std::move(m0)),
+               EvidenceSet::MakeTrusted(dom, std::move(m1))};
+    t.membership = SupportPair::Certain();
+    if (!rel.Insert(std::move(t)).ok()) std::abort();
+  }
+  return rel;
+}
+
+// A selective filter over a join, end-to-end through the EQL engine:
+// `ld = 7` keeps ~1/64 of the left operand. Arg 1 toggles the pushdown
+// optimizer — off, the hash join visits every key-matched pair and the
+// bound residual discards 63/64 of them after the fact; on, the
+// prefilter drops those rows before the join builds or probes anything,
+// and the build side follows the post-filter cardinality.
+void BM_EqlPushdown(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool optimize = state.range(1) != 0;
+  Catalog catalog;
+  if (!catalog.RegisterRelation(EqlBenchRelation("L", "l", n, 11)).ok() ||
+      !catalog.RegisterRelation(EqlBenchRelation("R", "r", n, 23)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  (void)catalog.GetRelation("L").value()->columns();
+  (void)catalog.GetRelation("R").value()->columns();
+  QueryEngine engine(&catalog);
+  engine.set_optimizer_enabled(optimize);
+  const std::string stmt =
+      "SELECT * FROM L JOIN R WHERE lk = rk AND ld = 7 WITH sn > 0";
+  for (auto _ : state) {
+    auto result = engine.Execute(stmt);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(optimize ? "optimized" : "unoptimized");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EqlPushdown)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({8192, 0})->Args({8192, 1})
+    ->Args({32768, 0})->Args({32768, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Projection dropping both packed evidence columns. Arg 1 toggles the
+// executor: /n/0 is the row path (tuple-at-a-time, insert + key index),
+// /n/1 the columnar whole-column splice with the encoded-key uniqueness
+// check.
+void BM_ProjectColumnar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool columnar = state.range(1) != 0;
+  ExtendedRelation rel = EqlBenchRelation("P", "p", n, 31);
+  (void)rel.columns();  // packed once, outside the timed region
+  (void)rel.rows();
+  const std::vector<std::string> attrs = {"pk", "pd"};
+  SetColumnarExecution(columnar);
+  for (auto _ : state) {
+    auto result = Project(rel, attrs);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  SetColumnarExecution(true);
+  state.SetLabel(columnar ? "columnar-splice" : "row-materializing");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ProjectColumnar)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({65536, 0})->Args({65536, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace evident
 
 EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_pipeline",
     "(BM_PreprocessOnly/100|BM_FullPipelineByKey/100|"
-    "BM_SimilarityIdentification/32|BM_JoinColumnarSplice/1024/[01])$")
+    "BM_SimilarityIdentification/32|BM_JoinColumnarSplice/1024/[01]|"
+    "BM_EqlPushdown/1024/[01]|BM_ProjectColumnar/4096/[01])$")

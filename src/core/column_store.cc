@@ -108,11 +108,51 @@ ColumnStore ColumnStore::EmptyLike(SchemaPtr schema, std::string name) {
   return store;
 }
 
+ColumnStore ColumnStore::WithSchema(const ColumnStore& src, SchemaPtr schema,
+                                    std::string name) {
+  ColumnStore store;
+  store.schema_ = std::move(schema);
+  store.name_ = std::move(name);
+  store.kinds_ = src.kinds_;
+  store.slots_ = src.slots_;
+  store.value_columns_ = src.value_columns_;
+  store.evidence_columns_ = src.evidence_columns_;
+  store.boxed_columns_ = src.boxed_columns_;
+  store.sn_ = src.sn_;
+  store.sp_ = src.sp_;
+  return store;
+}
+
 void ColumnStore::EncodeKeyOfRow(size_t row, std::string* out) const {
   out->clear();
   for (size_t a : schema_->key_indices()) {
     value_columns_[slots_[a]].values[row].AppendCanonicalKey(out);
   }
+}
+
+const ColumnStore::EncodedKeys& ColumnStore::encoded_keys() const {
+  if (encoded_keys_built_) return encoded_keys_;
+  const size_t n = rows();
+  encoded_keys_.arena.clear();
+  encoded_keys_.offsets.clear();
+  encoded_keys_.offsets.reserve(n + 1);
+  encoded_keys_.offsets.push_back(0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t a : schema_->key_indices()) {
+      value_columns_[slots_[a]].values[r].AppendCanonicalKey(
+          &encoded_keys_.arena);
+    }
+    // The arena is offset-addressed with 32 bits, like the key index's;
+    // a 4 GiB key arena exhausts memory long before this, so the limit
+    // fails loudly instead of wrapping offsets silently.
+    if (encoded_keys_.arena.size() > std::numeric_limits<uint32_t>::max()) {
+      std::abort();
+    }
+    encoded_keys_.offsets.push_back(
+        static_cast<uint32_t>(encoded_keys_.arena.size()));
+  }
+  encoded_keys_built_ = true;
+  return encoded_keys_;
 }
 
 ExtendedTuple ColumnStore::MaterializeRow(size_t row) const {

@@ -2,6 +2,8 @@
 #define EVIDENT_CORE_COLUMN_STORE_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -90,6 +92,14 @@ class ColumnStore {
   /// length.
   static ColumnStore EmptyLike(SchemaPtr schema, std::string name);
 
+  /// \brief A copy of `src` under a different schema of identical column
+  /// layout (same attribute count, kinds and domains — only names and
+  /// kind-preserving metadata may differ). The schema-only operators
+  /// (RenameAttribute) use this to re-label a column image without
+  /// materializing a single row.
+  static ColumnStore WithSchema(const ColumnStore& src, SchemaPtr schema,
+                                std::string name);
+
   /// \brief Rebuilds the row representation. The result's tuples are
   /// bit-identical to the relation the store was packed from.
   Result<ExtendedRelation> ToRelation() const;
@@ -103,6 +113,26 @@ class ColumnStore {
   /// ExtendedRelation::EncodeKeyOf of the materialized row, straight off
   /// the contiguous key value columns.
   void EncodeKeyOfRow(size_t row, std::string* out) const;
+
+  /// \brief Every row's encoded key packed into one arena string with a
+  /// per-row offset array.
+  struct EncodedKeys {
+    std::string arena;
+    std::vector<uint32_t> offsets;  // rows + 1 entries
+    std::string_view key(size_t row) const {
+      return std::string_view(arena).substr(offsets[row],
+                                            offsets[row + 1] - offsets[row]);
+    }
+  };
+
+  /// \brief The encoded-key arena of this store, built lazily on first
+  /// use and cached alongside the column image. Catalog relations share
+  /// their column image across queries, so repeated probe passes (the
+  /// union/merge operators, the lazily-built key index) encode each scan
+  /// key once per relation instead of once per query. Like the other
+  /// lazy state, the first call is not thread-safe — operators call it
+  /// on the calling thread before sharding work.
+  const EncodedKeys& encoded_keys() const;
 
   const SchemaPtr& schema() const { return schema_; }
   const std::string& name() const { return name_; }
@@ -158,6 +188,9 @@ class ColumnStore {
   std::vector<EvidenceColumn> evidence_columns_;
   std::vector<BoxedColumn> boxed_columns_;
   std::vector<double> sn_, sp_;
+  // Lazily-built encoded-key cache (see encoded_keys()).
+  mutable EncodedKeys encoded_keys_;
+  mutable bool encoded_keys_built_ = false;
 };
 
 }  // namespace evident

@@ -23,6 +23,19 @@ void EncodeKeyVector(const KeyVector& key, std::string* out) {
 
 }  // namespace
 
+Status MakeDuplicateKeyError(const KeyVector& key,
+                             const std::string& relation_name) {
+  std::string message = "duplicate key";
+  for (const Value& v : key) {
+    message += " ";
+    message += v.ToString();
+  }
+  message += " in relation '";
+  message += relation_name;
+  message += "'";
+  return Status::AlreadyExists(std::move(message));
+}
+
 ExtendedRelation ExtendedRelation::AdoptColumns(ColumnStore store) {
   ExtendedRelation rel(store.name(), store.schema());
   rel.columns_ = std::make_shared<const ColumnStore>(std::move(store));
@@ -52,13 +65,15 @@ void ExtendedRelation::EnsureKeyIndex() const {
   key_index_.Clear();
   const ColumnStore& store = *columns_;
   key_index_.Reserve(store.rows());
-  std::string key;
+  // The store's cached encoded-key arena survives across queries for
+  // catalog relations (their column image is shared), so the index build
+  // re-encodes nothing on repeat probes.
+  const ColumnStore::EncodedKeys& keys = store.encoded_keys();
   for (size_t r = 0; r < store.rows(); ++r) {
-    store.EncodeKeyOfRow(r, &key);
     // Adopted stores carry unique keys by construction (see
     // AdoptColumns); a duplicate here would be an operator bug, and
     // first-wins matches the insert-time index's behaviour.
-    key_index_.Insert(key);
+    key_index_.Insert(keys.key(r));
   }
   index_built_ = true;
 }
@@ -151,10 +166,7 @@ Status ExtendedRelation::InsertTrusted(ExtendedTuple tuple) {
   std::string& encoded = EncodeScratch();
   EncodeKeyOf(tuple, &encoded);
   if (key_index_.Insert(encoded) != EncodedKeyIndex::kNoRow) {
-    std::string key_text;
-    for (const Value& v : KeyOf(tuple)) key_text += " " + v.ToString();
-    return Status::AlreadyExists("duplicate key" + key_text +
-                                 " in relation '" + name_ + "'");
+    return MakeDuplicateKeyError(KeyOf(tuple), name_);
   }
   rows_.push_back(std::move(tuple));
   columns_.reset();

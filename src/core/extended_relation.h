@@ -17,6 +17,14 @@ namespace evident {
 
 class ColumnStore;
 
+/// \brief The duplicate-key rejection every insert path reports —
+/// shared by ExtendedRelation::InsertTrusted and the columnar operators
+/// that replay the duplicate check over encoded keys (Project's
+/// uniqueness pass, MergeTuples' rekey pass), whose messages must stay
+/// byte-identical to the row path's.
+Status MakeDuplicateKeyError(const KeyVector& key,
+                             const std::string& relation_name);
+
 /// \brief Transparent hash over encoded keys for callers that keep their
 /// own key sets (e.g. MergeTuples' matched-key bookkeeping); pairs with
 /// std::equal_to<> so string_view probes allocate nothing.

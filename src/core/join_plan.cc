@@ -4,11 +4,6 @@
 
 namespace evident {
 
-namespace {
-
-/// Depth-first left-to-right flattening of nested conjunctions, matching
-/// AndPredicate::Evaluate's order so plan-time errors surface in the same
-/// order evaluation over the materialized product would report them.
 void FlattenConjuncts(const PredicatePtr& predicate,
                       std::vector<PredicatePtr>* out) {
   if (const auto* conj = dynamic_cast<const AndPredicate*>(predicate.get())) {
@@ -23,6 +18,8 @@ void FlattenConjuncts(const PredicatePtr& predicate,
   }
   out->push_back(predicate);
 }
+
+namespace {
 
 /// True when the attribute at `index` of the product schema holds a
 /// definite value in every tuple — the trusted-cell requirement for hash

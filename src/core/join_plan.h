@@ -42,6 +42,14 @@ struct JoinPlan {
   PredicatePtr residual;
 };
 
+/// \brief Depth-first left-to-right flattening of nested conjunctions
+/// into `out`, matching AndPredicate::Evaluate's order — shared by the
+/// join analyzer below and the query optimizer's pushdown pass (which
+/// routes single-side conjuncts below the join). An empty conjunction is
+/// kept as a leaf so consumers report the same error evaluation would.
+void FlattenConjuncts(const PredicatePtr& predicate,
+                      std::vector<PredicatePtr>* out);
+
 /// \brief Splits `predicate` (written against the concatenated product
 /// schema of the two operands) into hash-join equi-keys and a residual.
 ///

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <utility>
 
@@ -95,14 +96,13 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
                                       const JoinPlan& plan,
                                       const SchemaPtr& schema,
                                       const MembershipThreshold& threshold,
-                                      ExtendedRelation out) {
+                                      bool build_left, ExtendedRelation out) {
   // Lazy row materialization is not thread-safe; touch it on this thread
   // before the sharded probe loop reads rows (no-ops for row-mode
   // operands).
   (void)left.rows();
   (void)right.rows();
   constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
-  const bool build_left = left.size() < right.size();
   const ExtendedRelation& build = build_left ? left : right;
   const ExtendedRelation& probe = build_left ? right : left;
   std::vector<size_t> build_indices, probe_indices;
@@ -251,6 +251,50 @@ KeyVector KeyOfStoreRow(const ColumnStore& store, size_t row) {
   return key;
 }
 
+/// Splices the rows listed in `keep` (ascending) out of `store` into a
+/// fresh column image carrying `memberships` (parallel to `keep`): value
+/// columns copied element-wise, packed focal spans repacked with rebased
+/// offsets, boxed sets shared. The shared row-subset primitive of the
+/// columnar operators (Select's keep list, the pushdown prefilter,
+/// Intersect's merged rows).
+ColumnStore SpliceKeptRows(const ColumnStore& store, std::string name,
+                           const std::vector<uint32_t>& keep,
+                           const std::vector<SupportPair>& memberships) {
+  const SchemaPtr& schema = store.schema();
+  ColumnStore out = ColumnStore::EmptyLike(schema, std::move(name));
+  out.ReserveRows(keep.size());
+  const size_t attrs = schema->size();
+  for (size_t a = 0; a < attrs; ++a) {
+    switch (store.kind(a)) {
+      case ColumnStore::ColumnKind::kValue: {
+        const std::vector<Value>& src = store.value_column(a).values;
+        std::vector<Value>& dst = out.value_column_mut(a).values;
+        dst.reserve(keep.size());
+        for (uint32_t i : keep) dst.push_back(src[i]);
+        break;
+      }
+      case ColumnStore::ColumnKind::kEvidence: {
+        const ColumnStore::EvidenceColumn& src = store.evidence_column(a);
+        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
+        dst.offsets.reserve(keep.size() + 1);
+        for (uint32_t i : keep) dst.AppendRowFrom(src, i);
+        break;
+      }
+      case ColumnStore::ColumnKind::kBoxed: {
+        const std::vector<EvidenceSet>& src = store.boxed_column(a).sets;
+        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
+        dst.reserve(keep.size());
+        for (uint32_t i : keep) dst.push_back(src[i]);
+        break;
+      }
+    }
+  }
+  for (const SupportPair& membership : memberships) {
+    out.AppendMembership(membership);
+  }
+  return out;
+}
+
 /// Columnar extended selection: the predicate is bound once (attribute
 /// positions, IS-masks, theta tables) and evaluated column-at-a-time
 /// over the packed evidence spans, sharded across threads; the serial
@@ -286,39 +330,74 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
     revised_memberships.push_back(revised);
   }
 
-  ColumnStore out =
-      ColumnStore::EmptyLike(input.schema(), "select(" + input.name() + ")");
-  out.ReserveRows(keep.size());
-  const size_t attrs = input.schema()->size();
-  for (size_t a = 0; a < attrs; ++a) {
-    switch (store.kind(a)) {
-      case ColumnStore::ColumnKind::kValue: {
-        const std::vector<Value>& src = store.value_column(a).values;
-        std::vector<Value>& dst = out.value_column_mut(a).values;
-        dst.reserve(keep.size());
-        for (uint32_t i : keep) dst.push_back(src[i]);
-        break;
-      }
-      case ColumnStore::ColumnKind::kEvidence: {
-        const ColumnStore::EvidenceColumn& src = store.evidence_column(a);
-        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
-        dst.offsets.reserve(keep.size() + 1);
-        for (uint32_t i : keep) dst.AppendRowFrom(src, i);
-        break;
-      }
-      case ColumnStore::ColumnKind::kBoxed: {
-        const std::vector<EvidenceSet>& src = store.boxed_column(a).sets;
-        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
-        dst.reserve(keep.size());
-        for (uint32_t i : keep) dst.push_back(src[i]);
+  return ExtendedRelation::AdoptColumns(
+      SpliceKeptRows(store, "select(" + input.name() + ")", keep,
+                     revised_memberships));
+}
+
+/// Reference implementation of the pushdown prefilter: interpreted
+/// evaluation per row; drops a row iff some conjunct's support has
+/// sn == 0, leaving cells and membership untouched.
+Result<ExtendedRelation> FilterPositiveSupportRows(
+    const ExtendedRelation& input,
+    const std::vector<PredicatePtr>& conjuncts) {
+  ExtendedRelation out(input.name(), input.schema());
+  out.Reserve(input.size());
+  for (const ExtendedTuple& r : input.rows()) {
+    bool keep = true;
+    for (const PredicatePtr& conjunct : conjuncts) {
+      EVIDENT_ASSIGN_OR_RETURN(SupportPair support,
+                               conjunct->Evaluate(r, *input.schema()));
+      if (!support.HasPositiveSupport()) {
+        keep = false;
         break;
       }
     }
+    if (keep) EVIDENT_RETURN_NOT_OK(out.InsertTrusted(r));
   }
-  for (const SupportPair& membership : revised_memberships) {
-    out.AppendMembership(membership);
+  return out;
+}
+
+/// Columnar pushdown prefilter: every conjunct is bound once and
+/// evaluated column-at-a-time, sharded across threads; the survivors'
+/// column slices are spliced with their original memberships. A conjunct
+/// that does not bind completely sends the whole call to the interpreted
+/// row path (the optimizer only pushes bindable conjuncts, so this is a
+/// safety net, not a fast-path fork).
+Result<ExtendedRelation> FilterPositiveSupportColumnar(
+    const ExtendedRelation& input,
+    const std::vector<PredicatePtr>& conjuncts) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(conjuncts.size());
+  for (const PredicatePtr& conjunct : conjuncts) {
+    bound.push_back(BoundPredicate::Bind(conjunct, input.schema()));
+    if (!bound.back().fully_bound()) {
+      return FilterPositiveSupportRows(input, conjuncts);
+    }
   }
-  return ExtendedRelation::AdoptColumns(std::move(out));
+  const ColumnStore& store = input.columns();
+  const size_t n = input.size();
+  std::vector<uint8_t> drop(n, 0);
+  std::vector<SupportPair> supports(n);
+  for (const BoundPredicate& conjunct : bound) {
+    ParallelForShards(n, kParallelGrain,
+                      [&](size_t, size_t begin, size_t end) {
+                        conjunct.EvaluateColumns(store, begin, end,
+                                                 supports.data());
+                        for (size_t i = begin; i < end; ++i) {
+                          if (!supports[i].HasPositiveSupport()) drop[i] = 1;
+                        }
+                      });
+  }
+  std::vector<uint32_t> keep;
+  std::vector<SupportPair> memberships;
+  for (size_t i = 0; i < n; ++i) {
+    if (drop[i]) continue;
+    keep.push_back(static_cast<uint32_t>(i));
+    memberships.push_back(store.membership(i));
+  }
+  return ExtendedRelation::AdoptColumns(
+      SpliceKeptRows(store, input.name(), keep, memberships));
 }
 
 }  // namespace
@@ -332,6 +411,19 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
   return ColumnarExecutionEnabled()
              ? SelectColumnar(input, predicate, threshold)
              : SelectRows(input, predicate, threshold);
+}
+
+Result<ExtendedRelation> FilterPositiveSupport(
+    const ExtendedRelation& input,
+    const std::vector<PredicatePtr>& conjuncts) {
+  for (const PredicatePtr& conjunct : conjuncts) {
+    if (conjunct == nullptr) {
+      return Status::InvalidArgument("null prefilter conjunct");
+    }
+  }
+  return ColumnarExecutionEnabled()
+             ? FilterPositiveSupportColumnar(input, conjuncts)
+             : FilterPositiveSupportRows(input, conjuncts);
 }
 
 Result<SupportPair> CombineMembership(const SupportPair& a,
@@ -571,27 +663,35 @@ Result<ExtendedRelation> UnionRows(const ExtendedRelation& left,
 /// The combination arithmetic runs through the same span kernels as the
 /// row path, so the result is bit-identical in both storage modes for
 /// any thread count.
+///
+/// When `merged_tags` is non-null it receives one byte per output row —
+/// 1 for a merged pair (the entity exists in both sources), 0 for a row
+/// retained from a single source. Intersect consumes this instead of
+/// re-encoding and re-probing the keys this pass already resolved.
 Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
                                        const ExtendedRelation& right,
-                                       const UnionOptions& options) {
+                                       const UnionOptions& options,
+                                       std::vector<uint8_t>* merged_tags) {
   const SchemaPtr& schema = left.schema();
   const size_t n = left.size();
   const ColumnStore& left_store = left.columns();
   const ColumnStore& right_store = right.columns();
   right.EnsureKeyIndex();
 
-  // Phase 1: probe. (ProbeEncodedKey, not FindByEncodedKey: a miss per
-  // unmatched left row must not build a NotFound Status string.)
+  // Phase 1: probe off the left store's cached encoded-key arena — for a
+  // catalog relation the arena persists across queries, so repeated
+  // scans skip re-encoding entirely. (ProbeEncodedKey, not
+  // FindByEncodedKey: a miss per unmatched left row must not build a
+  // NotFound Status string.)
   static_assert(EncodedKeyIndex::kNoRow ==
                 std::numeric_limits<uint32_t>::max());
   constexpr uint32_t kNoMatch = EncodedKeyIndex::kNoRow;
+  const ColumnStore::EncodedKeys& left_keys = left_store.encoded_keys();
   std::vector<uint32_t> match(n, kNoMatch);
   ParallelForShards(n, kParallelGrain,
                     [&](size_t, size_t begin, size_t end) {
-                      std::string key;
                       for (size_t i = begin; i < end; ++i) {
-                        left_store.EncodeKeyOfRow(i, &key);
-                        match[i] = right.ProbeEncodedKey(key);
+                        match[i] = right.ProbeEncodedKey(left_keys.key(i));
                       }
                     });
 
@@ -781,6 +881,13 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
       }
     }
   }
+  if (merged_tags != nullptr) {
+    merged_tags->clear();
+    merged_tags->reserve(out_rows.size());
+    for (const OutRow& row : out_rows) {
+      merged_tags->push_back(row.source == RowSource::kMerged ? 1 : 0);
+    }
+  }
 
   // Phase 4: build the output's column image.
   ColumnStore out = ColumnStore::EmptyLike(
@@ -921,9 +1028,8 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
 
 }  // namespace
 
-Result<ExtendedRelation> Union(const ExtendedRelation& left,
-                               const ExtendedRelation& right,
-                               const UnionOptions& options) {
+Status CheckUnionCompatible(const ExtendedRelation& left,
+                            const ExtendedRelation& right) {
   if (left.schema() == nullptr || right.schema() == nullptr) {
     return Status::InvalidArgument("union of relations without schemas");
   }
@@ -932,8 +1038,15 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
         "relations are not union-compatible: " + left.schema()->ToString() +
         " vs " + right.schema()->ToString());
   }
+  return Status::OK();
+}
+
+Result<ExtendedRelation> Union(const ExtendedRelation& left,
+                               const ExtendedRelation& right,
+                               const UnionOptions& options) {
+  EVIDENT_RETURN_NOT_OK(CheckUnionCompatible(left, right));
   if (ColumnarExecutionEnabled()) {
-    return UnionColumnar(left, right, options);
+    return UnionColumnar(left, right, options, /*merged_tags=*/nullptr);
   }
   ExtendedRelation out(left.name() + " u " + right.name(), left.schema());
   out.Reserve(left.size() + right.size());
@@ -943,6 +1056,28 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
 Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
                                    const ExtendedRelation& right,
                                    const UnionOptions& options) {
+  EVIDENT_RETURN_NOT_OK(CheckUnionCompatible(left, right));
+  if (ColumnarExecutionEnabled()) {
+    // The union's probe pass already resolved which rows are merged
+    // pairs, and "key in both sources" holds exactly for those: a
+    // left-retained row's key missed the right index and a
+    // right-retained row's key was never matched. Splice them out of the
+    // union's column image — no re-encoding, no row materialization.
+    std::vector<uint8_t> merged_tags;
+    EVIDENT_ASSIGN_OR_RETURN(
+        ExtendedRelation merged,
+        UnionColumnar(left, right, options, &merged_tags));
+    const ColumnStore& store = merged.columns();
+    std::vector<uint32_t> keep;
+    std::vector<SupportPair> memberships;
+    for (size_t i = 0; i < merged_tags.size(); ++i) {
+      if (!merged_tags[i]) continue;
+      keep.push_back(static_cast<uint32_t>(i));
+      memberships.push_back(store.membership(i));
+    }
+    return ExtendedRelation::AdoptColumns(SpliceKeptRows(
+        store, left.name() + " n " + right.name(), keep, memberships));
+  }
   EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation merged,
                            Union(left, right, options));
   ExtendedRelation out(left.name() + " n " + right.name(), merged.schema());
@@ -969,37 +1104,121 @@ Result<ExtendedRelation> UnionAll(const std::vector<ExtendedRelation>& sources,
   return acc;
 }
 
+namespace {
+
+/// Columnar extended projection: each picked column is spliced as one
+/// whole-column copy (no combination, no per-row objects), dropped
+/// columns are never touched. The row path's insert-time duplicate-key
+/// guarantee is preserved by a uniqueness check over encoded keys —
+/// reusing the input's cached encoded-key arena whenever the projection
+/// keeps the key attributes in schema order (it always does for
+/// engine-built projections, which prepend the keys), re-encoding off
+/// the projected key columns otherwise.
+Result<ExtendedRelation> ProjectColumnar(const ExtendedRelation& input,
+                                         const std::vector<size_t>& indices,
+                                         const SchemaPtr& schema) {
+  const ColumnStore& store = input.columns();
+  const size_t n = store.rows();
+  ColumnStore out =
+      ColumnStore::EmptyLike(schema, "project(" + input.name() + ")");
+  out.ReserveRows(n);
+  for (size_t a = 0; a < schema->size(); ++a) {
+    const size_t src_attr = indices[a];
+    switch (store.kind(src_attr)) {
+      case ColumnStore::ColumnKind::kValue:
+        out.value_column_mut(a).values = store.value_column(src_attr).values;
+        break;
+      case ColumnStore::ColumnKind::kEvidence: {
+        const ColumnStore::EvidenceColumn& src =
+            store.evidence_column(src_attr);
+        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
+        dst.words = src.words;
+        dst.masses = src.masses;
+        dst.offsets = src.offsets;
+        break;
+      }
+      case ColumnStore::ColumnKind::kBoxed:
+        out.boxed_column_mut(a).sets = store.boxed_column(src_attr).sets;
+        break;
+    }
+  }
+  for (size_t r = 0; r < n; ++r) out.AppendMembership(store.membership(r));
+
+  // Key-uniqueness check, mirroring the row path's insert-time duplicate
+  // check (identical error message). Projections retain every key
+  // attribute, so this can only fire on an input whose own keys were
+  // corrupted — but the row path would report it, so this path must too.
+  const bool same_key_order = [&] {
+    const std::vector<size_t>& in_keys = input.schema()->key_indices();
+    const std::vector<size_t>& out_keys = schema->key_indices();
+    if (in_keys.size() != out_keys.size()) return false;
+    for (size_t k = 0; k < out_keys.size(); ++k) {
+      if (indices[out_keys[k]] != in_keys[k]) return false;
+    }
+    return true;
+  }();
+  EncodedKeyIndex unique;
+  unique.Reserve(n);
+  std::string scratch;
+  for (size_t r = 0; r < n; ++r) {
+    std::string_view key;
+    if (same_key_order) {
+      key = store.encoded_keys().key(r);
+    } else {
+      out.EncodeKeyOfRow(r, &scratch);
+      key = scratch;
+    }
+    if (unique.Insert(key) != EncodedKeyIndex::kNoRow) {
+      return MakeDuplicateKeyError(KeyOfStoreRow(out, r), out.name());
+    }
+  }
+  return ExtendedRelation::AdoptColumns(std::move(out));
+}
+
+}  // namespace
+
+Result<SchemaPtr> ResolveProjectionSchema(
+    const RelationSchema& schema, const std::vector<std::string>& attributes,
+    std::vector<size_t>* indices) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("projection list must be non-empty");
+  }
+  std::vector<AttributeDef> defs;
+  std::unordered_set<std::string> chosen;
+  for (const std::string& name : attributes) {
+    EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(name));
+    if (!chosen.insert(name).second) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' appears twice in projection");
+    }
+    if (indices != nullptr) indices->push_back(index);
+    defs.push_back(schema.attribute(index));
+  }
+  // The paper's projection keeps the key attributes (and always the
+  // membership attribute), which also guarantees the projection needs no
+  // duplicate elimination.
+  for (size_t key_index : schema.key_indices()) {
+    if (chosen.count(schema.attribute(key_index).name) == 0) {
+      return Status::InvalidArgument(
+          "projection must retain key attribute '" +
+          schema.attribute(key_index).name + "'");
+    }
+  }
+  return RelationSchema::Make(std::move(defs));
+}
+
 Result<ExtendedRelation> Project(const ExtendedRelation& input,
                                  const std::vector<std::string>& attributes) {
   if (input.schema() == nullptr) {
     return Status::InvalidArgument("projection of a relation without schema");
   }
-  if (attributes.empty()) {
-    return Status::InvalidArgument("projection list must be non-empty");
-  }
   std::vector<size_t> indices;
-  std::vector<AttributeDef> defs;
-  std::unordered_set<std::string> chosen;
-  for (const std::string& name : attributes) {
-    EVIDENT_ASSIGN_OR_RETURN(size_t index, input.schema()->IndexOf(name));
-    if (!chosen.insert(name).second) {
-      return Status::InvalidArgument("attribute '" + name +
-                                     "' appears twice in projection");
-    }
-    indices.push_back(index);
-    defs.push_back(input.schema()->attribute(index));
+  EVIDENT_ASSIGN_OR_RETURN(
+      SchemaPtr schema,
+      ResolveProjectionSchema(*input.schema(), attributes, &indices));
+  if (ColumnarExecutionEnabled()) {
+    return ProjectColumnar(input, indices, schema);
   }
-  // The paper's projection keeps the key attributes (and always the
-  // membership attribute), which also guarantees the projection needs no
-  // duplicate elimination.
-  for (size_t key_index : input.schema()->key_indices()) {
-    if (chosen.count(input.schema()->attribute(key_index).name) == 0) {
-      return Status::InvalidArgument(
-          "projection must retain key attribute '" +
-          input.schema()->attribute(key_index).name + "'");
-    }
-  }
-  EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
   ExtendedRelation out("project(" + input.name() + ")", schema);
   out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {
@@ -1177,11 +1396,10 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const JoinPlan& plan, const SchemaPtr& schema,
     const MembershipThreshold& threshold, const BoundPredicate* residual,
-    std::string name) {
+    bool build_left, std::string name) {
   const ColumnStore& lstore = left.columns();
   const ColumnStore& rstore = right.columns();
   constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
-  const bool build_left = left.size() < right.size();
   const ColumnStore& build = build_left ? lstore : rstore;
   const ColumnStore& probe = build_left ? rstore : lstore;
   std::vector<size_t> build_indices, probe_indices;
@@ -1356,7 +1574,7 @@ Result<ExtendedRelation> Join(const ExtendedRelation& left,
 Result<ExtendedRelation> JoinWithProductSchema(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const PredicatePtr& predicate, const MembershipThreshold& threshold,
-    SchemaPtr schema) {
+    SchemaPtr schema, JoinBuildSide build_side) {
   if (predicate == nullptr) {
     return Status::InvalidArgument("null selection predicate");
   }
@@ -1370,12 +1588,24 @@ Result<ExtendedRelation> JoinWithProductSchema(
   EVIDENT_ASSIGN_OR_RETURN(
       JoinPlan plan,
       AnalyzeJoinPredicate(predicate, *schema, left.schema()->size()));
+  bool build_left;
+  switch (build_side) {
+    case JoinBuildSide::kAuto:
+      build_left = left.size() < right.size();
+      break;
+    case JoinBuildSide::kLeft:
+      build_left = true;
+      break;
+    case JoinBuildSide::kRight:
+      build_left = false;
+      break;
+  }
   // The hash table stores row indices (and its empty-slot sentinel) in
-  // uint32_t; operands at or beyond that bound — unreachable for
-  // in-memory relations today — take the materialized path rather than
+  // uint32_t; a build operand at or beyond that bound — unreachable for
+  // in-memory relations today — takes the materialized path rather than
   // silently aliasing rows.
   const bool table_fits =
-      std::min(left.size(), right.size()) <
+      (build_left ? left.size() : right.size()) <
       static_cast<size_t>(std::numeric_limits<uint32_t>::max());
   if (plan.keys.empty() || !table_fits) {
     // No definite equi-conjunct to partition on: the paper's definition,
@@ -1398,10 +1628,12 @@ Result<ExtendedRelation> JoinWithProductSchema(
     if (splice) {
       return HashEquiJoinColumnarSplice(
           left, right, plan, schema, threshold,
-          plan.residual != nullptr ? &bound_residual : nullptr, out.name());
+          plan.residual != nullptr ? &bound_residual : nullptr, build_left,
+          out.name());
     }
   }
-  return HashEquiJoin(left, right, plan, schema, threshold, std::move(out));
+  return HashEquiJoin(left, right, plan, schema, threshold, build_left,
+                      std::move(out));
 }
 
 Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
@@ -1417,6 +1649,13 @@ Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
   std::vector<AttributeDef> defs = input.schema()->attributes();
   defs[index].name = to;
   EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  if (ColumnarExecutionEnabled()) {
+    // A rename changes no cell: adopt the operand's column image under
+    // the renamed schema (same attribute kinds and domains, so the
+    // column layout is identical) without materializing a single row.
+    return ExtendedRelation::AdoptColumns(
+        ColumnStore::WithSchema(input.columns(), schema, input.name()));
+  }
   ExtendedRelation out(input.name(), schema);
   out.Reserve(input.size());
   for (const ExtendedTuple& r : input.rows()) {

@@ -40,6 +40,26 @@ Result<ExtendedRelation> Select(const ExtendedRelation& input,
                                 const MembershipThreshold& threshold =
                                     MembershipThreshold());
 
+/// \brief The query optimizer's pushdown prefilter: drops every tuple
+/// for which *any* of `conjuncts` evaluates to a support pair with
+/// sn == 0, keeping cells and membership byte-identical (no F_TM
+/// revision, no threshold).
+///
+/// This is the exact-pushdown form of selection below a join/product: a
+/// zero-sn conjunct contributes an exactly-zero factor to the revised
+/// membership of every pair the tuple appears in, and sn = 0 pairs are
+/// always dropped under CWA_ER, so removing the tuple early cannot
+/// change the result — while leaving the conjunct in the downstream
+/// predicate keeps the surviving pairs' floating-point membership
+/// arithmetic bit-identical to the unoptimized plan (support factors
+/// multiply in their original order). The output keeps the input's
+/// *name* so product-schema qualification downstream is unchanged.
+/// Callers (the optimizer) only push conjuncts that bind completely, so
+/// evaluation cannot fail; a conjunct that does not bind falls back to
+/// the interpreted row path, preserving error behaviour.
+Result<ExtendedRelation> FilterPositiveSupport(
+    const ExtendedRelation& input, const std::vector<PredicatePtr>& conjuncts);
+
 /// \brief What extended union does when Dempster combination of some
 /// attribute (or of the membership) hits total conflict (kappa == 1).
 enum class TotalConflictPolicy {
@@ -69,6 +89,12 @@ struct UnionOptions {
   DefiniteConflictPolicy on_definite_conflict = DefiniteConflictPolicy::kError;
 };
 
+/// \brief The shared precondition of Union/Intersect (null schemas,
+/// union compatibility), exposed so the query planner can report the
+/// identical error at plan-build time.
+Status CheckUnionCompatible(const ExtendedRelation& left,
+                            const ExtendedRelation& right);
+
 /// \brief Extended union R ∪̃_K S (§3.2) — the paper's tuple-merging
 /// operation.
 ///
@@ -86,7 +112,10 @@ Result<ExtendedRelation> Union(const ExtendedRelation& left,
 /// paper*: like the extended union but keeping only entities present in
 /// both sources (inner merge). Useful when the integrator only trusts
 /// corroborated entities. Matched tuples are combined exactly as in
-/// Union; unmatched tuples are dropped.
+/// Union; unmatched tuples are dropped. Under columnar execution the
+/// kept rows (exactly the union's merged pairs, known from the keys the
+/// union pass already encoded and probed) are spliced straight out of
+/// the union's column image — no re-encoding, no row materialization.
 Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
                                    const ExtendedRelation& right,
                                    const UnionOptions& options =
@@ -102,9 +131,23 @@ Result<ExtendedRelation> UnionAll(const std::vector<ExtendedRelation>& sources,
 
 /// \brief Extended projection π̃_Ã (§3.3). `attributes` must include every
 /// key attribute (the paper projects key + membership always); the
-/// implicit membership attribute is always carried.
+/// implicit membership attribute is always carried. Under columnar
+/// execution the picked columns are spliced as whole column copies (no
+/// combination, no row materialization); the row path's insert-time
+/// duplicate-key guarantee is preserved by a uniqueness check over the
+/// encoded keys (which reuses the input's cached encoded-key arena when
+/// the projection keeps the key order).
 Result<ExtendedRelation> Project(const ExtendedRelation& input,
                                  const std::vector<std::string>& attributes);
+
+/// \brief Project's precondition checks (known attributes, no
+/// duplicates, keys retained) and output schema, shared with the query
+/// planner so plan-build-time and execution-time projection errors carry
+/// identical messages. `indices` (optional) receives each projected
+/// attribute's position in `schema`.
+Result<SchemaPtr> ResolveProjectionSchema(
+    const RelationSchema& schema, const std::vector<std::string>& attributes,
+    std::vector<size_t>* indices = nullptr);
 
 /// \brief The concatenated schema of R ×̃ S: left's attributes then
 /// right's, with colliding names qualified as "<relation>.<attribute>".
@@ -151,6 +194,13 @@ Result<ExtendedRelation> Join(const ExtendedRelation& left,
                               const MembershipThreshold& threshold =
                                   MembershipThreshold());
 
+/// \brief Which operand the hash equi-join builds its table on. kAuto
+/// picks the smaller operand at execution time; the query optimizer
+/// overrides it from plan-time cardinality estimates. The choice only
+/// affects performance and the (implementation-defined) row order of the
+/// result, never its contents.
+enum class JoinBuildSide { kAuto, kLeft, kRight };
+
 /// \brief Join for callers that already built the operands' product
 /// schema (the query engine binds WHERE against it before joining);
 /// `product_schema` must be MakeProductSchema(left, right)'s result.
@@ -159,10 +209,12 @@ Result<ExtendedRelation> Join(const ExtendedRelation& left,
 Result<ExtendedRelation> JoinWithProductSchema(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const PredicatePtr& predicate, const MembershipThreshold& threshold,
-    SchemaPtr product_schema);
+    SchemaPtr product_schema, JoinBuildSide build_side = JoinBuildSide::kAuto);
 
 /// \brief Renames one attribute; useful before Product/Union when names
-/// collide or differ across sources.
+/// collide or differ across sources. Under columnar execution this is a
+/// schema-only change: the output adopts the operand's column image
+/// under the renamed schema without materializing any rows.
 Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
                                          const std::string& from,
                                          const std::string& to);

@@ -41,10 +41,11 @@ using Condition = std::variant<IsCondition, ThetaCondition>;
 
 /// FROM clause shape.
 enum class SourceOp {
-  kScan,     // FROM R
-  kUnion,    // FROM R UNION S — extended union (tuple merging)
-  kProduct,  // FROM R PRODUCT S (σ over it via WHERE gives the join)
-  kJoin,     // FROM R JOIN S — sugar: product whose WHERE is the join cond
+  kScan,       // FROM R
+  kUnion,      // FROM R UNION S — extended union (tuple merging)
+  kProduct,    // FROM R PRODUCT S (σ over it via WHERE gives the join)
+  kJoin,       // FROM R JOIN S — sugar: product whose WHERE is the join cond
+  kIntersect,  // FROM R INTERSECT S — inner merge (entities in both)
 };
 
 struct FromClause {
@@ -64,6 +65,8 @@ struct OrderBy {
 
 /// A parsed (unbound) query.
 struct ParsedQuery {
+  /// EXPLAIN prefix: plan, optimize and describe instead of executing.
+  bool explain = false;
   /// Empty means SELECT * (all attributes).
   std::vector<std::string> select;
   FromClause from;

@@ -1,219 +1,51 @@
 #include "query/engine.h"
 
-#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <utility>
 
+#include "query/optimizer.h"
 #include "query/parser.h"
-#include "text/evidence_literal.h"
 
 namespace evident {
 
 namespace {
 
-/// Binds a raw θ-operand. Evidence literals need a frame: they borrow the
-/// domain of the attribute on the other side of the comparison.
-Result<ThetaOperand> BindOperand(const eql::RawOperand& raw,
-                                 const eql::RawOperand& other,
-                                 const RelationSchema& schema) {
-  switch (raw.kind) {
-    case eql::RawOperand::Kind::kAttribute: {
-      EVIDENT_RETURN_NOT_OK(schema.IndexOf(raw.text).status());
-      return ThetaOperand::Attr(raw.text);
-    }
-    case eql::RawOperand::Kind::kValue:
-      return ThetaOperand::LitValue(Value::Parse(raw.text));
-    case eql::RawOperand::Kind::kEvidenceLiteral: {
-      if (other.kind != eql::RawOperand::Kind::kAttribute) {
-        return Status::InvalidArgument(
-            "an evidence literal needs an attribute on the other side of "
-            "the comparison to determine its domain: " +
-            raw.text);
-      }
-      EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(other.text));
-      const AttributeDef& attr = schema.attribute(index);
-      if (!attr.is_uncertain()) {
-        return Status::InvalidArgument(
-            "evidence literal compared against definite attribute '" +
-            attr.name + "'");
-      }
-      EVIDENT_ASSIGN_OR_RETURN(EvidenceSet es,
-                               ParseEvidenceLiteral(attr.domain, raw.text));
-      return ThetaOperand::Lit(std::move(es));
-    }
+/// The EXPLAIN statement's result shape: one row per plan line, keyed by
+/// line number so the rendering order is recoverable from the relation.
+Result<ExtendedRelation> PlanAsRelation(const std::string& rendering) {
+  EVIDENT_ASSIGN_OR_RETURN(
+      SchemaPtr schema,
+      RelationSchema::Make(
+          {AttributeDef::Key("line"), AttributeDef::Definite("plan")}));
+  ExtendedRelation out("explain", schema);
+  std::istringstream lines(rendering);
+  int64_t number = 0;
+  for (std::string line; std::getline(lines, line);) {
+    ExtendedTuple t;
+    t.cells.emplace_back(Value(++number));
+    t.cells.emplace_back(Value(line));
+    t.membership = SupportPair::Certain();
+    EVIDENT_RETURN_NOT_OK(out.Insert(std::move(t)));
   }
-  return Status::Internal("unreachable operand kind");
-}
-
-/// The FROM clause's operand relations resolved against the catalog
-/// (right is null for a scan); the single home of catalog lookups so
-/// every source shape reports missing catalogs/relations identically.
-struct BoundOperands {
-  const ExtendedRelation* left = nullptr;
-  const ExtendedRelation* right = nullptr;
-};
-
-Result<BoundOperands> ResolveOperands(const Catalog* catalog,
-                                      const eql::FromClause& from) {
-  if (catalog == nullptr) {
-    return Status::InvalidArgument("query engine has no catalog");
-  }
-  BoundOperands operands;
-  EVIDENT_ASSIGN_OR_RETURN(operands.left, catalog->GetRelation(from.left));
-  if (from.op != eql::SourceOp::kScan) {
-    EVIDENT_ASSIGN_OR_RETURN(operands.right, catalog->GetRelation(from.right));
-  }
-  return operands;
+  return out;
 }
 
 }  // namespace
 
-Result<ExtendedRelation> QueryEngine::BindFrom(
+Result<eql::LogicalPlan> QueryEngine::Plan(
     const eql::ParsedQuery& query) const {
-  EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
-                           ResolveOperands(catalog_, query.from));
-  switch (query.from.op) {
-    case eql::SourceOp::kScan:
-      return *operands.left;
-    case eql::SourceOp::kUnion:
-      return Union(*operands.left, *operands.right, union_options_);
-    case eql::SourceOp::kProduct:
-    case eql::SourceOp::kJoin:
-      // JOIN is product + WHERE-as-join-condition (the paper's ⋈̃ = σ̃∘×̃);
-      // the distinction is purely syntactic sugar. (With a WHERE clause,
-      // ExecuteParsed routes both through Join before reaching here.)
-      // Under columnar execution the product arrives as a spliced column
-      // image, so a following WITH-threshold Select stays columnar too.
-      return Product(*operands.left, *operands.right);
-  }
-  return Status::Internal("unreachable source op");
-}
-
-Result<PredicatePtr> QueryEngine::BindWhere(
-    const eql::ParsedQuery& query, const RelationSchema& schema) const {
-  if (query.where.empty()) return PredicatePtr(nullptr);
-  std::vector<PredicatePtr> conjuncts;
-  for (const eql::Condition& cond : query.where) {
-    if (const auto* is_cond = std::get_if<eql::IsCondition>(&cond)) {
-      EVIDENT_RETURN_NOT_OK(schema.IndexOf(is_cond->attribute).status());
-      std::vector<Value> values;
-      values.reserve(is_cond->values.size());
-      for (const std::string& text : is_cond->values) {
-        values.push_back(Value::Parse(text));
-      }
-      conjuncts.push_back(Is(is_cond->attribute, std::move(values)));
-    } else {
-      const auto& theta = std::get<eql::ThetaCondition>(cond);
-      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand lhs,
-                               BindOperand(theta.lhs, theta.rhs, schema));
-      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand rhs,
-                               BindOperand(theta.rhs, theta.lhs, schema));
-      conjuncts.push_back(Theta(std::move(lhs), theta.op, std::move(rhs)));
-    }
-  }
-  if (conjuncts.size() == 1) return conjuncts.front();
-  return And(std::move(conjuncts));
+  EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan,
+                           eql::BuildPlan(query, catalog_, union_options_));
+  if (optimize_) eql::OptimizePlan(&plan);
+  return plan;
 }
 
 Result<ExtendedRelation> QueryEngine::ExecuteParsed(
     const eql::ParsedQuery& query) const {
-  ExtendedRelation filtered;
-  const bool join_like = query.from.op == eql::SourceOp::kProduct ||
-                         query.from.op == eql::SourceOp::kJoin;
-  if (join_like && !query.where.empty()) {
-    // Join dispatch: bind WHERE against the product *schema* and hand the
-    // operand relations to Join, which hash-partitions on any definite
-    // equi-conjunct instead of materializing |L|·|R| product tuples
-    // (falling back to product + selection when there is none).
-    EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
-                             ResolveOperands(catalog_, query.from));
-    EVIDENT_ASSIGN_OR_RETURN(
-        SchemaPtr product_schema,
-        MakeProductSchema(*operands.left, *operands.right));
-    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
-                             BindWhere(query, *product_schema));
-    EVIDENT_ASSIGN_OR_RETURN(
-        filtered,
-        JoinWithProductSchema(*operands.left, *operands.right, predicate,
-                              query.with, std::move(product_schema)));
-  } else {
-    // Scans reference the catalog relation in place instead of
-    // deep-copying it first — a filtered scan's Select only reads the
-    // relation's cached column image, so repeated queries over the same
-    // relation share one packed representation. Derived sources (union,
-    // product without WHERE) are materialized and owned here.
-    ExtendedRelation owned;
-    const ExtendedRelation* source;
-    if (query.from.op == eql::SourceOp::kScan) {
-      EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
-                               ResolveOperands(catalog_, query.from));
-      source = operands.left;
-    } else {
-      EVIDENT_ASSIGN_OR_RETURN(owned, BindFrom(query));
-      source = &owned;
-    }
-    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
-                             BindWhere(query, *source->schema()));
-    if (predicate == nullptr && query.with.atoms().empty()) {
-      filtered = source == &owned ? std::move(owned) : *source;
-    } else {
-      // A WITH clause without WHERE still thresholds the (unchanged)
-      // membership; model that as selection with an always-true
-      // predicate.
-      PredicatePtr effective =
-          predicate != nullptr
-              ? predicate
-              : Theta(ThetaOperand::LitValue(Value(int64_t{0})), ThetaOp::kEq,
-                      ThetaOperand::LitValue(Value(int64_t{0})));
-      EVIDENT_ASSIGN_OR_RETURN(filtered,
-                               Select(*source, effective, query.with));
-    }
-  }
-  ExtendedRelation projected = std::move(filtered);
-  if (!query.select.empty()) {
-    // Implicitly retain key attributes (the paper's projection always
-    // carries the key + membership).
-    std::vector<std::string> attrs;
-    for (size_t key_index : projected.schema()->key_indices()) {
-      const std::string& key_name =
-          projected.schema()->attribute(key_index).name;
-      bool listed = false;
-      for (const std::string& a : query.select) {
-        if (a == key_name) listed = true;
-      }
-      if (!listed) attrs.push_back(key_name);
-    }
-    attrs.insert(attrs.end(), query.select.begin(), query.select.end());
-    EVIDENT_ASSIGN_OR_RETURN(projected, Project(projected, attrs));
-  }
-  if (query.order_by.field == eql::OrderBy::Field::kNone &&
-      query.limit == 0) {
-    return projected;
-  }
-  // ORDER BY sn/sp ranks the single result set by certainty; LIMIT
-  // truncates after ranking (without ORDER BY it keeps input order).
-  std::vector<size_t> order(projected.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (query.order_by.field != eql::OrderBy::Field::kNone) {
-    const bool by_sn = query.order_by.field == eql::OrderBy::Field::kSn;
-    const bool desc = query.order_by.descending;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](size_t a, size_t b) {
-                       const SupportPair& ma = projected.row(a).membership;
-                       const SupportPair& mb = projected.row(b).membership;
-                       const double xa = by_sn ? ma.sn : ma.sp;
-                       const double xb = by_sn ? mb.sn : mb.sp;
-                       return desc ? xa > xb : xa < xb;
-                     });
-  }
-  const size_t keep = query.limit == 0
-                          ? order.size()
-                          : std::min(query.limit, order.size());
-  ExtendedRelation ranked(projected.name(), projected.schema());
-  ranked.Reserve(keep);
-  for (size_t i = 0; i < keep; ++i) {
-    EVIDENT_RETURN_NOT_OK(ranked.InsertUnchecked(projected.row(order[i])));
-  }
-  return ranked;
+  EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan, Plan(query));
+  if (query.explain) return PlanAsRelation(eql::RenderPlan(plan));
+  return eql::ExecutePlan(plan);
 }
 
 Result<ExtendedRelation> QueryEngine::Execute(
@@ -224,44 +56,8 @@ Result<ExtendedRelation> QueryEngine::Execute(
 
 Result<std::string> QueryEngine::Explain(const std::string& eql_text) const {
   EVIDENT_ASSIGN_OR_RETURN(eql::ParsedQuery query, ParseQuery(eql_text));
-  std::ostringstream os;
-  switch (query.from.op) {
-    case eql::SourceOp::kScan:
-      os << "scan(" << query.from.left << ")";
-      break;
-    case eql::SourceOp::kUnion:
-      os << "union(" << query.from.left << ", " << query.from.right << ")";
-      break;
-    case eql::SourceOp::kProduct:
-      os << "product(" << query.from.left << ", " << query.from.right << ")";
-      break;
-    case eql::SourceOp::kJoin:
-      os << "join(" << query.from.left << ", " << query.from.right << ")";
-      break;
-  }
-  if (!query.where.empty()) {
-    os << " -> select[" << query.where.size() << " condition(s), Q: "
-       << query.with.ToString() << "]";
-  } else if (!query.with.atoms().empty()) {
-    os << " -> threshold[Q: " << query.with.ToString() << "]";
-  }
-  if (!query.select.empty()) {
-    os << " -> project[";
-    for (size_t i = 0; i < query.select.size(); ++i) {
-      if (i) os << ", ";
-      os << query.select[i];
-    }
-    os << "]";
-  }
-  if (query.order_by.field != eql::OrderBy::Field::kNone) {
-    os << " -> order["
-       << (query.order_by.field == eql::OrderBy::Field::kSn ? "sn" : "sp")
-       << (query.order_by.descending ? " desc" : " asc") << "]";
-  }
-  if (query.limit > 0) {
-    os << " -> limit[" << query.limit << "]";
-  }
-  return os.str();
+  EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan, Plan(query));
+  return eql::RenderPlan(plan);
 }
 
 }  // namespace evident

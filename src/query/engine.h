@@ -7,6 +7,7 @@
 #include "core/extended_relation.h"
 #include "core/operations.h"
 #include "query/ast.h"
+#include "query/plan.h"
 #include "storage/catalog.h"
 
 namespace evident {
@@ -14,40 +15,53 @@ namespace evident {
 /// \brief Executes EQL queries against a catalog of extended relations —
 /// the "query processing" box of the paper's Figure 1.
 ///
-/// Pipeline: FROM (scan / extended union / product / join) → WHERE
-/// (extended selection with F_SS + F_TM) → WITH (membership threshold Q)
-/// → SELECT (extended projection; key attributes are implicitly added if
-/// omitted, since the paper's projection always carries keys).
+/// A thin parse → plan → optimize → execute pipeline: the parsed AST is
+/// bound into a logical plan (query/plan.h), rewritten by the pushdown
+/// optimizer (query/optimizer.h) unless disabled, and executed over the
+/// relational operators. `EXPLAIN SELECT ...` returns the optimized plan
+/// rendering as a relation instead of executing it.
+///
+/// Pipeline semantics: FROM (scan / extended union / intersection /
+/// product / join) → WHERE (extended selection with F_SS + F_TM) → WITH
+/// (membership threshold Q) → SELECT (extended projection; key
+/// attributes are implicitly added if omitted, since the paper's
+/// projection always carries keys) → ORDER BY / LIMIT.
 class QueryEngine {
  public:
   explicit QueryEngine(const Catalog* catalog) : catalog_(catalog) {}
 
-  /// \brief Parses, binds and runs a query.
+  /// \brief Parses, plans and runs a query (or, for EXPLAIN, returns the
+  /// plan rendering as a two-column relation).
   Result<ExtendedRelation> Execute(const std::string& eql_text) const;
 
   /// \brief Runs an already-parsed query.
   Result<ExtendedRelation> ExecuteParsed(const eql::ParsedQuery& query) const;
 
-  /// \brief Human-readable plan ("union(RA,RB) -> select[...] ->
-  /// project[...]") without executing.
+  /// \brief The plan the query would execute with, as the multi-line
+  /// EXPLAIN rendering, without executing it.
   Result<std::string> Explain(const std::string& eql_text) const;
 
-  /// \brief Options controlling union behaviour in FROM ... UNION.
+  /// \brief Options controlling union behaviour in FROM ... UNION /
+  /// INTERSECT.
   void set_union_options(const UnionOptions& options) {
     union_options_ = options;
   }
 
- private:
-  /// Resolves the FROM clause to a concrete relation.
-  Result<ExtendedRelation> BindFrom(const eql::ParsedQuery& query) const;
+  /// \brief Toggles the pushdown optimizer (on by default). The
+  /// optimized and unoptimized plans produce bit-identical result sets
+  /// and identical first errors — enforced by the EQL fuzz differential;
+  /// the toggle exists for that differential and for plan-shape
+  /// debugging.
+  void set_optimizer_enabled(bool enabled) { optimize_ = enabled; }
+  bool optimizer_enabled() const { return optimize_; }
 
-  /// Builds the bound predicate for the WHERE conjunction (nullptr when
-  /// there is no WHERE clause).
-  Result<PredicatePtr> BindWhere(const eql::ParsedQuery& query,
-                                 const RelationSchema& schema) const;
+ private:
+  /// Builds the bound logical plan and, when enabled, optimizes it.
+  Result<eql::LogicalPlan> Plan(const eql::ParsedQuery& query) const;
 
   const Catalog* catalog_;
   UnionOptions union_options_;
+  bool optimize_ = true;
 };
 
 }  // namespace evident

@@ -1,0 +1,370 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bound_predicate.h"
+#include "core/join_plan.h"
+
+namespace evident {
+namespace eql {
+
+namespace {
+
+/// Collects the schema positions every attribute reference of `predicate`
+/// resolves to. Returns false — telling the caller to leave the plan
+/// untouched — on an unresolvable reference or a predicate type the
+/// optimizer does not understand.
+bool CollectRefIndices(const PredicatePtr& predicate,
+                       const RelationSchema& schema,
+                       std::vector<size_t>* out) {
+  if (const auto* conj =
+          dynamic_cast<const AndPredicate*>(predicate.get())) {
+    for (const PredicatePtr& child : conj->children()) {
+      if (!CollectRefIndices(child, schema, out)) return false;
+    }
+    return true;
+  }
+  if (const auto* is_pred =
+          dynamic_cast<const IsPredicate*>(predicate.get())) {
+    Result<size_t> index = schema.IndexOf(is_pred->attribute());
+    if (!index.ok()) return false;
+    out->push_back(*index);
+    return true;
+  }
+  if (const auto* theta =
+          dynamic_cast<const ThetaPredicate*>(predicate.get())) {
+    for (const ThetaOperand* operand : {&theta->lhs(), &theta->rhs()}) {
+      if (!operand->is_attribute()) continue;
+      Result<size_t> index = schema.IndexOf(operand->attribute());
+      if (!index.ok()) return false;
+      out->push_back(*index);
+    }
+    return true;
+  }
+  return false;
+}
+
+/// A structural copy of a (non-conjunction) conjunct with its attribute
+/// references renamed through `renames` — how a product-schema conjunct
+/// becomes an operand-schema prefilter.
+PredicatePtr RewriteAttributeNames(
+    const PredicatePtr& predicate,
+    const std::unordered_map<std::string, std::string>& renames) {
+  if (const auto* is_pred =
+          dynamic_cast<const IsPredicate*>(predicate.get())) {
+    auto it = renames.find(is_pred->attribute());
+    std::vector<Value> values = is_pred->values();
+    return Is(it != renames.end() ? it->second : is_pred->attribute(),
+              std::move(values));
+  }
+  if (const auto* theta =
+          dynamic_cast<const ThetaPredicate*>(predicate.get())) {
+    auto map_operand = [&](const ThetaOperand& operand) {
+      if (operand.is_attribute()) {
+        auto it = renames.find(operand.attribute());
+        if (it != renames.end()) return ThetaOperand::Attr(it->second);
+      }
+      return operand;
+    };
+    return Theta(map_operand(theta->lhs()), theta->op(),
+                 map_operand(theta->rhs()), theta->semantics());
+  }
+  return nullptr;
+}
+
+/// Rule 1 — selection pushdown. Gated on the entire join predicate
+/// binding completely: then no conjunct can ever fail to evaluate, so
+/// dropping rows early cannot change which error fires first (none can).
+/// Runs before operand pruning, while the join's children still carry
+/// the operand schemas its product schema was built from.
+void TryJoinPushdown(PlanNode* join) {
+  if (join->pushdown_applied) return;
+  join->pushdown_applied = true;
+  if (join->predicate == nullptr || join->schema == nullptr) return;
+  if (join->left == nullptr || join->right == nullptr) return;
+  if (!BoundPredicate::Bind(join->predicate, join->schema).fully_bound()) {
+    return;
+  }
+  join->predicate_fully_bound = true;
+
+  std::vector<PredicatePtr> conjuncts;
+  FlattenConjuncts(join->predicate, &conjuncts);
+  const size_t left_count = join->left_attr_count;
+  std::vector<PredicatePtr> pushed_left, pushed_right;
+  for (const PredicatePtr& conjunct : conjuncts) {
+    std::vector<size_t> refs;
+    if (!CollectRefIndices(conjunct, *join->schema, &refs) || refs.empty()) {
+      continue;  // cross-side, reference-free or opaque: stays put
+    }
+    bool all_left = true, all_right = true;
+    for (size_t i : refs) {
+      (i < left_count ? all_right : all_left) = false;
+    }
+    if (all_left == all_right) continue;  // spans both sides
+    PlanNode* child = (all_left ? join->left : join->right).get();
+    const size_t offset = all_left ? 0 : left_count;
+    std::unordered_map<std::string, std::string> renames;
+    bool mapped = true;
+    for (size_t i : refs) {
+      const size_t local = i - offset;
+      if (local >= child->schema->size()) {
+        mapped = false;
+        break;
+      }
+      renames.emplace(join->schema->attribute(i).name,
+                      child->schema->attribute(local).name);
+    }
+    if (!mapped) continue;
+    PredicatePtr rewritten = RewriteAttributeNames(conjunct, renames);
+    if (rewritten == nullptr ||
+        !BoundPredicate::Bind(rewritten, child->schema).fully_bound()) {
+      continue;
+    }
+    (all_left ? pushed_left : pushed_right).push_back(std::move(rewritten));
+  }
+
+  auto insert_prefilter = [](PlanNodePtr* slot,
+                             std::vector<PredicatePtr> conjuncts_for_side) {
+    auto prefilter = std::make_unique<PlanNode>();
+    prefilter->op = PlanNode::Op::kPrefilter;
+    prefilter->schema = (*slot)->schema;
+    prefilter->conjuncts = std::move(conjuncts_for_side);
+    prefilter->left = std::move(*slot);
+    *slot = std::move(prefilter);
+  };
+  if (!pushed_left.empty()) {
+    insert_prefilter(&join->left, std::move(pushed_left));
+  }
+  if (!pushed_right.empty()) {
+    insert_prefilter(&join->right, std::move(pushed_right));
+  }
+}
+
+/// Inserts a name-preserving pruning projection above `*slot` keeping
+/// exactly `defs` (a subsequence of the operand's attributes, in schema
+/// order).
+void InsertPruningProject(PlanNodePtr* slot, std::vector<AttributeDef> defs) {
+  std::vector<std::string> names;
+  names.reserve(defs.size());
+  for (const AttributeDef& def : defs) names.push_back(def.name);
+  Result<SchemaPtr> schema = RelationSchema::Make(std::move(defs));
+  if (!schema.ok()) return;
+  auto project = std::make_unique<PlanNode>();
+  project->op = PlanNode::Op::kProject;
+  project->schema = std::move(schema).value();
+  project->attributes = std::move(names);
+  project->keep_name = true;
+  project->left = std::move(*slot);
+  *slot = std::move(project);
+}
+
+/// Rule 2b — prunes one join/product operand down to its keys, the
+/// attributes the output or the predicate needs (by product-schema
+/// name), and every attribute whose name collides with the other
+/// operand (pruning those would change the product schema's
+/// qualification). The pruning projection sits *above* any pushdown
+/// prefilter: the selective filter runs first — against the catalog's
+/// shared column image when the operand is a scan — and the projection
+/// then copies only the survivors' kept columns, which is also what the
+/// join's product-schema slice ends up splicing.
+void PruneOperand(const PlanNode* pair, PlanNodePtr* child_slot,
+                  size_t offset,
+                  const std::unordered_set<std::string>& needed,
+                  const RelationSchema& other_schema) {
+  // The operand's attribute layout (the product slice) is beneath any
+  // prefilters, which are schema-preserving.
+  const PlanNode* operand = child_slot->get();
+  while (operand->op == PlanNode::Op::kPrefilter) {
+    operand = operand->left.get();
+  }
+  const SchemaPtr& schema = operand->schema;
+  if (schema == nullptr ||
+      offset + schema->size() > pair->schema->size()) {
+    return;
+  }
+  std::vector<AttributeDef> kept;
+  bool prune = false;
+  for (size_t i = 0; i < schema->size(); ++i) {
+    const AttributeDef& attr = schema->attribute(i);
+    const std::string& product_name = pair->schema->attribute(offset + i).name;
+    const bool keep = attr.kind == AttributeKind::kKey ||
+                      needed.count(product_name) > 0 ||
+                      other_schema.Has(attr.name);
+    if (keep) {
+      kept.push_back(attr);
+    } else {
+      prune = true;
+    }
+  }
+  if (!prune || kept.empty()) return;
+  InsertPruningProject(child_slot, std::move(kept));
+}
+
+/// Rule 2 — projection pruning into a join/product's operands.
+void TryPrunePairOperands(PlanNode* project) {
+  PlanNode* pair = project->left.get();
+  if (pair->schema == nullptr || pair->left == nullptr ||
+      pair->right == nullptr) {
+    return;
+  }
+  std::unordered_set<std::string> needed(project->attributes.begin(),
+                                         project->attributes.end());
+  if (pair->predicate != nullptr) {
+    std::vector<size_t> refs;
+    if (!CollectRefIndices(pair->predicate, *pair->schema, &refs)) return;
+    for (size_t i : refs) needed.insert(pair->schema->attribute(i).name);
+  }
+  const size_t left_count = pair->op == PlanNode::Op::kJoin
+                                ? pair->left_attr_count
+                                : (pair->left->schema != nullptr
+                                       ? pair->left->schema->size()
+                                       : 0);
+  if (left_count == 0 || left_count >= pair->schema->size()) return;
+  // Original operand schemas (the product slice layout) — reachable
+  // through any prefilters pushdown inserted first.
+  const PlanNode* left_operand = pair->left.get();
+  while (left_operand->op == PlanNode::Op::kPrefilter) {
+    left_operand = left_operand->left.get();
+  }
+  const PlanNode* right_operand = pair->right.get();
+  while (right_operand->op == PlanNode::Op::kPrefilter) {
+    right_operand = right_operand->left.get();
+  }
+  if (left_operand->schema == nullptr || right_operand->schema == nullptr) {
+    return;
+  }
+  const SchemaPtr right_schema = right_operand->schema;
+  const SchemaPtr left_schema = left_operand->schema;
+  PruneOperand(pair, &pair->left, 0, needed, *right_schema);
+  PruneOperand(pair, &pair->right, left_count, needed, *left_schema);
+}
+
+/// Rule 2a — slides a pruning projection below a selection, so the
+/// selection splices only the columns the output or its own predicate
+/// need. Sound for any input: the predicate's support does not depend on
+/// dropped columns, rows and their order are unchanged, and per-row
+/// evaluation errors (if any) fire identically because every referenced
+/// attribute is kept (the rule aborts when a reference does not
+/// resolve, which also keeps unknown-attribute messages — they embed the
+/// schema rendering — byte-identical).
+void TryProjectBelowSelect(PlanNode* project) {
+  PlanNode* select = project->left.get();
+  if (select->left == nullptr || select->left->schema == nullptr) return;
+  const SchemaPtr& schema = select->left->schema;
+  std::unordered_set<std::string> needed(project->attributes.begin(),
+                                         project->attributes.end());
+  if (select->predicate != nullptr) {
+    std::vector<size_t> refs;
+    if (!CollectRefIndices(select->predicate, *schema, &refs)) return;
+    for (size_t i : refs) needed.insert(schema->attribute(i).name);
+  }
+  for (const std::string& name : project->attributes) {
+    if (!schema->Has(name)) return;
+  }
+  std::vector<AttributeDef> kept;
+  for (const AttributeDef& attr : schema->attributes()) {
+    if (attr.kind == AttributeKind::kKey || needed.count(attr.name) > 0) {
+      kept.push_back(attr);
+    }
+  }
+  if (kept.size() == schema->size()) return;
+  InsertPruningProject(&select->left, std::move(kept));
+  select->schema = select->left->schema;
+}
+
+void RewriteNode(PlanNodePtr& node) {
+  if (node == nullptr) return;
+  if (node->op == PlanNode::Op::kProject && node->left != nullptr) {
+    if (node->left->op == PlanNode::Op::kSelect) {
+      TryProjectBelowSelect(node.get());
+    } else if (node->left->op == PlanNode::Op::kJoin ||
+               node->left->op == PlanNode::Op::kProduct) {
+      // Pushdown first: it needs the operands' original schemas to map
+      // product positions to operand names; pruning then slots its
+      // projections below the fresh prefilters.
+      if (node->left->op == PlanNode::Op::kJoin) {
+        TryJoinPushdown(node->left.get());
+      }
+      TryPrunePairOperands(node.get());
+    }
+  }
+  if (node->op == PlanNode::Op::kJoin) TryJoinPushdown(node.get());
+  RewriteNode(node->left);
+  RewriteNode(node->right);
+}
+
+/// min(l·r, 2^20) without evaluating an overflowing product — estimates
+/// only steer build sides and the EXPLAIN display.
+size_t EstimatePairRows(size_t l, size_t r) {
+  constexpr size_t kCap = size_t{1} << 20;
+  if (l == 0 || r == 0) return 0;
+  if (r > kCap / l) return kCap;
+  return l * r;
+}
+
+size_t AnnotateEstimates(PlanNode* node) {
+  if (node == nullptr) return 0;
+  const size_t l = AnnotateEstimates(node->left.get());
+  const size_t r = AnnotateEstimates(node->right.get());
+  size_t estimate = 0;
+  switch (node->op) {
+    case PlanNode::Op::kScan:
+      estimate = node->rel != nullptr ? node->rel->size() : 0;
+      break;
+    case PlanNode::Op::kSelect:
+      estimate = l / 2;
+      break;
+    case PlanNode::Op::kPrefilter:
+      estimate = l / 4;
+      break;
+    case PlanNode::Op::kProject:
+    case PlanNode::Op::kRename:
+      estimate = l;
+      break;
+    case PlanNode::Op::kUnion:
+    case PlanNode::Op::kMerge:
+      estimate = l + r;
+      break;
+    case PlanNode::Op::kIntersect:
+      estimate = std::min(l, r);
+      break;
+    case PlanNode::Op::kJoin:
+    case PlanNode::Op::kProduct:
+      estimate = EstimatePairRows(l, r);
+      break;
+  }
+  node->estimated_rows = estimate;
+  return estimate;
+}
+
+/// Rule 3 — explicit hash build sides from the (post-prefilter)
+/// estimates. Restricted to joins whose predicate bound completely:
+/// flipping the side changes the pair visit order, which must not be
+/// able to reorder per-pair evaluation errors. Ties build right, like
+/// the executor's run-time size comparison.
+void AssignBuildSides(PlanNode* node) {
+  if (node == nullptr) return;
+  AssignBuildSides(node->left.get());
+  AssignBuildSides(node->right.get());
+  if (node->op != PlanNode::Op::kJoin || !node->predicate_fully_bound) {
+    return;
+  }
+  node->build_side = node->left->estimated_rows < node->right->estimated_rows
+                         ? JoinBuildSide::kLeft
+                         : JoinBuildSide::kRight;
+}
+
+}  // namespace
+
+void OptimizePlan(LogicalPlan* plan) {
+  if (plan == nullptr || plan->root == nullptr) return;
+  RewriteNode(plan->root);
+  AnnotateEstimates(plan->root.get());
+  AssignBuildSides(plan->root.get());
+}
+
+}  // namespace eql
+}  // namespace evident

@@ -1,0 +1,49 @@
+#ifndef EVIDENT_QUERY_OPTIMIZER_H_
+#define EVIDENT_QUERY_OPTIMIZER_H_
+
+#include "query/plan.h"
+
+namespace evident {
+namespace eql {
+
+/// \brief Rewrites a logical plan in place. Three rule families:
+///
+///  1. Selection pushdown — at every join whose *entire* predicate binds
+///     completely (BoundPredicate; then evaluation can never fail, so no
+///     rewrite can reorder which error fires first), each conjunct
+///     referencing attributes of only one operand is pushed below the
+///     join as a *prefilter*: rows for which the conjunct's support has
+///     sn == 0 are dropped early — they could only ever produce sn = 0
+///     pairs, which CWA_ER always discards — while the conjunct itself
+///     stays in the join predicate, so the surviving pairs' membership
+///     arithmetic multiplies the identical factors in the identical
+///     order and the result stays bit-exact. Prefilters over catalog
+///     scans evaluate against the catalog's shared column image.
+///
+///  2. Projection pushdown — a projection above a select slides a
+///     pruning projection below it (keeping the predicate's attributes),
+///     and a projection above a join/product prunes the operands'
+///     columns down to keys + predicate + output attributes, so unused
+///     packed evidence columns are never spliced through the pipeline.
+///     The pruning projection sits above any pushdown prefilter (filter
+///     first, narrow the survivors). Only attributes whose names do not
+///     collide with the other operand are pruned (pruning a colliding
+///     name would change the product schema's qualification);
+///     optimizer-inserted projections keep the operand's relation name
+///     for the same reason.
+///
+///  3. Build-side choice — joins with a fully-bound predicate get an
+///     explicit hash build side from the plan's cardinality estimates
+///     (post-prefilter), instead of the executor's run-time size
+///     comparison. This affects only execution cost and the
+///     implementation-defined row order, never the result set.
+///
+/// All rewrites preserve the executed result as a keyed set of tuples
+/// bit-exactly (cells, masses, memberships) and the first-error message;
+/// the EQL fuzz differential enforces this against the unoptimized plan.
+void OptimizePlan(LogicalPlan* plan);
+
+}  // namespace eql
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_OPTIMIZER_H_

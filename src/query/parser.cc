@@ -14,6 +14,10 @@ class Parser {
 
   Result<eql::ParsedQuery> Parse() {
     eql::ParsedQuery query;
+    if (AtKeyword("explain")) {
+      query.explain = true;
+      Advance();
+    }
     EVIDENT_RETURN_NOT_OK(ExpectKeyword("select"));
     EVIDENT_RETURN_NOT_OK(ParseSelectItems(&query));
     EVIDENT_RETURN_NOT_OK(ExpectKeyword("from"));
@@ -122,6 +126,11 @@ class Parser {
     } else if (AtKeyword("product")) {
       Advance();
       query->from.op = eql::SourceOp::kProduct;
+      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+                               ExpectIdentifier("relation name"));
+    } else if (AtKeyword("intersect")) {
+      Advance();
+      query->from.op = eql::SourceOp::kIntersect;
       EVIDENT_ASSIGN_OR_RETURN(query->from.right,
                                ExpectIdentifier("relation name"));
     }

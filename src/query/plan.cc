@@ -1,0 +1,448 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "integration/tuple_merger.h"
+#include "text/evidence_literal.h"
+
+namespace evident {
+namespace eql {
+
+namespace {
+
+/// Binds a raw θ-operand. Evidence literals need a frame: they borrow the
+/// domain of the attribute on the other side of the comparison.
+Result<ThetaOperand> BindOperand(const RawOperand& raw,
+                                 const RawOperand& other,
+                                 const RelationSchema& schema) {
+  switch (raw.kind) {
+    case RawOperand::Kind::kAttribute: {
+      EVIDENT_RETURN_NOT_OK(schema.IndexOf(raw.text).status());
+      return ThetaOperand::Attr(raw.text);
+    }
+    case RawOperand::Kind::kValue:
+      return ThetaOperand::LitValue(Value::Parse(raw.text));
+    case RawOperand::Kind::kEvidenceLiteral: {
+      if (other.kind != RawOperand::Kind::kAttribute) {
+        return Status::InvalidArgument(
+            "an evidence literal needs an attribute on the other side of "
+            "the comparison to determine its domain: " +
+            raw.text);
+      }
+      EVIDENT_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(other.text));
+      const AttributeDef& attr = schema.attribute(index);
+      if (!attr.is_uncertain()) {
+        return Status::InvalidArgument(
+            "evidence literal compared against definite attribute '" +
+            attr.name + "'");
+      }
+      EVIDENT_ASSIGN_OR_RETURN(EvidenceSet es,
+                               ParseEvidenceLiteral(attr.domain, raw.text));
+      return ThetaOperand::Lit(std::move(es));
+    }
+  }
+  return Status::Internal("unreachable operand kind");
+}
+
+/// Binds the WHERE conjunction against `schema`; nullptr when empty.
+Result<PredicatePtr> BindWhere(const ParsedQuery& query,
+                               const RelationSchema& schema) {
+  if (query.where.empty()) return PredicatePtr(nullptr);
+  std::vector<PredicatePtr> conjuncts;
+  for (const Condition& cond : query.where) {
+    if (const auto* is_cond = std::get_if<IsCondition>(&cond)) {
+      EVIDENT_RETURN_NOT_OK(schema.IndexOf(is_cond->attribute).status());
+      std::vector<Value> values;
+      values.reserve(is_cond->values.size());
+      for (const std::string& text : is_cond->values) {
+        values.push_back(Value::Parse(text));
+      }
+      conjuncts.push_back(Is(is_cond->attribute, std::move(values)));
+    } else {
+      const auto& theta = std::get<ThetaCondition>(cond);
+      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand lhs,
+                               BindOperand(theta.lhs, theta.rhs, schema));
+      EVIDENT_ASSIGN_OR_RETURN(ThetaOperand rhs,
+                               BindOperand(theta.rhs, theta.lhs, schema));
+      conjuncts.push_back(Theta(std::move(lhs), theta.op, std::move(rhs)));
+    }
+  }
+  if (conjuncts.size() == 1) return conjuncts.front();
+  return And(std::move(conjuncts));
+}
+
+/// The FROM clause's operand relations resolved against the catalog
+/// (right is null for a scan); the single home of catalog lookups so
+/// every source shape reports missing catalogs/relations identically.
+struct BoundOperands {
+  const ExtendedRelation* left = nullptr;
+  const ExtendedRelation* right = nullptr;
+};
+
+Result<BoundOperands> ResolveOperands(const Catalog* catalog,
+                                      const FromClause& from) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("query engine has no catalog");
+  }
+  BoundOperands operands;
+  EVIDENT_ASSIGN_OR_RETURN(operands.left, catalog->GetRelation(from.left));
+  if (from.op != SourceOp::kScan) {
+    EVIDENT_ASSIGN_OR_RETURN(operands.right, catalog->GetRelation(from.right));
+  }
+  return operands;
+}
+
+PlanNodePtr MakeScan(const std::string& name, const ExtendedRelation* rel) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = PlanNode::Op::kScan;
+  node->relation = name;
+  node->rel = rel;
+  node->schema = rel->schema();
+  return node;
+}
+
+}  // namespace
+
+Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
+                              const UnionOptions& union_options) {
+  EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
+                           ResolveOperands(catalog, query.from));
+  LogicalPlan plan;
+  const bool join_like = query.from.op == SourceOp::kProduct ||
+                         query.from.op == SourceOp::kJoin;
+
+  if (join_like && !query.where.empty()) {
+    // Join dispatch: bind WHERE against the product *schema* and plan a
+    // join node, which hash-partitions on any definite equi-conjunct
+    // instead of materializing |L|·|R| product tuples (falling back to
+    // product + selection when there is none). JOIN is product +
+    // WHERE-as-join-condition (the paper's ⋈̃ = σ̃∘×̃); the distinction
+    // is purely syntactic sugar.
+    EVIDENT_ASSIGN_OR_RETURN(
+        SchemaPtr product_schema,
+        MakeProductSchema(*operands.left, *operands.right));
+    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                             BindWhere(query, *product_schema));
+    auto join = std::make_unique<PlanNode>();
+    join->op = PlanNode::Op::kJoin;
+    join->schema = product_schema;
+    join->left = MakeScan(query.from.left, operands.left);
+    join->right = MakeScan(query.from.right, operands.right);
+    join->predicate = std::move(predicate);
+    join->threshold = query.with;
+    join->left_attr_count = operands.left->schema()->size();
+    plan.root = std::move(join);
+  } else {
+    switch (query.from.op) {
+      case SourceOp::kScan:
+        plan.root = MakeScan(query.from.left, operands.left);
+        break;
+      case SourceOp::kUnion:
+      case SourceOp::kIntersect: {
+        EVIDENT_RETURN_NOT_OK(
+            CheckUnionCompatible(*operands.left, *operands.right));
+        auto node = std::make_unique<PlanNode>();
+        node->op = query.from.op == SourceOp::kUnion
+                       ? PlanNode::Op::kUnion
+                       : PlanNode::Op::kIntersect;
+        node->schema = operands.left->schema();
+        node->left = MakeScan(query.from.left, operands.left);
+        node->right = MakeScan(query.from.right, operands.right);
+        node->options = union_options;
+        plan.root = std::move(node);
+        break;
+      }
+      case SourceOp::kProduct:
+      case SourceOp::kJoin: {
+        EVIDENT_ASSIGN_OR_RETURN(
+            SchemaPtr product_schema,
+            MakeProductSchema(*operands.left, *operands.right));
+        auto node = std::make_unique<PlanNode>();
+        node->op = PlanNode::Op::kProduct;
+        node->schema = product_schema;
+        node->left = MakeScan(query.from.left, operands.left);
+        node->right = MakeScan(query.from.right, operands.right);
+        plan.root = std::move(node);
+        break;
+      }
+    }
+    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                             BindWhere(query, *plan.root->schema));
+    if (predicate != nullptr || !query.with.atoms().empty()) {
+      // A WITH clause without WHERE still thresholds the (unchanged)
+      // membership; the executor models that as selection with an
+      // always-true predicate.
+      auto select = std::make_unique<PlanNode>();
+      select->op = PlanNode::Op::kSelect;
+      select->schema = plan.root->schema;
+      select->predicate = std::move(predicate);
+      select->threshold = query.with;
+      select->left = std::move(plan.root);
+      plan.root = std::move(select);
+    }
+  }
+
+  if (!query.select.empty()) {
+    // Implicitly retain key attributes (the paper's projection always
+    // carries the key + membership).
+    std::vector<std::string> attrs;
+    for (size_t key_index : plan.root->schema->key_indices()) {
+      const std::string& key_name =
+          plan.root->schema->attribute(key_index).name;
+      bool listed = false;
+      for (const std::string& a : query.select) {
+        if (a == key_name) listed = true;
+      }
+      if (!listed) attrs.push_back(key_name);
+    }
+    attrs.insert(attrs.end(), query.select.begin(), query.select.end());
+    EVIDENT_ASSIGN_OR_RETURN(
+        SchemaPtr projected,
+        ResolveProjectionSchema(*plan.root->schema, attrs));
+    auto project = std::make_unique<PlanNode>();
+    project->op = PlanNode::Op::kProject;
+    project->schema = std::move(projected);
+    project->attributes = std::move(attrs);
+    project->left = std::move(plan.root);
+    plan.root = std::move(project);
+  }
+
+  plan.order_by = query.order_by;
+  plan.limit = query.limit;
+  return plan;
+}
+
+namespace {
+
+/// Executes the tree bottom-up. Scan nodes hand out the catalog relation
+/// by reference (filtered scans select against the catalog's cached
+/// column image in place); every other node's result is owned in a deque
+/// for stable addresses.
+class PlanExecutor {
+ public:
+  Result<const ExtendedRelation*> Exec(const PlanNode& node) {
+    if (node.op == PlanNode::Op::kScan) return node.rel;
+    EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation result, ExecOwned(node));
+    results_.push_back(std::move(result));
+    return &results_.back();
+  }
+
+  Result<ExtendedRelation> ExecOwned(const PlanNode& node) {
+    switch (node.op) {
+      case PlanNode::Op::kScan:
+        // Only reached when the scan is the whole plan; the result is a
+        // copy of the catalog relation (sharing its column image).
+        return *node.rel;
+      case PlanNode::Op::kSelect: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* input,
+                                 Exec(*node.left));
+        PredicatePtr predicate =
+            node.predicate != nullptr
+                ? node.predicate
+                : Theta(ThetaOperand::LitValue(Value(int64_t{0})),
+                        ThetaOp::kEq,
+                        ThetaOperand::LitValue(Value(int64_t{0})));
+        return Select(*input, predicate, node.threshold);
+      }
+      case PlanNode::Op::kPrefilter: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* input,
+                                 Exec(*node.left));
+        return FilterPositiveSupport(*input, node.conjuncts);
+      }
+      case PlanNode::Op::kProject: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* input,
+                                 Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation projected,
+                                 Project(*input, node.attributes));
+        if (node.keep_name) projected.set_name(input->name());
+        return projected;
+      }
+      case PlanNode::Op::kJoin: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
+                                 Exec(*node.right));
+        // The product schema is rebuilt from the executed operands: the
+        // optimizer may have pruned their columns, and name preservation
+        // guarantees the qualification (hence the predicate's attribute
+        // references) is unchanged.
+        EVIDENT_ASSIGN_OR_RETURN(SchemaPtr product_schema,
+                                 MakeProductSchema(*l, *r));
+        return JoinWithProductSchema(*l, *r, node.predicate, node.threshold,
+                                     std::move(product_schema),
+                                     node.build_side);
+      }
+      case PlanNode::Op::kProduct: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
+                                 Exec(*node.right));
+        return Product(*l, *r);
+      }
+      case PlanNode::Op::kUnion: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
+                                 Exec(*node.right));
+        return Union(*l, *r, node.options);
+      }
+      case PlanNode::Op::kIntersect: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
+                                 Exec(*node.right));
+        return Intersect(*l, *r, node.options);
+      }
+      case PlanNode::Op::kRename: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* input,
+                                 Exec(*node.left));
+        return RenameAttribute(*input, node.rename_from, node.rename_to);
+      }
+      case PlanNode::Op::kMerge: {
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
+        EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
+                                 Exec(*node.right));
+        return MergeTuples(*l, *r, node.matching, node.options);
+      }
+    }
+    return Status::Internal("unreachable plan node op");
+  }
+
+ private:
+  std::deque<ExtendedRelation> results_;
+};
+
+}  // namespace
+
+Result<ExtendedRelation> ExecutePlan(const LogicalPlan& plan) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("empty logical plan");
+  }
+  PlanExecutor executor;
+  EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation projected,
+                           executor.ExecOwned(*plan.root));
+  if (plan.order_by.field == OrderBy::Field::kNone && plan.limit == 0) {
+    return projected;
+  }
+  // ORDER BY sn/sp ranks the single result set by certainty; LIMIT
+  // truncates after ranking (without ORDER BY it keeps input order).
+  std::vector<size_t> order(projected.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (plan.order_by.field != OrderBy::Field::kNone) {
+    const bool by_sn = plan.order_by.field == OrderBy::Field::kSn;
+    const bool desc = plan.order_by.descending;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       const SupportPair& ma = projected.row(a).membership;
+                       const SupportPair& mb = projected.row(b).membership;
+                       const double xa = by_sn ? ma.sn : ma.sp;
+                       const double xb = by_sn ? mb.sn : mb.sp;
+                       return desc ? xa > xb : xa < xb;
+                     });
+  }
+  const size_t keep = plan.limit == 0
+                          ? order.size()
+                          : std::min(plan.limit, order.size());
+  ExtendedRelation ranked(projected.name(), projected.schema());
+  ranked.Reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    EVIDENT_RETURN_NOT_OK(ranked.InsertUnchecked(projected.row(order[i])));
+  }
+  return ranked;
+}
+
+namespace {
+
+void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
+  *os << std::string(indent * 2, ' ');
+  switch (node.op) {
+    case PlanNode::Op::kScan:
+      *os << "scan[" << node.relation;
+      if (node.rel != nullptr) *os << ", " << node.rel->size() << " rows";
+      *os << "]";
+      break;
+    case PlanNode::Op::kSelect:
+      *os << "select["
+          << (node.predicate != nullptr ? node.predicate->ToString() : "true")
+          << "; Q: " << node.threshold.ToString() << "]";
+      break;
+    case PlanNode::Op::kPrefilter: {
+      *os << "prefilter[";
+      for (size_t i = 0; i < node.conjuncts.size(); ++i) {
+        if (i) *os << " and ";
+        *os << node.conjuncts[i]->ToString();
+      }
+      *os << "]";
+      break;
+    }
+    case PlanNode::Op::kProject: {
+      *os << "project[";
+      for (size_t i = 0; i < node.attributes.size(); ++i) {
+        if (i) *os << ", ";
+        *os << node.attributes[i];
+      }
+      *os << "]";
+      break;
+    }
+    case PlanNode::Op::kJoin:
+      *os << "join["
+          << (node.predicate != nullptr ? node.predicate->ToString() : "true")
+          << "; Q: " << node.threshold.ToString() << "; build=";
+      switch (node.build_side) {
+        case JoinBuildSide::kAuto:
+          *os << "auto";
+          break;
+        case JoinBuildSide::kLeft:
+          *os << "left";
+          break;
+        case JoinBuildSide::kRight:
+          *os << "right";
+          break;
+      }
+      *os << "]";
+      break;
+    case PlanNode::Op::kProduct:
+      *os << "product";
+      break;
+    case PlanNode::Op::kUnion:
+      *os << "union";
+      break;
+    case PlanNode::Op::kIntersect:
+      *os << "intersect";
+      break;
+    case PlanNode::Op::kRename:
+      *os << "rename[" << node.rename_from << " -> " << node.rename_to
+          << "]";
+      break;
+    case PlanNode::Op::kMerge:
+      *os << "merge[" << node.matching.matches.size() << " match(es)]";
+      break;
+  }
+  *os << "\n";
+  if (node.left != nullptr) RenderNode(*node.left, indent + 1, os);
+  if (node.right != nullptr) RenderNode(*node.right, indent + 1, os);
+}
+
+}  // namespace
+
+std::string RenderPlan(const LogicalPlan& plan) {
+  std::ostringstream os;
+  size_t indent = 0;
+  if (plan.limit > 0) {
+    os << "limit[" << plan.limit << "]\n";
+    ++indent;
+  }
+  if (plan.order_by.field != OrderBy::Field::kNone) {
+    os << std::string(indent * 2, ' ') << "order["
+       << (plan.order_by.field == OrderBy::Field::kSn ? "sn" : "sp")
+       << (plan.order_by.descending ? " desc" : " asc") << "]\n";
+    ++indent;
+  }
+  if (plan.root != nullptr) RenderNode(*plan.root, indent, &os);
+  std::string out = os.str();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace eql
+}  // namespace evident

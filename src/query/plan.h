@@ -1,0 +1,126 @@
+#ifndef EVIDENT_QUERY_PLAN_H_
+#define EVIDENT_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/extended_relation.h"
+#include "core/operations.h"
+#include "core/predicate.h"
+#include "core/schema.h"
+#include "core/threshold.h"
+#include "integration/entity_identifier.h"
+#include "query/ast.h"
+#include "storage/catalog.h"
+
+namespace evident {
+namespace eql {
+
+/// \brief One node of the logical query plan — the IR between the parsed
+/// AST and the relational operators. Every node carries its resolved
+/// output schema (attribute references, evidence-literal domains and
+/// projection lists are bound at plan-build time, so binding errors
+/// surface identically whether or not the optimizer rewrites the plan).
+///
+/// The executor maps nodes 1:1 onto the operators in core/operations.h;
+/// the optimizer (query/optimizer.h) rewrites the tree — pushdown
+/// prefilters below joins/products, projection pruning, build-side
+/// choice — under the invariant that the executed result stays
+/// bit-identical (as a keyed set of tuples) to the unoptimized plan's.
+struct PlanNode {
+  enum class Op {
+    kScan,       // a catalog relation, scanned in place
+    kSelect,     // σ̃: F_SS + F_TM revision + threshold Q
+    kPrefilter,  // optimizer-inserted: drop rows any conjunct gives sn=0
+    kProject,    // π̃ (keys always retained)
+    kJoin,       // ⋈̃: σ̃ over the product, hash-partitioned when possible
+    kProduct,    // ×̃
+    kUnion,      // ∪̃ (tuple merging by key)
+    kIntersect,  // ∩̃ (inner merge)
+    kRename,     // attribute rename (schema-only)
+    kMerge,      // MergeTuples with explicit matching info
+  };
+
+  Op op = Op::kScan;
+  /// Resolved output schema. For kJoin this is the concatenated product
+  /// schema the predicate was bound against (the authoritative layout
+  /// for conjunct side analysis, even after operand pruning).
+  SchemaPtr schema;
+  /// Optimizer cardinality estimate (rows); 0 until annotated.
+  size_t estimated_rows = 0;
+  std::unique_ptr<PlanNode> left, right;
+
+  // kScan.
+  std::string relation;
+  const ExtendedRelation* rel = nullptr;
+
+  // kSelect (null predicate = threshold-only selection), kJoin.
+  PredicatePtr predicate;
+  MembershipThreshold threshold;
+
+  // kPrefilter: conjuncts of an ancestor join/select predicate, rewritten
+  // to this operand's attribute names; a row is dropped iff any conjunct
+  // evaluates to sn == 0 (membership untouched — the conjunct stays in
+  // the ancestor's predicate, keeping its arithmetic bit-identical).
+  std::vector<PredicatePtr> conjuncts;
+
+  // kUnion, kIntersect, kMerge.
+  UnionOptions options;
+
+  // kJoin: the left operand's attribute count when the predicate was
+  // bound (the product-schema split point), whether the whole predicate
+  // bound completely (the gate for every join-level rewrite), and the
+  // optimizer's build-side choice.
+  size_t left_attr_count = 0;
+  bool predicate_fully_bound = false;
+  bool pushdown_applied = false;
+  JoinBuildSide build_side = JoinBuildSide::kAuto;
+
+  // kProject.
+  std::vector<std::string> attributes;
+  /// Optimizer-inserted nodes keep the operand's relation name, so
+  /// product-schema qualification and result naming downstream are
+  /// unchanged by the rewrite.
+  bool keep_name = false;
+
+  // kRename.
+  std::string rename_from, rename_to;
+
+  // kMerge.
+  MatchingInfo matching;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// \brief A complete logical plan: the operator tree plus the
+/// result-level ORDER BY / LIMIT post-processing.
+struct LogicalPlan {
+  PlanNodePtr root;
+  OrderBy order_by;
+  size_t limit = 0;
+};
+
+/// \brief Builds (and fully binds) the logical plan of a parsed query
+/// against `catalog`: resolves relations, schemas, predicate attribute
+/// references and evidence-literal domains, and the projection list
+/// (implicitly retaining key attributes). `union_options` parameterize
+/// FROM ... UNION / INTERSECT nodes.
+Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
+                              const UnionOptions& union_options);
+
+/// \brief Executes a (possibly optimized) plan, including the ORDER BY /
+/// LIMIT post-pass. Scans reference their catalog relation in place, so
+/// filtered scans share the catalog's cached column image.
+Result<ExtendedRelation> ExecutePlan(const LogicalPlan& plan);
+
+/// \brief Multi-line, indentation-structured rendering of the plan (the
+/// EXPLAIN output): one node per line, children indented two spaces,
+/// ORDER BY / LIMIT as outermost wrappers.
+std::string RenderPlan(const LogicalPlan& plan);
+
+}  // namespace eql
+}  // namespace evident
+
+#endif  // EVIDENT_QUERY_PLAN_H_

@@ -31,6 +31,7 @@
 #include "ds/combination.h"
 #include "integration/entity_identifier.h"
 #include "integration/tuple_merger.h"
+#include "query/engine.h"
 #include "storage/erel_format.h"
 
 namespace evident {
@@ -329,7 +330,8 @@ struct Node {
     kIntersect,
     kMerge,
     kJoin,
-    kProduct
+    kProduct,
+    kRename
   };
   Op op;
   size_t left = 0, right = 0;  // slot indices
@@ -338,6 +340,7 @@ struct Node {
   UnionOptions options;                   // kUnion, kIntersect, kMerge
   std::vector<std::string> project_attrs; // kProject
   MatchingInfo matching;                  // kMerge
+  std::string rename_from, rename_to;     // kRename
 };
 
 const char* NodeOpName(Node::Op op) {
@@ -349,6 +352,7 @@ const char* NodeOpName(Node::Op op) {
     case Node::Op::kMerge: return "merge";
     case Node::Op::kJoin: return "join";
     case Node::Op::kProduct: return "product";
+    case Node::Op::kRename: return "rename";
   }
   return "?";
 }
@@ -372,6 +376,9 @@ Result<ExtendedRelation> ExecuteNode(
                   node.threshold);
     case Node::Op::kProduct:
       return Product(slots[node.left], slots[node.right]);
+    case Node::Op::kRename:
+      return RenameAttribute(slots[node.left], node.rename_from,
+                             node.rename_to);
   }
   return Status::Internal("unreachable node op");
 }
@@ -430,10 +437,21 @@ FuzzCase GenerateCase(uint64_t seed, bool big) {
     bool viable = false;
     for (int attempt = 0; attempt < 8 && !viable; ++attempt) {
       node = Node();
-      const size_t pick = rng.Below(10);
+      const size_t pick = rng.Below(11);
       node.left = rng.Below(slots.size());
       const ExtendedRelation& l = slots[node.left];
-      if (pick < 3) {  // select
+      if (pick == 10) {  // rename (schema-only; columnar adopts the image)
+        const auto& nonkeys = l.schema()->nonkey_indices();
+        if (nonkeys.empty()) continue;
+        const std::string from =
+            l.schema()->attribute(nonkeys[rng.Below(nonkeys.size())]).name;
+        const std::string to = from + "_r";
+        if (l.schema()->Has(to)) continue;
+        node.op = Node::Op::kRename;
+        node.rename_from = from;
+        node.rename_to = to;
+        viable = true;
+      } else if (pick < 3) {  // select
         node.op = Node::Op::kSelect;
         node.predicate = RandomPredicate(&rng, *l.schema());
         node.threshold = RandomThreshold(&rng);
@@ -640,7 +658,8 @@ TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
       std::vector<size_t> saved_ops;
       for (size_t i = 0; i < columnar.size(); ++i) {
         if (!columnar[i].ok() || columnar[i]->size() == 0) continue;
-        if (!columnar[i]->columnar_mode()) continue;  // row-built op (Project)
+        // Interpreted-predicate fallbacks still build rows; skip those.
+        if (!columnar[i]->columnar_mode()) continue;
         ExtendedRelation copy = *columnar[i];
         copy.set_name("out" + std::to_string(i));
         ASSERT_TRUE(outputs.RegisterRelation(std::move(copy)).ok()) << tag;
@@ -669,6 +688,306 @@ TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
           return;
         }
       }
+    }
+  }
+  RestoreDefaults();
+}
+
+// ---------------------------------------------------------------------------
+// Random EQL statements through the query engine, differential across
+// {optimized, unoptimized} x {row, columnar} (+ a threaded columnar
+// mode). Pushdown must not change the result set by a single bit nor
+// reorder which error fires first; the optimizer may flip a join's hash
+// build side, which only permutes the (implementation-defined) row
+// order, so join-shaped statements compare as keyed sets and every
+// other shape compares with strict row order.
+
+/// Exact keyed comparison: same schema, same cardinality, and for every
+/// reference row an equal-keyed row with bitwise-equal cells and
+/// membership.
+void ExpectRelationsMatchByKey(const ExtendedRelation& ref,
+                               const ExtendedRelation& got,
+                               const std::string& what) {
+  ASSERT_TRUE(ref.schema()->Equals(*got.schema())) << what;
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const ExtendedTuple& x = ref.row(i);
+    auto found = got.FindByKey(ref.KeyOf(x));
+    ASSERT_TRUE(found.ok()) << what << " row " << i;
+    const ExtendedTuple& y = got.row(*found);
+    ASSERT_EQ(x.membership.sn, y.membership.sn) << what << " row " << i;
+    ASSERT_EQ(x.membership.sp, y.membership.sp) << what << " row " << i;
+    ASSERT_EQ(x.cells.size(), y.cells.size()) << what << " row " << i;
+    for (size_t cix = 0; cix < x.cells.size(); ++cix) {
+      ASSERT_TRUE(CellApproxEquals(x.cells[cix], y.cells[cix], 0.0))
+          << what << " row " << i << " cell " << cix;
+    }
+  }
+}
+
+/// Attribute layout of one EQL-visible relation: a single int/string
+/// key, definite int attributes, uncertain attributes over small
+/// symbolic frames. `prefix` keeps attribute names collision-free (or
+/// deliberately colliding, to exercise product-schema qualification).
+struct EqlRelationSpec {
+  std::string key;
+  std::vector<std::string> defs;
+  std::vector<std::string> uncs;
+  std::vector<DomainPtr> domains;
+  SchemaPtr schema;
+};
+
+EqlRelationSpec MakeEqlSpec(Rng* rng, const std::string& prefix,
+                            const std::string& domain_prefix) {
+  EqlRelationSpec spec;
+  spec.key = prefix + "key";
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef::Key(spec.key));
+  const size_t defs = 1 + rng->Below(2);
+  for (size_t d = 0; d < defs; ++d) {
+    spec.defs.push_back(prefix + "def" + std::to_string(d));
+    attrs.push_back(AttributeDef::Definite(spec.defs.back()));
+  }
+  const size_t uncs = 1 + rng->Below(2);
+  for (size_t u = 0; u < uncs; ++u) {
+    spec.uncs.push_back(prefix + "unc" + std::to_string(u));
+    spec.domains.push_back(
+        RandomDomain(rng, domain_prefix + std::to_string(u)));
+    attrs.push_back(AttributeDef::Uncertain(spec.uncs.back(),
+                                            spec.domains.back()));
+  }
+  spec.schema = RelationSchema::Make(std::move(attrs)).value();
+  return spec;
+}
+
+/// Evidence-literal text over `domain` — 1-2 singleton focals with exact
+/// decimal masses, parseable by the EQL tokenizer.
+std::string EvidenceLiteralText(Rng* rng, const DomainPtr& domain) {
+  const size_t n = domain->size();
+  const size_t i = rng->Below(n);
+  if (n < 2 || rng->Chance(0.4)) {
+    return "[v" + std::to_string(i) + "^1]";
+  }
+  const size_t j = (i + 1 + rng->Below(n - 1)) % n;
+  static constexpr const char* kSplits[][2] = {
+      {"0.5", "0.5"}, {"0.25", "0.75"}, {"0.4", "0.6"}, {"0.2", "0.8"}};
+  const auto& split = kSplits[rng->Below(std::size(kSplits))];
+  return "[v" + std::to_string(i) + "^" + split[0] + ", v" +
+         std::to_string(j) + "^" + split[1] + "]";
+}
+
+/// One WHERE conjunct over `spec`, displayed under `qualifier` ("R0."
+/// when the product schema qualifies this side's names). Occasionally
+/// invalid (unknown attribute, constant outside the frame) so the error
+/// paths are differentials too.
+std::string RandomEqlConjunct(Rng* rng, const EqlRelationSpec& spec,
+                              const std::string& qualifier) {
+  if (rng->Chance(0.03)) return "no_such_attr IS {v0}";
+  static constexpr const char* kOps[] = {"=", "<", "<=", ">", ">="};
+  if (!spec.defs.empty() && rng->Chance(0.45)) {
+    const std::string attr =
+        qualifier + spec.defs[rng->Below(spec.defs.size())];
+    if (rng->Chance(0.5)) {
+      std::string values = std::to_string(rng->Below(6));
+      if (rng->Chance(0.5)) values += ", " + std::to_string(rng->Below(6));
+      return attr + " IS {" + values + "}";
+    }
+    return attr + " " + kOps[rng->Below(std::size(kOps))] + " " +
+           std::to_string(rng->Below(6));
+  }
+  const size_t u = rng->Below(spec.uncs.size());
+  const std::string attr = qualifier + spec.uncs[u];
+  const DomainPtr& domain = spec.domains[u];
+  const size_t n = domain->size();
+  switch (rng->Below(3)) {
+    case 0: {
+      std::string values = "v" + std::to_string(rng->Below(n));
+      if (rng->Chance(0.5)) values += ", v" + std::to_string(rng->Below(n));
+      if (rng->Chance(0.06)) values += ", zz_outside";
+      return attr + " IS {" + values + "}";
+    }
+    case 1:
+      return attr + " " + kOps[rng->Below(std::size(kOps))] + " " +
+             EvidenceLiteralText(rng, domain);
+    default:
+      return attr + " " + kOps[rng->Below(std::size(kOps))] + " v" +
+             std::to_string(rng->Below(n));
+  }
+}
+
+TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
+  struct EqlMode {
+    bool optimize;
+    bool columnar;
+    size_t threads;
+    const char* name;
+    /// Mode index whose result must match with strict row order (same
+    /// plan, different storage/threading); -1 compares keyed vs mode 0.
+    int strict_against;
+  };
+  static constexpr EqlMode kEqlModes[] = {
+      {false, false, 1, "unopt/row", -1},
+      {false, true, 1, "unopt/columnar", 0},
+      {true, false, 1, "opt/row", -1},
+      {true, true, 1, "opt/columnar", 2},
+      {true, true, 7, "opt/columnar/t7", 3},
+  };
+
+  const size_t cases = std::max<size_t>(FuzzCases() / 2, 50);
+  for (size_t case_index = 0; case_index < cases; ++case_index) {
+    const uint64_t seed = 0xEC1F00DULL + case_index * 6151;
+    Rng rng(seed);
+    RestoreDefaults();
+    SetParallelMaxThreads(1);
+
+    // Catalog: R0/R1 union-compatible, S0 the join partner — with
+    // colliding attribute names half the time (qualified references).
+    const bool collide = rng.Chance(0.5);
+    const EqlRelationSpec spec_a = MakeEqlSpec(&rng, "", "qa_");
+    const EqlRelationSpec spec_b =
+        collide ? spec_a : MakeEqlSpec(&rng, "s_", "qb_");
+    // Distinct-name specs need distinct *domains* too (spec_b above),
+    // but colliding specs share schema_a wholesale.
+    const SchemaPtr schema_b = collide ? spec_a.schema : spec_b.schema;
+    const bool string_keys = rng.Chance(0.3);
+    const size_t rows = 8 + rng.Below(32);
+    const size_t key_range = 2 * rows + rng.Below(rows);
+    Catalog catalog;
+    ASSERT_TRUE(catalog
+                    .RegisterRelation(RandomRelation(&rng, "R0", spec_a.schema,
+                                                     rows, key_range,
+                                                     string_keys))
+                    .ok());
+    ASSERT_TRUE(catalog
+                    .RegisterRelation(RandomRelation(&rng, "R1", spec_a.schema,
+                                                     rows, key_range,
+                                                     string_keys))
+                    .ok());
+    ASSERT_TRUE(catalog
+                    .RegisterRelation(RandomRelation(&rng, "S0", schema_b,
+                                                     rows, key_range,
+                                                     string_keys))
+                    .ok());
+
+    // Statement shape.
+    const size_t shape = rng.Below(6);
+    const bool join_like = shape >= 4;
+    std::string from;
+    const EqlRelationSpec* right_spec = nullptr;
+    std::string left_qual, right_qual;
+    switch (shape) {
+      case 0:
+      case 1:
+        from = "R0";
+        break;
+      case 2:
+        from = "R0 UNION R1";
+        break;
+      case 3:
+        from = "R0 INTERSECT R1";
+        break;
+      case 4:
+        from = "R0 JOIN S0";
+        break;
+      default:
+        from = "R0 PRODUCT S0";
+        break;
+    }
+    if (join_like) {
+      right_spec = collide ? &spec_a : &spec_b;
+      if (collide) {
+        left_qual = "R0.";
+        right_qual = "S0.";
+      }
+    }
+
+    std::vector<std::string> conjuncts;
+    if (join_like && rng.Chance(0.75)) {
+      conjuncts.push_back(left_qual + spec_a.key + " = " + right_qual +
+                          right_spec->key);
+    }
+    const size_t extra = rng.Below(3) + (conjuncts.empty() ? 1 : 0);
+    for (size_t i = 0; i < extra; ++i) {
+      const bool use_right = join_like && rng.Chance(0.5);
+      conjuncts.push_back(RandomEqlConjunct(
+          &rng, use_right ? *right_spec : spec_a,
+          use_right ? right_qual : left_qual));
+    }
+    if (rng.Chance(0.25)) conjuncts.clear();
+
+    std::string stmt = "SELECT ";
+    if (rng.Chance(0.45) && !spec_a.uncs.empty()) {
+      // Project away at least one column (with keys implicit): the
+      // pruning rules get real work.
+      stmt += left_qual.empty() && !join_like
+                  ? spec_a.defs.front()
+                  : left_qual + spec_a.defs.front();
+    } else {
+      stmt += "*";
+    }
+    stmt += " FROM " + from;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      stmt += (i == 0 ? " WHERE " : " AND ") + conjuncts[i];
+    }
+    if (rng.Chance(0.4)) {
+      stmt += rng.Chance(0.5) ? " WITH sn >= 0.25" : " WITH sp > 0.4";
+      if (rng.Chance(0.3)) stmt += " AND sn <= 0.9";
+    }
+    if (!join_like && rng.Chance(0.3)) {
+      stmt += rng.Chance(0.5) ? " ORDER BY sn DESC" : " ORDER BY sp ASC";
+      if (rng.Chance(0.5)) {
+        stmt += " LIMIT " + std::to_string(1 + rng.Below(5));
+      }
+    }
+    const std::string tag =
+        "eql case " + std::to_string(case_index) + ": " + stmt;
+
+    std::vector<Result<ExtendedRelation>> outcomes;
+    for (const EqlMode& mode : kEqlModes) {
+      SetColumnarExecution(mode.columnar);
+      SetParallelMaxThreads(mode.threads);
+      QueryEngine engine(&catalog);
+      engine.set_optimizer_enabled(mode.optimize);
+      outcomes.push_back(engine.Execute(stmt));
+    }
+    RestoreDefaults();
+
+    for (size_t m = 1; m < outcomes.size(); ++m) {
+      const std::string where = tag + " [" + kEqlModes[m].name + "]";
+      ASSERT_EQ(outcomes[0].ok(), outcomes[m].ok())
+          << where << "\nref:  " << outcomes[0].status().ToString()
+          << "\ngot: " << outcomes[m].status().ToString();
+      if (!outcomes[0].ok()) {
+        EXPECT_EQ(outcomes[0].status().code(), outcomes[m].status().code())
+            << where;
+        EXPECT_EQ(outcomes[0].status().message(),
+                  outcomes[m].status().message())
+            << where;
+        continue;
+      }
+      const int strict = kEqlModes[m].strict_against;
+      if (strict >= 0) {
+        ExpectRelationsMatch(*outcomes[strict], *outcomes[m], /*eps=*/0.0,
+                             where + " (strict)");
+      }
+      if (join_like) {
+        ExpectRelationsMatchByKey(*outcomes[0], *outcomes[m],
+                                  where + " (keyed)");
+      } else {
+        ExpectRelationsMatch(*outcomes[0], *outcomes[m], /*eps=*/0.0,
+                             where + " (order)");
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // EXPLAIN must render whenever the statement plans.
+    if (outcomes[0].ok()) {
+      QueryEngine engine(&catalog);
+      auto rendering = engine.Explain(stmt);
+      EXPECT_TRUE(rendering.ok()) << tag << ": " << rendering.status();
+      auto explained = engine.Execute("EXPLAIN " + stmt);
+      ASSERT_TRUE(explained.ok()) << tag << ": " << explained.status();
+      EXPECT_GE(explained->size(), 1u) << tag;
     }
   }
   RestoreDefaults();

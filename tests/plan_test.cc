@@ -1,0 +1,280 @@
+// Plan-shape (EXPLAIN golden) and semantics tests for the logical-plan
+// layer and the pushdown optimizer: selection pushed below joins as
+// sn-prefilters, projections pruning packed evidence columns out of
+// join/product operands, cardinality-based build-side choice — and the
+// invariant that every rewrite leaves the executed result set bit-exact.
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/domain.h"
+#include "core/column_store.h"
+#include "core/operations.h"
+#include "query/engine.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "storage/catalog.h"
+
+namespace evident {
+namespace {
+
+EvidenceSet Singleton(const DomainPtr& domain, size_t index) {
+  return EvidenceSet::MakeTrusted(
+      domain, MassFunction::Definite(domain->size(), index));
+}
+
+/// L: 40 rows (key lk, definite ld in 0..7, packed uncertain lu);
+/// R: 12 rows (key rk, packed uncertain ru) with rk = 2*i, so 20 of L's
+/// keys have a partner. Disjoint attribute names keep the product schema
+/// unqualified, which is what makes operand pruning legal everywhere.
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lu_dom_ = Domain::MakeSymbolic("lu_dom",
+                                   {"a0", "a1", "a2", "a3", "a4", "a5"})
+                  .value();
+    ru_dom_ = Domain::MakeSymbolic("ru_dom", {"b0", "b1", "b2"}).value();
+    SchemaPtr lschema =
+        RelationSchema::Make({AttributeDef::Key("lk"),
+                              AttributeDef::Definite("ld"),
+                              AttributeDef::Uncertain("lu", lu_dom_)})
+            .value();
+    SchemaPtr rschema =
+        RelationSchema::Make({AttributeDef::Key("rk"),
+                              AttributeDef::Uncertain("ru", ru_dom_)})
+            .value();
+    ExtendedRelation l("L", lschema);
+    for (int64_t i = 0; i < 40; ++i) {
+      ExtendedTuple t;
+      t.cells = {Value(i), Value(i % 8),
+                 Singleton(lu_dom_, static_cast<size_t>(i % 6))};
+      t.membership = i % 5 == 0 ? SupportPair{0.5, 0.8}
+                                : SupportPair::Certain();
+      ASSERT_TRUE(l.Insert(std::move(t)).ok());
+    }
+    ExtendedRelation r("R", rschema);
+    for (int64_t i = 0; i < 12; ++i) {
+      ExtendedTuple t;
+      t.cells = {Value(2 * i),
+                 Singleton(ru_dom_, static_cast<size_t>(i % 3))};
+      t.membership = SupportPair::Certain();
+      ASSERT_TRUE(r.Insert(std::move(t)).ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterRelation(std::move(l)).ok());
+    ASSERT_TRUE(catalog_.RegisterRelation(std::move(r)).ok());
+  }
+
+  /// Runs `eql` under {optimizer on, off} x {columnar, row} and asserts
+  /// all four agree exactly (as keyed sets — the optimizer may pick a
+  /// different hash build side, which only permutes rows).
+  void ExpectAllModesAgree(const std::string& eql) {
+    QueryEngine optimized(&catalog_);
+    QueryEngine unoptimized(&catalog_);
+    unoptimized.set_optimizer_enabled(false);
+    for (bool columnar : {true, false}) {
+      SetColumnarExecution(columnar);
+      auto a = optimized.Execute(eql);
+      auto b = unoptimized.Execute(eql);
+      ASSERT_TRUE(a.ok()) << eql << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << eql << ": " << b.status();
+      EXPECT_TRUE(a->ApproxEquals(*b, 0.0))
+          << eql << " (columnar=" << columnar << ")\noptimized:\n"
+          << a->ToString() << "unoptimized:\n" << b->ToString();
+    }
+    SetColumnarExecution(true);
+  }
+
+  Catalog catalog_;
+  DomainPtr lu_dom_, ru_dom_;
+};
+
+TEST_F(PlanTest, PushesSelectionBelowJoinAsPrefilter) {
+  QueryEngine engine(&catalog_);
+  auto plan =
+      engine.Explain("SELECT * FROM L JOIN R WHERE lk = rk AND ld = 3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The single-side conjunct is prefiltered below the join (the join
+  // keeps it for the membership arithmetic); the shrunken left side
+  // (40/4 = 10 < 12) flips the build side to the left operand.
+  EXPECT_EQ(*plan,
+            "join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
+            "  prefilter[ld = 3]\n"
+            "    scan[L, 40 rows]\n"
+            "  scan[R, 12 rows]");
+  ExpectAllModesAgree("SELECT * FROM L JOIN R WHERE lk = rk AND ld = 3");
+}
+
+TEST_F(PlanTest, PrunesPackedEvidenceColumnsOutOfJoinOperands) {
+  QueryEngine engine(&catalog_);
+  auto plan = engine.Explain("SELECT ld FROM L JOIN R WHERE lk = rk");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Neither packed evidence column (lu, ru) is needed by the output or
+  // the predicate: both are pruned before the join, so the join splices
+  // neither. Without a selective conjunct the build side follows the raw
+  // cardinalities (12 < 40 -> right).
+  EXPECT_EQ(*plan,
+            "project[lk, rk, ld]\n"
+            "  join[lk = rk; Q: true; build=right]\n"
+            "    project[lk, ld]\n"
+            "      scan[L, 40 rows]\n"
+            "    project[rk]\n"
+            "      scan[R, 12 rows]");
+  ExpectAllModesAgree("SELECT ld FROM L JOIN R WHERE lk = rk");
+}
+
+TEST_F(PlanTest, PruningProjectionSitsAboveThePrefilter) {
+  QueryEngine engine(&catalog_);
+  auto plan =
+      engine.Explain("SELECT ld FROM L JOIN R WHERE lk = rk AND ld = 3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Filter first (against the catalog's shared column image), then copy
+  // only the survivors' kept columns.
+  EXPECT_EQ(*plan,
+            "project[lk, rk, ld]\n"
+            "  join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
+            "    project[lk, ld]\n"
+            "      prefilter[ld = 3]\n"
+            "        scan[L, 40 rows]\n"
+            "    project[rk]\n"
+            "      scan[R, 12 rows]");
+  ExpectAllModesAgree("SELECT ld FROM L JOIN R WHERE lk = rk AND ld = 3");
+}
+
+TEST_F(PlanTest, BuildSideFollowsPostPrefilterEstimates) {
+  QueryEngine engine(&catalog_);
+  // Same join, no selective conjunct: estimates 40 vs 12 -> build=right.
+  auto wide = engine.Explain("SELECT * FROM L JOIN R WHERE lk = rk");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_NE(wide->find("build=right"), std::string::npos) << *wide;
+  // With the ld = 3 prefilter the left estimate drops to 10 -> left.
+  auto narrow =
+      engine.Explain("SELECT * FROM L JOIN R WHERE lk = rk AND ld = 3");
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_NE(narrow->find("build=left"), std::string::npos) << *narrow;
+}
+
+TEST_F(PlanTest, InterpretedPredicateDisablesJoinRewrites) {
+  QueryEngine engine(&catalog_);
+  // "a9" is outside lu's frame: the IS conjunct cannot bind, so the
+  // whole join keeps the unoptimized shape (no prefilter, build=auto) —
+  // per-pair error behaviour must stay identical.
+  auto plan = engine.Explain(
+      "SELECT * FROM L JOIN R WHERE lk = rk AND lu IS {a9}");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->find("prefilter"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("build=auto"), std::string::npos) << *plan;
+}
+
+TEST_F(PlanTest, ProjectSlidesBelowSelect) {
+  QueryEngine engine(&catalog_);
+  auto plan = engine.Explain("SELECT ld FROM L WHERE ld >= 6");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The packed evidence column lu is pruned before the selection ever
+  // splices it.
+  EXPECT_EQ(*plan,
+            "project[lk, ld]\n"
+            "  select[ld >= 6; Q: true]\n"
+            "    project[lk, ld]\n"
+            "      scan[L, 40 rows]");
+  ExpectAllModesAgree("SELECT ld FROM L WHERE ld >= 6");
+}
+
+TEST_F(PlanTest, OptimizerPreservesResultsAcrossShapes) {
+  ExpectAllModesAgree(
+      "SELECT * FROM L JOIN R WHERE lk = rk AND lu IS {a0, a1} WITH sn > 0");
+  ExpectAllModesAgree(
+      "SELECT lu FROM L JOIN R WHERE lk = rk AND ld >= 4 AND ru IS {b1}");
+  // No equi-conjunct: select-over-product fallback, with both sides
+  // prefiltered.
+  ExpectAllModesAgree(
+      "SELECT * FROM L PRODUCT R WHERE ld >= 6 AND ru IS {b0} WITH sn > 0");
+  // Threshold-only product plus pruning.
+  ExpectAllModesAgree("SELECT ld FROM L PRODUCT R WITH sn >= 1");
+  ExpectAllModesAgree("SELECT ld FROM L WHERE lu IS {a2} ORDER BY sn DESC");
+}
+
+TEST_F(PlanTest, PrefilterDropsOnlyZeroSupportRowsAndKeepsMemberships) {
+  const ExtendedRelation& l = *catalog_.GetRelation("L").value();
+  std::vector<PredicatePtr> conjuncts = {
+      Is("ld", {Value(int64_t{3})}),
+  };
+  for (bool columnar : {true, false}) {
+    SetColumnarExecution(columnar);
+    auto filtered = FilterPositiveSupport(l, conjuncts);
+    ASSERT_TRUE(filtered.ok()) << filtered.status();
+    EXPECT_EQ(filtered->name(), "L");  // name preserved for qualification
+    EXPECT_EQ(filtered->size(), 5u);   // ld == 3 <=> lk % 8 == 3
+    for (size_t i = 0; i < filtered->size(); ++i) {
+      const ExtendedTuple& t = filtered->row(i);
+      EXPECT_EQ(std::get<Value>(t.cells[1]), Value(int64_t{3}));
+      // Membership untouched (no F_TM revision).
+      const ExtendedTuple& src =
+          l.row(l.FindByKey(l.KeyOf(t)).value());
+      EXPECT_EQ(t.membership.sn, src.membership.sn);
+      EXPECT_EQ(t.membership.sp, src.membership.sp);
+    }
+  }
+  SetColumnarExecution(true);
+}
+
+TEST_F(PlanTest, RenameAdoptsColumnImageWithoutMaterializingRows) {
+  const ExtendedRelation& l = *catalog_.GetRelation("L").value();
+  SetColumnarExecution(true);
+  ExtendedRelation columnar =
+      ExtendedRelation::AdoptColumns(ColumnStore::FromRelation(l));
+  auto renamed = RenameAttribute(columnar, "ld", "ld_renamed");
+  ASSERT_TRUE(renamed.ok()) << renamed.status();
+  EXPECT_TRUE(renamed->columnar_mode());
+  EXPECT_EQ(renamed->rows_materialized(), 0u);
+  EXPECT_EQ(columnar.rows_materialized(), 0u);
+  EXPECT_TRUE(renamed->schema()->Has("ld_renamed"));
+  SetColumnarExecution(false);
+  auto reference = RenameAttribute(l, "ld", "ld_renamed");
+  SetColumnarExecution(true);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(renamed->ApproxEquals(*reference, 0.0));
+}
+
+TEST_F(PlanTest, RenameAndMergeNodesExecuteProgrammatically) {
+  auto scan = std::make_unique<eql::PlanNode>();
+  scan->op = eql::PlanNode::Op::kScan;
+  scan->relation = "L";
+  scan->rel = catalog_.GetRelation("L").value();
+  scan->schema = scan->rel->schema();
+  auto rename = std::make_unique<eql::PlanNode>();
+  rename->op = eql::PlanNode::Op::kRename;
+  rename->rename_from = "lu";
+  rename->rename_to = "lu2";
+  rename->left = std::move(scan);
+  eql::LogicalPlan plan;
+  plan.root = std::move(rename);
+  auto result = eql::ExecutePlan(plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->schema()->Has("lu2"));
+  EXPECT_EQ(result->size(), 40u);
+  EXPECT_NE(eql::RenderPlan(plan).find("rename[lu -> lu2]"),
+            std::string::npos);
+}
+
+TEST_F(PlanTest, ExplainAndExecutionAgreeOnIntersect) {
+  QueryEngine engine(&catalog_);
+  // L INTERSECT L is the self-merge: every entity is shared.
+  ExtendedRelation l2 = *catalog_.GetRelation("L").value();
+  l2.set_name("L2");
+  ASSERT_TRUE(catalog_.RegisterRelation(std::move(l2)).ok());
+  auto plan = engine.Explain("SELECT * FROM L INTERSECT L2");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(*plan,
+            "intersect\n"
+            "  scan[L, 40 rows]\n"
+            "  scan[L2, 40 rows]");
+  ExpectAllModesAgree("SELECT * FROM L INTERSECT L2 WITH sn > 0.4");
+}
+
+}  // namespace
+}  // namespace evident

@@ -128,9 +128,56 @@ TEST_F(QueryEngineTest, ExplainDescribesPlan) {
   auto plan = engine.Explain(
       "SELECT rname FROM RA UNION RB WHERE rating IS {ex} WITH sn > 0.5");
   ASSERT_TRUE(plan.ok());
+  // The optimizer slides a pruning projection below the selection, so
+  // the select splices only the key and the predicate's column.
   EXPECT_EQ(*plan,
-            "union(RA, RB) -> select[1 condition(s), Q: sn > 0.5] -> "
-            "project[rname]");
+            "project[rname]\n"
+            "  select[rating is {ex}; Q: sn > 0.5]\n"
+            "    project[rname, rating]\n"
+            "      union\n"
+            "        scan[RA, 6 rows]\n"
+            "        scan[RB, 5 rows]");
+}
+
+TEST_F(QueryEngineTest, ExplainUnoptimizedKeepsUserShape) {
+  QueryEngine engine(&catalog_);
+  engine.set_optimizer_enabled(false);
+  auto plan = engine.Explain(
+      "SELECT rname FROM RA UNION RB WHERE rating IS {ex} WITH sn > 0.5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(*plan,
+            "project[rname]\n"
+            "  select[rating is {ex}; Q: sn > 0.5]\n"
+            "    union\n"
+            "      scan[RA, 6 rows]\n"
+            "      scan[RB, 5 rows]");
+}
+
+TEST_F(QueryEngineTest, ExplainStatementReturnsPlanRelation) {
+  QueryEngine engine(&catalog_);
+  auto result = engine.Execute(
+      "EXPLAIN SELECT rname FROM RA WHERE rating IS {ex}");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->name(), "explain");
+  ASSERT_EQ(result->schema()->size(), 2u);
+  ASSERT_GE(result->size(), 2u);
+  EXPECT_EQ(std::get<Value>(result->row(0).cells[0]), Value(int64_t{1}));
+  EXPECT_EQ(std::get<Value>(result->row(0).cells[1]),
+            Value("project[rname]"));
+}
+
+TEST_F(QueryEngineTest, IntersectQueryKeepsOnlySharedEntities) {
+  QueryEngine engine(&catalog_);
+  auto result = engine.Execute("SELECT * FROM RA INTERSECT RB");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto merged = engine.Execute("SELECT * FROM RA UNION RB");
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_LT(result->size(), merged->size());
+  for (size_t i = 0; i < result->size(); ++i) {
+    const KeyVector key = result->KeyOf(result->row(i));
+    EXPECT_TRUE(paper::TableRA().value().ContainsKey(key));
+    EXPECT_TRUE(paper::TableRB().value().ContainsKey(key));
+  }
 }
 
 TEST_F(QueryEngineTest, ErrorsUnknownRelation) {
@@ -203,7 +250,11 @@ TEST_F(QueryEngineTest, ExplainShowsOrderAndLimit) {
   QueryEngine engine(&catalog_);
   auto plan = engine.Explain("SELECT rname FROM RA ORDER BY sn LIMIT 5");
   ASSERT_TRUE(plan.ok());
-  EXPECT_EQ(*plan, "scan(RA) -> project[rname] -> order[sn desc] -> limit[5]");
+  EXPECT_EQ(*plan,
+            "limit[5]\n"
+            "  order[sn desc]\n"
+            "    project[rname]\n"
+            "      scan[RA, 6 rows]");
 }
 
 TEST(ParserOrderLimitTest, Errors) {

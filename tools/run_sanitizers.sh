@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Configure, build and run the memory-sensitive suites (storage, join,
+# and the randomized differential fuzz harness) under ASan + UBSan with
+# one command — the recipe ROADMAP.md used to carry as prose.
+#
+# Usage:
+#   tools/run_sanitizers.sh            # default: 40 fuzz cases
+#   EVIDENT_FUZZ_ITERS=400 tools/run_sanitizers.sh
+#   tools/run_sanitizers.sh -R 'storage_test'   # extra args go to ctest
+#
+# Uses the "asan" CMake preset (CMakePresets.json) when the local cmake
+# supports presets, and falls back to the equivalent explicit flags
+# otherwise. The sanitized tree lives in build-asan/, separate from the
+# regular build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+TARGETS=(storage_test join_test fuzz_differential_test plan_test)
+TEST_FILTER='^(storage_test|join_test|fuzz_differential_test|plan_test)$'
+: "${EVIDENT_FUZZ_ITERS:=40}"
+export EVIDENT_FUZZ_ITERS
+
+if cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset asan
+else
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DEVIDENT_BUILD_BENCHES=OFF \
+    -DEVIDENT_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+fi
+
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
+
+echo "== running sanitized suites (EVIDENT_FUZZ_ITERS=${EVIDENT_FUZZ_ITERS}) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -R "${TEST_FILTER}" "$@"
