@@ -11,6 +11,7 @@
 #include "common/domain.h"
 #include "common/rng.h"
 #include "core/operations.h"
+#include "core/parallel.h"
 #include "integration/pipeline.h"
 #include "query/engine.h"
 #include "storage/catalog.h"
@@ -167,9 +168,13 @@ BENCHMARK(BM_JoinColumnarSplice)
 /// (`p`k), a definite attribute (`p`d) spread over 0..63, and two packed
 /// uncertain attributes over a 12-value frame — evidence-heavy tuples,
 /// so what the planner prunes or prefilters is what dominates the width.
+/// With `skew_key` the definite attribute instead carries one hot value
+/// (7) on the first half of the rows — packed into the leading morsels —
+/// and sparse cold values on the rest: the join-key shape that straggles
+/// a static sharding and that morsel stealing rebalances.
 ExtendedRelation EqlBenchRelation(const std::string& name,
                                   const std::string& p, size_t rows,
-                                  uint64_t seed) {
+                                  uint64_t seed, bool skew_key = false) {
   Rng rng(seed);
   DomainPtr dom = [&] {
     std::vector<std::string> symbols;
@@ -194,8 +199,10 @@ ExtendedRelation EqlBenchRelation(const std::string& name,
     (void)m0.Add(a, 0.6);
     (void)m0.Add(b, 0.4);
     (void)m1.Add(c, 1.0);
-    t.cells = {Value(static_cast<int64_t>(i)),
-               Value(static_cast<int64_t>(rng.Below(64))),
+    const int64_t d = skew_key
+                          ? (i < rows / 2 ? 7 : 100 + static_cast<int64_t>(i) % 97)
+                          : static_cast<int64_t>(rng.Below(64));
+    t.cells = {Value(static_cast<int64_t>(i)), Value(d),
                EvidenceSet::MakeTrusted(dom, std::move(m0)),
                EvidenceSet::MakeTrusted(dom, std::move(m1))};
     t.membership = SupportPair::Certain();
@@ -240,6 +247,95 @@ BENCHMARK(BM_EqlPushdown)
     ->Args({32768, 0})->Args({32768, 1})
     ->Unit(benchmark::kMillisecond);
 
+// The fused scan pipeline end-to-end through the EQL engine: a
+// prefilter (ld = 7), an evidence select and a pruning projection over
+// one scan. Arg 1 toggles pipeline fusion — off, each operator
+// materializes its intermediate relation; on, the whole chain runs per
+// morsel over the catalog's shared column image and splices only the
+// survivors once. Pinned to threads=1 so any gap is pure fusion, with
+// no parallelism in play.
+void BM_FusedPipeline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  Catalog catalog;
+  if (!catalog.RegisterRelation(EqlBenchRelation("L", "l", n, 47)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  (void)catalog.GetRelation("L").value()->columns();
+  QueryEngine engine(&catalog);
+  engine.set_pipeline_fusion_enabled(fused);
+  SetParallelMaxThreads(1);
+  const std::string stmt =
+      "SELECT lk, ld FROM L WHERE ld = 7 AND lu0 IS {v0, v1, v2} WITH sn > 0";
+  for (auto _ : state) {
+    auto result = engine.Execute(stmt);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  SetParallelMaxThreads(0);
+  state.SetLabel(fused ? "fused" : "operator-at-a-time");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FusedPipeline)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({32768, 0})->Args({32768, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The morsel-scheduled join probe over a skewed key: the hot join value
+// sits on the first half of the probe rows (the leading morsels), so a
+// static sharding leaves one shard holding nearly every matching pair.
+// Arg 1 toggles fusion — on, the probe loop consumes the prefiltered
+// scan directly from the catalog's column image; off, the prefilter
+// materializes its survivors first. Runs at threads=7 so morsel
+// stealing is in play on multi-core hosts.
+void BM_FusedSkewedProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  Catalog catalog;
+  ExtendedRelation left = EqlBenchRelation("L", "l", n, 53, /*skew_key=*/true);
+  ExtendedRelation right("R", RelationSchema::Make(
+                                  {AttributeDef::Key("rk"),
+                                   AttributeDef::Definite("rd")})
+                                  .value());
+  for (int64_t i = 0; i < 24; ++i) {
+    ExtendedTuple t;
+    // rd covers the hot value once plus cold values without partners.
+    t.cells = {Value(i), Value(i == 0 ? int64_t{7} : 1000 + i)};
+    t.membership = SupportPair::Certain();
+    if (!right.Insert(std::move(t)).ok()) {
+      state.SkipWithError("catalog setup failed");
+      return;
+    }
+  }
+  if (!catalog.RegisterRelation(std::move(left)).ok() ||
+      !catalog.RegisterRelation(std::move(right)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  (void)catalog.GetRelation("L").value()->columns();
+  (void)catalog.GetRelation("R").value()->columns();
+  QueryEngine engine(&catalog);
+  engine.set_pipeline_fusion_enabled(fused);
+  SetParallelMaxThreads(7);
+  const std::string stmt =
+      "SELECT * FROM L JOIN R WHERE ld = rd AND lu0 IS {v0, v1, v2}";
+  for (auto _ : state) {
+    auto result = engine.Execute(stmt);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  SetParallelMaxThreads(0);
+  state.SetLabel(fused ? "fused-probe" : "materialized-prefilter");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FusedSkewedProbe)
+    ->Args({8192, 0})->Args({8192, 1})
+    ->Args({32768, 0})->Args({32768, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Projection dropping both packed evidence columns. Arg 1 toggles the
 // executor: /n/0 is the row path (tuple-at-a-time, insert + key index),
 // /n/1 the columnar whole-column splice with the encoded-key uniqueness
@@ -274,4 +370,5 @@ EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_pipeline",
     "(BM_PreprocessOnly/100|BM_FullPipelineByKey/100|"
     "BM_SimilarityIdentification/32|BM_JoinColumnarSplice/1024/[01]|"
-    "BM_EqlPushdown/1024/[01]|BM_ProjectColumnar/4096/[01])$")
+    "BM_EqlPushdown/1024/[01]|BM_FusedPipeline/4096/[01]|"
+    "BM_FusedSkewedProbe/8192/[01]|BM_ProjectColumnar/4096/[01])$")

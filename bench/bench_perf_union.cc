@@ -93,6 +93,33 @@ void BM_UnionByAttrs(benchmark::State& state) {
 BENCHMARK(BM_UnionByAttrs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Union over a >64-value frame: the ValueSets no longer fit one machine
+// word, so the evidence columns fall back to boxed storage and the
+// batch-combination kernels to the scalar path. The fuzz schema
+// generator exercises this shape every run; this tracks its cost next
+// to the packed 12-value frames above.
+void BM_UnionWideFrame(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  WorkloadGenerator gen(8642 + tuples);
+  SourcePairOptions options;
+  options.base.num_tuples = tuples;
+  options.base.num_uncertain = 2;
+  options.base.domain_size = 96;  // > 64: boxed columns, scalar kernels
+  options.base.max_focals = 4;
+  options.key_overlap = 0.5;
+  options.conflict_rate = 0.0;
+  auto pair = gen.MakeSourcePair(options).value();
+  for (auto _ : state) {
+    auto merged = Union(pair.first, pair.second);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+  state.SetLabel("domain=96");
+}
+BENCHMARK(BM_UnionWideFrame)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
 // Raw scan throughput of the packed evidence layout: Bel/Pls of a fixed
 // subset over every row of one column — the columnar Select inner loop,
 // free of predicate binding and output building. Items are tuples.
@@ -137,4 +164,4 @@ BENCHMARK(BM_ColumnarScan)->RangeMultiplier(10)->Range(1000, 100000)
 EVIDENT_PERF_BENCH_MAIN(
     "bench_perf_union",
     "(BM_UnionByTuples/100|BM_UnionByOverlap/0|BM_UnionRuleAblation/0|"
-    "BM_UnionByAttrs/1|BM_ColumnarScan/1000)$")
+    "BM_UnionByAttrs/1|BM_UnionWideFrame/1000|BM_ColumnarScan/1000)$")

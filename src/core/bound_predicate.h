@@ -62,9 +62,16 @@ class BoundPredicate {
                                   size_t rrow) const;
 
   /// \brief Evaluates rows [begin, end) of the column store, writing
-  /// out[row] for each. Requires fully_bound(); reads packed evidence
-  /// spans directly (no per-row evidence objects). Thread-safe across
-  /// disjoint ranges (scratch is thread-local).
+  /// out[row] for each — `out` is indexed *absolutely* (out[row], not
+  /// out[row - begin]), so morsel-parallel callers hand every worker the
+  /// same full-size output array and the disjoint ranges stay disjoint
+  /// writes. Requires fully_bound(); reads packed evidence spans
+  /// directly (no per-row evidence objects). Thread-safe across
+  /// disjoint ranges (scratch is thread-local). The per-row
+  /// multiplication sequence runs in conjunct order regardless of range
+  /// width, so a single-row call (begin = row, end = row + 1 — how the
+  /// fused pipeline's sparse later stages evaluate surviving rows) is
+  /// arithmetic-identical to the same row inside a full-range sweep.
   void EvaluateColumns(const ColumnStore& store, size_t begin, size_t end,
                        SupportPair* out) const;
 

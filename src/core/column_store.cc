@@ -123,6 +123,45 @@ ColumnStore ColumnStore::WithSchema(const ColumnStore& src, SchemaPtr schema,
   return store;
 }
 
+ColumnStore ColumnStore::SpliceRows(
+    const ColumnStore& src, SchemaPtr schema, std::string name,
+    const std::vector<size_t>& attr_indices, const std::vector<uint32_t>& keep,
+    const std::vector<SupportPair>& memberships) {
+  ColumnStore out = EmptyLike(std::move(schema), std::move(name));
+  out.ReserveRows(keep.size());
+  const size_t attrs = out.schema_ != nullptr ? out.schema_->size() : 0;
+  for (size_t a = 0; a < attrs; ++a) {
+    const size_t src_attr = attr_indices[a];
+    switch (src.kind(src_attr)) {
+      case ColumnKind::kValue: {
+        const std::vector<Value>& from = src.value_column(src_attr).values;
+        std::vector<Value>& to = out.value_column_mut(a).values;
+        to.reserve(keep.size());
+        for (uint32_t i : keep) to.push_back(from[i]);
+        break;
+      }
+      case ColumnKind::kEvidence: {
+        const EvidenceColumn& from = src.evidence_column(src_attr);
+        EvidenceColumn& to = out.evidence_column_mut(a);
+        to.offsets.reserve(keep.size() + 1);
+        for (uint32_t i : keep) to.AppendRowFrom(from, i);
+        break;
+      }
+      case ColumnKind::kBoxed: {
+        const std::vector<EvidenceSet>& from = src.boxed_column(src_attr).sets;
+        std::vector<EvidenceSet>& to = out.boxed_column_mut(a).sets;
+        to.reserve(keep.size());
+        for (uint32_t i : keep) to.push_back(from[i]);
+        break;
+      }
+    }
+  }
+  for (const SupportPair& membership : memberships) {
+    out.AppendMembership(membership);
+  }
+  return out;
+}
+
 void ColumnStore::EncodeKeyOfRow(size_t row, std::string* out) const {
   out->clear();
   for (size_t a : schema_->key_indices()) {
@@ -177,6 +216,9 @@ ExtendedTuple ColumnStore::MaterializeRow(size_t row) const {
 }
 
 EvidenceSet ColumnStore::MaterializeEvidence(size_t attr, size_t row) const {
+  // Wide frames live in boxed columns; indexing evidence_columns_ with
+  // their slot would read some other attribute's packed data.
+  if (kinds_[attr] == ColumnKind::kBoxed) return boxed_column(attr).sets[row];
   const EvidenceColumn& col = evidence_columns_[slots_[attr]];
   MassFunction mass(col.universe);
   const uint32_t begin = col.offsets[row];

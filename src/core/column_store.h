@@ -100,6 +100,22 @@ class ColumnStore {
   static ColumnStore WithSchema(const ColumnStore& src, SchemaPtr schema,
                                 std::string name);
 
+  /// \brief Splices a projected row subset of `src` into a fresh store:
+  /// output attribute `a` (of `schema`, whose kinds and domains must
+  /// match) takes the cells of `src` attribute `attr_indices[a]` at the
+  /// rows listed in `keep` (ascending); `memberships` is parallel to
+  /// `keep` and becomes the membership column. Value columns are copied
+  /// element-wise, packed focal spans are repacked with rebased offsets,
+  /// boxed sets are shared. The row-subset primitive of the columnar
+  /// operators (Select's keep list, the pushdown prefilter, Intersect's
+  /// merged rows — identity `attr_indices`) and of the fused pipeline
+  /// executor, which filters and projects in the same single splice.
+  static ColumnStore SpliceRows(const ColumnStore& src, SchemaPtr schema,
+                                std::string name,
+                                const std::vector<size_t>& attr_indices,
+                                const std::vector<uint32_t>& keep,
+                                const std::vector<SupportPair>& memberships);
+
   /// \brief Rebuilds the row representation. The result's tuples are
   /// bit-identical to the relation the store was packed from.
   Result<ExtendedRelation> ToRelation() const;
@@ -154,8 +170,10 @@ class ColumnStore {
   const std::vector<double>& sp() const { return sp_; }
   SupportPair membership(size_t row) const { return {sn_[row], sp_[row]}; }
 
-  /// \brief Materializes row `row`'s evidence for attribute `attr`
-  /// (kEvidence columns) as an EvidenceSet, for the row-store boundary.
+  /// \brief Materializes row `row`'s evidence for attribute `attr` as an
+  /// EvidenceSet, for the row-store boundary. Handles both layouts: packed
+  /// kEvidence columns are decoded, boxed (wide-frame) columns returned
+  /// as stored.
   EvidenceSet MaterializeEvidence(size_t attr, size_t row) const;
 
   /// \name Output building (EmptyLike stores).

@@ -139,17 +139,20 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
 
   const PredicatePtr& residual = plan.residual;
 
-  // Probe in parallel; shard outputs concatenate in shard (= probe row)
-  // order. The first failing shard in shard order reports its error.
-  // The exact-shard form keeps the executor's partition in lockstep with
-  // the buffers sized here even if the thread cap changes concurrently.
-  const size_t shard_count = ParallelShardCount(probe.size(), kParallelGrain);
-  std::vector<std::vector<ExtendedTuple>> shard_rows(shard_count);
-  std::vector<Status> shard_status(shard_count);
-  ParallelForExactShards(
-      probe.size(), shard_count,
-      [&](size_t shard, size_t begin, size_t end) {
-        std::vector<ExtendedTuple>& rows = shard_rows[shard];
+  // Probe over morsels of the probe range; morsel outputs concatenate in
+  // morsel (= probe row) order, so a skewed key distribution straggles
+  // the operator by at most one morsel instead of one static shard. The
+  // first failing morsel in morsel order holds the globally first
+  // failing probe row (morsels are contiguous ascending and each stops
+  // at its first error), so error reporting is identical to serial.
+  const size_t morsel_count =
+      ParallelMorselCount(probe.size(), kParallelGrain);
+  std::vector<std::vector<ExtendedTuple>> morsel_rows(morsel_count);
+  std::vector<Status> morsel_status(morsel_count);
+  ParallelForMorsels(
+      probe.size(), kParallelGrain,
+      [&](size_t morsel, size_t begin, size_t end) {
+        std::vector<ExtendedTuple>& rows = morsel_rows[morsel];
         for (size_t p = begin; p < end; ++p) {
           const ExtendedTuple& probe_row = probe.row(p);
           const uint64_t h = RowKeyHash(probe_row, probe_indices);
@@ -180,7 +183,7 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
               Result<SupportPair> evaluated =
                   residual->Evaluate(t, *schema);
               if (!evaluated.ok()) {
-                shard_status[shard] = evaluated.status();
+                morsel_status[morsel] = evaluated.status();
                 return;
               }
               support = *evaluated;
@@ -194,12 +197,12 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
         }
       });
   size_t total = 0;
-  for (size_t shard = 0; shard < shard_count; ++shard) {
-    EVIDENT_RETURN_NOT_OK(shard_status[shard]);
-    total += shard_rows[shard].size();
+  for (size_t morsel = 0; morsel < morsel_count; ++morsel) {
+    EVIDENT_RETURN_NOT_OK(morsel_status[morsel]);
+    total += morsel_rows[morsel].size();
   }
   out.Reserve(total);
-  for (std::vector<ExtendedTuple>& rows : shard_rows) {
+  for (std::vector<ExtendedTuple>& rows : morsel_rows) {
     for (ExtendedTuple& t : rows) {
       EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
     }
@@ -252,47 +255,18 @@ KeyVector KeyOfStoreRow(const ColumnStore& store, size_t row) {
 }
 
 /// Splices the rows listed in `keep` (ascending) out of `store` into a
-/// fresh column image carrying `memberships` (parallel to `keep`): value
-/// columns copied element-wise, packed focal spans repacked with rebased
-/// offsets, boxed sets shared. The shared row-subset primitive of the
-/// columnar operators (Select's keep list, the pushdown prefilter,
-/// Intersect's merged rows).
+/// fresh column image carrying `memberships` (parallel to `keep`) under
+/// the same schema: ColumnStore::SpliceRows with the identity attribute
+/// map. The shared row-subset primitive of the columnar operators
+/// (Select's keep list, the pushdown prefilter, Intersect's merged
+/// rows).
 ColumnStore SpliceKeptRows(const ColumnStore& store, std::string name,
                            const std::vector<uint32_t>& keep,
                            const std::vector<SupportPair>& memberships) {
-  const SchemaPtr& schema = store.schema();
-  ColumnStore out = ColumnStore::EmptyLike(schema, std::move(name));
-  out.ReserveRows(keep.size());
-  const size_t attrs = schema->size();
-  for (size_t a = 0; a < attrs; ++a) {
-    switch (store.kind(a)) {
-      case ColumnStore::ColumnKind::kValue: {
-        const std::vector<Value>& src = store.value_column(a).values;
-        std::vector<Value>& dst = out.value_column_mut(a).values;
-        dst.reserve(keep.size());
-        for (uint32_t i : keep) dst.push_back(src[i]);
-        break;
-      }
-      case ColumnStore::ColumnKind::kEvidence: {
-        const ColumnStore::EvidenceColumn& src = store.evidence_column(a);
-        ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(a);
-        dst.offsets.reserve(keep.size() + 1);
-        for (uint32_t i : keep) dst.AppendRowFrom(src, i);
-        break;
-      }
-      case ColumnStore::ColumnKind::kBoxed: {
-        const std::vector<EvidenceSet>& src = store.boxed_column(a).sets;
-        std::vector<EvidenceSet>& dst = out.boxed_column_mut(a).sets;
-        dst.reserve(keep.size());
-        for (uint32_t i : keep) dst.push_back(src[i]);
-        break;
-      }
-    }
-  }
-  for (const SupportPair& membership : memberships) {
-    out.AppendMembership(membership);
-  }
-  return out;
+  std::vector<size_t> identity(store.schema()->size());
+  for (size_t a = 0; a < identity.size(); ++a) identity[a] = a;
+  return ColumnStore::SpliceRows(store, store.schema(), std::move(name),
+                                 identity, keep, memberships);
 }
 
 /// Columnar extended selection: the predicate is bound once (attribute
@@ -312,11 +286,12 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
   const ColumnStore& store = input.columns();
   const size_t n = input.size();
   std::vector<SupportPair> supports(n);
-  ParallelForShards(n, kParallelGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      bound.EvaluateColumns(store, begin, end,
-                                            supports.data());
-                    });
+  // Morsels write disjoint absolute slices of the shared supports array.
+  ParallelForMorsels(n, kParallelGrain,
+                     [&](size_t, size_t begin, size_t end) {
+                       bound.EvaluateColumns(store, begin, end,
+                                             supports.data());
+                     });
 
   std::vector<uint32_t> keep;
   std::vector<SupportPair> revised_memberships;
@@ -380,14 +355,14 @@ Result<ExtendedRelation> FilterPositiveSupportColumnar(
   std::vector<uint8_t> drop(n, 0);
   std::vector<SupportPair> supports(n);
   for (const BoundPredicate& conjunct : bound) {
-    ParallelForShards(n, kParallelGrain,
-                      [&](size_t, size_t begin, size_t end) {
-                        conjunct.EvaluateColumns(store, begin, end,
-                                                 supports.data());
-                        for (size_t i = begin; i < end; ++i) {
-                          if (!supports[i].HasPositiveSupport()) drop[i] = 1;
-                        }
-                      });
+    ParallelForMorsels(n, kParallelGrain,
+                       [&](size_t, size_t begin, size_t end) {
+                         conjunct.EvaluateColumns(store, begin, end,
+                                                  supports.data());
+                         for (size_t i = begin; i < end; ++i) {
+                           if (!supports[i].HasPositiveSupport()) drop[i] = 1;
+                         }
+                       });
   }
   std::vector<uint32_t> keep;
   std::vector<SupportPair> memberships;
@@ -604,10 +579,10 @@ Result<ExtendedRelation> UnionRows(const ExtendedRelation& left,
     slot.merged = std::move(merged);
     slot.kind = SlotKind::kMerged;
   };
-  ParallelForShards(left.size(), kParallelGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      for (size_t i = begin; i < end; ++i) merge_row(i);
-                    });
+  ParallelForMorsels(left.size(), kParallelGrain,
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) merge_row(i);
+                     });
 
   std::vector<uint8_t> matched_right(right.size(), 0);
   for (size_t i = 0; i < slots.size(); ++i) {
@@ -688,12 +663,12 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
   constexpr uint32_t kNoMatch = EncodedKeyIndex::kNoRow;
   const ColumnStore::EncodedKeys& left_keys = left_store.encoded_keys();
   std::vector<uint32_t> match(n, kNoMatch);
-  ParallelForShards(n, kParallelGrain,
-                    [&](size_t, size_t begin, size_t end) {
-                      for (size_t i = begin; i < end; ++i) {
-                        match[i] = right.ProbeEncodedKey(left_keys.key(i));
-                      }
-                    });
+  ParallelForMorsels(n, kParallelGrain,
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         match[i] = right.ProbeEncodedKey(left_keys.key(i));
+                       }
+                     });
 
   std::vector<uint32_t> pair_left, pair_right;
   for (size_t i = 0; i < n; ++i) {
@@ -709,7 +684,7 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
     size_t attr = 0;
     const ColumnStore::EvidenceColumn* left_col = nullptr;
     const ColumnStore::EvidenceColumn* right_col = nullptr;
-    std::vector<BatchCombineResult> shards;
+    std::vector<BatchCombineResult> morsels;
   };
   std::vector<AttrBatch> batches;
   std::vector<int> batch_of_attr(schema->size(), -1);
@@ -729,23 +704,26 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
       boxed_results.emplace_back(pairs);  // slots filled by the verdict pass
     }
   }
-  const size_t shard_count = ParallelShardCount(pairs, kParallelGrain);
-  std::vector<size_t> shard_begin(shard_count, 0), shard_end(shard_count, 0);
+  // Combine over morsels of the pair range, pulled from the shared
+  // morsel queue: a hot key that funnels many pairs into one region no
+  // longer straggles a static shard — fast workers just claim more
+  // morsels. Fixed boundaries (pair p lives in morsel p / grain at slot
+  // p % grain) let the verdict and build passes address results without
+  // any cursor bookkeeping.
+  const size_t morsel_count = ParallelMorselCount(pairs, kParallelGrain);
   if (pairs > 0) {
-    // Size every per-shard output before the workers start: each shard
+    // Size every per-morsel output before the workers start: each morsel
     // writes only its own slot.
-    for (AttrBatch& batch : batches) batch.shards.resize(shard_count);
-    ParallelForExactShards(
-        pairs, shard_count, [&](size_t shard, size_t begin, size_t end) {
-          shard_begin[shard] = begin;
-          shard_end[shard] = end;
+    for (AttrBatch& batch : batches) batch.morsels.resize(morsel_count);
+    ParallelForMorsels(
+        pairs, kParallelGrain, [&](size_t morsel, size_t begin, size_t end) {
           for (AttrBatch& batch : batches) {
             CombineColumnBatch(batch.left_col->universe, options.rule,
                                batch.left_col->Spans(),
                                pair_left.data() + begin,
                                batch.right_col->Spans(),
                                pair_right.data() + begin, end - begin,
-                               &batch.shards[shard]);
+                               &batch.morsels[morsel]);
           }
         });
   }
@@ -761,14 +739,12 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
   out_rows.reserve(n + right.size() - pairs);
   std::vector<SupportPair> pair_membership(pairs);
   size_t pair_index = 0;
-  size_t shard = 0;
   for (size_t i = 0; i < n; ++i) {
     if (match[i] == kNoMatch) {
       out_rows.push_back({RowSource::kLeft, static_cast<uint32_t>(i), 0});
       continue;
     }
-    while (shard + 1 < shard_count && pair_index >= shard_end[shard]) ++shard;
-    const size_t local = pair_index - shard_begin[shard];
+    const size_t local = pair_index % kParallelGrain;
     const size_t right_row = match[i];
     bool skip = false;
     for (size_t a = 0; a < schema->size() && !skip; ++a) {
@@ -795,7 +771,7 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
           const int boxed_slot = boxed_slot_of_attr[a];
           if (boxed_slot < 0) {
             conflict = batches[batch_of_attr[a]]
-                           .shards[shard]
+                           .morsels[pair_index / kParallelGrain]
                            .total_conflict[local] != 0;
           } else {
             // Wide domain: row-store kernel, combined here (serially) so
@@ -943,7 +919,6 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
         dst.words.reserve(lcol.words.size() + rcol.words.size());
         dst.masses.reserve(lcol.words.size() + rcol.words.size());
         dst.offsets.reserve(out_rows.size() + 1);
-        size_t cursor_shard = 0;
         for (const OutRow& row : out_rows) {
           switch (row.source) {
             case RowSource::kLeft:
@@ -953,12 +928,9 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
               dst.AppendRowFrom(rcol, row.src);
               break;
             case RowSource::kMerged: {
-              while (cursor_shard + 1 < shard_count &&
-                     row.pair >= shard_end[cursor_shard]) {
-                ++cursor_shard;
-              }
-              const size_t local = row.pair - shard_begin[cursor_shard];
-              const BatchCombineResult& result = batch.shards[cursor_shard];
+              const size_t local = row.pair % kParallelGrain;
+              const BatchCombineResult& result =
+                  batch.morsels[row.pair / kParallelGrain];
               if (result.total_conflict[local]) {
                 // Policy kVacuous (kError/kSkipTuple rows never reach the
                 // build pass): total ignorance, all mass on the frame.
@@ -1390,13 +1362,22 @@ bool StoreKeysEqual(const ColumnStore& a, size_t a_row,
 ///
 /// Neither operand rows nor result rows are ever materialized, and the
 /// pair emission order (probe rows ascending, build chains ascending,
-/// shards concatenated in order) is identical to the row path's, so the
+/// morsels concatenated in order) is identical to the row path's, so the
 /// result is bit-identical to HashEquiJoin for any thread count.
+///
+/// `probe_filter` (may be null) is the fused-pipeline probe: prefilter
+/// conjuncts bound against the probe operand's schema, evaluated per
+/// probe morsel over the shared column image while the build table is
+/// warm; rows where any conjunct loses all support are never probed.
+/// Identical to probing FilterPositiveSupport(probe, conjuncts) — the
+/// per-row conjunct supports, surviving row order and memberships are
+/// the same — without materializing the intermediate relation.
 Result<ExtendedRelation> HashEquiJoinColumnarSplice(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const JoinPlan& plan, const SchemaPtr& schema,
     const MembershipThreshold& threshold, const BoundPredicate* residual,
-    bool build_left, std::string name) {
+    const std::vector<BoundPredicate>* probe_filter, bool build_left,
+    std::string name) {
   const ColumnStore& lstore = left.columns();
   const ColumnStore& rstore = right.columns();
   constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
@@ -1434,17 +1415,35 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
     slot_row[s] = static_cast<uint32_t>(i);
   }
 
-  struct ShardPairs {
+  struct MorselPairs {
     std::vector<uint32_t> pair_left, pair_right;
     std::vector<SupportPair> memberships;
   };
-  const size_t shard_count = ParallelShardCount(probe.rows(), kParallelGrain);
-  std::vector<ShardPairs> shards(shard_count);
-  ParallelForExactShards(
-      probe.rows(), shard_count,
-      [&](size_t shard, size_t begin, size_t end) {
-        ShardPairs& out = shards[shard];
+  const size_t morsel_count =
+      ParallelMorselCount(probe.rows(), kParallelGrain);
+  std::vector<MorselPairs> morsels(morsel_count);
+  // Fused-probe scratch: morsels write disjoint absolute slices.
+  std::vector<SupportPair> filter_supports(
+      probe_filter != nullptr ? probe.rows() : 0);
+  std::vector<uint8_t> filter_drop(
+      probe_filter != nullptr ? probe.rows() : 0, 0);
+  ParallelForMorsels(
+      probe.rows(), kParallelGrain,
+      [&](size_t morsel, size_t begin, size_t end) {
+        MorselPairs& out = morsels[morsel];
+        if (probe_filter != nullptr) {
+          for (const BoundPredicate& conjunct : *probe_filter) {
+            conjunct.EvaluateColumns(probe, begin, end,
+                                     filter_supports.data());
+            for (size_t p = begin; p < end; ++p) {
+              if (!filter_supports[p].HasPositiveSupport()) {
+                filter_drop[p] = 1;
+              }
+            }
+          }
+        }
         for (size_t p = begin; p < end; ++p) {
+          if (probe_filter != nullptr && filter_drop[p]) continue;
           const uint64_t h = StoreKeyHash(probe, p, probe_indices);
           size_t s = h & mask;
           uint32_t head = kEmpty;
@@ -1482,19 +1481,19 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
       });
 
   size_t total = 0;
-  for (const ShardPairs& shard : shards) total += shard.pair_left.size();
+  for (const MorselPairs& morsel : morsels) total += morsel.pair_left.size();
   std::vector<uint32_t> pair_left, pair_right;
   std::vector<SupportPair> memberships;
   pair_left.reserve(total);
   pair_right.reserve(total);
   memberships.reserve(total);
-  for (const ShardPairs& shard : shards) {
-    pair_left.insert(pair_left.end(), shard.pair_left.begin(),
-                     shard.pair_left.end());
-    pair_right.insert(pair_right.end(), shard.pair_right.begin(),
-                      shard.pair_right.end());
-    memberships.insert(memberships.end(), shard.memberships.begin(),
-                       shard.memberships.end());
+  for (const MorselPairs& morsel : morsels) {
+    pair_left.insert(pair_left.end(), morsel.pair_left.begin(),
+                     morsel.pair_left.end());
+    pair_right.insert(pair_right.end(), morsel.pair_right.begin(),
+                      morsel.pair_right.end());
+    memberships.insert(memberships.end(), morsel.memberships.begin(),
+                       morsel.memberships.end());
   }
   return ExtendedRelation::AdoptColumns(
       SplicePairColumns(schema, std::move(name), lstore, rstore, pair_left,
@@ -1571,13 +1570,41 @@ Result<ExtendedRelation> Join(const ExtendedRelation& left,
                                std::move(schema));
 }
 
+namespace {
+
+/// The materializing fallback for a fused probe that cannot run in the
+/// probe loop (row mode, interpreted residual, no equi-conjunct, unbound
+/// conjunct): filter the probe side exactly as the unfused plan would
+/// have, then join without fusion — identical semantics by construction.
+Result<ExtendedRelation> JoinWithMaterializedProbe(
+    const ExtendedRelation& left, const ExtendedRelation& right,
+    const PredicatePtr& predicate, const MembershipThreshold& threshold,
+    SchemaPtr schema, JoinBuildSide build_side, bool probe_is_left,
+    const FusedJoinProbe& fused_probe) {
+  EVIDENT_ASSIGN_OR_RETURN(
+      ExtendedRelation filtered,
+      FilterPositiveSupport(probe_is_left ? left : right,
+                            fused_probe.conjuncts));
+  return JoinWithProductSchema(probe_is_left ? filtered : left,
+                               probe_is_left ? right : filtered, predicate,
+                               threshold, std::move(schema), build_side);
+}
+
+}  // namespace
+
 Result<ExtendedRelation> JoinWithProductSchema(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const PredicatePtr& predicate, const MembershipThreshold& threshold,
-    SchemaPtr schema, JoinBuildSide build_side) {
+    SchemaPtr schema, JoinBuildSide build_side,
+    const FusedJoinProbe* fused_probe) {
   if (predicate == nullptr) {
     return Status::InvalidArgument("null selection predicate");
   }
+  if (fused_probe != nullptr && build_side == JoinBuildSide::kAuto) {
+    return Status::InvalidArgument(
+        "a fused join probe requires an explicit build side");
+  }
+  const bool probe_is_left = build_side == JoinBuildSide::kRight;
   ExtendedRelation out("select(" + left.name() + " x " + right.name() + ")",
                        schema);
   if (left.empty() || right.empty()) {
@@ -1608,6 +1635,11 @@ Result<ExtendedRelation> JoinWithProductSchema(
       (build_left ? left.size() : right.size()) <
       static_cast<size_t>(std::numeric_limits<uint32_t>::max());
   if (plan.keys.empty() || !table_fits) {
+    if (fused_probe != nullptr) {
+      return JoinWithMaterializedProbe(left, right, predicate, threshold,
+                                       std::move(schema), build_side,
+                                       probe_is_left, *fused_probe);
+    }
     // No definite equi-conjunct to partition on: the paper's definition,
     // σ̃ over the materialized product.
     EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation product,
@@ -1625,12 +1657,31 @@ Result<ExtendedRelation> JoinWithProductSchema(
                                                 left.schema()->size());
       splice = bound_residual.fully_bound();
     }
+    std::vector<BoundPredicate> probe_filter;
+    if (splice && fused_probe != nullptr) {
+      const ExtendedRelation& probe_rel = probe_is_left ? left : right;
+      probe_filter.reserve(fused_probe->conjuncts.size());
+      for (const PredicatePtr& conjunct : fused_probe->conjuncts) {
+        probe_filter.push_back(
+            BoundPredicate::Bind(conjunct, probe_rel.schema()));
+        if (!probe_filter.back().fully_bound()) {
+          splice = false;  // safety net; the optimizer only fuses bindables
+          break;
+        }
+      }
+    }
     if (splice) {
       return HashEquiJoinColumnarSplice(
           left, right, plan, schema, threshold,
-          plan.residual != nullptr ? &bound_residual : nullptr, build_left,
+          plan.residual != nullptr ? &bound_residual : nullptr,
+          fused_probe != nullptr ? &probe_filter : nullptr, build_left,
           out.name());
     }
+  }
+  if (fused_probe != nullptr) {
+    return JoinWithMaterializedProbe(left, right, predicate, threshold,
+                                     std::move(schema), build_side,
+                                     probe_is_left, *fused_probe);
   }
   return HashEquiJoin(left, right, plan, schema, threshold, build_left,
                       std::move(out));

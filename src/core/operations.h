@@ -201,15 +201,36 @@ Result<ExtendedRelation> Join(const ExtendedRelation& left,
 /// result, never its contents.
 enum class JoinBuildSide { kAuto, kLeft, kRight };
 
+/// \brief A join probe operand delivered as a fused pipeline stage
+/// instead of a materialized relation: the probe-side argument is the
+/// unfiltered (catalog) relation, and `conjuncts` are the prefilter
+/// conjuncts that would otherwise have produced an intermediate
+/// FilterPositiveSupport relation below the join. The probe loop
+/// evaluates them per probe morsel over the shared column image while
+/// the build table is warm and skips rows where any conjunct loses all
+/// support — the result is bit-identical to joining against the
+/// materialized prefilter output. Requires an explicit build side (the
+/// fused side must be the probe side, and kAuto's size heuristic would
+/// otherwise see the unfiltered cardinality).
+struct FusedJoinProbe {
+  std::vector<PredicatePtr> conjuncts;
+};
+
 /// \brief Join for callers that already built the operands' product
 /// schema (the query engine binds WHERE against it before joining);
 /// `product_schema` must be MakeProductSchema(left, right)'s result.
 /// Saves rebuilding the schema once per call — Join(l, r, p, q) is
-/// exactly this with a fresh schema.
+/// exactly this with a fresh schema. When `fused_probe` is non-null the
+/// probe-side operand (the side opposite `build_side`, which must not be
+/// kAuto) is prefiltered in the probe loop itself (see FusedJoinProbe);
+/// execution routes that cannot fuse (row mode, interpreted residuals,
+/// no equi-conjunct) materialize the prefilter first and behave
+/// identically.
 Result<ExtendedRelation> JoinWithProductSchema(
     const ExtendedRelation& left, const ExtendedRelation& right,
     const PredicatePtr& predicate, const MembershipThreshold& threshold,
-    SchemaPtr product_schema, JoinBuildSide build_side = JoinBuildSide::kAuto);
+    SchemaPtr product_schema, JoinBuildSide build_side = JoinBuildSide::kAuto,
+    const FusedJoinProbe* fused_probe = nullptr);
 
 /// \brief Renames one attribute; useful before Product/Union when names
 /// collide or differ across sources. Under columnar execution this is a

@@ -56,6 +56,32 @@ void ParallelForExactShards(size_t n, size_t shard_count,
                                                      size_t begin,
                                                      size_t end)>& fn);
 
+/// \brief Number of fixed-boundary morsels ParallelForMorsels carves
+/// [0, n) into: ceil(n / grain), 0 when n == 0. Unlike ParallelShardCount
+/// this is pure in (n, grain) alone — morsel boundaries never depend on
+/// the thread cap, which is what makes morsel-indexed output assembly
+/// bit-identical for any thread count. Callers pre-size per-morsel
+/// buffers with this.
+size_t ParallelMorselCount(size_t n, size_t grain);
+
+/// \brief Runs `fn(morsel, begin, end)` over the fixed-boundary morsels
+/// [m*grain, min(n, (m+1)*grain)) of [0, n). Morsels are claimed from a
+/// shared atomic cursor by a persistent worker pool plus the calling
+/// thread, so a fast worker simply takes more morsels and a skewed
+/// morsel straggles the operator by at most one grain — unlike static
+/// contiguous sharding, where the unlucky shard's owner finishes last
+/// while its siblings idle. Every morsel index is claimed exactly once;
+/// the claim *order* is nondeterministic, so `fn` must only write state
+/// indexed by morsel or by row (which is how callers keep results
+/// bit-identical to serial execution).
+///
+/// Tiny inputs (a single morsel) and nested calls from inside a pool
+/// worker run inline on the calling thread — no queue, no wakeup.
+/// Blocks until every morsel has finished. `fn` must not throw.
+void ParallelForMorsels(size_t n, size_t grain,
+                        const std::function<void(size_t morsel, size_t begin,
+                                                 size_t end)>& fn);
+
 }  // namespace evident
 
 #endif  // EVIDENT_CORE_PARALLEL_H_

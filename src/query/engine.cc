@@ -38,6 +38,7 @@ Result<eql::LogicalPlan> QueryEngine::Plan(
   EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan,
                            eql::BuildPlan(query, catalog_, union_options_));
   if (optimize_) eql::OptimizePlan(&plan);
+  if (fuse_) eql::LowerToFusedPipelines(&plan);
   return plan;
 }
 

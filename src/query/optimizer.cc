@@ -357,6 +357,107 @@ void AssignBuildSides(PlanNode* node) {
                          : JoinBuildSide::kRight;
 }
 
+/// Attempts to lower the chain rooted at `slot` into one kFused node.
+/// The chain must be (Project|Select|Prefilter)+ bottoming out at a
+/// catalog kScan, with every predicate binding completely against the
+/// *scan* schema (sound: pruning projections preserve attribute names)
+/// and at least one filter stage. On success `slot` becomes the fused
+/// node with the original chain as its child; on failure the plan is
+/// untouched.
+bool TryFuseChain(PlanNodePtr& slot) {
+  // Walk down, collecting chain nodes top-down.
+  std::vector<const PlanNode*> chain;
+  const PlanNode* node = slot.get();
+  while (node != nullptr && (node->op == PlanNode::Op::kProject ||
+                             node->op == PlanNode::Op::kSelect ||
+                             node->op == PlanNode::Op::kPrefilter)) {
+    chain.push_back(node);
+    node = node->left.get();
+  }
+  if (chain.empty() || node == nullptr ||
+      node->op != PlanNode::Op::kScan || node->rel == nullptr ||
+      node->schema == nullptr) {
+    return false;
+  }
+  const PlanNode& scan = *node;
+
+  // Bottom-up: bind each stage against the scan schema, compose the
+  // projection (current output attr -> scan position) and the output
+  // name the unfused chain would produce.
+  std::vector<PlanNode::FusedStage> stages;
+  std::vector<size_t> projection(scan.schema->size());
+  for (size_t a = 0; a < projection.size(); ++a) projection[a] = a;
+  SchemaPtr current = scan.schema;
+  std::string name = scan.rel->name();
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const PlanNode& link = **it;
+    switch (link.op) {
+      case PlanNode::Op::kPrefilter: {
+        for (const PredicatePtr& conjunct : link.conjuncts) {
+          PlanNode::FusedStage stage;
+          stage.bound = BoundPredicate::Bind(conjunct, scan.schema);
+          if (!stage.bound.fully_bound()) return false;
+          stages.push_back(std::move(stage));
+        }
+        break;
+      }
+      case PlanNode::Op::kSelect: {
+        PlanNode::FusedStage stage;
+        stage.is_select = true;
+        stage.threshold = link.threshold;
+        if (link.predicate == nullptr) {
+          stage.trivial = true;  // threshold-only selection
+        } else {
+          stage.bound = BoundPredicate::Bind(link.predicate, scan.schema);
+          if (!stage.bound.fully_bound()) return false;
+        }
+        stages.push_back(std::move(stage));
+        name = "select(" + name + ")";
+        break;
+      }
+      case PlanNode::Op::kProject: {
+        if (link.schema == nullptr) return false;
+        std::vector<size_t> composed;
+        composed.reserve(link.schema->size());
+        for (size_t a = 0; a < link.schema->size(); ++a) {
+          Result<size_t> in_child =
+              current->IndexOf(link.schema->attribute(a).name);
+          if (!in_child.ok()) return false;
+          composed.push_back(projection[*in_child]);
+        }
+        projection = std::move(composed);
+        current = link.schema;
+        if (!link.keep_name) name = "project(" + name + ")";
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  // Projections contribute no stage, so an empty stage list means a
+  // pure-project chain — left to the (already cheap) splice operator.
+  if (stages.empty()) return false;
+
+  auto fused = std::make_unique<PlanNode>();
+  fused->op = PlanNode::Op::kFused;
+  fused->schema = slot->schema;
+  fused->estimated_rows = slot->estimated_rows;
+  fused->relation = std::move(name);
+  fused->rel = scan.rel;
+  fused->fused_stages = std::move(stages);
+  fused->fused_projection = std::move(projection);
+  fused->left = std::move(slot);
+  slot = std::move(fused);
+  return true;
+}
+
+void FuseNode(PlanNodePtr& node) {
+  if (node == nullptr) return;
+  if (TryFuseChain(node)) return;  // the consumed chain stays as-is below
+  FuseNode(node->left);
+  FuseNode(node->right);
+}
+
 }  // namespace
 
 void OptimizePlan(LogicalPlan* plan) {
@@ -364,6 +465,11 @@ void OptimizePlan(LogicalPlan* plan) {
   RewriteNode(plan->root);
   AnnotateEstimates(plan->root.get());
   AssignBuildSides(plan->root.get());
+}
+
+void LowerToFusedPipelines(LogicalPlan* plan) {
+  if (plan == nullptr || plan->root == nullptr) return;
+  FuseNode(plan->root);
 }
 
 }  // namespace eql

@@ -43,6 +43,23 @@ namespace eql {
 /// the EQL fuzz differential enforces this against the unoptimized plan.
 void OptimizePlan(LogicalPlan* plan);
 
+/// \brief Post-optimize lowering: collapses every
+/// Scan→(Prefilter|Select|Project)* chain that contains at least one
+/// filter stage, bottoms out at a catalog scan, and whose predicates all
+/// bind completely against the scan schema into a single kFused node.
+/// The fused executor evaluates the bound stages per morsel over the
+/// catalog's shared column image and splices only surviving, projected
+/// rows into the output — no intermediate relation per chain node —
+/// with output bit-identical to executing the chain it replaced (the
+/// chain is kept as the fused node's child for the row-mode fallback
+/// and EXPLAIN). Chains with interpreted (not fully bindable)
+/// predicates, rename nodes, or non-scan leaves are left untouched.
+/// Runs after OptimizePlan so pushdown prefilters and pruning
+/// projections are already in place; QueryEngine exposes
+/// set_pipeline_fusion_enabled(false) as the escape hatch that executes
+/// the unfused plan.
+void LowerToFusedPipelines(LogicalPlan* plan);
+
 }  // namespace eql
 }  // namespace evident
 

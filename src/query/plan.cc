@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/parallel.h"
 #include "integration/tuple_merger.h"
 #include "text/evidence_literal.h"
 
@@ -218,6 +219,119 @@ Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
 
 namespace {
 
+/// Rows per fused-pipeline morsel — matches the relational operators'
+/// grain so scheduling behaviour is uniform across the executor.
+constexpr size_t kFusedMorselGrain = 256;
+
+/// Executes a kFused node: one morsel-parallel pass over the scan's
+/// shared column image evaluating every bound stage, then a single
+/// serial splice of the surviving rows' projected columns. No
+/// intermediate relation is built per chain node, and all morsel
+/// writes target disjoint absolute slices of shared arrays, so the
+/// output is bit-identical for any thread count — and bit-identical to
+/// executing the original chain: stage supports are evaluated by the
+/// same bound kernels in the same bottom-up order, membership revision
+/// multiplies the identical factors in the identical sequence, and the
+/// final splice visits survivors in ascending row order exactly like
+/// each chain operator's keep list would.
+Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
+  // Touch the lazily-built column image on the calling thread before
+  // fanning out (its first build is not thread-safe).
+  const ColumnStore& store = node.rel->columns();
+  const size_t n = store.rows();
+  std::vector<uint8_t> keep(n);
+  std::vector<SupportPair> members(n);
+  std::vector<SupportPair> supports(n);
+  ParallelForMorsels(n, kFusedMorselGrain, [&](size_t, size_t begin,
+                                               size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      keep[r] = 1;
+      members[r] = store.membership(r);
+    }
+    // Applies `stage` to row r, whose support is supports[r] (ignored
+    // for trivial stages: a threshold-only selection's support factor
+    // is exactly (1,1)).
+    auto apply = [&](const PlanNode::FusedStage& stage, size_t r) {
+      const SupportPair support =
+          stage.trivial ? SupportPair::Certain() : supports[r];
+      if (stage.is_select) {
+        // F_TM revision + CWA_ER + threshold, as in Select.
+        const SupportPair revised = members[r].Multiply(support);
+        if (!revised.HasPositiveSupport() ||
+            !stage.threshold.Accepts(revised)) {
+          keep[r] = 0;
+        } else {
+          members[r] = revised;
+        }
+      } else if (!support.HasPositiveSupport()) {
+        keep[r] = 0;  // prefilter: drop only, membership untouched
+      }
+    };
+    // First stage sweeps the whole morsel contiguously; later stages
+    // evaluate only the survivors row-at-a-time (arithmetic-identical —
+    // see EvaluateColumns), so a selective first filter is not paid for
+    // again by every stage above it.
+    std::vector<uint32_t> alive;
+    bool dense = true;
+    for (const PlanNode::FusedStage& stage : node.fused_stages) {
+      if (dense) {
+        if (!stage.trivial) {
+          stage.bound.EvaluateColumns(store, begin, end, supports.data());
+        }
+        for (size_t r = begin; r < end; ++r) apply(stage, r);
+        alive.reserve(end - begin);
+        for (size_t r = begin; r < end; ++r) {
+          if (keep[r]) alive.push_back(static_cast<uint32_t>(r));
+        }
+        dense = false;
+      } else {
+        size_t out = 0;
+        for (uint32_t r : alive) {
+          if (!stage.trivial) {
+            stage.bound.EvaluateColumns(store, r, r + 1, supports.data());
+          }
+          apply(stage, r);
+          if (keep[r]) alive[out++] = r;
+        }
+        alive.resize(out);
+      }
+    }
+  });
+  std::vector<uint32_t> kept;
+  std::vector<SupportPair> memberships;
+  for (size_t r = 0; r < n; ++r) {
+    if (!keep[r]) continue;
+    kept.push_back(static_cast<uint32_t>(r));
+    memberships.push_back(members[r]);
+  }
+  return ExtendedRelation::AdoptColumns(
+      ColumnStore::SpliceRows(store, node.schema, node.relation,
+                              node.fused_projection, kept, memberships));
+}
+
+/// True when a kFused node is exactly a prefilter chain over its scan
+/// with the identity projection — the shape the hash join can consume
+/// as a FusedJoinProbe (same schema and rows as the catalog scan, drop
+/// flags only), letting the probe loop evaluate the conjuncts per probe
+/// morsel instead of materializing the prefiltered operand.
+bool IsFusedPrefilterOverScan(const PlanNode& fused) {
+  for (const PlanNode::FusedStage& stage : fused.fused_stages) {
+    if (stage.is_select) return false;
+  }
+  const PlanNode* chain = fused.left.get();
+  if (chain == nullptr || chain->op != PlanNode::Op::kPrefilter) return false;
+  const PlanNode* scan = chain->left.get();
+  if (scan == nullptr || scan->op != PlanNode::Op::kScan ||
+      scan->rel == nullptr || scan->schema == nullptr) {
+    return false;
+  }
+  if (fused.fused_projection.size() != scan->schema->size()) return false;
+  for (size_t a = 0; a < fused.fused_projection.size(); ++a) {
+    if (fused.fused_projection[a] != a) return false;
+  }
+  return true;
+}
+
 /// Executes the tree bottom-up. Scan nodes hand out the catalog relation
 /// by reference (filtered scans select against the catalog's cached
 /// column image in place); every other node's result is owned in a deque
@@ -262,6 +376,38 @@ class PlanExecutor {
         return projected;
       }
       case PlanNode::Op::kJoin: {
+        // A fused prefilter-over-scan probe child is not executed as a
+        // node at all: the probe side stays the unfiltered catalog
+        // relation and the prefilter conjuncts ride into the probe loop
+        // (FusedJoinProbe), evaluated per probe morsel while the build
+        // table is warm — bit-identical to materializing the prefilter
+        // first. The build side must be explicit (the optimizer assigns
+        // one to every fully-bound join) so kAuto's run-time size
+        // comparison never sees the unfiltered cardinality.
+        if (ColumnarExecutionEnabled() &&
+            node.build_side != JoinBuildSide::kAuto) {
+          const bool probe_is_left = node.build_side == JoinBuildSide::kRight;
+          const PlanNode* candidate =
+              (probe_is_left ? node.left : node.right).get();
+          if (candidate != nullptr &&
+              candidate->op == PlanNode::Op::kFused &&
+              IsFusedPrefilterOverScan(*candidate)) {
+            const PlanNode& chain = *candidate->left;  // the kPrefilter
+            const ExtendedRelation* probe_rel = chain.left->rel;
+            EVIDENT_ASSIGN_OR_RETURN(
+                const ExtendedRelation* other,
+                Exec(probe_is_left ? *node.right : *node.left));
+            const ExtendedRelation* l = probe_is_left ? probe_rel : other;
+            const ExtendedRelation* r = probe_is_left ? other : probe_rel;
+            EVIDENT_ASSIGN_OR_RETURN(SchemaPtr product_schema,
+                                     MakeProductSchema(*l, *r));
+            const FusedJoinProbe fused{chain.conjuncts};
+            return JoinWithProductSchema(*l, *r, node.predicate,
+                                         node.threshold,
+                                         std::move(product_schema),
+                                         node.build_side, &fused);
+          }
+        }
         EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* l, Exec(*node.left));
         EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
                                  Exec(*node.right));
@@ -303,6 +449,13 @@ class PlanExecutor {
         EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r,
                                  Exec(*node.right));
         return MergeTuples(*l, *r, node.matching, node.options);
+      }
+      case PlanNode::Op::kFused: {
+        // Row mode has no column image to fuse over: execute the
+        // original chain the node replaced (kept as its child), which
+        // is the reference interpretation the fused pass must match.
+        if (!ColumnarExecutionEnabled()) return ExecOwned(*node.left);
+        return ExecuteFusedPipeline(node);
       }
     }
     return Status::Internal("unreachable plan node op");
@@ -416,6 +569,12 @@ void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
       break;
     case PlanNode::Op::kMerge:
       *os << "merge[" << node.matching.matches.size() << " match(es)]";
+      break;
+    case PlanNode::Op::kFused:
+      // The replaced chain is the node's child, so the generic child
+      // recursion below renders what was fused indented beneath it.
+      *os << "fused pipeline[" << node.fused_stages.size() << " stage(s), "
+          << node.fused_projection.size() << " col(s)]";
       break;
   }
   *os << "\n";

@@ -1,6 +1,8 @@
 // Randomized differential fuzz harness for the extended relational
 // algebra: random schemas (mixed key/definite/uncertain attributes,
-// frames of 2-64 values, adversarial focal densities straddling the
+// frames of 2-96 values — wide frames past the 64-value inline word
+// exercise the boxed-column and interpreted-predicate fallbacks —
+// adversarial focal densities straddling the
 // kAuto pairwise <-> fast-Möbius boundary), random relations, and random
 // operator trees (Select / Project / Union / Intersect / Join / Product
 // / MergeTuples with random predicates, including equi- and non-equi
@@ -85,8 +87,14 @@ void RestoreDefaults() {
 
 DomainPtr RandomDomain(Rng* rng, const std::string& name) {
   // Frames from 2 to the inline limit 64, deliberately crowding the
-  // fast-Möbius eligibility boundary (14) on both sides.
-  static constexpr size_t kSizes[] = {2, 3, 5, 8, 10, 12, 14, 15, 17, 33, 64};
+  // fast-Möbius eligibility boundary (14) on both sides — plus frames
+  // *beyond* the inline word (65/80/96), whose attributes store as
+  // boxed columns and whose predicates cannot bind (the interpreted
+  // fallback differential). Three wide entries out of fourteen means
+  // every run's several hundred domains include wide frames with
+  // near-certainty.
+  static constexpr size_t kSizes[] = {2,  3,  5,  8,  10, 12, 14,
+                                      15, 17, 33, 64, 65, 80, 96};
   const size_t n = kSizes[rng->Below(std::size(kSizes))];
   std::vector<std::string> symbols;
   symbols.reserve(n);
@@ -695,8 +703,8 @@ TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
 
 // ---------------------------------------------------------------------------
 // Random EQL statements through the query engine, differential across
-// {optimized, unoptimized} x {row, columnar} (+ a threaded columnar
-// mode). Pushdown must not change the result set by a single bit nor
+// {optimized, unoptimized} x {row, columnar} x {fused, unfused} (+ a
+// threaded fused mode). Pushdown must not change the result set by a single bit nor
 // reorder which error fires first; the optimizer may flip a join's hash
 // build side, which only permutes the (implementation-defined) row
 // order, so join-shaped statements compare as keyed sets and every
@@ -818,19 +826,25 @@ std::string RandomEqlConjunct(Rng* rng, const EqlRelationSpec& spec,
 TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
   struct EqlMode {
     bool optimize;
+    bool fuse;
     bool columnar;
     size_t threads;
     const char* name;
     /// Mode index whose result must match with strict row order (same
-    /// plan, different storage/threading); -1 compares keyed vs mode 0.
+    /// plan, different storage/threading/fusion); -1 compares keyed vs
+    /// mode 0.
     int strict_against;
   };
   static constexpr EqlMode kEqlModes[] = {
-      {false, false, 1, "unopt/row", -1},
-      {false, true, 1, "unopt/columnar", 0},
-      {true, false, 1, "opt/row", -1},
-      {true, true, 1, "opt/columnar", 2},
-      {true, true, 7, "opt/columnar/t7", 3},
+      {false, false, false, 1, "unopt/row", -1},
+      {false, false, true, 1, "unopt/columnar", 0},
+      {true, false, false, 1, "opt/row", -1},
+      // The set_pipeline_fusion_enabled(false) escape hatch executes the
+      // unfused plan; the fused modes below must match it row-for-row,
+      // bit-for-bit.
+      {true, false, true, 1, "opt/columnar/nofuse", 2},
+      {true, true, true, 1, "opt/columnar/fused", 3},
+      {true, true, true, 7, "opt/columnar/fused/t7", 4},
   };
 
   const size_t cases = std::max<size_t>(FuzzCases() / 2, 50);
@@ -948,6 +962,7 @@ TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
       SetParallelMaxThreads(mode.threads);
       QueryEngine engine(&catalog);
       engine.set_optimizer_enabled(mode.optimize);
+      engine.set_pipeline_fusion_enabled(mode.fuse);
       outcomes.push_back(engine.Execute(stmt));
     }
     RestoreDefaults();

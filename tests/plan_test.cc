@@ -69,22 +69,33 @@ class PlanTest : public ::testing::Test {
     ASSERT_TRUE(catalog_.RegisterRelation(std::move(r)).ok());
   }
 
-  /// Runs `eql` under {optimizer on, off} x {columnar, row} and asserts
-  /// all four agree exactly (as keyed sets — the optimizer may pick a
-  /// different hash build side, which only permutes rows).
+  /// Runs `eql` under {optimizer on, off} x {fusion on, off} x
+  /// {columnar, row} and asserts all eight agree exactly (as keyed sets
+  /// — the optimizer may pick a different hash build side, which only
+  /// permutes rows).
   void ExpectAllModesAgree(const std::string& eql) {
-    QueryEngine optimized(&catalog_);
-    QueryEngine unoptimized(&catalog_);
-    unoptimized.set_optimizer_enabled(false);
+    QueryEngine reference(&catalog_);
+    reference.set_optimizer_enabled(false);
+    reference.set_pipeline_fusion_enabled(false);
     for (bool columnar : {true, false}) {
       SetColumnarExecution(columnar);
-      auto a = optimized.Execute(eql);
-      auto b = unoptimized.Execute(eql);
-      ASSERT_TRUE(a.ok()) << eql << ": " << a.status();
+      auto b = reference.Execute(eql);
       ASSERT_TRUE(b.ok()) << eql << ": " << b.status();
-      EXPECT_TRUE(a->ApproxEquals(*b, 0.0))
-          << eql << " (columnar=" << columnar << ")\noptimized:\n"
-          << a->ToString() << "unoptimized:\n" << b->ToString();
+      for (bool optimize : {true, false}) {
+        for (bool fuse : {true, false}) {
+          if (!optimize && !fuse) continue;  // the reference itself
+          QueryEngine engine(&catalog_);
+          engine.set_optimizer_enabled(optimize);
+          engine.set_pipeline_fusion_enabled(fuse);
+          auto a = engine.Execute(eql);
+          ASSERT_TRUE(a.ok()) << eql << ": " << a.status();
+          EXPECT_TRUE(a->ApproxEquals(*b, 0.0))
+              << eql << " (columnar=" << columnar
+              << ", optimize=" << optimize << ", fuse=" << fuse
+              << ")\ngot:\n"
+              << a->ToString() << "reference:\n" << b->ToString();
+        }
+      }
     }
     SetColumnarExecution(true);
   }
@@ -100,11 +111,16 @@ TEST_F(PlanTest, PushesSelectionBelowJoinAsPrefilter) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   // The single-side conjunct is prefiltered below the join (the join
   // keeps it for the membership arithmetic); the shrunken left side
-  // (40/4 = 10 < 12) flips the build side to the left operand.
+  // (40/4 = 10 < 12) flips the build side to the left operand. The
+  // prefilter-over-scan chain is lowered to a fused pipeline (rendered
+  // above the chain it replaced), which the probe loop consumes
+  // directly: the probe side stays the catalog relation and the
+  // conjunct is evaluated per probe morsel.
   EXPECT_EQ(*plan,
             "join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
-            "  prefilter[ld = 3]\n"
-            "    scan[L, 40 rows]\n"
+            "  fused pipeline[1 stage(s), 3 col(s)]\n"
+            "    prefilter[ld = 3]\n"
+            "      scan[L, 40 rows]\n"
             "  scan[R, 12 rows]");
   ExpectAllModesAgree("SELECT * FROM L JOIN R WHERE lk = rk AND ld = 3");
 }
@@ -133,13 +149,17 @@ TEST_F(PlanTest, PruningProjectionSitsAboveThePrefilter) {
       engine.Explain("SELECT ld FROM L JOIN R WHERE lk = rk AND ld = 3");
   ASSERT_TRUE(plan.ok()) << plan.status();
   // Filter first (against the catalog's shared column image), then copy
-  // only the survivors' kept columns.
+  // only the survivors' kept columns — and the whole
+  // project→prefilter→scan chain runs as one fused pipeline: per
+  // morsel, evaluate the conjunct and splice only surviving, projected
+  // rows (no intermediate relation per node).
   EXPECT_EQ(*plan,
             "project[lk, rk, ld]\n"
             "  join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
-            "    project[lk, ld]\n"
-            "      prefilter[ld = 3]\n"
-            "        scan[L, 40 rows]\n"
+            "    fused pipeline[1 stage(s), 2 col(s)]\n"
+            "      project[lk, ld]\n"
+            "        prefilter[ld = 3]\n"
+            "          scan[L, 40 rows]\n"
             "    project[rk]\n"
             "      scan[R, 12 rows]");
   ExpectAllModesAgree("SELECT ld FROM L JOIN R WHERE lk = rk AND ld = 3");
@@ -175,12 +195,14 @@ TEST_F(PlanTest, ProjectSlidesBelowSelect) {
   auto plan = engine.Explain("SELECT ld FROM L WHERE ld >= 6");
   ASSERT_TRUE(plan.ok()) << plan.status();
   // The packed evidence column lu is pruned before the selection ever
-  // splices it.
+  // splices it, and the full project→select→project→scan chain fuses
+  // into a single per-morsel pass over the scan's column image.
   EXPECT_EQ(*plan,
-            "project[lk, ld]\n"
-            "  select[ld >= 6; Q: true]\n"
-            "    project[lk, ld]\n"
-            "      scan[L, 40 rows]");
+            "fused pipeline[1 stage(s), 2 col(s)]\n"
+            "  project[lk, ld]\n"
+            "    select[ld >= 6; Q: true]\n"
+            "      project[lk, ld]\n"
+            "        scan[L, 40 rows]");
   ExpectAllModesAgree("SELECT ld FROM L WHERE ld >= 6");
 }
 

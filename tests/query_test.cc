@@ -162,8 +162,12 @@ TEST_F(QueryEngineTest, ExplainStatementReturnsPlanRelation) {
   ASSERT_EQ(result->schema()->size(), 2u);
   ASSERT_GE(result->size(), 2u);
   EXPECT_EQ(std::get<Value>(result->row(0).cells[0]), Value(int64_t{1}));
+  // The filtered scan chain is lowered to a fused pipeline; the chain it
+  // replaced renders indented beneath it.
   EXPECT_EQ(std::get<Value>(result->row(0).cells[1]),
-            Value("project[rname]"));
+            Value("fused pipeline[1 stage(s), 1 col(s)]"));
+  EXPECT_EQ(std::get<Value>(result->row(1).cells[1]),
+            Value("  project[rname]"));
 }
 
 TEST_F(QueryEngineTest, IntersectQueryKeepsOnlySharedEntities) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_PERF.json snapshots benchmark by benchmark.
+
+The perf benches merge their full-run results into bench/out/BENCH_PERF.json
+(one section per bench binary; see bench/perf_bench_main.h). This script
+lines two such snapshots up by (binary, benchmark name) and reports the
+ns/op delta for every benchmark present in both, plus what appeared or
+disappeared — the review artifact for "did this PR move the needle".
+
+Usage:
+  tools/bench_compare.py OLD.json NEW.json
+  tools/bench_compare.py --threshold 10 bench/out/BENCH_PERF.json /tmp/new.json
+
+Exit status is 0 unless --threshold is given and some benchmark slowed
+down by more than that percentage, which exits 1 — usable as a cheap
+perf gate. Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """-> {(binary, bench_name): entry} plus the entry's label folded in."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    flat = {}
+    for binary, entries in sorted(doc.items()):
+        for entry in entries:
+            flat[(binary, entry["name"])] = entry
+    return flat
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline BENCH_PERF.json")
+    ap.add_argument("new", help="candidate BENCH_PERF.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any benchmark's ns/op regressed by more than PCT%%",
+    )
+    args = ap.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+
+    common = sorted(set(old) & set(new))
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+
+    regressions = []
+    width = max((len(f"{b}:{n}") for b, n in common), default=0)
+    for binary, name in common:
+        o, n = old[(binary, name)], new[(binary, name)]
+        old_ns, new_ns = o["ns_per_op"], n["ns_per_op"]
+        delta = (new_ns - old_ns) / old_ns * 100.0 if old_ns > 0 else 0.0
+        label = n.get("label", "")
+        print(
+            f"{binary + ':' + name:<{width}}  "
+            f"{fmt_ns(old_ns):>9} -> {fmt_ns(new_ns):>9}  "
+            f"{delta:+7.1f}%" + (f"  [{label}]" if label else "")
+        )
+        if args.threshold is not None and delta > args.threshold:
+            regressions.append((binary, name, delta))
+
+    for binary, name in added:
+        entry = new[(binary, name)]
+        print(f"{binary}:{name}  NEW  {fmt_ns(entry['ns_per_op'])}")
+    for binary, name in removed:
+        print(f"{binary}:{name}  REMOVED")
+
+    print(
+        f"\n{len(common)} compared, {len(added)} new, {len(removed)} removed",
+        file=sys.stderr,
+    )
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed past "
+            f"{args.threshold:.1f}%:",
+            file=sys.stderr,
+        )
+        for binary, name, delta in regressions:
+            print(f"  {binary}:{name}  {delta:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,38 +1,69 @@
 #!/usr/bin/env bash
-# Configure, build and run the memory-sensitive suites (storage, join,
-# and the randomized differential fuzz harness) under ASan + UBSan with
+# Configure, build and run the sensitive suites under sanitizers with
 # one command — the recipe ROADMAP.md used to carry as prose.
 #
-# Usage:
-#   tools/run_sanitizers.sh            # default: 40 fuzz cases
-#   EVIDENT_FUZZ_ITERS=400 tools/run_sanitizers.sh
-#   tools/run_sanitizers.sh -R 'storage_test'   # extra args go to ctest
+#   asan (default): storage/join/fuzz/plan suites under ASan + UBSan.
+#   tsan:           the threaded suites (morsel scheduler, join probe,
+#                   fused pipelines, the differential fuzz harness —
+#                   which runs every operator at threads=7) under
+#                   ThreadSanitizer.
+#   all:            both, sequentially.
 #
-# Uses the "asan" CMake preset (CMakePresets.json) when the local cmake
-# supports presets, and falls back to the equivalent explicit flags
-# otherwise. The sanitized tree lives in build-asan/, separate from the
-# regular build/.
+# Usage:
+#   tools/run_sanitizers.sh                  # asan, 40 fuzz cases
+#   tools/run_sanitizers.sh tsan             # ThreadSanitizer pass
+#   tools/run_sanitizers.sh all
+#   EVIDENT_FUZZ_ITERS=400 tools/run_sanitizers.sh tsan
+#   tools/run_sanitizers.sh asan -R 'storage_test'   # extra args to ctest
+#
+# Uses the "asan"/"tsan" CMake presets (CMakePresets.json) when the
+# local cmake supports presets, and falls back to the equivalent
+# explicit flags otherwise. The sanitized trees live in build-asan/ and
+# build-tsan/, separate from the regular build/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-asan
-TARGETS=(storage_test join_test fuzz_differential_test plan_test)
-TEST_FILTER='^(storage_test|join_test|fuzz_differential_test|plan_test)$'
+MODE="${1:-asan}"
+case "${MODE}" in
+  asan|tsan|all) shift || true ;;
+  -*) MODE=asan ;;  # bare ctest args: keep the old default behaviour
+  *) echo "usage: $0 [asan|tsan|all] [ctest args...]" >&2; exit 2 ;;
+esac
+
 : "${EVIDENT_FUZZ_ITERS:=40}"
 export EVIDENT_FUZZ_ITERS
 
-if cmake --list-presets >/dev/null 2>&1; then
-  cmake --preset asan
-else
-  cmake -B "${BUILD_DIR}" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DEVIDENT_BUILD_BENCHES=OFF \
-    -DEVIDENT_BUILD_EXAMPLES=OFF \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
-fi
+run_pass() {
+  local preset="$1"; shift
+  local build_dir="build-${preset}"
+  local flags
+  case "${preset}" in
+    asan) flags="-fsanitize=address,undefined -fno-sanitize-recover=all" ;;
+    tsan) flags="-fsanitize=thread -fno-sanitize-recover=all" ;;
+  esac
+  local targets=(storage_test join_test fuzz_differential_test plan_test
+                 morsel_test)
+  local filter='^(storage_test|join_test|fuzz_differential_test|plan_test|morsel_test)$'
 
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
+  if cmake --list-presets >/dev/null 2>&1; then
+    cmake --preset "${preset}"
+  else
+    cmake -B "${build_dir}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DEVIDENT_BUILD_BENCHES=OFF \
+      -DEVIDENT_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="${flags}"
+  fi
 
-echo "== running sanitized suites (EVIDENT_FUZZ_ITERS=${EVIDENT_FUZZ_ITERS}) =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -R "${TEST_FILTER}" "$@"
+  cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
+
+  echo "== ${preset}: running sanitized suites (EVIDENT_FUZZ_ITERS=${EVIDENT_FUZZ_ITERS}) =="
+  ctest --test-dir "${build_dir}" --output-on-failure -R "${filter}" "$@"
+}
+
+case "${MODE}" in
+  asan) run_pass asan "$@" ;;
+  tsan) run_pass tsan "$@" ;;
+  all)  run_pass asan "$@"; run_pass tsan "$@" ;;
+esac
