@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 namespace evident {
@@ -120,6 +121,9 @@ ColumnStore ColumnStore::WithSchema(const ColumnStore& src, SchemaPtr schema,
   store.boxed_columns_ = src.boxed_columns_;
   store.sn_ = src.sn_;
   store.sp_ = src.sp_;
+  // A schema relabel keeps the column data, so the profile carries over.
+  store.statistics_ = src.statistics_;
+  store.statistics_built_ = src.statistics_built_;
   return store;
 }
 
@@ -192,6 +196,71 @@ const ColumnStore::EncodedKeys& ColumnStore::encoded_keys() const {
   }
   encoded_keys_built_ = true;
   return encoded_keys_;
+}
+
+const TableStatistics& ColumnStore::statistics() const {
+  if (statistics_built_) return statistics_;
+  const size_t n = rows();
+  const size_t attrs = schema_ != nullptr ? schema_->size() : 0;
+  statistics_.row_count = n;
+  statistics_.attributes.assign(attrs, {});
+
+  const bool sole_key =
+      schema_ != nullptr && schema_->key_indices().size() == 1;
+  std::string encoded;
+  for (size_t a = 0; a < attrs; ++a) {
+    TableStatistics::Attribute& stat = statistics_.attributes[a];
+    if (kinds_[a] != ColumnKind::kValue) continue;  // uncertain: unknown
+    if (sole_key && a == schema_->key_indices()[0]) {
+      // A single-attribute key is unique by the relation invariant.
+      stat.distinct = n;
+      stat.exact = true;
+      continue;
+    }
+    const std::vector<Value>& values = value_columns_[slots_[a]].values;
+    // Canonical key encodings make 1 and 1.0 count as one value, the
+    // same identity the equality kernels use.
+    std::unordered_set<std::string> seen;
+    if (n <= kStatisticsExactRows) {
+      seen.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        encoded.clear();
+        values[r].AppendCanonicalKey(&encoded);
+        seen.insert(encoded);
+      }
+      stat.distinct = seen.size();
+      stat.exact = true;
+      continue;
+    }
+    // Deterministic stride sample: the same store always yields the same
+    // estimate, so plans (and their EXPLAIN goldens) are reproducible.
+    const size_t stride = n / kStatisticsExactRows;
+    size_t sampled = 0;
+    seen.reserve(kStatisticsExactRows);
+    for (size_t r = 0; r < n; r += stride, ++sampled) {
+      encoded.clear();
+      values[r].AppendCanonicalKey(&encoded);
+      seen.insert(encoded);
+    }
+    if (seen.size() == sampled) {
+      // Every sample distinct: the column is plausibly unique.
+      stat.distinct = n;
+    } else {
+      const uint64_t scaled =
+          static_cast<uint64_t>(seen.size()) * n / sampled;
+      stat.distinct = scaled > n ? n : (scaled == 0 ? 1 : scaled);
+    }
+    stat.exact = false;
+  }
+
+  statistics_.sn_histogram.assign(TableStatistics::kHistogramBins, 0);
+  statistics_.sp_histogram.assign(TableStatistics::kHistogramBins, 0);
+  for (size_t r = 0; r < n; ++r) {
+    ++statistics_.sn_histogram[TableStatistics::BinOf(sn_[r])];
+    ++statistics_.sp_histogram[TableStatistics::BinOf(sp_[r])];
+  }
+  statistics_built_ = true;
+  return statistics_;
 }
 
 ExtendedTuple ColumnStore::MaterializeRow(size_t row) const {

@@ -15,6 +15,32 @@
 
 namespace evident {
 
+/// \brief Optimizer statistics over one relation's column image: the row
+/// count, a per-attribute distinct count (0 = unknown; `exact` is false
+/// for sampled estimates), and 16-bin histograms of the membership sn/sp
+/// supports (bin b counts rows with support in [b/16, (b+1)/16), the top
+/// bin additionally holding support == 1). Cardinality estimation reads
+/// them; nothing in the algebra does, so they never affect results.
+struct TableStatistics {
+  static constexpr size_t kHistogramBins = 16;
+
+  struct Attribute {
+    uint64_t distinct = 0;  // 0 = unknown (uncertain attributes)
+    bool exact = false;     // true when counted, false when sampled
+  };
+
+  uint64_t row_count = 0;
+  std::vector<Attribute> attributes;  // one per schema attribute
+  std::vector<uint64_t> sn_histogram;  // kHistogramBins entries
+  std::vector<uint64_t> sp_histogram;  // kHistogramBins entries
+
+  /// The histogram bin a support value falls into.
+  static size_t BinOf(double support) {
+    const size_t bin = static_cast<size_t>(support * kHistogramBins);
+    return bin >= kHistogramBins ? kHistogramBins - 1 : bin;
+  }
+};
+
 /// \brief The column-major storage mode of an extended relation: one
 /// column per schema attribute plus the membership support pairs as
 /// parallel sn/sp arrays.
@@ -150,6 +176,28 @@ class ColumnStore {
   /// on the calling thread before sharding work.
   const EncodedKeys& encoded_keys() const;
 
+  /// \brief The statistics of this store, built lazily on first use and
+  /// cached alongside the column image (catalog relations share the
+  /// image across queries, so each relation is profiled once, not once
+  /// per plan). A sole key attribute's distinct count is its row count
+  /// by the uniqueness invariant; other definite columns are counted
+  /// exactly up to kStatisticsExactRows rows and estimated from a
+  /// deterministic stride sample beyond that; uncertain columns report
+  /// distinct = 0 (unknown). Like encoded_keys(), the first call is not
+  /// thread-safe.
+  const TableStatistics& statistics() const;
+
+  /// \brief Installs precomputed statistics (the column-image loader's
+  /// path, restoring the persisted footer so a loaded catalog plans
+  /// without re-profiling). Marks the cache built.
+  void AdoptStatistics(TableStatistics stats) {
+    statistics_ = std::move(stats);
+    statistics_built_ = true;
+  }
+
+  /// Rows at or below which non-key distinct counts are exact.
+  static constexpr size_t kStatisticsExactRows = 2048;
+
   const SchemaPtr& schema() const { return schema_; }
   const std::string& name() const { return name_; }
   size_t rows() const { return sn_.size(); }
@@ -209,6 +257,9 @@ class ColumnStore {
   // Lazily-built encoded-key cache (see encoded_keys()).
   mutable EncodedKeys encoded_keys_;
   mutable bool encoded_keys_built_ = false;
+  // Lazily-built statistics cache (see statistics()).
+  mutable TableStatistics statistics_;
+  mutable bool statistics_built_ = false;
 };
 
 }  // namespace evident

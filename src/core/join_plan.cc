@@ -104,4 +104,39 @@ Result<JoinPlan> AnalyzeJoinPredicate(const PredicatePtr& predicate,
   return plan;
 }
 
+std::vector<MultiJoinEdge> AnalyzeMultiJoinEdges(
+    const PredicatePtr& predicate, const RelationSchema& product_schema,
+    const std::vector<size_t>& operand_attr_counts) {
+  std::vector<MultiJoinEdge> edges;
+  if (predicate == nullptr) return edges;
+  std::vector<PredicatePtr> conjuncts;
+  FlattenConjuncts(predicate, &conjuncts);
+  // Flat product position -> (operand, operand-local position).
+  auto locate = [&](size_t flat) {
+    size_t op = 0;
+    while (flat >= operand_attr_counts[op]) {
+      flat -= operand_attr_counts[op];
+      ++op;
+    }
+    return std::pair<size_t, size_t>{op, flat};
+  };
+  for (const PredicatePtr& conjunct : conjuncts) {
+    const auto* theta = dynamic_cast<const ThetaPredicate*>(conjunct.get());
+    if (theta == nullptr || theta->op() != ThetaOp::kEq) continue;
+    if (!theta->lhs().is_attribute() || !theta->rhs().is_attribute()) continue;
+    auto lhs = product_schema.IndexOf(theta->lhs().attribute());
+    auto rhs = product_schema.IndexOf(theta->rhs().attribute());
+    if (!lhs.ok() || !rhs.ok()) continue;
+    if (!IsDefiniteAttribute(product_schema, *lhs) ||
+        !IsDefiniteAttribute(product_schema, *rhs)) {
+      continue;
+    }
+    const auto [lop, lidx] = locate(*lhs);
+    const auto [rop, ridx] = locate(*rhs);
+    if (lop == rop) continue;
+    edges.push_back(MultiJoinEdge{lop, lidx, rop, ridx});
+  }
+  return edges;
+}
+
 }  // namespace evident

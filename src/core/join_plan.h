@@ -65,6 +65,30 @@ Result<JoinPlan> AnalyzeJoinPredicate(const PredicatePtr& predicate,
                                       const RelationSchema& product_schema,
                                       size_t left_attr_count);
 
+/// \brief One definite equi edge of an n-way join graph: a conjunct
+/// `A = B` where A resolves to a definite attribute of operand
+/// `left_operand` (at operand-local position `left_index`) and B to a
+/// definite attribute of the distinct operand `right_operand`. The same
+/// exactness argument as for EquiKey applies edge-wise, so the n-way
+/// enumeration may hash-partition on any subset of the edges.
+struct MultiJoinEdge {
+  size_t left_operand;
+  size_t left_index;
+  size_t right_operand;
+  size_t right_index;
+};
+
+/// \brief Extracts the definite equi edges of `predicate` (written
+/// against the flat n-way product schema whose operand attribute counts
+/// are `operand_attr_counts`). Conjuncts that are not definite
+/// attr-equals-attr across two distinct operands — including any whose
+/// references do not resolve — are simply skipped: the full predicate is
+/// always re-evaluated over the enumerated tuples, so the edge set only
+/// prunes, never decides, membership.
+std::vector<MultiJoinEdge> AnalyzeMultiJoinEdges(
+    const PredicatePtr& predicate, const RelationSchema& product_schema,
+    const std::vector<size_t>& operand_attr_counts);
+
 }  // namespace evident
 
 #endif  // EVIDENT_CORE_JOIN_PLAN_H_

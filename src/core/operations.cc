@@ -7,6 +7,7 @@
 #include <limits>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -1685,6 +1686,338 @@ Result<ExtendedRelation> JoinWithProductSchema(
   }
   return HashEquiJoin(left, right, plan, schema, threshold, build_left,
                       std::move(out));
+}
+
+Result<SchemaPtr> MakeMultiwayProductSchema(
+    const std::vector<const ExtendedRelation*>& operands) {
+  std::unordered_map<std::string, size_t> name_count;
+  size_t total_attrs = 0;
+  for (const ExtendedRelation* op : operands) {
+    if (op->schema() == nullptr) {
+      return Status::InvalidArgument("product of relations without schemas");
+    }
+    total_attrs += op->schema()->size();
+    for (const AttributeDef& a : op->schema()->attributes()) {
+      ++name_count[a.name];
+    }
+  }
+  auto ambiguous = [](const std::string& name) {
+    return Status::InvalidArgument(
+        "attribute '" + name +
+        "' appears in multiple operands and the relation names cannot "
+        "disambiguate; rename it first");
+  };
+  std::unordered_set<std::string> used;
+  used.reserve(total_attrs);
+  std::vector<AttributeDef> defs;
+  defs.reserve(total_attrs);
+  for (const ExtendedRelation* op : operands) {
+    for (const AttributeDef& a : op->schema()->attributes()) {
+      AttributeDef d = a;
+      if (name_count[a.name] > 1) {
+        if (op->name().empty()) return ambiguous(a.name);
+        d.name = op->name() + "." + a.name;
+      }
+      if (!used.insert(d.name).second) return ambiguous(a.name);
+      defs.push_back(std::move(d));
+    }
+  }
+  return RelationSchema::Make(std::move(defs));
+}
+
+namespace {
+
+/// The n-way reference executor: materializes the flat product in
+/// left-major (FROM) order — rightmost operand cycling fastest, exactly
+/// like nested ProductWithSchema row loops — folding memberships
+/// left-to-right, then selects with the full predicate. The flat schema
+/// is built directly (iterated binary products would re-qualify names a
+/// second time), so this IS the paper definition the fast path must be
+/// bit-identical to.
+Result<ExtendedRelation> MultiwayReferenceJoin(
+    const std::vector<const ExtendedRelation*>& operands,
+    const SchemaPtr& schema, const PredicatePtr& predicate,
+    const MembershipThreshold& threshold, std::string product_name) {
+  const size_t n_ops = operands.size();
+  size_t total_attrs = 0;
+  size_t bound = 1;
+  for (const ExtendedRelation* op : operands) {
+    total_attrs += op->schema()->size();
+    bound = CappedProductReserve(bound, op->size());
+  }
+  ExtendedRelation product(std::move(product_name), schema);
+  product.Reserve(bound);
+  std::vector<size_t> idx(n_ops, 0);
+  while (true) {
+    ExtendedTuple t;
+    t.cells.reserve(total_attrs);
+    for (size_t i = 0; i < n_ops; ++i) {
+      const ExtendedTuple& r = operands[i]->row(idx[i]);
+      t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
+      t.membership = i == 0 ? r.membership
+                            : t.membership.Multiply(r.membership);  // F_TM
+    }
+    EVIDENT_RETURN_NOT_OK(product.InsertTrusted(std::move(t)));
+    size_t pos = n_ops;
+    while (pos > 0 && ++idx[pos - 1] == operands[pos - 1]->size()) {
+      idx[pos - 1] = 0;
+      --pos;
+    }
+    if (pos == 0) break;
+  }
+  if (predicate == nullptr) return product;
+  return Select(product, predicate, threshold);
+}
+
+}  // namespace
+
+Result<ExtendedRelation> MultiwayJoinProduct(
+    const std::vector<const ExtendedRelation*>& operands,
+    const SchemaPtr& product_schema, const PredicatePtr& predicate,
+    const MembershipThreshold& threshold,
+    const std::vector<size_t>& join_order) {
+  const size_t n_ops = operands.size();
+  if (n_ops < 2) {
+    return Status::InvalidArgument(
+        "multiway join needs at least two operands");
+  }
+  std::vector<size_t> order = join_order;
+  if (order.empty()) {
+    order.resize(n_ops);
+    for (size_t i = 0; i < n_ops; ++i) order[i] = i;
+  }
+  {
+    std::vector<bool> seen(n_ops, false);
+    bool valid = order.size() == n_ops;
+    for (size_t i : order) {
+      if (!valid || i >= n_ops || seen[i]) {
+        valid = false;
+        break;
+      }
+      seen[i] = true;
+    }
+    if (!valid) {
+      return Status::InvalidArgument(
+          "join order is not a permutation of the operands");
+    }
+  }
+
+  std::string product_name = operands[0]->name();
+  for (size_t i = 1; i < n_ops; ++i) {
+    product_name += " x " + operands[i]->name();
+  }
+  for (const ExtendedRelation* op : operands) {
+    if (op->empty()) {
+      // The product is empty; selection over it never evaluates the
+      // predicate, and neither do we.
+      return ExtendedRelation(predicate != nullptr
+                                  ? "select(" + product_name + ")"
+                                  : product_name,
+                              product_schema);
+    }
+  }
+
+  bool enumerate = ColumnarExecutionEnabled();
+  if (enumerate && predicate != nullptr) {
+    enumerate = BoundPredicate::Bind(predicate, product_schema).fully_bound();
+  }
+  // Match-set row ids are uint32; oversized operands — unreachable for
+  // in-memory relations today — take the reference path.
+  for (const ExtendedRelation* op : operands) {
+    if (op->size() >=
+        static_cast<size_t>(std::numeric_limits<uint32_t>::max())) {
+      enumerate = false;
+    }
+  }
+  if (!enumerate) {
+    return MultiwayReferenceJoin(operands, product_schema, predicate,
+                                 threshold, std::move(product_name));
+  }
+
+  std::vector<const ColumnStore*> stores;
+  std::vector<size_t> attr_counts;
+  stores.reserve(n_ops);
+  attr_counts.reserve(n_ops);
+  for (const ExtendedRelation* op : operands) {
+    stores.push_back(&op->columns());
+    attr_counts.push_back(op->schema()->size());
+  }
+  const std::vector<MultiJoinEdge> edges =
+      AnalyzeMultiJoinEdges(predicate, *product_schema, attr_counts);
+
+  // The match set: cols[k][t] is the row of operand order[k] in the t-th
+  // surviving combination. Tuples stay sorted join_order-major because
+  // every step visits them (and, within an equi step, each ascending
+  // hash chain) in ascending order.
+  constexpr uint32_t kEmptySlot = std::numeric_limits<uint32_t>::max();
+  std::vector<std::vector<uint32_t>> cols(1);
+  std::vector<size_t> pos_of_op(n_ops, 0);
+  std::vector<bool> placed(n_ops, false);
+  {
+    const size_t first = order[0];
+    cols[0].resize(stores[first]->rows());
+    for (size_t r = 0; r < cols[0].size(); ++r) {
+      cols[0][r] = static_cast<uint32_t>(r);
+    }
+    pos_of_op[first] = 0;
+    placed[first] = true;
+  }
+
+  for (size_t k = 1; k < n_ops; ++k) {
+    const size_t opj = order[k];
+    const ColumnStore& bstore = *stores[opj];
+    const size_t count = cols[0].size();
+    // Edges connecting the incoming operand to the placed set: the
+    // incoming side becomes the hash-build key, the placed side the
+    // probe key (read through the match set's columns).
+    std::vector<size_t> build_attrs;
+    struct ProbeRef {
+      const ColumnStore* store;
+      size_t attr;
+      size_t col;
+    };
+    std::vector<ProbeRef> probe_refs;
+    for (const MultiJoinEdge& e : edges) {
+      size_t local, other, other_attr;
+      if (e.left_operand == opj && placed[e.right_operand]) {
+        local = e.left_index;
+        other = e.right_operand;
+        other_attr = e.right_index;
+      } else if (e.right_operand == opj && placed[e.left_operand]) {
+        local = e.right_index;
+        other = e.left_operand;
+        other_attr = e.left_index;
+      } else {
+        continue;
+      }
+      build_attrs.push_back(local);
+      probe_refs.push_back(ProbeRef{stores[other], other_attr,
+                                    pos_of_op[other]});
+    }
+
+    std::vector<std::vector<uint32_t>> next(k + 1);
+    const size_t bn = bstore.rows();
+    if (build_attrs.empty()) {
+      // No connecting edge: cross step.
+      const size_t reserve = CappedProductReserve(count, bn);
+      for (auto& col : next) col.reserve(reserve);
+      for (size_t t = 0; t < count; ++t) {
+        for (size_t r = 0; r < bn; ++r) {
+          for (size_t kk = 0; kk < k; ++kk) next[kk].push_back(cols[kk][t]);
+          next[k].push_back(static_cast<uint32_t>(r));
+        }
+      }
+    } else {
+      // Hash the incoming operand on its edge attributes (chains kept
+      // ascending by reverse insertion), probe with each match tuple.
+      size_t capacity = 1;
+      while (capacity < bn * 2) capacity <<= 1;
+      const uint64_t mask = capacity - 1;
+      std::vector<uint32_t> heads(capacity, kEmptySlot);
+      std::vector<uint32_t> chain(bn, kEmptySlot);
+      for (size_t r = bn; r-- > 0;) {
+        const uint64_t h = StoreKeyHash(bstore, r, build_attrs);
+        const size_t bucket = static_cast<size_t>(h & mask);
+        chain[r] = heads[bucket];
+        heads[bucket] = static_cast<uint32_t>(r);
+      }
+      for (size_t t = 0; t < count; ++t) {
+        // Probe hash mixed in build_attrs order, exactly like
+        // StoreKeyHash, so equal keys land in the same bucket.
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (const ProbeRef& ref : probe_refs) {
+          h ^= static_cast<uint64_t>(
+                   ref.store->value_column(ref.attr)
+                       .values[cols[ref.col][t]]
+                       .Hash()) +
+               0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        }
+        for (uint32_t r = heads[static_cast<size_t>(h & mask)];
+             r != kEmptySlot; r = chain[r]) {
+          bool match = true;
+          for (size_t kk = 0; kk < build_attrs.size(); ++kk) {
+            const ProbeRef& ref = probe_refs[kk];
+            if (!(bstore.value_column(build_attrs[kk]).values[r] ==
+                  ref.store->value_column(ref.attr)
+                      .values[cols[ref.col][t]])) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          for (size_t kk = 0; kk < k; ++kk) next[kk].push_back(cols[kk][t]);
+          next[k].push_back(r);
+        }
+      }
+    }
+    cols = std::move(next);
+    pos_of_op[opj] = k;
+    placed[opj] = true;
+  }
+
+  // Restore left-major (FROM) order: the definition's row order, which
+  // any join_order must reproduce.
+  const size_t count = cols[0].size();
+  std::vector<const std::vector<uint32_t>*> by_from(n_ops);
+  for (size_t i = 0; i < n_ops; ++i) by_from[i] = &cols[pos_of_op[i]];
+  std::vector<size_t> perm(count);
+  for (size_t t = 0; t < count; ++t) perm[t] = t;
+  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (size_t i = 0; i < n_ops; ++i) {
+      const uint32_t va = (*by_from[i])[a];
+      const uint32_t vb = (*by_from[i])[b];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+
+  ColumnStore out = ColumnStore::EmptyLike(product_schema, product_name);
+  out.ReserveRows(count);
+  size_t flat = 0;
+  for (size_t i = 0; i < n_ops; ++i) {
+    const ColumnStore& src_store = *stores[i];
+    const std::vector<uint32_t>& rows_of = *by_from[i];
+    for (size_t a = 0; a < attr_counts[i]; ++a, ++flat) {
+      switch (src_store.kind(a)) {
+        case ColumnStore::ColumnKind::kValue: {
+          const std::vector<Value>& src = src_store.value_column(a).values;
+          std::vector<Value>& dst = out.value_column_mut(flat).values;
+          dst.reserve(count);
+          for (size_t t : perm) dst.push_back(src[rows_of[t]]);
+          break;
+        }
+        case ColumnStore::ColumnKind::kEvidence: {
+          const ColumnStore::EvidenceColumn& src =
+              src_store.evidence_column(a);
+          ColumnStore::EvidenceColumn& dst = out.evidence_column_mut(flat);
+          const size_t avg =
+              src.words.size() / std::max<size_t>(src_store.rows(), 1);
+          dst.words.reserve(CappedArenaReserve(count, avg + 1));
+          dst.masses.reserve(CappedArenaReserve(count, avg + 1));
+          dst.offsets.reserve(count + 1);
+          for (size_t t : perm) dst.AppendRowFrom(src, rows_of[t]);
+          break;
+        }
+        case ColumnStore::ColumnKind::kBoxed: {
+          const std::vector<EvidenceSet>& src = src_store.boxed_column(a).sets;
+          std::vector<EvidenceSet>& dst = out.boxed_column_mut(flat).sets;
+          dst.reserve(count);
+          for (size_t t : perm) dst.push_back(src[rows_of[t]]);
+          break;
+        }
+      }
+    }
+  }
+  for (size_t t : perm) {
+    SupportPair m = stores[0]->membership((*by_from[0])[t]);
+    for (size_t i = 1; i < n_ops; ++i) {
+      m = m.Multiply(stores[i]->membership((*by_from[i])[t]));  // F_TM
+    }
+    out.AppendMembership(m);
+  }
+  ExtendedRelation product = ExtendedRelation::AdoptColumns(std::move(out));
+  if (predicate == nullptr) return product;
+  return Select(product, predicate, threshold);
 }
 
 Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,

@@ -232,6 +232,41 @@ Result<ExtendedRelation> JoinWithProductSchema(
     SchemaPtr product_schema, JoinBuildSide build_side = JoinBuildSide::kAuto,
     const FusedJoinProbe* fused_probe = nullptr);
 
+/// \brief The flat concatenated schema of an n-way product
+/// R1 ×̃ ... ×̃ Rn: every operand's attributes in operand order, with any
+/// attribute name occurring in more than one operand qualified as
+/// "<relation>.<attribute>". The n = 2 case matches MakeProductSchema
+/// except that qualification is by name multiplicity across the whole
+/// list (a name unique to one operand is never qualified).
+Result<SchemaPtr> MakeMultiwayProductSchema(
+    const std::vector<const ExtendedRelation*>& operands);
+
+/// \brief Extended n-way join σ̃^Q_P (R1 ×̃ ... ×̃ Rn) over an
+/// already-built flat product schema; with a null `predicate` it is the
+/// pure n-way product (no selection, no threshold).
+///
+/// The result is definitionally the left-major (FROM-order) product
+/// with memberships folded left-to-right via F_TM, then one extended
+/// selection with the full predicate — and is bit-identical to that
+/// definition for *any* `join_order` (a permutation of 0..n-1; the
+/// identity when empty). Under columnar execution with a fully-bindable
+/// predicate, the executor enumerates the combinations surviving the
+/// predicate's definite equi edges (AnalyzeMultiJoinEdges) by pairwise
+/// hash joins in `join_order` — building a table on each incoming
+/// operand and probing with the current match set, cross-stepping when
+/// no edge connects — then restores left-major order, splices the
+/// output column image, and runs ordinary Select with the full
+/// predicate. Since dropped combinations carry an exact (0,0) equi
+/// factor (always removed under CWA_ER) and kept ones re-evaluate the
+/// complete predicate, the order only decides intermediate sizes, never
+/// the result. Row mode and non-bindable predicates take the
+/// materialized reference path.
+Result<ExtendedRelation> MultiwayJoinProduct(
+    const std::vector<const ExtendedRelation*>& operands,
+    const SchemaPtr& product_schema, const PredicatePtr& predicate,
+    const MembershipThreshold& threshold,
+    const std::vector<size_t>& join_order = {});
+
 /// \brief Renames one attribute; useful before Product/Union when names
 /// collide or differ across sources. Under columnar execution this is a
 /// schema-only change: the output adopts the operand's column image

@@ -43,15 +43,18 @@ using Condition = std::variant<IsCondition, ThetaCondition>;
 enum class SourceOp {
   kScan,       // FROM R
   kUnion,      // FROM R UNION S — extended union (tuple merging)
-  kProduct,    // FROM R PRODUCT S (σ over it via WHERE gives the join)
-  kJoin,       // FROM R JOIN S — sugar: product whose WHERE is the join cond
+  kProduct,    // FROM R PRODUCT S, ... (σ over it via WHERE gives the join)
+  kJoin,       // FROM R JOIN S ... — sugar: product whose WHERE joins
   kIntersect,  // FROM R INTERSECT S — inner merge (entities in both)
 };
 
+/// The FROM list. kScan names one relation; kUnion/kIntersect are
+/// strictly binary; kProduct/kJoin carry two or more relations chained
+/// with ',', JOIN or PRODUCT connectors (a mixed chain is kJoin if any
+/// JOIN connector appears).
 struct FromClause {
   SourceOp op = SourceOp::kScan;
-  std::string left;
-  std::string right;  // empty for kScan
+  std::vector<std::string> relations;
 };
 
 /// ORDER BY clause: sort the result by a membership field. The paper's

@@ -37,7 +37,11 @@ Result<eql::LogicalPlan> QueryEngine::Plan(
     const eql::ParsedQuery& query) const {
   EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan,
                            eql::BuildPlan(query, catalog_, union_options_));
-  if (optimize_) eql::OptimizePlan(&plan);
+  if (optimize_) {
+    eql::OptimizePlan(&plan);
+  } else {
+    eql::AnnotatePlanEstimates(&plan);
+  }
   if (fuse_) eql::LowerToFusedPipelines(&plan);
   return plan;
 }

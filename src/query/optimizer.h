@@ -6,7 +6,7 @@
 namespace evident {
 namespace eql {
 
-/// \brief Rewrites a logical plan in place. Three rule families:
+/// \brief Rewrites a logical plan in place. Four rule families:
 ///
 ///  1. Selection pushdown — at every join whose *entire* predicate binds
 ///     completely (BoundPredicate; then evaluation can never fail, so no
@@ -38,6 +38,23 @@ namespace eql {
 ///     comparison. This affects only execution cost and the
 ///     implementation-defined row order, never the result set.
 ///
+///  4. Join ordering — every n-way (kMultiJoin) node gets a cost-ordered
+///     left-deep enumeration order, chosen greedily over its definite
+///     equi-edge join graph from per-column statistics (distinct counts
+///     and support histograms the base relations' shared column images
+///     profile lazily — see TableStatistics). Selection pushdown applies
+///     per operand exactly as for binary joins. The executor restores
+///     FROM-major row order and folds memberships in FROM order, so any
+///     enumeration order is result-identical; ordering only bounds the
+///     intermediate match sets.
+///
+/// Cardinality estimates (EXPLAIN's "~N rows") come from the same
+/// statistics through the classic System-R selectivity model: equality
+/// against a literal keeps 1/distinct, IS over k values k/distinct,
+/// ranges 1/3, each definite equi edge 1/max(distinct), thresholds the
+/// histogram fraction above/below the bound, 1/2 when the model cannot
+/// ground a conjunct.
+///
 /// All rewrites preserve the executed result as a keyed set of tuples
 /// bit-exactly (cells, masses, memberships) and the first-error message;
 /// the EQL fuzz differential enforces this against the unoptimized plan.
@@ -59,6 +76,12 @@ void OptimizePlan(LogicalPlan* plan);
 /// set_pipeline_fusion_enabled(false) as the escape hatch that executes
 /// the unfused plan.
 void LowerToFusedPipelines(LogicalPlan* plan);
+
+/// \brief Annotates per-node cardinality estimates (EXPLAIN's "~N rows")
+/// without rewriting anything — what QueryEngine runs when optimization
+/// is disabled, so EXPLAIN always carries estimates. OptimizePlan
+/// subsumes this.
+void AnnotatePlanEstimates(LogicalPlan* plan);
 
 }  // namespace eql
 }  // namespace evident

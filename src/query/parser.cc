@@ -111,28 +111,40 @@ class Parser {
   }
 
   Status ParseFrom(eql::ParsedQuery* query) {
-    EVIDENT_ASSIGN_OR_RETURN(query->from.left,
+    EVIDENT_ASSIGN_OR_RETURN(std::string first,
                              ExpectIdentifier("relation name"));
-    if (AtKeyword("union")) {
+    query->from.relations.push_back(std::move(first));
+    if (AtKeyword("union") || AtKeyword("intersect")) {
+      // Tuple-merging set operators stay strictly binary.
+      query->from.op = AtKeyword("union") ? eql::SourceOp::kUnion
+                                          : eql::SourceOp::kIntersect;
       Advance();
-      query->from.op = eql::SourceOp::kUnion;
-      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+      EVIDENT_ASSIGN_OR_RETURN(std::string second,
                                ExpectIdentifier("relation name"));
-    } else if (AtKeyword("join")) {
-      Advance();
-      query->from.op = eql::SourceOp::kJoin;
-      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
+      query->from.relations.push_back(std::move(second));
+      return Status::OK();
+    }
+    // Product/join chain: FROM A, B, C / FROM A JOIN B JOIN C / mixed.
+    // Any JOIN connector makes the whole chain a join.
+    bool any_join = false;
+    while (true) {
+      if (Current().kind == TokenKind::kComma) {
+        Advance();
+      } else if (AtKeyword("join")) {
+        any_join = true;
+        Advance();
+      } else if (AtKeyword("product")) {
+        Advance();
+      } else {
+        break;
+      }
+      EVIDENT_ASSIGN_OR_RETURN(std::string next,
                                ExpectIdentifier("relation name"));
-    } else if (AtKeyword("product")) {
-      Advance();
-      query->from.op = eql::SourceOp::kProduct;
-      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
-                               ExpectIdentifier("relation name"));
-    } else if (AtKeyword("intersect")) {
-      Advance();
-      query->from.op = eql::SourceOp::kIntersect;
-      EVIDENT_ASSIGN_OR_RETURN(query->from.right,
-                               ExpectIdentifier("relation name"));
+      query->from.relations.push_back(std::move(next));
+    }
+    if (query->from.relations.size() > 1) {
+      query->from.op =
+          any_join ? eql::SourceOp::kJoin : eql::SourceOp::kProduct;
     }
     return Status::OK();
   }

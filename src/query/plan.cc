@@ -76,23 +76,20 @@ Result<PredicatePtr> BindWhere(const ParsedQuery& query,
   return And(std::move(conjuncts));
 }
 
-/// The FROM clause's operand relations resolved against the catalog
-/// (right is null for a scan); the single home of catalog lookups so
-/// every source shape reports missing catalogs/relations identically.
-struct BoundOperands {
-  const ExtendedRelation* left = nullptr;
-  const ExtendedRelation* right = nullptr;
-};
-
-Result<BoundOperands> ResolveOperands(const Catalog* catalog,
-                                      const FromClause& from) {
+/// The FROM list's operand relations resolved against the catalog, in
+/// FROM order; the single home of catalog lookups so every source shape
+/// reports missing catalogs/relations identically.
+Result<std::vector<const ExtendedRelation*>> ResolveOperands(
+    const Catalog* catalog, const FromClause& from) {
   if (catalog == nullptr) {
     return Status::InvalidArgument("query engine has no catalog");
   }
-  BoundOperands operands;
-  EVIDENT_ASSIGN_OR_RETURN(operands.left, catalog->GetRelation(from.left));
-  if (from.op != SourceOp::kScan) {
-    EVIDENT_ASSIGN_OR_RETURN(operands.right, catalog->GetRelation(from.right));
+  std::vector<const ExtendedRelation*> operands;
+  operands.reserve(from.relations.size());
+  for (const std::string& name : from.relations) {
+    EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* rel,
+                             catalog->GetRelation(name));
+    operands.push_back(rel);
   }
   return operands;
 }
@@ -110,13 +107,48 @@ PlanNodePtr MakeScan(const std::string& name, const ExtendedRelation* rel) {
 
 Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
                               const UnionOptions& union_options) {
-  EVIDENT_ASSIGN_OR_RETURN(BoundOperands operands,
+  EVIDENT_ASSIGN_OR_RETURN(std::vector<const ExtendedRelation*> rels,
                            ResolveOperands(catalog, query.from));
   LogicalPlan plan;
   const bool join_like = query.from.op == SourceOp::kProduct ||
                          query.from.op == SourceOp::kJoin;
 
-  if (join_like && !query.where.empty()) {
+  if (join_like && rels.size() >= 3) {
+    // n-way FROM list: one flat kMultiJoin node over the FROM-order
+    // scans. The executor enumerates it by pairwise hash joins in the
+    // node's join_order (identity here; the optimizer may reorder it),
+    // with any order producing the identical result.
+    EVIDENT_ASSIGN_OR_RETURN(SchemaPtr product_schema,
+                             MakeMultiwayProductSchema(rels));
+    EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
+                             BindWhere(query, *product_schema));
+    auto node = std::make_unique<PlanNode>();
+    node->op = PlanNode::Op::kMultiJoin;
+    node->schema = product_schema;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      node->operands.push_back(MakeScan(query.from.relations[i], rels[i]));
+      node->operand_attr_counts.push_back(rels[i]->schema()->size());
+      node->join_order.push_back(i);
+    }
+    if (predicate != nullptr) {
+      node->predicate = std::move(predicate);
+      node->threshold = query.with;
+      plan.root = std::move(node);
+    } else {
+      // Pure n-way product; a WITH clause without WHERE thresholds the
+      // (unchanged) membership via a select wrapper, like the binary
+      // shapes below.
+      plan.root = std::move(node);
+      if (!query.with.atoms().empty()) {
+        auto select = std::make_unique<PlanNode>();
+        select->op = PlanNode::Op::kSelect;
+        select->schema = plan.root->schema;
+        select->threshold = query.with;
+        select->left = std::move(plan.root);
+        plan.root = std::move(select);
+      }
+    }
+  } else if (join_like && !query.where.empty()) {
     // Join dispatch: bind WHERE against the product *schema* and plan a
     // join node, which hash-partitions on any definite equi-conjunct
     // instead of materializing |L|·|R| product tuples (falling back to
@@ -125,34 +157,34 @@ Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
     // is purely syntactic sugar.
     EVIDENT_ASSIGN_OR_RETURN(
         SchemaPtr product_schema,
-        MakeProductSchema(*operands.left, *operands.right));
+        MakeProductSchema(*rels[0], *rels[1]));
     EVIDENT_ASSIGN_OR_RETURN(PredicatePtr predicate,
                              BindWhere(query, *product_schema));
     auto join = std::make_unique<PlanNode>();
     join->op = PlanNode::Op::kJoin;
     join->schema = product_schema;
-    join->left = MakeScan(query.from.left, operands.left);
-    join->right = MakeScan(query.from.right, operands.right);
+    join->left = MakeScan(query.from.relations[0], rels[0]);
+    join->right = MakeScan(query.from.relations[1], rels[1]);
     join->predicate = std::move(predicate);
     join->threshold = query.with;
-    join->left_attr_count = operands.left->schema()->size();
+    join->left_attr_count = rels[0]->schema()->size();
     plan.root = std::move(join);
   } else {
     switch (query.from.op) {
       case SourceOp::kScan:
-        plan.root = MakeScan(query.from.left, operands.left);
+        plan.root = MakeScan(query.from.relations[0], rels[0]);
         break;
       case SourceOp::kUnion:
       case SourceOp::kIntersect: {
         EVIDENT_RETURN_NOT_OK(
-            CheckUnionCompatible(*operands.left, *operands.right));
+            CheckUnionCompatible(*rels[0], *rels[1]));
         auto node = std::make_unique<PlanNode>();
         node->op = query.from.op == SourceOp::kUnion
                        ? PlanNode::Op::kUnion
                        : PlanNode::Op::kIntersect;
-        node->schema = operands.left->schema();
-        node->left = MakeScan(query.from.left, operands.left);
-        node->right = MakeScan(query.from.right, operands.right);
+        node->schema = rels[0]->schema();
+        node->left = MakeScan(query.from.relations[0], rels[0]);
+        node->right = MakeScan(query.from.relations[1], rels[1]);
         node->options = union_options;
         plan.root = std::move(node);
         break;
@@ -161,12 +193,12 @@ Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
       case SourceOp::kJoin: {
         EVIDENT_ASSIGN_OR_RETURN(
             SchemaPtr product_schema,
-            MakeProductSchema(*operands.left, *operands.right));
+            MakeProductSchema(*rels[0], *rels[1]));
         auto node = std::make_unique<PlanNode>();
         node->op = PlanNode::Op::kProduct;
         node->schema = product_schema;
-        node->left = MakeScan(query.from.left, operands.left);
-        node->right = MakeScan(query.from.right, operands.right);
+        node->left = MakeScan(query.from.relations[0], rels[0]);
+        node->right = MakeScan(query.from.relations[1], rels[1]);
         plan.root = std::move(node);
         break;
       }
@@ -457,6 +489,19 @@ class PlanExecutor {
         if (!ColumnarExecutionEnabled()) return ExecOwned(*node.left);
         return ExecuteFusedPipeline(node);
       }
+      case PlanNode::Op::kMultiJoin: {
+        std::vector<const ExtendedRelation*> rels;
+        rels.reserve(node.operands.size());
+        for (const auto& operand : node.operands) {
+          EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* r, Exec(*operand));
+          rels.push_back(r);
+        }
+        // Operand rewrites (prefilters, possibly fused) preserve
+        // schemas and relation names, so the plan-time product schema
+        // the predicate was bound against stays authoritative.
+        return MultiwayJoinProduct(rels, node.schema, node.predicate,
+                                   node.threshold, node.join_order);
+      }
     }
     return Status::Internal("unreachable plan node op");
   }
@@ -506,6 +551,17 @@ Result<ExtendedRelation> ExecutePlan(const LogicalPlan& plan) {
 
 namespace {
 
+/// The relation name a multijoin operand subtree reads: the scan's (or
+/// fused chain's composed) name under any optimizer-inserted wrappers.
+std::string OperandLabel(const PlanNode& node) {
+  const PlanNode* cur = &node;
+  while (cur->op != PlanNode::Op::kScan && cur->op != PlanNode::Op::kFused &&
+         cur->left != nullptr) {
+    cur = cur->left.get();
+  }
+  return cur->relation.empty() ? "?" : cur->relation;
+}
+
 void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
   *os << std::string(indent * 2, ' ');
   switch (node.op) {
@@ -552,10 +608,10 @@ void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
           *os << "right";
           break;
       }
-      *os << "]";
+      *os << "; ~" << node.estimated_rows << " rows]";
       break;
     case PlanNode::Op::kProduct:
-      *os << "product";
+      *os << "product[~" << node.estimated_rows << " rows]";
       break;
     case PlanNode::Op::kUnion:
       *os << "union";
@@ -576,10 +632,24 @@ void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
       *os << "fused pipeline[" << node.fused_stages.size() << " stage(s), "
           << node.fused_projection.size() << " col(s)]";
       break;
+    case PlanNode::Op::kMultiJoin: {
+      *os << "multijoin["
+          << (node.predicate != nullptr ? node.predicate->ToString() : "true")
+          << "; Q: " << node.threshold.ToString() << "; order=";
+      for (size_t i = 0; i < node.join_order.size(); ++i) {
+        if (i) *os << ", ";
+        *os << OperandLabel(*node.operands[node.join_order[i]]);
+      }
+      *os << "; ~" << node.estimated_rows << " rows]";
+      break;
+    }
   }
   *os << "\n";
   if (node.left != nullptr) RenderNode(*node.left, indent + 1, os);
   if (node.right != nullptr) RenderNode(*node.right, indent + 1, os);
+  for (const auto& operand : node.operands) {
+    RenderNode(*operand, indent + 1, os);
+  }
 }
 
 }  // namespace

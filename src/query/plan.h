@@ -43,6 +43,7 @@ struct PlanNode {
     kRename,     // attribute rename (schema-only)
     kMerge,      // MergeTuples with explicit matching info
     kFused,      // a Scan→Prefilter/Select/Project chain, fused per-morsel
+    kMultiJoin,  // σ̃ over an n-way (n >= 3) product, pairwise-hash-joined
   };
 
   /// One filter stage of a fused pipeline, pre-bound against the *scan*
@@ -110,6 +111,18 @@ struct PlanNode {
 
   // kMerge.
   MatchingInfo matching;
+
+  // kMultiJoin: the FROM-order operand subtrees of an n-way (n >= 3)
+  // product/join, the per-operand attribute counts of the flat product
+  // schema (the conjunct side-analysis split points), and the order the
+  // executor's pairwise hash-join enumeration visits the operands in —
+  // a permutation of 0..n-1, identity until the optimizer reorders it.
+  // Any order yields the identical result (the executor restores
+  // FROM-major row order and folds memberships in FROM order); the
+  // order only decides how large the intermediate match sets get.
+  std::vector<std::unique_ptr<PlanNode>> operands;
+  std::vector<size_t> operand_attr_counts;
+  std::vector<size_t> join_order;
 
   // kFused: a Scan→(Prefilter|Select|Project)* chain lowered to one
   // per-morsel pass over the scan's shared column image — no

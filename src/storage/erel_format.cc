@@ -72,6 +72,7 @@ namespace {
 
 constexpr char kColumnImageMagic[] = "EVCIMG";  // + 2 version digits
 constexpr char kColumnImageVersion[] = "02";
+constexpr char kStatisticsFooterMagic[] = "STATS001";
 constexpr uint32_t kNoDomain = std::numeric_limits<uint32_t>::max();
 
 void PutU8(std::string* out, uint8_t v) {
@@ -300,6 +301,10 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
 
   EVIDENT_ASSIGN_OR_RETURN(uint32_t relation_count, in.U32("relation count"));
   EVIDENT_RETURN_NOT_OK(in.CheckCount(relation_count, 17, "relation"));
+  // Stores are collected and registered only after the whole blob —
+  // including the optional statistics footer — parsed cleanly.
+  std::vector<ColumnStore> stores;
+  stores.reserve(relation_count);
   for (uint32_t rel_index = 0; rel_index < relation_count; ++rel_index) {
     EVIDENT_ASSIGN_OR_RETURN(std::string rel_name, in.Str("relation name"));
     EVIDENT_ASSIGN_OR_RETURN(uint32_t attr_count,
@@ -493,18 +498,83 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
       }
     }
 
+    stores.push_back(std::move(store));
+  }
+
+  if (in.remaining() != 0) {
+    // The only thing allowed after the last relation is the statistics
+    // footer; anything else is corruption.
+    const char* magic;
+    EVIDENT_RETURN_NOT_OK(in.Take(8, "statistics footer magic", &magic));
+    if (std::string_view(magic, 8) != kStatisticsFooterMagic) {
+      return Status::ParseError("trailing bytes after the last relation");
+    }
+    for (ColumnStore& store : stores) {
+      const std::string& rel_name = store.name();
+      auto fail = [&](const std::string& msg) {
+        return Status::ParseError("statistics footer for relation '" +
+                                  rel_name + "': " + msg);
+      };
+      TableStatistics stats;
+      EVIDENT_ASSIGN_OR_RETURN(stats.row_count,
+                               in.U64("statistics row count"));
+      if (stats.row_count != store.rows()) {
+        return fail("row count disagrees with the relation");
+      }
+      EVIDENT_ASSIGN_OR_RETURN(uint32_t attr_count,
+                               in.U32("statistics attribute count"));
+      if (attr_count != store.schema()->size()) {
+        return fail("attribute count disagrees with the schema");
+      }
+      stats.attributes.reserve(attr_count);
+      for (uint32_t a = 0; a < attr_count; ++a) {
+        TableStatistics::Attribute attr;
+        EVIDENT_ASSIGN_OR_RETURN(attr.distinct,
+                                 in.U64("statistics distinct count"));
+        if (attr.distinct > stats.row_count) {
+          return fail("distinct count exceeds the row count");
+        }
+        EVIDENT_ASSIGN_OR_RETURN(uint8_t exact,
+                                 in.U8("statistics exact flag"));
+        if (exact > 1) return fail("exact flag is not 0 or 1");
+        attr.exact = exact != 0;
+        stats.attributes.push_back(attr);
+      }
+      for (std::vector<uint64_t>* hist :
+           {&stats.sn_histogram, &stats.sp_histogram}) {
+        hist->reserve(TableStatistics::kHistogramBins);
+        uint64_t sum = 0;
+        for (size_t b = 0; b < TableStatistics::kHistogramBins; ++b) {
+          EVIDENT_ASSIGN_OR_RETURN(uint64_t count,
+                                   in.U64("statistics histogram bin"));
+          if (count > stats.row_count - sum) {
+            return fail("support histogram does not sum to the row count");
+          }
+          sum += count;
+          hist->push_back(count);
+        }
+        if (sum != stats.row_count) {
+          return fail("support histogram does not sum to the row count");
+        }
+      }
+      store.AdoptStatistics(std::move(stats));
+    }
+    if (in.remaining() != 0) {
+      return Status::ParseError("trailing bytes after the statistics footer");
+    }
+  }
+
+  for (ColumnStore& store : stores) {
     EVIDENT_RETURN_NOT_OK(catalog.RegisterRelation(
         ExtendedRelation::AdoptColumns(std::move(store))));
-  }
-  if (in.remaining() != 0) {
-    return Status::ParseError("trailing bytes after the last relation");
   }
   return catalog;
 }
 
 }  // namespace
 
-std::string WriteErelColumnImage(const Catalog& catalog) {
+std::string WriteErelColumnImage(const Catalog& catalog,
+                                 bool include_statistics) {
   std::string out;
   out.append(kColumnImageMagic, 6);
   out.append(kColumnImageVersion, 2);
@@ -585,6 +655,21 @@ std::string WriteErelColumnImage(const Catalog& catalog) {
     PutU64(&out, arena.size());
     out += arena;
     for (uint32_t o : key_offsets) PutU32(&out, o);
+  }
+
+  if (include_statistics) {
+    out.append(kStatisticsFooterMagic, 8);
+    for (const auto& [name, rel] : catalog.relations()) {
+      const TableStatistics& stats = rel.columns().statistics();
+      PutU64(&out, stats.row_count);
+      PutU32(&out, static_cast<uint32_t>(stats.attributes.size()));
+      for (const TableStatistics::Attribute& attr : stats.attributes) {
+        PutU64(&out, attr.distinct);
+        PutU8(&out, attr.exact ? 1 : 0);
+      }
+      for (uint64_t count : stats.sn_histogram) PutU64(&out, count);
+      for (uint64_t count : stats.sp_histogram) PutU64(&out, count);
+    }
   }
   return out;
 }

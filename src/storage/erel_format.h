@@ -81,11 +81,34 @@ namespace evident {
 ///              arena[key_offset[r] .. key_offset[r+1]))
 /// ```
 ///
+/// After the last relation the file may end, or carry one optional
+/// statistics footer (the profile the optimizer's cardinality estimates
+/// read, so a loaded catalog plans as well as a built one):
+///
+/// ```
+/// magic        8 bytes: "STATS001"
+/// stats x relation_count (same order as the relation sections):
+///   u64        row_count (must equal the relation's row count)
+///   u32        attr_count (must equal the relation's attribute count)
+///   attr x attr_count (schema order):
+///     u64      distinct count (0 = unknown; must be <= row_count)
+///     u8       exact flag (0 = sampled estimate, 1 = exact count)
+///   u64        sn_histogram bin x 16 (bin b counts rows with
+///              sn in [b/16, (b+1)/16), top bin includes sn == 1;
+///              the 16 bins must sum to row_count)
+///   u64        sp_histogram bin x 16 (same layout for sp)
+/// ```
+///
+/// The footer ends the file — no bytes may follow it. Files without the
+/// footer (older writers, WriteErelColumnImage with
+/// include_statistics = false) load identically; their statistics are
+/// re-profiled lazily on first use.
+///
 /// Load validates everything it reads — truncation, magic/version,
 /// kinds, offset monotonicity, word order/range, per-row mass sums,
-/// support bounds, arena consistency and key uniqueness — and reports a
-/// clean ParseError Status instead of undefined behaviour on corrupt
-/// input.
+/// support bounds, arena consistency, key uniqueness and footer
+/// consistency — and reports a clean ParseError Status instead of
+/// undefined behaviour on corrupt input.
 
 /// \brief Serializes every domain and relation in the catalog as v1
 /// text. Materializes rows of columnar-mode relations (use the column
@@ -95,8 +118,12 @@ std::string WriteErel(const Catalog& catalog, int mass_decimals = 9);
 /// \brief Serializes every domain and relation as a v2 column-image
 /// blob. Reads each relation's column image (the native store of a
 /// columnar-mode relation; the cached/derived image of a row-mode one) —
-/// never materializes row objects.
-std::string WriteErelColumnImage(const Catalog& catalog);
+/// never materializes row objects. With `include_statistics` the blob
+/// ends with the statistics footer (profiling each relation on the
+/// shared image if it was not already); without it the footer is
+/// omitted, matching what older writers produced.
+std::string WriteErelColumnImage(const Catalog& catalog,
+                                 bool include_statistics = true);
 
 /// \brief Parses an .erel document — either format, distinguished by the
 /// v2 magic — into a catalog. v2 relations are adopted in columnar mode.

@@ -854,17 +854,24 @@ TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
     RestoreDefaults();
     SetParallelMaxThreads(1);
 
-    // Catalog: R0/R1 union-compatible, S0 the join partner — with
-    // colliding attribute names half the time (qualified references).
+    // Catalog: R0/R1 union-compatible, S0 the join partner, T0 a third
+    // independent relation for n-way FROM lists — with colliding
+    // attribute names half the time (qualified references).
     const bool collide = rng.Chance(0.5);
     const EqlRelationSpec spec_a = MakeEqlSpec(&rng, "", "qa_");
     const EqlRelationSpec spec_b =
         collide ? spec_a : MakeEqlSpec(&rng, "s_", "qb_");
+    const EqlRelationSpec spec_c = MakeEqlSpec(&rng, "t_", "qc_");
     // Distinct-name specs need distinct *domains* too (spec_b above),
     // but colliding specs share schema_a wholesale.
     const SchemaPtr schema_b = collide ? spec_a.schema : spec_b.schema;
     const bool string_keys = rng.Chance(0.3);
-    const size_t rows = 8 + rng.Below(32);
+    // Statement shape up front: n-way shapes (6 = three relations,
+    // 7 = four) get small relations, so even an all-PRODUCT chain's
+    // flat enumeration stays fuzz-sized.
+    const size_t shape = rng.Below(8);
+    const bool join_like = shape >= 4;
+    const size_t rows = shape >= 6 ? 4 + rng.Below(9) : 8 + rng.Below(32);
     const size_t key_range = 2 * rows + rng.Below(rows);
     Catalog catalog;
     ASSERT_TRUE(catalog
@@ -882,50 +889,83 @@ TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
                                                      rows, key_range,
                                                      string_keys))
                     .ok());
+    ASSERT_TRUE(catalog
+                    .RegisterRelation(RandomRelation(&rng, "T0", spec_c.schema,
+                                                     rows, key_range,
+                                                     string_keys))
+                    .ok());
 
-    // Statement shape.
-    const size_t shape = rng.Below(6);
-    const bool join_like = shape >= 4;
+    // The FROM sources in order, with the qualifier each one's attribute
+    // references need (names appearing in several operands are qualified
+    // by the product schema).
+    struct EqlSource {
+      const EqlRelationSpec* spec;
+      std::string qual;
+    };
+    std::vector<EqlSource> sources;
     std::string from;
-    const EqlRelationSpec* right_spec = nullptr;
-    std::string left_qual, right_qual;
     switch (shape) {
       case 0:
       case 1:
         from = "R0";
+        sources.push_back({&spec_a, ""});
         break;
       case 2:
         from = "R0 UNION R1";
+        sources.push_back({&spec_a, ""});
         break;
       case 3:
         from = "R0 INTERSECT R1";
+        sources.push_back({&spec_a, ""});
         break;
       case 4:
-        from = "R0 JOIN S0";
+      case 5: {
+        from = shape == 4 ? "R0 JOIN S0" : "R0 PRODUCT S0";
+        sources.push_back({&spec_a, collide ? "R0." : ""});
+        sources.push_back({collide ? &spec_a : &spec_b,
+                           collide ? "S0." : ""});
         break;
-      default:
-        from = "R0 PRODUCT S0";
+      }
+      default: {
+        // Three or four relations chained with a random mix of comma,
+        // JOIN and PRODUCT connectors (one FROM list either way).
+        std::vector<std::pair<std::string, EqlSource>> pool = {
+            {"R0", {&spec_a, collide ? "R0." : ""}},
+            {"S0", {collide ? &spec_a : &spec_b, collide ? "S0." : ""}},
+            {"T0", {&spec_c, ""}},
+        };
+        if (shape == 7) {
+          // R0/R1 share every attribute name, so both always qualify.
+          pool[0].second.qual = "R0.";
+          pool.insert(pool.begin() + 1, {"R1", {&spec_a, "R1."}});
+        }
+        static constexpr const char* kConnectors[] = {", ", " JOIN ",
+                                                      " PRODUCT "};
+        for (size_t i = 0; i < pool.size(); ++i) {
+          if (i > 0) from += kConnectors[rng.Below(std::size(kConnectors))];
+          from += pool[i].first;
+          sources.push_back(std::move(pool[i].second));
+        }
         break;
-    }
-    if (join_like) {
-      right_spec = collide ? &spec_a : &spec_b;
-      if (collide) {
-        left_qual = "R0.";
-        right_qual = "S0.";
       }
     }
 
     std::vector<std::string> conjuncts;
-    if (join_like && rng.Chance(0.75)) {
-      conjuncts.push_back(left_qual + spec_a.key + " = " + right_qual +
-                          right_spec->key);
+    if (join_like) {
+      // A random spanning-ish set of key-equality edges: each source
+      // usually joins one earlier source, so chains, stars and
+      // deliberately disconnected (cross) components all occur.
+      for (size_t i = 1; i < sources.size(); ++i) {
+        if (!rng.Chance(0.75)) continue;
+        const size_t anchor = rng.Below(i);
+        conjuncts.push_back(sources[anchor].qual + sources[anchor].spec->key +
+                            " = " + sources[i].qual + sources[i].spec->key);
+      }
     }
     const size_t extra = rng.Below(3) + (conjuncts.empty() ? 1 : 0);
     for (size_t i = 0; i < extra; ++i) {
-      const bool use_right = join_like && rng.Chance(0.5);
-      conjuncts.push_back(RandomEqlConjunct(
-          &rng, use_right ? *right_spec : spec_a,
-          use_right ? right_qual : left_qual));
+      const EqlSource& src = sources[rng.Below(sources.size())];
+      conjuncts.push_back(RandomEqlConjunct(&rng, *src.spec, src.qual));
     }
     if (rng.Chance(0.25)) conjuncts.clear();
 
@@ -933,9 +973,7 @@ TEST(FuzzDifferentialTest, EqlStatementsAgreeAcrossOptimizerAndModes) {
     if (rng.Chance(0.45) && !spec_a.uncs.empty()) {
       // Project away at least one column (with keys implicit): the
       // pruning rules get real work.
-      stmt += left_qual.empty() && !join_like
-                  ? spec_a.defs.front()
-                  : left_qual + spec_a.defs.front();
+      stmt += sources[0].qual + spec_a.defs.front();
     } else {
       stmt += "*";
     }

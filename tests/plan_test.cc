@@ -30,7 +30,8 @@ EvidenceSet Singleton(const DomainPtr& domain, size_t index) {
 
 /// L: 40 rows (key lk, definite ld in 0..7, packed uncertain lu);
 /// R: 12 rows (key rk, packed uncertain ru) with rk = 2*i, so 20 of L's
-/// keys have a partner. Disjoint attribute names keep the product schema
+/// keys have a partner; S: 6 rows (key sk, definite sd = sk) joining L
+/// on ld = sd. Disjoint attribute names keep the product schema
 /// unqualified, which is what makes operand pruning legal everywhere.
 class PlanTest : public ::testing::Test {
  protected:
@@ -67,6 +68,18 @@ class PlanTest : public ::testing::Test {
     }
     ASSERT_TRUE(catalog_.RegisterRelation(std::move(l)).ok());
     ASSERT_TRUE(catalog_.RegisterRelation(std::move(r)).ok());
+    SchemaPtr sschema = RelationSchema::Make({AttributeDef::Key("sk"),
+                                              AttributeDef::Definite("sd")})
+                            .value();
+    ExtendedRelation s("S", sschema);
+    for (int64_t i = 0; i < 6; ++i) {
+      ExtendedTuple t;
+      t.cells = {Value(i), Value(i)};
+      t.membership =
+          i == 0 ? SupportPair{0.6, 0.9} : SupportPair::Certain();
+      ASSERT_TRUE(s.Insert(std::move(t)).ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterRelation(std::move(s)).ok());
   }
 
   /// Runs `eql` under {optimizer on, off} x {fusion on, off} x
@@ -111,13 +124,14 @@ TEST_F(PlanTest, PushesSelectionBelowJoinAsPrefilter) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   // The single-side conjunct is prefiltered below the join (the join
   // keeps it for the membership arithmetic); the shrunken left side
-  // (40/4 = 10 < 12) flips the build side to the left operand. The
+  // (40/distinct(ld) = 5 < 12) flips the build side to the left
+  // operand. The
   // prefilter-over-scan chain is lowered to a fused pipeline (rendered
   // above the chain it replaced), which the probe loop consumes
   // directly: the probe side stays the catalog relation and the
   // conjunct is evaluated per probe morsel.
   EXPECT_EQ(*plan,
-            "join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
+            "join[(lk = rk) and (ld = 3); Q: true; build=left; ~1 rows]\n"
             "  fused pipeline[1 stage(s), 3 col(s)]\n"
             "    prefilter[ld = 3]\n"
             "      scan[L, 40 rows]\n"
@@ -135,7 +149,7 @@ TEST_F(PlanTest, PrunesPackedEvidenceColumnsOutOfJoinOperands) {
   // cardinalities (12 < 40 -> right).
   EXPECT_EQ(*plan,
             "project[lk, rk, ld]\n"
-            "  join[lk = rk; Q: true; build=right]\n"
+            "  join[lk = rk; Q: true; build=right; ~12 rows]\n"
             "    project[lk, ld]\n"
             "      scan[L, 40 rows]\n"
             "    project[rk]\n"
@@ -155,7 +169,7 @@ TEST_F(PlanTest, PruningProjectionSitsAboveThePrefilter) {
   // rows (no intermediate relation per node).
   EXPECT_EQ(*plan,
             "project[lk, rk, ld]\n"
-            "  join[(lk = rk) and (ld = 3); Q: true; build=left]\n"
+            "  join[(lk = rk) and (ld = 3); Q: true; build=left; ~1 rows]\n"
             "    fused pipeline[1 stage(s), 2 col(s)]\n"
             "      project[lk, ld]\n"
             "        prefilter[ld = 3]\n"
@@ -204,6 +218,61 @@ TEST_F(PlanTest, ProjectSlidesBelowSelect) {
             "      project[lk, ld]\n"
             "        scan[L, 40 rows]");
   ExpectAllModesAgree("SELECT ld FROM L WHERE ld >= 6");
+}
+
+TEST_F(PlanTest, MultiwayJoinGetsCostOrderedEnumeration) {
+  QueryEngine engine(&catalog_);
+  auto plan = engine.Explain(
+      "SELECT * FROM L JOIN R JOIN S WHERE lk = rk AND ld = sd");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Greedy over the equi-edge graph: start at S (6 rows), add L through
+  // the ld = sd edge (6·40/8 = 30 beats crossing with R), finish with R
+  // through lk = rk (30·12/40 = 9 — also the node estimate, since every
+  // edge applies regardless of order: 40·12·6 / (40·8) = 9). Operands
+  // render in FROM order; only the enumeration is reordered.
+  EXPECT_EQ(*plan,
+            "multijoin[(lk = rk) and (ld = sd); Q: true; order=S, L, R; "
+            "~9 rows]\n"
+            "  scan[L, 40 rows]\n"
+            "  scan[R, 12 rows]\n"
+            "  scan[S, 6 rows]");
+  ExpectAllModesAgree(
+      "SELECT * FROM L JOIN R JOIN S WHERE lk = rk AND ld = sd");
+}
+
+TEST_F(PlanTest, MultiwayPushdownPrefiltersSingleOperandConjuncts) {
+  QueryEngine engine(&catalog_);
+  auto plan = engine.Explain(
+      "SELECT * FROM L, R, S WHERE lk = rk AND ld = sd AND ld = 3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The single-operand conjunct prefilters (and fuses) L's scan exactly
+  // as it would below a binary join; the shrunken L estimate (40/8 = 5)
+  // now starts the enumeration.
+  EXPECT_EQ(*plan,
+            "multijoin[(lk = rk) and (ld = sd) and (ld = 3); Q: true; "
+            "order=L, R, S; ~1 rows]\n"
+            "  fused pipeline[1 stage(s), 3 col(s)]\n"
+            "    prefilter[ld = 3]\n"
+            "      scan[L, 40 rows]\n"
+            "  scan[R, 12 rows]\n"
+            "  scan[S, 6 rows]");
+  ExpectAllModesAgree(
+      "SELECT * FROM L, R, S WHERE lk = rk AND ld = sd AND ld = 3");
+}
+
+TEST_F(PlanTest, MultiwayShapesPreserveResults) {
+  // Pure n-way product (threshold-only selection on top).
+  ExpectAllModesAgree("SELECT ld FROM L, R, S WITH sn >= 1");
+  // Star with an uncertain-attribute conjunct (stays in the multijoin
+  // predicate; only the definite equalities become edges).
+  ExpectAllModesAgree(
+      "SELECT * FROM L JOIN R JOIN S WHERE lk = rk AND ld = sd AND "
+      "lu IS {a0, a1}");
+  // No edge touching R: the enumeration must cross at some step.
+  ExpectAllModesAgree("SELECT sd FROM L JOIN R JOIN S WHERE ld = sd");
+  ExpectAllModesAgree(
+      "SELECT * FROM L JOIN R JOIN S WHERE lk = rk AND ld = sd "
+      "ORDER BY sn DESC LIMIT 7");
 }
 
 TEST_F(PlanTest, OptimizerPreservesResultsAcrossShapes) {

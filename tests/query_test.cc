@@ -275,7 +275,7 @@ TEST(ParserTest, ParsesSelectList) {
   ASSERT_TRUE(q.ok()) << q.status();
   EXPECT_EQ(q->select, (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(q->from.op, eql::SourceOp::kScan);
-  EXPECT_EQ(q->from.left, "R");
+  EXPECT_EQ(q->from.relations, (std::vector<std::string>{"R"}));
 }
 
 TEST(ParserTest, ParsesStar) {
@@ -295,6 +295,31 @@ TEST(ParserTest, ParsesUnionJoinProduct) {
             eql::SourceOp::kJoin);
   EXPECT_EQ(ParseQuery("SELECT * FROM A PRODUCT B")->from.op,
             eql::SourceOp::kProduct);
+}
+
+TEST(ParserTest, ParsesMultiRelationFromLists) {
+  auto commas = ParseQuery("SELECT * FROM A, B, C");
+  ASSERT_TRUE(commas.ok()) << commas.status();
+  EXPECT_EQ(commas->from.op, eql::SourceOp::kProduct);
+  EXPECT_EQ(commas->from.relations, (std::vector<std::string>{"A", "B", "C"}));
+
+  auto chained = ParseQuery("SELECT * FROM A JOIN B JOIN C JOIN D");
+  ASSERT_TRUE(chained.ok()) << chained.status();
+  EXPECT_EQ(chained->from.op, eql::SourceOp::kJoin);
+  EXPECT_EQ(chained->from.relations,
+            (std::vector<std::string>{"A", "B", "C", "D"}));
+
+  // A mixed chain is a join: each comma is a pure product factor, and a
+  // product is a join with an always-true predicate.
+  auto mixed = ParseQuery("SELECT * FROM A, B JOIN C");
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_EQ(mixed->from.op, eql::SourceOp::kJoin);
+  EXPECT_EQ(mixed->from.relations, (std::vector<std::string>{"A", "B", "C"}));
+
+  // UNION / INTERSECT stay strictly binary.
+  EXPECT_FALSE(ParseQuery("SELECT * FROM A UNION B UNION C").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM A, B UNION C").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM A, ").ok());
 }
 
 TEST(ParserTest, ParsesIsConditionValues) {

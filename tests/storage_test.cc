@@ -262,7 +262,11 @@ TEST(ColumnImageFormatTest, RejectsUnsupportedVersion) {
 
 TEST(ColumnImageFormatTest, EveryTruncationIsACleanParseError) {
   Catalog catalog = GeneratedCatalog(11, 6);
-  const std::string blob = WriteErelColumnImage(catalog);
+  // Footerless blob: with the optional statistics footer, the prefix
+  // ending exactly at the footer boundary is itself a valid file (the
+  // footered case is covered below).
+  const std::string blob =
+      WriteErelColumnImage(catalog, /*include_statistics=*/false);
   // Every proper prefix is missing data somewhere: the reader must
   // return a Status (never read out of bounds). Prefixes shorter than
   // the magic fall into the text parser, which rejects them too.
@@ -271,6 +275,54 @@ TEST(ColumnImageFormatTest, EveryTruncationIsACleanParseError) {
     ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
     ASSERT_EQ(loaded.status().code(), StatusCode::kParseError)
         << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(ColumnImageFormatTest, StatisticsFooterRoundTrips) {
+  Catalog catalog = GeneratedCatalog(19, 70);
+  const TableStatistics& built =
+      catalog.GetRelation("W").value()->columns().statistics();
+  const std::string blob = WriteErelColumnImage(catalog);
+  auto loaded = ReadErel(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ExtendedRelation* rel = loaded->GetRelation("W").value();
+  const TableStatistics& restored = rel->columns().statistics();
+  EXPECT_EQ(rel->rows_materialized(), 0u);
+  ASSERT_EQ(restored.row_count, built.row_count);
+  ASSERT_EQ(restored.attributes.size(), built.attributes.size());
+  for (size_t a = 0; a < built.attributes.size(); ++a) {
+    EXPECT_EQ(restored.attributes[a].distinct, built.attributes[a].distinct)
+        << "attr " << a;
+    EXPECT_EQ(restored.attributes[a].exact, built.attributes[a].exact)
+        << "attr " << a;
+  }
+  EXPECT_EQ(restored.sn_histogram, built.sn_histogram);
+  EXPECT_EQ(restored.sp_histogram, built.sp_histogram);
+  ExpectBitExact(*catalog.GetRelation("W").value(), *rel);
+}
+
+TEST(ColumnImageFormatTest, FooterlessFilesLoadAndFooterTruncationsFail) {
+  Catalog catalog = GeneratedCatalog(29, 12);
+  const std::string footerless =
+      WriteErelColumnImage(catalog, /*include_statistics=*/false);
+  const std::string footered = WriteErelColumnImage(catalog);
+  ASSERT_LT(footerless.size(), footered.size());
+  ASSERT_EQ(footered.compare(0, footerless.size(), footerless), 0);
+  // A file without the footer (an older writer) loads identically; its
+  // statistics are just re-profiled on demand.
+  auto loaded = ReadErel(footerless);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectBitExact(*catalog.GetRelation("W").value(),
+                 *loaded->GetRelation("W").value());
+  EXPECT_GT(loaded->GetRelation("W").value()->columns().statistics().row_count,
+            0u);
+  // Truncating strictly inside the footer must fail cleanly; truncating
+  // exactly at the footer boundary is the footerless file above.
+  for (size_t len = footerless.size() + 1; len < footered.size(); ++len) {
+    auto partial = ReadErel(footered.substr(0, len));
+    ASSERT_FALSE(partial.ok()) << "footer prefix of " << len << " bytes";
+    ASSERT_EQ(partial.status().code(), StatusCode::kParseError)
+        << "footer prefix of " << len << " bytes";
   }
 }
 

@@ -11,9 +11,11 @@ Usage:
   tools/bench_compare.py OLD.json NEW.json
   tools/bench_compare.py --threshold 10 bench/out/BENCH_PERF.json /tmp/new.json
 
-Exit status is 0 unless --threshold is given and some benchmark slowed
-down by more than that percentage, which exits 1 — usable as a cheap
-perf gate. Stdlib only; no third-party dependencies.
+Exit status is 0 unless a benchmark present in the baseline disappeared
+from the candidate (coverage must never silently shrink), or --threshold
+is given and some benchmark slowed down by more than that percentage;
+both exit 1 — usable as a cheap perf gate. Stdlib only; no third-party
+dependencies.
 """
 
 import argparse
@@ -92,6 +94,14 @@ def main():
         )
         for binary, name, delta in regressions:
             print(f"  {binary}:{name}  {delta:+.1f}%", file=sys.stderr)
+        return 1
+    if removed:
+        print(
+            f"FAIL: {len(removed)} benchmark(s) removed from the baseline:",
+            file=sys.stderr,
+        )
+        for binary, name in removed:
+            print(f"  {binary}:{name}", file=sys.stderr)
         return 1
     return 0
 
