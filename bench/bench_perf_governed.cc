@@ -1,0 +1,103 @@
+// P6: resource-governor overhead — the cost of *being governed* when no
+// limit ever trips. A governed-but-unconstrained QueryContext adds one
+// relaxed atomic load per poll site (morsel boundaries, ~1024-iteration
+// serial ticks) plus a handful of per-operator charge adds; the contract
+// is that a governed fused scan stays within low single-digit percent of
+// the ungoverned run, so governance can be left on in production.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "perf_bench_main.h"
+#include "common/domain.h"
+#include "common/rng.h"
+#include "core/extended_relation.h"
+#include "core/parallel.h"
+#include "core/query_context.h"
+#include "core/schema.h"
+#include "query/engine.h"
+#include "storage/catalog.h"
+
+namespace evident {
+namespace {
+
+/// The fused-pipeline bench relation: unique int key, a definite spread
+/// over 0..63 and two packed uncertain attributes over a 12-value frame.
+ExtendedRelation BenchRelation(const std::string& name, size_t rows,
+                               uint64_t seed) {
+  Rng rng(seed);
+  DomainPtr dom = [&] {
+    std::vector<std::string> symbols;
+    for (size_t i = 0; i < 12; ++i) symbols.push_back("v" + std::to_string(i));
+    return Domain::MakeSymbolic("gdom", symbols).value();
+  }();
+  SchemaPtr schema =
+      RelationSchema::Make({AttributeDef::Key("lk"),
+                            AttributeDef::Definite("ld"),
+                            AttributeDef::Uncertain("lu0", dom),
+                            AttributeDef::Uncertain("lu1", dom)})
+          .value();
+  ExtendedRelation rel(name, schema);
+  for (size_t i = 0; i < rows; ++i) {
+    ExtendedTuple t;
+    MassFunction m0(12), m1(12);
+    ValueSet a(12), b(12), c(12);
+    a.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    c.Set(rng.Below(12));
+    (void)m0.Add(a, 0.6);
+    (void)m0.Add(b, 0.4);
+    (void)m1.Add(c, 1.0);
+    t.cells = {Value(static_cast<int64_t>(i)),
+               Value(static_cast<int64_t>(rng.Below(64))),
+               EvidenceSet::MakeTrusted(dom, std::move(m0)),
+               EvidenceSet::MakeTrusted(dom, std::move(m1))};
+    t.membership = SupportPair::Certain();
+    if (!rel.Insert(std::move(t)).ok()) std::abort();
+  }
+  return rel;
+}
+
+/// range(0) = rows, range(1) = governed on/off. The same fused scan
+/// pipeline (prefilter + evidence select + pruning projection) either
+/// ungoverned or under an attached QueryContext with no limits set —
+/// every poll and charge site runs, nothing ever trips. Pinned to
+/// threads=1 so the measured gap is pure governance overhead.
+void BM_GovernedOverhead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool governed = state.range(1) != 0;
+  Catalog catalog;
+  if (!catalog.RegisterRelation(BenchRelation("L", n, 47)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  (void)catalog.GetRelation("L").value()->columns();
+  QueryEngine engine(&catalog);
+  QueryContext ctx;  // unconstrained: no deadline, budget or cap
+  if (governed) engine.set_query_context(&ctx);
+  SetParallelMaxThreads(1);
+  const std::string stmt =
+      "SELECT lk, ld FROM L WHERE ld = 7 AND lu0 IS {v0, v1, v2} WITH sn > 0";
+  for (auto _ : state) {
+    auto result = engine.Execute(stmt);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  SetParallelMaxThreads(0);
+  state.SetLabel(governed ? "governed (unconstrained)" : "ungoverned");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GovernedOverhead)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({65536, 0})->Args({65536, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evident
+
+EVIDENT_PERF_BENCH_MAIN("bench_perf_governed",
+                        "BM_GovernedOverhead/4096/[01]$")

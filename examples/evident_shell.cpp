@@ -9,14 +9,23 @@
 //   \show <relation>        print a relation
 //   \explain <eql>          show the query plan
 //   \save <path>            save the catalog as .erel
+//   \deadline <ms>          per-query deadline in milliseconds (0 = off)
+//   \budget <bytes>         per-query memory budget (0 = unlimited)
+//   \rowcap <rows>          per-query output row cap (0 = unlimited)
+//   \limits                 show the governor's limits and last-query usage
 //   \quit                   exit
 // anything else is executed as an EQL query, e.g.
 //   SELECT rname FROM RA UNION RB WHERE rating IS {ex} WITH sn >= 0.8
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "common/str_util.h"
+#include "core/query_context.h"
 #include "query/engine.h"
 #include "storage/erel_format.h"
 #include "text/table_renderer.h"
@@ -35,6 +44,20 @@ Catalog DefaultCatalog() {
   (void)catalog.RegisterRelation(paper::TableRMA().value());
   (void)catalog.RegisterRelation(paper::TableRMB().value());
   return catalog;
+}
+
+/// Parses the non-negative integer argument of a governor command;
+/// returns false (with a message) on malformed input.
+bool ParseLimit(const std::string& arg, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(arg.c_str(), &end, 10);
+  if (arg.empty() || errno != 0 || end != arg.c_str() + arg.size()) {
+    std::printf("expected a non-negative integer, got '%s'\n", arg.c_str());
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
 }
 
 }  // namespace
@@ -64,8 +87,21 @@ int main(int argc, char** argv) {
   RenderOptions render;
   render.mass_decimals = 3;
 
+  // The shell's resource governor: one context for the session, attached
+  // to the engine only while at least one limit is set (the engine calls
+  // BeginQuery per statement, so counters reset and the deadline re-arms
+  // on every query).
+  QueryContext governor;
+  const auto sync_governor = [&] {
+    const bool governed = governor.has_deadline() ||
+                          governor.memory_budget() > 0 ||
+                          governor.row_cap() > 0;
+    engine.set_query_context(governed ? &governor : nullptr);
+  };
+
   std::printf("evident shell — type \\tables, \\show <rel>, \\explain "
-              "<eql>, \\save <path>, \\quit, or an EQL query\n");
+              "<eql>, \\save <path>, \\deadline <ms>, \\budget <bytes>, "
+              "\\rowcap <rows>, \\limits, \\quit, or an EQL query\n");
   std::string line;
   while (true) {
     std::printf("eql> ");
@@ -101,6 +137,67 @@ int main(int argc, char** argv) {
     if (StartsWith(input, "\\save ")) {
       Status st = SaveErelFile(catalog, Trim(input.substr(6)));
       std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\deadline ")) {
+      uint64_t ms = 0;
+      if (!ParseLimit(Trim(input.substr(10)), &ms)) continue;
+      if (ms == 0) {
+        governor.clear_deadline();
+      } else {
+        governor.set_deadline(std::chrono::milliseconds(ms));
+      }
+      sync_governor();
+      std::printf("deadline: %s\n", ms == 0 ? "off"
+                                            : (std::to_string(ms) + " ms").c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\budget ")) {
+      uint64_t bytes = 0;
+      if (!ParseLimit(Trim(input.substr(8)), &bytes)) continue;
+      governor.set_memory_budget(bytes);
+      sync_governor();
+      std::printf("memory budget: %s\n",
+                  bytes == 0 ? "unlimited"
+                             : (std::to_string(bytes) + " bytes").c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\rowcap ")) {
+      uint64_t rows = 0;
+      if (!ParseLimit(Trim(input.substr(8)), &rows)) continue;
+      governor.set_row_cap(rows);
+      sync_governor();
+      std::printf("row cap: %s\n", rows == 0 ? "unlimited"
+                                             : std::to_string(rows).c_str());
+      continue;
+    }
+    if (input == "\\limits") {
+      if (governor.has_deadline()) {
+        std::printf("  deadline:      %lld ms\n",
+                    static_cast<long long>(
+                        std::chrono::duration_cast<std::chrono::milliseconds>(
+                            governor.deadline_duration())
+                            .count()));
+      } else {
+        std::printf("  deadline:      off\n");
+      }
+      if (governor.memory_budget() > 0) {
+        std::printf("  memory budget: %llu bytes\n",
+                    static_cast<unsigned long long>(governor.memory_budget()));
+      } else {
+        std::printf("  memory budget: unlimited\n");
+      }
+      if (governor.row_cap() > 0) {
+        std::printf("  row cap:       %llu rows\n",
+                    static_cast<unsigned long long>(governor.row_cap()));
+      } else {
+        std::printf("  row cap:       unlimited\n");
+      }
+      std::printf("  last query:    %llu rows, %llu bytes charged, "
+                  "%llu morsels\n",
+                  static_cast<unsigned long long>(governor.rows_charged()),
+                  static_cast<unsigned long long>(governor.bytes_charged()),
+                  static_cast<unsigned long long>(governor.morsels_completed()));
       continue;
     }
     auto result = engine.Execute(input);

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kExecError:
+      return "ExecError";
   }
   return "Unknown";
 }

@@ -31,6 +31,10 @@ enum class StatusCode {
   kOutOfRange,
   /// Internal invariant failure; indicates a library bug.
   kInternal,
+  /// Execution was stopped by the resource governor (deadline, memory
+  /// budget, row cap, cancellation) or by an I/O failure while running.
+  /// The engine and catalog remain fully usable for the next query.
+  kExecError,
 };
 
 /// \brief Human-readable name of a status code, e.g. "InvalidArgument".
@@ -73,6 +77,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ExecError(std::string msg) {
+    return Status(StatusCode::kExecError, std::move(msg));
   }
   /// @}
 

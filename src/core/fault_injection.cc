@@ -1,0 +1,44 @@
+#include "core/fault_injection.h"
+
+namespace evident {
+namespace fault {
+
+namespace {
+
+struct State {
+  bool armed = false;
+  Site site = Site::kAllocation;
+  uint64_t nth = 0;  // 0 = count-only
+  uint64_t hits = 0;
+};
+
+// Plain POD thread_local: no dynamic initialization, so consulting it
+// from the allocation hook can never itself allocate.
+thread_local State t_state;
+
+}  // namespace
+
+void Arm(Site site, uint64_t nth) {
+  t_state.armed = true;
+  t_state.site = site;
+  t_state.nth = nth;
+  t_state.hits = 0;
+}
+
+void Disarm() { t_state.armed = false; }
+
+uint64_t Hits() { return t_state.hits; }
+
+bool ShouldFail(Site site) {
+  State& s = t_state;
+  if (!s.armed || s.site != site) return false;
+  ++s.hits;
+  if (s.nth != 0 && s.hits == s.nth) {
+    s.armed = false;  // one-shot: the error path after the fault succeeds
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fault
+}  // namespace evident

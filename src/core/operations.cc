@@ -16,6 +16,7 @@
 #include "core/column_store.h"
 #include "core/join_plan.h"
 #include "core/parallel.h"
+#include "core/query_context.h"
 
 namespace evident {
 
@@ -50,6 +51,33 @@ size_t CappedProductReserve(size_t l, size_t r) {
   if (l == 0 || r == 0) return 0;
   if (r > kMaxReserveRows / l) return kMaxReserveRows;
   return l * r;
+}
+
+/// Serial governed loops (product tiling, multiway enumeration, the
+/// row-mode predicate walks) poll the query context every this many
+/// iterations — frequent enough that a 1 ms deadline lands mid-loop,
+/// rare enough to stay invisible in profiles.
+constexpr uint64_t kGovernorTick = 1024;
+
+/// The operator-completion charge: output rows against the row cap, then
+/// rows × FootprintPerRow(schema) against the memory budget. Both
+/// executors of an operator emit the same logical output, so governed
+/// charge sequences — and therefore budget/cap errors — are identical
+/// across execution modes. Free when ungoverned.
+Status GovernorChargeOutput(const RelationSchema& schema, uint64_t rows) {
+  QueryContext* const ctx = CurrentQueryContext();
+  if (ctx == nullptr) return Status::OK();
+  return ctx->ChargeOutput(schema, rows);
+}
+
+/// After a parallel pass of a governed query: workers stop claiming
+/// morsels once a limit trips, leaving later slots benignly empty —
+/// surface the sticky first error instead of assembling a truncated
+/// result.
+Status GovernorAfterPass() {
+  QueryContext* const ctx = CurrentQueryContext();
+  if (ctx != nullptr && ctx->failed()) return ctx->first_error();
+  return Status::OK();
 }
 
 /// Hash of the definite cells at `indices`, mixed exactly like the key
@@ -196,11 +224,23 @@ Result<ExtendedRelation> HashEquiJoin(const ExtendedRelation& left,
             rows.push_back(std::move(t));
           }
         }
+        // Incremental row-cap charge at the mode-invariant emission site:
+        // per-morsel pair counts are identical in the columnar splice
+        // executor, so the cap trips (count-free message) iff it trips
+        // there. Errors are sticky; the post-pass check surfaces them.
+        if (QueryContext* const ctx = CurrentQueryContext()) {
+          (void)ctx->ChargeRows(rows.size());
+        }
       });
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
   size_t total = 0;
   for (size_t morsel = 0; morsel < morsel_count; ++morsel) {
     EVIDENT_RETURN_NOT_OK(morsel_status[morsel]);
     total += morsel_rows[morsel].size();
+  }
+  if (QueryContext* const ctx = CurrentQueryContext()) {
+    // Completion memory charge, before the output buffer is reserved.
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeMemory(*schema, total));
   }
   out.Reserve(total);
   for (std::vector<ExtendedTuple>& rows : morsel_rows) {
@@ -230,7 +270,12 @@ Result<ExtendedRelation> SelectRows(const ExtendedRelation& input,
                                     const MembershipThreshold& threshold) {
   ExtendedRelation out("select(" + input.name() + ")", input.schema());
   out.Reserve(input.size());
+  QueryContext* const ctx = CurrentQueryContext();
+  uint64_t tick = 0;
   for (const ExtendedTuple& r : input.rows()) {
+    if (ctx != nullptr && ++tick % kGovernorTick == 0) {
+      EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+    }
     EVIDENT_ASSIGN_OR_RETURN(SupportPair support,
                              predicate->Evaluate(r, *input.schema()));
     // F_TM: predicate satisfaction and original membership are treated as
@@ -243,6 +288,7 @@ Result<ExtendedRelation> SelectRows(const ExtendedRelation& input,
     // the component-wise product preserves sn <= sp).
     EVIDENT_RETURN_NOT_OK(out.InsertTrusted(ExtendedTuple(r.cells, revised)));
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), out.size()));
   return out;
 }
 
@@ -293,6 +339,7 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
                        bound.EvaluateColumns(store, begin, end,
                                              supports.data());
                      });
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
 
   std::vector<uint32_t> keep;
   std::vector<SupportPair> revised_memberships;
@@ -305,6 +352,7 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
     keep.push_back(static_cast<uint32_t>(i));
     revised_memberships.push_back(revised);
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), keep.size()));
 
   return ExtendedRelation::AdoptColumns(
       SpliceKeptRows(store, "select(" + input.name() + ")", keep,
@@ -319,7 +367,12 @@ Result<ExtendedRelation> FilterPositiveSupportRows(
     const std::vector<PredicatePtr>& conjuncts) {
   ExtendedRelation out(input.name(), input.schema());
   out.Reserve(input.size());
+  QueryContext* const ctx = CurrentQueryContext();
+  uint64_t tick = 0;
   for (const ExtendedTuple& r : input.rows()) {
+    if (ctx != nullptr && ++tick % kGovernorTick == 0) {
+      EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+    }
     bool keep = true;
     for (const PredicatePtr& conjunct : conjuncts) {
       EVIDENT_ASSIGN_OR_RETURN(SupportPair support,
@@ -331,6 +384,7 @@ Result<ExtendedRelation> FilterPositiveSupportRows(
     }
     if (keep) EVIDENT_RETURN_NOT_OK(out.InsertTrusted(r));
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), out.size()));
   return out;
 }
 
@@ -365,6 +419,7 @@ Result<ExtendedRelation> FilterPositiveSupportColumnar(
                          }
                        });
   }
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
   std::vector<uint32_t> keep;
   std::vector<SupportPair> memberships;
   for (size_t i = 0; i < n; ++i) {
@@ -372,6 +427,7 @@ Result<ExtendedRelation> FilterPositiveSupportColumnar(
     keep.push_back(static_cast<uint32_t>(i));
     memberships.push_back(store.membership(i));
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), keep.size()));
   return ExtendedRelation::AdoptColumns(
       SpliceKeptRows(store, input.name(), keep, memberships));
 }
@@ -584,6 +640,7 @@ Result<ExtendedRelation> UnionRows(const ExtendedRelation& left,
                      [&](size_t, size_t begin, size_t end) {
                        for (size_t i = begin; i < end; ++i) merge_row(i);
                      });
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
 
   std::vector<uint8_t> matched_right(right.size(), 0);
   for (size_t i = 0; i < slots.size(); ++i) {
@@ -609,6 +666,7 @@ Result<ExtendedRelation> UnionRows(const ExtendedRelation& left,
     if (matched_right[j]) continue;
     EVIDENT_RETURN_NOT_OK(out.InsertTrusted(right.row(j)));
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*left.schema(), out.size()));
   return out;
 }
 
@@ -670,6 +728,7 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
                          match[i] = right.ProbeEncodedKey(left_keys.key(i));
                        }
                      });
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
 
   std::vector<uint32_t> pair_left, pair_right;
   for (size_t i = 0; i < n; ++i) {
@@ -727,6 +786,7 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
                                &batch.morsels[morsel]);
           }
         });
+    EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
   }
 
   // Phase 3: verdict, in left-row order.
@@ -740,7 +800,11 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
   out_rows.reserve(n + right.size() - pairs);
   std::vector<SupportPair> pair_membership(pairs);
   size_t pair_index = 0;
+  QueryContext* const ctx = CurrentQueryContext();
   for (size_t i = 0; i < n; ++i) {
+    if (ctx != nullptr && (i + 1) % kGovernorTick == 0) {
+      EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+    }
     if (match[i] == kNoMatch) {
       out_rows.push_back({RowSource::kLeft, static_cast<uint32_t>(i), 0});
       continue;
@@ -865,6 +929,8 @@ Result<ExtendedRelation> UnionColumnar(const ExtendedRelation& left,
       merged_tags->push_back(row.source == RowSource::kMerged ? 1 : 0);
     }
   }
+
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*schema, out_rows.size()));
 
   // Phase 4: build the output's column image.
   ColumnStore out = ColumnStore::EmptyLike(
@@ -1048,6 +1114,8 @@ Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
       keep.push_back(static_cast<uint32_t>(i));
       memberships.push_back(store.membership(i));
     }
+    EVIDENT_RETURN_NOT_OK(
+        GovernorChargeOutput(*merged.schema(), keep.size()));
     return ExtendedRelation::AdoptColumns(SpliceKeptRows(
         store, left.name() + " n " + right.name(), keep, memberships));
   }
@@ -1062,6 +1130,7 @@ Result<ExtendedRelation> Intersect(const ExtendedRelation& left,
       EVIDENT_RETURN_NOT_OK(out.InsertTrusted(t));
     }
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*merged.schema(), out.size()));
   return out;
 }
 
@@ -1145,6 +1214,7 @@ Result<ExtendedRelation> ProjectColumnar(const ExtendedRelation& input,
       return MakeDuplicateKeyError(KeyOfStoreRow(out, r), out.name());
     }
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*schema, n));
   return ExtendedRelation::AdoptColumns(std::move(out));
 }
 
@@ -1201,6 +1271,7 @@ Result<ExtendedRelation> Project(const ExtendedRelation& input,
     t.membership = r.membership;
     EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
   }
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*schema, out.size()));
   return out;
 }
 
@@ -1479,10 +1550,33 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
             out.memberships.push_back(revised);
           }
         }
+        if (probe_filter == nullptr) {
+          // Incremental row-cap charge at the mode-invariant emission
+          // site (see HashEquiJoin). With a fused probe filter every
+          // charge is deferred to the post-pass block below, where the
+          // unfused filter-then-join sequence is replayed exactly.
+          if (QueryContext* const ctx = CurrentQueryContext()) {
+            (void)ctx->ChargeRows(out.pair_left.size());
+          }
+        }
       });
+  EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
 
   size_t total = 0;
   for (const MorselPairs& morsel : morsels) total += morsel.pair_left.size();
+  if (QueryContext* const ctx = CurrentQueryContext()) {
+    if (probe_filter != nullptr) {
+      // The unfused plan materializes FilterPositiveSupport(probe) and
+      // charges its survivors before the join's pair and memory charges;
+      // replay that exact sequence so fusing the probe never changes
+      // which limit trips (or its message).
+      uint64_t survivors = 0;
+      for (const uint8_t dropped : filter_drop) survivors += dropped == 0;
+      EVIDENT_RETURN_NOT_OK(ctx->ChargeOutput(*probe.schema(), survivors));
+      EVIDENT_RETURN_NOT_OK(ctx->ChargeRows(total));
+    }
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeMemory(*schema, total));
+  }
   std::vector<uint32_t> pair_left, pair_right;
   std::vector<SupportPair> memberships;
   pair_left.reserve(total);
@@ -1518,13 +1612,30 @@ Result<ExtendedRelation> ProductColumnarSplice(const ExtendedRelation& left,
   pair_left.reserve(reserve);
   pair_right.reserve(reserve);
   memberships.reserve(reserve);
+  // The governed tiling loop charges the row cap in kGovernorTick-sized
+  // batches and polls the deadline with them: |L|·|R| can dwarf the
+  // operand sizes, so a runaway product must trip mid-loop, not after
+  // materializing everything. The row executor uses the identical
+  // batching over the identical pair order.
+  QueryContext* const ctx = CurrentQueryContext();
+  uint64_t pending = 0;
   for (size_t i = 0; i < ln; ++i) {
     const SupportPair lm = lstore.membership(i);
     for (size_t j = 0; j < rn; ++j) {
+      if (ctx != nullptr && ++pending == kGovernorTick) {
+        EVIDENT_RETURN_NOT_OK(ctx->ChargeRows(pending));
+        pending = 0;
+        EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+      }
       pair_left.push_back(static_cast<uint32_t>(i));
       pair_right.push_back(static_cast<uint32_t>(j));
       memberships.push_back(lm.Multiply(rstore.membership(j)));  // F_TM
     }
+  }
+  if (ctx != nullptr) {
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeRows(pending));
+    EVIDENT_RETURN_NOT_OK(
+        ctx->ChargeMemory(*schema, static_cast<uint64_t>(ln) * rn));
   }
   return ExtendedRelation::AdoptColumns(SplicePairColumns(
       schema, left.name() + " x " + right.name(), lstore, rstore, pair_left,
@@ -1541,8 +1652,17 @@ Result<ExtendedRelation> ProductWithSchema(const ExtendedRelation& left,
   }
   ExtendedRelation out(left.name() + " x " + right.name(), schema);
   out.Reserve(CappedProductReserve(left.size(), right.size()));
+  // Same batched governor charges as ProductColumnarSplice, over the
+  // identical pair order.
+  QueryContext* const ctx = CurrentQueryContext();
+  uint64_t pending = 0;
   for (const ExtendedTuple& r : left.rows()) {
     for (const ExtendedTuple& s : right.rows()) {
+      if (ctx != nullptr && ++pending == kGovernorTick) {
+        EVIDENT_RETURN_NOT_OK(ctx->ChargeRows(pending));
+        pending = 0;
+        EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+      }
       ExtendedTuple t;
       t.cells.reserve(r.cells.size() + s.cells.size());
       t.cells.insert(t.cells.end(), r.cells.begin(), r.cells.end());
@@ -1550,6 +1670,11 @@ Result<ExtendedRelation> ProductWithSchema(const ExtendedRelation& left,
       t.membership = r.membership.Multiply(s.membership);  // F_TM
       EVIDENT_RETURN_NOT_OK(out.InsertTrusted(std::move(t)));
     }
+  }
+  if (ctx != nullptr) {
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeRows(pending));
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeMemory(
+        *schema, static_cast<uint64_t>(left.size()) * right.size()));
   }
   return out;
 }
@@ -1748,7 +1873,17 @@ Result<ExtendedRelation> MultiwayReferenceJoin(
   ExtendedRelation product(std::move(product_name), schema);
   product.Reserve(bound);
   std::vector<size_t> idx(n_ops, 0);
+  // The odometer enumerates the full cross product — the internal
+  // reference materialization stays uncharged (the enumerate path's
+  // intermediate match set has a different size, and only the final
+  // operator output may be charged for mode parity), so the deadline
+  // poll is what bounds a runaway product here.
+  QueryContext* const ctx = CurrentQueryContext();
+  uint64_t tick = 0;
   while (true) {
+    if (ctx != nullptr && ++tick % kGovernorTick == 0) {
+      EVIDENT_RETURN_NOT_OK(ctx->PollTick());
+    }
     ExtendedTuple t;
     t.cells.reserve(total_attrs);
     for (size_t i = 0; i < n_ops; ++i) {
@@ -1765,7 +1900,12 @@ Result<ExtendedRelation> MultiwayReferenceJoin(
     }
     if (pos == 0) break;
   }
-  if (predicate == nullptr) return product;
+  if (predicate == nullptr) {
+    // The product IS the operator output here; with a predicate the
+    // Select below charges the (mode-identical) final output instead.
+    EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*schema, product.size()));
+    return product;
+  }
   return Select(product, predicate, threshold);
 }
 
@@ -1863,6 +2003,13 @@ Result<ExtendedRelation> MultiwayJoinProduct(
     placed[first] = true;
   }
 
+  // Enumeration is serial and can visit far more combinations than it
+  // keeps; poll the governed deadline every ~kGovernorTick visited
+  // tuples. The intermediate match set is deliberately uncharged — see
+  // MultiwayReferenceJoin — so only the polls bound a hostile shape.
+  QueryContext* const query_ctx = CurrentQueryContext();
+  uint64_t tick = 0;
+
   for (size_t k = 1; k < n_ops; ++k) {
     const size_t opj = order[k];
     const ColumnStore& bstore = *stores[opj];
@@ -1903,6 +2050,9 @@ Result<ExtendedRelation> MultiwayJoinProduct(
       for (auto& col : next) col.reserve(reserve);
       for (size_t t = 0; t < count; ++t) {
         for (size_t r = 0; r < bn; ++r) {
+          if (query_ctx != nullptr && ++tick % kGovernorTick == 0) {
+            EVIDENT_RETURN_NOT_OK(query_ctx->PollTick());
+          }
           for (size_t kk = 0; kk < k; ++kk) next[kk].push_back(cols[kk][t]);
           next[k].push_back(static_cast<uint32_t>(r));
         }
@@ -1922,6 +2072,9 @@ Result<ExtendedRelation> MultiwayJoinProduct(
         heads[bucket] = static_cast<uint32_t>(r);
       }
       for (size_t t = 0; t < count; ++t) {
+        if (query_ctx != nullptr && ++tick % kGovernorTick == 0) {
+          EVIDENT_RETURN_NOT_OK(query_ctx->PollTick());
+        }
         // Probe hash mixed in build_attrs order, exactly like
         // StoreKeyHash, so equal keys land in the same bucket.
         uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -2009,6 +2162,9 @@ Result<ExtendedRelation> MultiwayJoinProduct(
     }
   }
   for (size_t t : perm) {
+    if (query_ctx != nullptr && ++tick % kGovernorTick == 0) {
+      EVIDENT_RETURN_NOT_OK(query_ctx->PollTick());
+    }
     SupportPair m = stores[0]->membership((*by_from[0])[t]);
     for (size_t i = 1; i < n_ops; ++i) {
       m = m.Multiply(stores[i]->membership((*by_from[i])[t]));  // F_TM
@@ -2016,7 +2172,13 @@ Result<ExtendedRelation> MultiwayJoinProduct(
     out.AppendMembership(m);
   }
   ExtendedRelation product = ExtendedRelation::AdoptColumns(std::move(out));
-  if (predicate == nullptr) return product;
+  if (predicate == nullptr) {
+    // Pure product: no edges bind, so the enumerate and reference paths
+    // materialize the identical full cross — charge it as the operator
+    // output (see MultiwayReferenceJoin for the with-predicate case).
+    EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*product_schema, count));
+    return product;
+  }
   return Select(product, predicate, threshold);
 }
 
@@ -2033,6 +2195,10 @@ Result<ExtendedRelation> RenameAttribute(const ExtendedRelation& input,
   std::vector<AttributeDef> defs = input.schema()->attributes();
   defs[index].name = to;
   EVIDENT_ASSIGN_OR_RETURN(SchemaPtr schema, RelationSchema::Make(defs));
+  // The logical charge model bills the renamed output in both modes even
+  // though the columnar path adopts the image zero-copy: charges must
+  // depend on the logical plan, not the storage layout.
+  EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*schema, input.size()));
   if (ColumnarExecutionEnabled()) {
     // A rename changes no cell: adopt the operand's column image under
     // the renamed schema (same attribute kinds and domains, so the

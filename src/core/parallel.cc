@@ -1,5 +1,7 @@
 #include "core/parallel.h"
 
+#include "core/query_context.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -92,12 +94,21 @@ class MorselPool {
 
   /// Claims morsels from the shared cursor until none remain. Fixed
   /// boundaries: morsel m is [m*grain, min(n, (m+1)*grain)).
+  ///
+  /// Governed queries (CurrentQueryContext() != null) are polled once per
+  /// claimed morsel: a tripped deadline/cancel makes every drainer stop
+  /// claiming, the unexecuted morsels keep their callers' benign
+  /// pre-initialized slots, and the operator reads the sticky first error
+  /// off the context after the pass. Ungoverned execution pays one
+  /// relaxed load per morsel.
   static void Drain(const Job& job) {
     const bool was_in_job = t_in_morsel_job;
     t_in_morsel_job = true;
+    QueryContext* const ctx = CurrentQueryContext();
     for (;;) {
       const size_t m = job.cursor->fetch_add(1, std::memory_order_relaxed);
       if (m >= job.morsel_count) break;
+      if (ctx != nullptr && !ctx->PollMorsel().ok()) break;
       const size_t begin = m * job.grain;
       (*job.fn)(m, begin, std::min(job.n, begin + job.grain));
     }
@@ -226,8 +237,11 @@ void ParallelForMorsels(size_t n, size_t grain,
   const size_t workers = std::min(ParallelMaxThreads(), morsels);
   if (morsels == 1 || workers <= 1 || t_in_morsel_job) {
     // Tiny input or nested call: skip the queue entirely — same morsel
-    // boundaries, same results, no scheduler overhead.
+    // boundaries, same results, no scheduler overhead. Same per-morsel
+    // governor poll as the pool's Drain.
+    QueryContext* const ctx = CurrentQueryContext();
     for (size_t m = 0; m < morsels; ++m) {
+      if (ctx != nullptr && !ctx->PollMorsel().ok()) break;
       const size_t begin = m * grain;
       fn(m, begin, std::min(n, begin + grain));
     }

@@ -1,0 +1,135 @@
+#include "core/query_context.h"
+
+#include <string>
+
+namespace evident {
+
+namespace {
+
+// The one governed query at a time. A plain global (not thread_local):
+// the morsel pool's workers are different threads from the installer and
+// must observe the same context.
+std::atomic<QueryContext*> g_query_context{nullptr};
+
+}  // namespace
+
+QueryContext* CurrentQueryContext() {
+  return g_query_context.load(std::memory_order_acquire);
+}
+
+ScopedQueryContext::ScopedQueryContext(QueryContext* ctx)
+    : prev_(g_query_context.exchange(ctx, std::memory_order_acq_rel)) {}
+
+ScopedQueryContext::~ScopedQueryContext() {
+  g_query_context.store(prev_, std::memory_order_release);
+}
+
+void QueryContext::BeginQuery() {
+  cancel_.store(false, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  morsels_.store(0, std::memory_order_relaxed);
+  rows_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = Status::OK();
+  }
+  if (has_deadline_) {
+    deadline_tp_ = std::chrono::steady_clock::now() + deadline_duration_;
+  }
+}
+
+void QueryContext::Fail(Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!failed_.load(std::memory_order_relaxed)) {
+    first_error_ = std::move(error);
+    failed_.store(true, std::memory_order_release);
+  }
+}
+
+Status QueryContext::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+Status QueryContext::CheckCancelAndDeadline() {
+  if (failed_.load(std::memory_order_acquire)) return first_error();
+  if (cancel_.load(std::memory_order_acquire)) {
+    Fail(Status::ExecError("query canceled: cancellation requested"));
+    return first_error();
+  }
+  if (has_deadline_ &&
+      std::chrono::steady_clock::now() >= deadline_tp_) {
+    Fail(Status::ExecError(
+        "query canceled: deadline exceeded after " +
+        std::to_string(morsels_.load(std::memory_order_relaxed)) +
+        " morsels"));
+    return first_error();
+  }
+  return Status::OK();
+}
+
+Status QueryContext::PollMorsel() {
+  morsels_.fetch_add(1, std::memory_order_relaxed);
+  return CheckCancelAndDeadline();
+}
+
+Status QueryContext::PollTick() { return CheckCancelAndDeadline(); }
+
+uint64_t QueryContext::FootprintPerRow(const RelationSchema& schema) {
+  // A logical cost model, not a physical byte count: stable across the
+  // row and columnar storage layouts so governed charges (and therefore
+  // budget errors) are identical in every execution mode. Membership
+  // pair + 16 bytes per definite/key value + a packed-span estimate per
+  // uncertain attribute scaled by its frame size.
+  uint64_t bytes = 16;  // (sn, sp)
+  for (const AttributeDef& attr : schema.attributes()) {
+    if (attr.is_uncertain()) {
+      const uint64_t universe =
+          attr.domain != nullptr ? attr.domain->size() : 64;
+      bytes += 32 + 4 * universe;
+    } else {
+      bytes += 16;
+    }
+  }
+  return bytes;
+}
+
+Status QueryContext::ChargeRows(uint64_t rows) {
+  if (failed_.load(std::memory_order_acquire)) return first_error();
+  const uint64_t total =
+      rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (row_cap_ != 0 && total > row_cap_) {
+    // Count-free message: parallel emission sites race on *when* the
+    // running total crosses the cap, but whether it crosses depends only
+    // on the operator's total output, so the trip (and this message) is
+    // deterministic across modes and thread counts.
+    Fail(Status::ExecError("row cap exceeded: query materialized more than " +
+                           std::to_string(row_cap_) + " rows"));
+    return first_error();
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ChargeMemory(const RelationSchema& schema,
+                                  uint64_t rows) {
+  if (failed_.load(std::memory_order_acquire)) return first_error();
+  const uint64_t requested = rows * FootprintPerRow(schema);
+  const uint64_t total =
+      bytes_.fetch_add(requested, std::memory_order_relaxed) + requested;
+  if (memory_budget_ != 0 && total > memory_budget_) {
+    Fail(Status::ExecError(
+        "memory budget exceeded: requested " + std::to_string(requested) +
+        " bytes, budget " + std::to_string(memory_budget_) + " bytes"));
+    return first_error();
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ChargeOutput(const RelationSchema& schema,
+                                  uint64_t rows) {
+  EVIDENT_RETURN_NOT_OK(ChargeRows(rows));
+  return ChargeMemory(schema, rows);
+}
+
+}  // namespace evident

@@ -9,6 +9,7 @@
 
 #include "core/column_store.h"
 #include "core/key_index.h"
+#include "core/query_context.h"
 
 namespace evident {
 
@@ -157,6 +158,13 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
   if (ColumnarExecutionEnabled()) {
     EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation rekeyed,
                              RekeyRightColumnar(left, right, matching));
+    // Both executors materialize the rekeyed right side (right.size()
+    // rows); charge it before the union so governed charges stay
+    // mode-invariant.
+    if (QueryContext* const ctx = CurrentQueryContext()) {
+      EVIDENT_RETURN_NOT_OK(
+          ctx->ChargeOutput(*right.schema(), rekeyed.size()));
+    }
     return Union(left, rekeyed, options);
   }
   // Rewrite each matched right tuple's key to the left tuple's key, then
@@ -224,6 +232,10 @@ Result<ExtendedRelation> MergeTuples(const ExtendedRelation& left,
       return Status::InvalidArgument(
           "matching info does not cover right row " + std::to_string(j));
     }
+  }
+  // Mirror of the columnar branch's rekeyed-materialization charge.
+  if (QueryContext* const ctx = CurrentQueryContext()) {
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeOutput(*right.schema(), rekeyed.size()));
   }
   return Union(left, rekeyed, options);
 }

@@ -50,6 +50,13 @@ Result<ExtendedRelation> QueryEngine::ExecuteParsed(
     const eql::ParsedQuery& query) const {
   EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan, Plan(query));
   if (query.explain) return PlanAsRelation(eql::RenderPlan(plan));
+  if (context_ == nullptr) return eql::ExecutePlan(plan);
+  // Governed execution: the context is discovered ambiently by the
+  // morsel scheduler and the operator layer (CurrentQueryContext), so no
+  // per-operator plumbing is needed. The deadline clock starts here —
+  // planning and parsing are not billed against it.
+  context_->BeginQuery();
+  ScopedQueryContext scope(context_);
   return eql::ExecutePlan(plan);
 }
 

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/extended_relation.h"
 #include "core/operations.h"
+#include "core/query_context.h"
 #include "query/ast.h"
 #include "query/plan.h"
 #include "storage/catalog.h"
@@ -66,6 +67,19 @@ class QueryEngine {
   void set_pipeline_fusion_enabled(bool enabled) { fuse_ = enabled; }
   bool pipeline_fusion_enabled() const { return fuse_; }
 
+  /// \brief Attaches a resource governor: every subsequent Execute /
+  /// ExecuteParsed installs `context` (ScopedQueryContext), calls its
+  /// BeginQuery(), and runs governed — deadline and cancellation polled
+  /// at morsel boundaries and in serial enumeration loops, operator
+  /// outputs charged against the memory budget and row cap. A tripped
+  /// limit surfaces as a deterministic ExecError; the engine, catalog and
+  /// worker pool stay fully usable for the next query. Pass nullptr to
+  /// detach. The caller keeps ownership; `context` must outlive every
+  /// governed Execute call. Cross-thread cancellation
+  /// (context->RequestCancel()) is safe while a query runs.
+  void set_query_context(QueryContext* context) { context_ = context; }
+  QueryContext* query_context() const { return context_; }
+
  private:
   /// Builds the bound logical plan and, when enabled, optimizes it and
   /// lowers fusible chains.
@@ -75,6 +89,7 @@ class QueryEngine {
   UnionOptions union_options_;
   bool optimize_ = true;
   bool fuse_ = true;
+  QueryContext* context_ = nullptr;  // not owned
 };
 
 }  // namespace evident

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "core/query_context.h"
 #include "integration/tuple_merger.h"
 #include "text/evidence_literal.h"
 
@@ -274,7 +275,16 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
   std::vector<uint8_t> keep(n);
   std::vector<SupportPair> members(n);
   std::vector<SupportPair> supports(n);
-  ParallelForMorsels(n, kFusedMorselGrain, [&](size_t, size_t begin,
+  // Per-(morsel, stage) survivor counts, recorded only for governed
+  // queries: the post-pass walk below replays the unfused chain's
+  // per-operator output charges, so fusing never changes which resource
+  // limit trips or the error it reports.
+  QueryContext* const query_ctx = CurrentQueryContext();
+  const size_t stage_count = node.fused_stages.size();
+  const size_t morsel_count = ParallelMorselCount(n, kFusedMorselGrain);
+  std::vector<uint64_t> stage_survivors(
+      query_ctx != nullptr ? morsel_count * stage_count : 0, 0);
+  ParallelForMorsels(n, kFusedMorselGrain, [&](size_t morsel, size_t begin,
                                                size_t end) {
     for (size_t r = begin; r < end; ++r) {
       keep[r] = 1;
@@ -305,7 +315,8 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
     // again by every stage above it.
     std::vector<uint32_t> alive;
     bool dense = true;
-    for (const PlanNode::FusedStage& stage : node.fused_stages) {
+    for (size_t s = 0; s < node.fused_stages.size(); ++s) {
+      const PlanNode::FusedStage& stage = node.fused_stages[s];
       if (dense) {
         if (!stage.trivial) {
           stage.bound.EvaluateColumns(store, begin, end, supports.data());
@@ -327,8 +338,44 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
         }
         alive.resize(out);
       }
+      if (query_ctx != nullptr) {
+        stage_survivors[morsel * stage_count + s] = alive.size();
+      }
     }
   });
+  if (query_ctx != nullptr) {
+    // Workers stop claiming morsels once a limit trips, leaving later
+    // keep[] slots benignly zero — surface the sticky first error
+    // instead of splicing a truncated result.
+    if (query_ctx->failed()) return query_ctx->first_error();
+    // Replay the unfused chain's charge sequence bottom-up (node.left is
+    // the topmost chain node): each fused-away filter stage charges its
+    // survivors against that chain node's schema, each interleaved
+    // projection charges the then-current row count against the
+    // projected schema — exactly what executing the chain would charge.
+    std::vector<const PlanNode*> chain;
+    for (const PlanNode* cur = node.left.get();
+         cur != nullptr && cur->op != PlanNode::Op::kScan;
+         cur = cur->left.get()) {
+      chain.push_back(cur);
+    }
+    uint64_t current = n;
+    size_t stage_idx = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const PlanNode* cur = *it;
+      if ((cur->op == PlanNode::Op::kPrefilter ||
+           cur->op == PlanNode::Op::kSelect) &&
+          stage_idx < stage_count) {
+        uint64_t survivors = 0;
+        for (size_t m = 0; m < morsel_count; ++m) {
+          survivors += stage_survivors[m * stage_count + stage_idx];
+        }
+        ++stage_idx;
+        current = survivors;
+      }
+      EVIDENT_RETURN_NOT_OK(query_ctx->ChargeOutput(*cur->schema, current));
+    }
+  }
   std::vector<uint32_t> kept;
   std::vector<SupportPair> memberships;
   for (size_t r = 0; r < n; ++r) {
@@ -541,6 +588,11 @@ Result<ExtendedRelation> ExecutePlan(const LogicalPlan& plan) {
   const size_t keep = plan.limit == 0
                           ? order.size()
                           : std::min(plan.limit, order.size());
+  // The ranked copy is a real materialization; its size is identical in
+  // every execution mode, so the charge is too.
+  if (QueryContext* const ctx = CurrentQueryContext()) {
+    EVIDENT_RETURN_NOT_OK(ctx->ChargeOutput(*projected.schema(), keep));
+  }
   ExtendedRelation ranked(projected.name(), projected.schema());
   ranked.Reserve(keep);
   for (size_t i = 0; i < keep; ++i) {

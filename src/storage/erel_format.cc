@@ -1,9 +1,15 @@
 #include "storage/erel_format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <cerrno>
 #include <cstdint>
-#include <fstream>
 #include <limits>
+#include <new>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +18,7 @@
 #include "common/math_util.h"
 #include "common/str_util.h"
 #include "core/column_store.h"
+#include "core/fault_injection.h"
 #include "text/evidence_literal.h"
 
 namespace evident {
@@ -73,7 +80,30 @@ namespace {
 constexpr char kColumnImageMagic[] = "EVCIMG";  // + 2 version digits
 constexpr char kColumnImageVersion[] = "02";
 constexpr char kStatisticsFooterMagic[] = "STATS001";
+constexpr char kChecksumTrailerMagic[] = "EVCRC001";
+constexpr size_t kChecksumTrailerSize = 12;  // 8-byte magic + u32 CRC
 constexpr uint32_t kNoDomain = std::numeric_limits<uint32_t>::max();
+
+/// IEEE CRC-32 (the zlib/PNG polynomial, reflected): the trailer's
+/// integrity check over every byte preceding it.
+uint32_t Crc32(const char* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -119,9 +149,12 @@ void PutValue(std::string* out, const Value& v) {
 /// it was reading so truncation errors point at the damaged section.
 class ByteReader {
  public:
-  explicit ByteReader(const std::string& data) : data_(data) {}
+  /// Reads `data[0, limit)` — the limit excludes a checksum trailer the
+  /// caller already verified and stripped.
+  ByteReader(const std::string& data, size_t limit)
+      : data_(data), limit_(limit) {}
 
-  size_t remaining() const { return data_.size() - pos_; }
+  size_t remaining() const { return limit_ - pos_; }
 
   Status Take(size_t n, const char* what, const char** bytes) {
     if (remaining() < n) {
@@ -206,6 +239,7 @@ class ByteReader {
 
  private:
   const std::string& data_;
+  size_t limit_;
   size_t pos_ = 0;
 };
 
@@ -265,13 +299,31 @@ Status ValidateEvidenceColumn(const std::string& attr_name, size_t universe,
 }
 
 Result<Catalog> ReadErelColumnImage(const std::string& data) {
-  if (data.size() < 8 ||
-      data.compare(6, 2, kColumnImageVersion) != 0) {
+  // Checksum trailer sniff: verified and stripped before any parsing, so
+  // a bit-rotted file fails the integrity check instead of feeding the
+  // parser damaged sections.
+  size_t limit = data.size();
+  if (limit >= kChecksumTrailerSize &&
+      data.compare(limit - kChecksumTrailerSize, 8, kChecksumTrailerMagic) ==
+          0) {
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(data[limit - 4 + i]))
+                << (8 * i);
+    }
+    limit -= kChecksumTrailerSize;
+    if (stored != Crc32(data.data(), limit)) {
+      return Status::ParseError(
+          "column-image checksum mismatch: the file is corrupt");
+    }
+  }
+  if (limit < 8 || data.compare(6, 2, kColumnImageVersion) != 0) {
     return Status::ParseError(
         "unsupported column-image version (expected EVCIMG" +
         std::string(kColumnImageVersion) + ")");
   }
-  ByteReader in(data);
+  ByteReader in(data, limit);
   {
     const char* magic;
     EVIDENT_RETURN_NOT_OK(in.Take(8, "magic", &magic));
@@ -574,7 +626,8 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
 }  // namespace
 
 std::string WriteErelColumnImage(const Catalog& catalog,
-                                 bool include_statistics) {
+                                 bool include_statistics,
+                                 bool include_checksum) {
   std::string out;
   out.append(kColumnImageMagic, 6);
   out.append(kColumnImageVersion, 2);
@@ -670,6 +723,11 @@ std::string WriteErelColumnImage(const Catalog& catalog,
       for (uint64_t count : stats.sn_histogram) PutU64(&out, count);
       for (uint64_t count : stats.sp_histogram) PutU64(&out, count);
     }
+  }
+  if (include_checksum) {
+    const uint32_t crc = Crc32(out.data(), out.size());
+    out.append(kChecksumTrailerMagic, 8);
+    PutU32(&out, crc);
   }
   return out;
 }
@@ -807,8 +865,46 @@ Result<Catalog> ReadErel(const std::string& text) {
   return catalog;
 }
 
-Status SaveErelFile(const Catalog& catalog, const std::string& path,
-                    ErelFormat format) {
+namespace {
+
+/// Chunk size for the file write/read loops: large enough that syscall
+/// count is negligible, small enough that a short write retries promptly.
+constexpr size_t kFileChunkBytes = 256 * 1024;
+
+/// One chunked write with EINTR retry and the storage fault-injection
+/// hooks threaded through; `data` must be fully written on OK.
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const size_t chunk = std::min(data.size() - off, kFileChunkBytes);
+    ssize_t n;
+    if (fault::ShouldFail(fault::Site::kWrite)) {
+      n = -1;
+      errno = EIO;
+    } else if (fault::ShouldFail(fault::Site::kEintr)) {
+      n = -1;
+      errno = EINTR;
+    } else if (fault::ShouldFail(fault::Site::kShortWrite)) {
+      // A short write is not an error — the loop must pick up the rest.
+      n = ::write(fd, data.data() + off, chunk > 1 ? chunk / 2 : chunk);
+    } else {
+      n = ::write(fd, data.data() + off, chunk);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecError("write error");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+Status SaveErelFileImpl(const Catalog& catalog, const std::string& path,
+                        ErelFormat format) {
   bool column_image = format == ErelFormat::kColumnImage;
   if (format == ErelFormat::kAuto) {
     // Saving must not force row materialization: any columnar-mode
@@ -820,24 +916,95 @@ Status SaveErelFile(const Catalog& catalog, const std::string& path,
       }
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
+  // Serialize fully in memory first: a failure here leaves no file-system
+  // trace at all, and the write loop below never blocks on serialization.
+  const std::string blob =
+      column_image ? WriteErelColumnImage(catalog,
+                                          /*include_statistics=*/true,
+                                          /*include_checksum=*/true)
+                   : WriteErel(catalog);
+
+  // Crash-safe commit: write path.tmp, fsync, then atomically rename over
+  // path. Readers of `path` see the old file or the new file, never a
+  // torn one; any failure removes the temporary and leaves `path` alone.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
   }
-  out << (column_image ? WriteErelColumnImage(catalog) : WriteErel(catalog));
-  out.close();
-  if (!out) return Status::Internal("failed writing '" + path + "'");
+  auto fail = [&](const char* step, bool fd_open) {
+    if (fd_open) ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::ExecError("failed writing '" + path + "': " +
+                             std::string(step));
+  };
+  const Status written = WriteAll(fd, blob);
+  if (!written.ok()) return fail(written.message().c_str(), true);
+  if (fault::ShouldFail(fault::Site::kFlush) || ::fsync(fd) != 0) {
+    return fail("fsync error", true);
+  }
+  if (::close(fd) != 0) return fail("close error", false);
+  if (fault::ShouldFail(fault::Site::kRename) ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("rename error", false);
+  }
   return Status::OK();
 }
 
+}  // namespace
+
+Status SaveErelFile(const Catalog& catalog, const std::string& path,
+                    ErelFormat format) {
+  // The only allocations between opening and renaming the temporary are
+  // error-message construction on a failure path (after the injector has
+  // disarmed), so catching here can leak neither a descriptor nor the
+  // temporary file.
+  try {
+    return SaveErelFileImpl(catalog, path, format);
+  } catch (const std::bad_alloc&) {
+    return Status::ExecError("out of memory saving '" + path + "'");
+  }
+}
+
 Result<Catalog> LoadErelFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ReadErel(buffer.str());
+  std::string data;
+  try {
+    std::vector<char> buf(kFileChunkBytes);
+    for (;;) {
+      ssize_t n;
+      if (fault::ShouldFail(fault::Site::kRead)) {
+        n = -1;
+        errno = EIO;
+      } else if (fault::ShouldFail(fault::Site::kEintr)) {
+        n = -1;
+        errno = EINTR;
+      } else if (fault::ShouldFail(fault::Site::kShortRead)) {
+        n = 0;  // spurious EOF: the parser sees a truncated image
+      } else {
+        n = ::read(fd, buf.data(), buf.size());
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::ExecError("failed reading '" + path + "'");
+      }
+      if (n == 0) break;
+      data.append(buf.data(), static_cast<size_t>(n));
+    }
+  } catch (const std::bad_alloc&) {
+    ::close(fd);
+    return Status::ExecError("out of memory loading '" + path + "'");
+  }
+  ::close(fd);
+  try {
+    return ReadErel(data);
+  } catch (const std::bad_alloc&) {
+    return Status::ExecError("out of memory loading '" + path + "'");
+  }
 }
 
 }  // namespace evident

@@ -99,16 +99,34 @@ namespace evident {
 ///   u64        sp_histogram bin x 16 (same layout for sp)
 /// ```
 ///
-/// The footer ends the file — no bytes may follow it. Files without the
-/// footer (older writers, WriteErelColumnImage with
-/// include_statistics = false) load identically; their statistics are
-/// re-profiled lazily on first use.
+/// The statistics footer ends the logical image — no image bytes may
+/// follow it. Files without the footer (older writers,
+/// WriteErelColumnImage with include_statistics = false) load
+/// identically; their statistics are re-profiled lazily on first use.
+///
+/// After the image (and the statistics footer when present) the file may
+/// carry one optional 12-byte integrity trailer (WriteErelColumnImage
+/// with include_checksum = true; SaveErelFile always writes it):
+///
+/// ```
+/// magic        8 bytes: "EVCRC001"
+/// u32          IEEE CRC-32 (polynomial 0xEDB88320, reflected,
+///              init and final xor 0xFFFFFFFF) of every preceding byte
+///              of the file — magic, relations and statistics footer
+/// ```
+///
+/// The reader sniffs the trailer by its magic in the last 12 bytes:
+/// present and matching, the prefix parses as usual; present and
+/// mismatching, the load fails with a checksum ParseError before any
+/// parsing; absent (older writers), the whole file parses as the image.
+/// The trailer is therefore backward- and forward-compatible: old
+/// readers never saw trailered files, new readers load both.
 ///
 /// Load validates everything it reads — truncation, magic/version,
 /// kinds, offset monotonicity, word order/range, per-row mass sums,
-/// support bounds, arena consistency, key uniqueness and footer
-/// consistency — and reports a clean ParseError Status instead of
-/// undefined behaviour on corrupt input.
+/// support bounds, arena consistency, key uniqueness, footer
+/// consistency and the checksum trailer — and reports a clean
+/// ParseError Status instead of undefined behaviour on corrupt input.
 
 /// \brief Serializes every domain and relation in the catalog as v1
 /// text. Materializes rows of columnar-mode relations (use the column
@@ -121,9 +139,14 @@ std::string WriteErel(const Catalog& catalog, int mass_decimals = 9);
 /// never materializes row objects. With `include_statistics` the blob
 /// ends with the statistics footer (profiling each relation on the
 /// shared image if it was not already); without it the footer is
-/// omitted, matching what older writers produced.
+/// omitted, matching what older writers produced. With
+/// `include_checksum` the blob ends with the "EVCRC001" CRC-32 trailer;
+/// it defaults off so that a blob remains a pure byte-prefix-extensible
+/// image (a checksummed blob's prefix is not a valid blob), and
+/// SaveErelFile turns it on for files.
 std::string WriteErelColumnImage(const Catalog& catalog,
-                                 bool include_statistics = true);
+                                 bool include_statistics = true,
+                                 bool include_checksum = false);
 
 /// \brief Parses an .erel document — either format, distinguished by the
 /// v2 magic — into a catalog. v2 relations are adopted in columnar mode.
@@ -139,6 +162,16 @@ enum class ErelFormat {
 };
 
 /// \brief File convenience wrappers; LoadErelFile sniffs the format.
+///
+/// SaveErelFile is crash-safe: the image is serialized fully in memory,
+/// written to `path + ".tmp"` in chunks (retrying interrupted writes),
+/// flushed to stable storage with fsync, and atomically renamed over
+/// `path`. A failure at any point — allocation, write, flush, rename —
+/// removes the temporary file and returns a clean Status with the
+/// previous contents of `path` untouched; readers of `path` never
+/// observe a torn or partial file. Column-image saves carry the CRC-32
+/// trailer so latent on-disk corruption fails the later load instead of
+/// silently feeding the parser.
 Status SaveErelFile(const Catalog& catalog, const std::string& path,
                     ErelFormat format = ErelFormat::kAuto);
 Result<Catalog> LoadErelFile(const std::string& path);

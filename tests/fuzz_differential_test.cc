@@ -30,6 +30,7 @@
 #include "core/column_store.h"
 #include "core/operations.h"
 #include "core/parallel.h"
+#include "core/query_context.h"
 #include "ds/combination.h"
 #include "integration/entity_identifier.h"
 #include "integration/tuple_merger.h"
@@ -691,6 +692,70 @@ TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
                              tag + " v2 output round trip op " +
                                  std::to_string(i) + " (" +
                                  NodeOpName(c.nodes[i].op) + ")");
+        if (::testing::Test::HasFatalFailure()) {
+          RestoreDefaults();
+          return;
+        }
+      }
+    }
+
+    // Governed re-run: the same tree under a random memory budget and
+    // row cap must behave identically in every mode — the identical
+    // nodes trip, with the identical ExecError message — and a budget
+    // that suffices in one mode must suffice in all (the logical-charge
+    // model bills the same totals regardless of executor). Deadlines are
+    // excluded: *when* they fire is inherently nondeterministic.
+    if (case_index % 7 == 3) {
+      Rng gov_rng(seed ^ 0x60BE44EDULL);
+      QueryContext ctx;
+      ctx.set_memory_budget(uint64_t{1} << (12 + gov_rng.Below(10)));
+      ctx.set_row_cap(1 + gov_rng.Below(4096));
+
+      // Governed plan runner with engine-style first-error semantics:
+      // once a limit trips, every later node reports the sticky first
+      // error without executing. (It must not execute: the generated
+      // slot indices assume the ungoverned success pattern, and a trip
+      // ends that pattern — exactly as a query stops at its first
+      // error.)
+      auto run_governed = [&ctx, &c]() {
+        ctx.BeginQuery();
+        ScopedQueryContext scope(&ctx);
+        std::vector<ExtendedRelation> slots = c.bases;
+        std::vector<Result<ExtendedRelation>> results;
+        results.reserve(c.nodes.size());
+        for (const Node& node : c.nodes) {
+          if (ctx.failed()) {
+            results.push_back(ctx.first_error());
+            continue;
+          }
+          Result<ExtendedRelation> result = ExecuteNode(node, slots);
+          if (result.ok()) slots.push_back(*result);
+          results.push_back(std::move(result));
+        }
+        return results;
+      };
+
+      SetMode(kModes[0]);
+      const std::vector<Result<ExtendedRelation>> gov_reference =
+          run_governed();
+      const uint64_t ref_rows = ctx.rows_charged();
+      const uint64_t ref_bytes = ctx.bytes_charged();
+
+      for (size_t m = 1; m < std::size(kModes); ++m) {
+        SetMode(kModes[m]);
+        const std::vector<Result<ExtendedRelation>> gov_got =
+            run_governed();
+        ExpectOutcomesMatch(gov_reference, gov_got, /*eps=*/0.0,
+                            /*compare_messages=*/true,
+                            tag + " governed mode " + kModes[m].name);
+        // When no limit tripped, the charge totals themselves must be
+        // mode-invariant (the determinism the trip messages rely on).
+        if (!ctx.failed()) {
+          EXPECT_EQ(ctx.rows_charged(), ref_rows)
+              << tag << " governed mode " << kModes[m].name;
+          EXPECT_EQ(ctx.bytes_charged(), ref_bytes)
+              << tag << " governed mode " << kModes[m].name;
+        }
         if (::testing::Test::HasFatalFailure()) {
           RestoreDefaults();
           return;

@@ -2,10 +2,12 @@
 # Configure, build and run the sensitive suites under sanitizers with
 # one command — the recipe ROADMAP.md used to carry as prose.
 #
-#   asan (default): storage/join/fuzz/plan suites under ASan + UBSan.
+#   asan (default): storage/join/fuzz/plan/governor/fault-injection
+#                   suites under ASan + UBSan.
 #   tsan:           the threaded suites (morsel scheduler, join probe,
 #                   fused pipelines, the differential fuzz harness —
-#                   which runs every operator at threads=7) under
+#                   which runs every operator at threads=7 — and the
+#                   governor's cross-thread cancellation storms) under
 #                   ThreadSanitizer.
 #   all:            both, sequentially.
 #
@@ -43,17 +45,25 @@ run_pass() {
     tsan) flags="-fsanitize=thread -fno-sanitize-recover=all" ;;
   esac
   local targets=(storage_test join_test fuzz_differential_test plan_test
-                 morsel_test)
-  local filter='^(storage_test|join_test|fuzz_differential_test|plan_test|morsel_test)$'
+                 morsel_test governor_test fault_injection_test)
+  local filter='^(storage_test|join_test|fuzz_differential_test|plan_test|morsel_test|governor_test|fault_injection_test)$'
 
   if cmake --list-presets >/dev/null 2>&1; then
-    cmake --preset "${preset}"
+    cmake --preset "${preset}" || {
+      echo "error: cmake configure failed for preset '${preset}'" \
+           "(see output above; is a sanitizer-capable compiler installed?)" >&2
+      exit 1
+    }
   else
     cmake -B "${build_dir}" -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DEVIDENT_BUILD_BENCHES=OFF \
       -DEVIDENT_BUILD_EXAMPLES=OFF \
-      -DCMAKE_CXX_FLAGS="${flags}"
+      -DCMAKE_CXX_FLAGS="${flags}" || {
+      echo "error: cmake configure failed for '${build_dir}'" \
+           "(see output above; is a sanitizer-capable compiler installed?)" >&2
+      exit 1
+    }
   fi
 
   cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
