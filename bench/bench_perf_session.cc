@@ -1,0 +1,137 @@
+// P9: concurrent-session throughput — what the snapshot + session layer
+// buys. N sessions on N threads each run the same governed fused-scan
+// statement through a SessionManager (admission, reaper registration,
+// shared plan cache); the thread-local governor slot and the refcounted
+// catalog snapshots are what make this safe at all. Reported ns/op is
+// per *query* across all sessions, so scaling from 1 to N sessions shows
+// the concurrency win (and any session-layer overhead at N = 1).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf_bench_main.h"
+#include "common/domain.h"
+#include "common/rng.h"
+#include "core/extended_relation.h"
+#include "core/parallel.h"
+#include "core/schema.h"
+#include "server/session.h"
+#include "storage/catalog.h"
+
+namespace evident {
+namespace {
+
+/// The fused-pipeline bench relation of bench_perf_governed: unique int
+/// key, definite spread over 0..63, two packed uncertain attributes over
+/// a 12-value frame.
+ExtendedRelation BenchRelation(const std::string& name, size_t rows,
+                               uint64_t seed) {
+  Rng rng(seed);
+  DomainPtr dom = [&] {
+    std::vector<std::string> symbols;
+    for (size_t i = 0; i < 12; ++i) symbols.push_back("v" + std::to_string(i));
+    return Domain::MakeSymbolic("sdom", symbols).value();
+  }();
+  SchemaPtr schema =
+      RelationSchema::Make({AttributeDef::Key("lk"),
+                            AttributeDef::Definite("ld"),
+                            AttributeDef::Uncertain("lu0", dom),
+                            AttributeDef::Uncertain("lu1", dom)})
+          .value();
+  ExtendedRelation rel(name, schema);
+  for (size_t i = 0; i < rows; ++i) {
+    ExtendedTuple t;
+    MassFunction m0(12), m1(12);
+    ValueSet a(12), b(12), c(12);
+    a.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    c.Set(rng.Below(12));
+    (void)m0.Add(a, 0.6);
+    (void)m0.Add(b, 0.4);
+    (void)m1.Add(c, 1.0);
+    t.cells = {Value(static_cast<int64_t>(i)),
+               Value(static_cast<int64_t>(rng.Below(64))),
+               EvidenceSet::MakeTrusted(dom, std::move(m0)),
+               EvidenceSet::MakeTrusted(dom, std::move(m1))};
+    t.membership = SupportPair::Certain();
+    if (!rel.Insert(std::move(t)).ok()) std::abort();
+  }
+  return rel;
+}
+
+/// range(0) = rows, range(1) = concurrent sessions. Each iteration runs
+/// kQueriesPerSession governed statements on every session thread; ns/op
+/// is normalized to one query (iteration time / total queries) via the
+/// items-processed counter and the per-query manual loop below. Morsel
+/// parallelism is pinned to 1 so the measured concurrency is *session*
+/// concurrency, not intra-query fan-out competing for the same cores.
+void BM_SessionThroughput(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int session_count = static_cast<int>(state.range(1));
+  constexpr int kQueriesPerSession = 8;
+  Catalog catalog;
+  if (!catalog.RegisterRelation(BenchRelation("L", n, 47)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  server::SessionManagerOptions options;
+  options.default_query_budget = 1ull << 30;  // governed, never trips
+  options.default_row_cap = 1ull << 40;
+  server::SessionManager manager(&catalog, options);
+  SetParallelMaxThreads(1);
+  const std::string stmt =
+      "SELECT lk, ld FROM L WHERE ld = 7 AND lu0 IS {v0, v1, v2} WITH sn > 0";
+
+  // Warm the shared plan cache so the steady state is measured.
+  {
+    std::unique_ptr<server::Session> warm = manager.OpenSession();
+    auto result = warm->Execute(stmt);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      SetParallelMaxThreads(0);
+      return;
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(session_count);
+    for (int s = 0; s < session_count; ++s) {
+      threads.emplace_back([&] {
+        std::unique_ptr<server::Session> session = manager.OpenSession();
+        for (int q = 0; q < kQueriesPerSession; ++q) {
+          auto result = session->Execute(stmt);
+          if (!result.ok()) failed.store(true, std::memory_order_relaxed);
+          benchmark::DoNotOptimize(result);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  SetParallelMaxThreads(0);
+  if (failed.load()) state.SkipWithError("a session query failed");
+  const int64_t queries_per_iter =
+      static_cast<int64_t>(session_count) * kQueriesPerSession;
+  state.SetLabel(std::to_string(session_count) + " sessions x " +
+                 std::to_string(kQueriesPerSession) + " queries");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          queries_per_iter);
+}
+BENCHMARK(BM_SessionThroughput)
+    ->Args({4096, 1})->Args({4096, 2})->Args({4096, 4})
+    ->Args({65536, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evident
+
+EVIDENT_PERF_BENCH_MAIN("bench_perf_session",
+                        "BM_SessionThroughput/4096/[12]$")

@@ -47,12 +47,23 @@ Catalog DefaultCatalog() {
 }
 
 /// Parses the non-negative integer argument of a governor command;
-/// returns false (with a message) on malformed input.
+/// returns false (with a message) on malformed input. Digits only:
+/// strtoull on its own would silently *accept* "-5" (it negates in
+/// unsigned arithmetic, yielding a huge limit) and "5x"-style suffixes
+/// would disarm limits via the 0 default upstream — both must be errors,
+/// never a quietly weakened governor.
 bool ParseLimit(const std::string& arg, uint64_t* out) {
+  bool digits_only = !arg.empty();
+  for (const char c : arg) {
+    if (c < '0' || c > '9') {
+      digits_only = false;
+      break;
+    }
+  }
   char* end = nullptr;
   errno = 0;
   const unsigned long long value = std::strtoull(arg.c_str(), &end, 10);
-  if (arg.empty() || errno != 0 || end != arg.c_str() + arg.size()) {
+  if (!digits_only || errno != 0 || end != arg.c_str() + arg.size()) {
     std::printf("expected a non-negative integer, got '%s'\n", arg.c_str());
     return false;
   }
@@ -111,8 +122,12 @@ int main(int argc, char** argv) {
     if (input.empty()) continue;
     if (input == "\\quit" || input == "\\q") break;
     if (input == "\\tables") {
-      for (const std::string& name : catalog.RelationNames()) {
-        const ExtendedRelation* rel = catalog.GetRelation(name).value();
+      // One snapshot for the whole listing: names, schemas and sizes all
+      // describe the same catalog version.
+      const auto snapshot = catalog.Snapshot();
+      std::printf("catalog version %llu\n",
+                  static_cast<unsigned long long>(snapshot->version()));
+      for (const auto& [name, rel] : snapshot->relations()) {
         std::printf("  %-12s %s  [%zu tuples]\n", name.c_str(),
                     rel->schema()->ToString().c_str(), rel->size());
       }

@@ -69,6 +69,11 @@ class MorselPool {
       job_.grain = grain;
       job_.morsel_count = morsel_count;
       job_.cursor = &cursor;
+      // The submitting thread's governor rides with the job: workers are
+      // different threads, so the context must be carried explicitly —
+      // CurrentQueryContext() is thread-local and a worker's own slot
+      // belongs to whatever (if anything) that thread is running.
+      job_.ctx = CurrentQueryContext();
       job_.helper_cap = std::min(helper_cap, workers_.size());
       job_.open = true;
       helpers_admitted_ = 0;
@@ -88,6 +93,7 @@ class MorselPool {
     size_t grain = 0;
     size_t morsel_count = 0;
     std::atomic<size_t>* cursor = nullptr;
+    QueryContext* ctx = nullptr;  // the submitting thread's governor
     size_t helper_cap = 0;
     bool open = false;
   };
@@ -95,20 +101,26 @@ class MorselPool {
   /// Claims morsels from the shared cursor until none remain. Fixed
   /// boundaries: morsel m is [m*grain, min(n, (m+1)*grain)).
   ///
-  /// Governed queries (CurrentQueryContext() != null) are polled once per
-  /// claimed morsel: a tripped deadline/cancel makes every drainer stop
-  /// claiming, the unexecuted morsels keep their callers' benign
-  /// pre-initialized slots, and the operator reads the sticky first error
-  /// off the context after the pass. Ungoverned execution pays one
-  /// relaxed load per morsel.
+  /// Governed jobs (job.ctx != null) are polled once per claimed morsel:
+  /// a tripped deadline/cancel makes every drainer stop claiming, the
+  /// unexecuted morsels keep their callers' benign pre-initialized
+  /// slots, and the operator reads the sticky first error off the
+  /// context after the pass. Ungoverned execution pays one thread-local
+  /// store/load pair per drain.
+  ///
+  /// The job's context is installed in this thread's ambient slot for
+  /// the drain so the morsel fn's own CurrentQueryContext() calls (the
+  /// operator layer charges rows from inside morsels) resolve to the
+  /// *submitting* thread's governor, not to whatever this worker thread
+  /// ran last.
   static void Drain(const Job& job) {
     const bool was_in_job = t_in_morsel_job;
     t_in_morsel_job = true;
-    QueryContext* const ctx = CurrentQueryContext();
+    ScopedQueryContext ambient(job.ctx);
     for (;;) {
       const size_t m = job.cursor->fetch_add(1, std::memory_order_relaxed);
       if (m >= job.morsel_count) break;
-      if (ctx != nullptr && !ctx->PollMorsel().ok()) break;
+      if (job.ctx != nullptr && !job.ctx->PollMorsel().ok()) break;
       const size_t begin = m * job.grain;
       (*job.fn)(m, begin, std::min(job.n, begin + job.grain));
     }
@@ -201,11 +213,17 @@ void ParallelForExactShards(
   std::vector<std::thread> workers;
   workers.reserve(shards - 1);
   size_t spawned = shards;  // first shard that could NOT be spawned
+  // Fresh threads start with an empty thread-local context slot; hand
+  // them the caller's governor so shard fns see the same ambient context
+  // they would inline.
+  QueryContext* const ctx = CurrentQueryContext();
   for (size_t shard = 1; shard < shards; ++shard) {
     const auto [begin, end] = bounds(shard);
     try {
-      workers.emplace_back(
-          [&fn, shard, begin, end] { fn(shard, begin, end); });
+      workers.emplace_back([&fn, ctx, shard, begin, end] {
+        ScopedQueryContext ambient(ctx);
+        fn(shard, begin, end);
+      });
     } catch (const std::system_error&) {
       // Thread creation failed (e.g. the process thread limit): degrade
       // gracefully — the unspawned shards run inline below. Letting the

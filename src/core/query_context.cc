@@ -6,23 +6,25 @@ namespace evident {
 
 namespace {
 
-// The one governed query at a time. A plain global (not thread_local):
-// the morsel pool's workers are different threads from the installer and
-// must observe the same context.
-std::atomic<QueryContext*> g_query_context{nullptr};
+// The governed query running on this thread. thread_local, not a
+// process global: concurrent sessions each install their own context on
+// their own thread. The morsel pool's workers are different threads
+// from the installer — they do NOT see this slot by magic; the pool
+// carries the submitting thread's context in its job struct and installs
+// it in each worker's slot for the duration of the job (see
+// MorselPool::Drain in core/parallel.cc).
+thread_local QueryContext* t_query_context = nullptr;
 
 }  // namespace
 
-QueryContext* CurrentQueryContext() {
-  return g_query_context.load(std::memory_order_acquire);
-}
+QueryContext* CurrentQueryContext() { return t_query_context; }
 
 ScopedQueryContext::ScopedQueryContext(QueryContext* ctx)
-    : prev_(g_query_context.exchange(ctx, std::memory_order_acq_rel)) {}
-
-ScopedQueryContext::~ScopedQueryContext() {
-  g_query_context.store(prev_, std::memory_order_release);
+    : prev_(t_query_context) {
+  t_query_context = ctx;
 }
+
+ScopedQueryContext::~ScopedQueryContext() { t_query_context = prev_; }
 
 void QueryContext::BeginQuery() {
   cancel_.store(false, std::memory_order_relaxed);

@@ -153,14 +153,19 @@ class QueryContext {
   Status first_error_;
 };
 
-/// \brief The governed query running right now, or null. Process-global:
-/// one governed query executes at a time (the engine installs its
-/// context around execution); ungoverned execution costs a single
-/// relaxed load wherever the scheduler or an operator polls.
+/// \brief The governed query running on *this thread*, or null.
+/// Thread-local: each session/engine thread installs its own context
+/// around execution, so any number of governed queries run concurrently
+/// without stomping each other's deadlines, budgets or cancel flags.
+/// Morsel-pool workers are not the installing thread — they inherit the
+/// submitting thread's context through the pool's job struct (the
+/// scheduler installs it in each worker's slot for the job's duration).
+/// Ungoverned execution costs a single thread-local load wherever the
+/// scheduler or an operator polls.
 QueryContext* CurrentQueryContext();
 
-/// \brief Installs a context as CurrentQueryContext() for a scope,
-/// restoring the previous one (nest-aware) on destruction.
+/// \brief Installs a context as this thread's CurrentQueryContext() for
+/// a scope, restoring the previous one (nest-aware) on destruction.
 class ScopedQueryContext {
  public:
   explicit ScopedQueryContext(QueryContext* ctx);

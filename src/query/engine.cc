@@ -50,11 +50,32 @@ Result<ExtendedRelation> QueryEngine::ExecuteParsed(
     const eql::ParsedQuery& query) const {
   EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan, Plan(query));
   if (query.explain) return PlanAsRelation(eql::RenderPlan(plan));
+  return ExecutePrepared(plan);
+}
+
+Result<std::shared_ptr<const eql::LogicalPlan>> QueryEngine::PrepareParsed(
+    const eql::ParsedQuery& query) const {
+  if (query.explain) {
+    return Status::InvalidArgument("cannot prepare an EXPLAIN statement");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(eql::LogicalPlan plan, Plan(query));
+  return std::make_shared<const eql::LogicalPlan>(std::move(plan));
+}
+
+Result<std::shared_ptr<const eql::LogicalPlan>> QueryEngine::Prepare(
+    const std::string& eql_text) const {
+  EVIDENT_ASSIGN_OR_RETURN(eql::ParsedQuery query, ParseQuery(eql_text));
+  return PrepareParsed(query);
+}
+
+Result<ExtendedRelation> QueryEngine::ExecutePrepared(
+    const eql::LogicalPlan& plan) const {
   if (context_ == nullptr) return eql::ExecutePlan(plan);
-  // Governed execution: the context is discovered ambiently by the
-  // morsel scheduler and the operator layer (CurrentQueryContext), so no
-  // per-operator plumbing is needed. The deadline clock starts here —
-  // planning and parsing are not billed against it.
+  // Governed execution: the context is installed in this thread's
+  // ambient slot and discovered by the morsel scheduler and the operator
+  // layer (CurrentQueryContext); workers inherit it through the morsel
+  // job. The deadline clock starts here — parsing and planning are not
+  // billed against it.
   context_->BeginQuery();
   ScopedQueryContext scope(context_);
   return eql::ExecutePlan(plan);

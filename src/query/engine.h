@@ -1,6 +1,7 @@
 #ifndef EVIDENT_QUERY_ENGINE_H_
 #define EVIDENT_QUERY_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "common/result.h"
@@ -37,6 +38,24 @@ class QueryEngine {
 
   /// \brief Runs an already-parsed query.
   Result<ExtendedRelation> ExecuteParsed(const eql::ParsedQuery& query) const;
+
+  /// \name Prepared execution (the session layer's plan cache).
+  /// @{
+  /// Parses and plans a statement without executing it. The returned
+  /// plan pins the catalog snapshot it was built on
+  /// (LogicalPlan::snapshot) and is immutable after optimization, so it
+  /// may be cached, shared across sessions, and executed concurrently
+  /// from multiple threads. EXPLAIN statements cannot be prepared.
+  Result<std::shared_ptr<const eql::LogicalPlan>> Prepare(
+      const std::string& eql_text) const;
+  Result<std::shared_ptr<const eql::LogicalPlan>> PrepareParsed(
+      const eql::ParsedQuery& query) const;
+
+  /// Executes a previously prepared plan — against its *pinned* snapshot,
+  /// regardless of catalog republishes since preparation. Governed
+  /// exactly like Execute when a query context is attached.
+  Result<ExtendedRelation> ExecutePrepared(const eql::LogicalPlan& plan) const;
+  /// @}
 
   /// \brief The plan the query would execute with, as the multi-line
   /// EXPLAIN rendering, without executing it.
@@ -76,7 +95,11 @@ class QueryEngine {
   /// worker pool stay fully usable for the next query. Pass nullptr to
   /// detach. The caller keeps ownership; `context` must outlive every
   /// governed Execute call. Cross-thread cancellation
-  /// (context->RequestCancel()) is safe while a query runs.
+  /// (context->RequestCancel()) is safe while a query runs. The ambient
+  /// context slot is thread-local: any number of engines, each with its
+  /// own context, may execute governed queries concurrently on
+  /// different threads (the session layer in server/session.h does
+  /// exactly that).
   void set_query_context(QueryContext* context) { context_ = context; }
   QueryContext* query_context() const { return context_; }
 

@@ -77,19 +77,17 @@ Result<PredicatePtr> BindWhere(const ParsedQuery& query,
   return And(std::move(conjuncts));
 }
 
-/// The FROM list's operand relations resolved against the catalog, in
-/// FROM order; the single home of catalog lookups so every source shape
-/// reports missing catalogs/relations identically.
+/// The FROM list's operand relations resolved against one catalog
+/// snapshot, in FROM order; the single home of catalog lookups so every
+/// source shape reports missing relations identically. The returned raw
+/// pointers live as long as the snapshot — the plan pins it.
 Result<std::vector<const ExtendedRelation*>> ResolveOperands(
-    const Catalog* catalog, const FromClause& from) {
-  if (catalog == nullptr) {
-    return Status::InvalidArgument("query engine has no catalog");
-  }
+    const CatalogSnapshot& snapshot, const FromClause& from) {
   std::vector<const ExtendedRelation*> operands;
   operands.reserve(from.relations.size());
   for (const std::string& name : from.relations) {
     EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* rel,
-                             catalog->GetRelation(name));
+                             snapshot.GetRelation(name));
     operands.push_back(rel);
   }
   return operands;
@@ -108,9 +106,18 @@ PlanNodePtr MakeScan(const std::string& name, const ExtendedRelation* rel) {
 
 Result<LogicalPlan> BuildPlan(const ParsedQuery& query, const Catalog* catalog,
                               const UnionOptions& union_options) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("query engine has no catalog");
+  }
+  // Pin the current catalog version: every scan pointer below resolves
+  // against this snapshot, and the plan keeps it alive, so a concurrent
+  // RegisterRelation(replace=true) cannot invalidate an in-flight (or
+  // cached) plan.
+  std::shared_ptr<const CatalogSnapshot> snapshot = catalog->Snapshot();
   EVIDENT_ASSIGN_OR_RETURN(std::vector<const ExtendedRelation*> rels,
-                           ResolveOperands(catalog, query.from));
+                           ResolveOperands(*snapshot, query.from));
   LogicalPlan plan;
+  plan.snapshot = std::move(snapshot);
   const bool join_like = query.from.op == SourceOp::kProduct ||
                          query.from.op == SourceOp::kJoin;
 

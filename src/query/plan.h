@@ -142,10 +142,18 @@ using PlanNodePtr = std::unique_ptr<PlanNode>;
 
 /// \brief A complete logical plan: the operator tree plus the
 /// result-level ORDER BY / LIMIT post-processing.
+///
+/// The plan pins the catalog snapshot it was built against: every scan
+/// node's raw `rel` pointer points into `snapshot`, so executing the
+/// plan — immediately, later, or from a cross-session plan cache — reads
+/// exactly the catalog version it was planned on, even if the catalog
+/// has republished (replaced relations) since. Plans are immutable after
+/// optimization and safe to execute concurrently from multiple threads.
 struct LogicalPlan {
   PlanNodePtr root;
   OrderBy order_by;
   size_t limit = 0;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
 };
 
 /// \brief Builds (and fully binds) the logical plan of a parsed query

@@ -1,0 +1,257 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace evident {
+namespace server {
+
+// --- Session --------------------------------------------------------------
+
+Session::Session(SessionManager* manager, uint64_t id)
+    : manager_(manager), id_(id), engine_(manager->catalog()) {
+  engine_.set_query_context(&context_);
+}
+
+Session::~Session() = default;
+
+Result<ExtendedRelation> Session::Execute(const std::string& eql_text) {
+  EVIDENT_ASSIGN_OR_RETURN(eql::ParsedQuery parsed, ParseQuery(eql_text));
+  EVIDENT_ASSIGN_OR_RETURN(
+      SessionManager::Admission grant,
+      manager_->Admit(deadline_override_, budget_override_,
+                      row_cap_override_));
+
+  // The grant's pool bytes and the reaper registration are released on
+  // every exit path, including error returns.
+  struct Guard {
+    SessionManager* manager;
+    const SessionManager::Admission* admission;
+    uint64_t token = 0;
+    bool registered = false;
+    ~Guard() {
+      if (registered) manager->UnregisterActive(token);
+      manager->Release(*admission);
+    }
+  } guard{manager_, &grant};
+
+  // Configure this session's governor from the grant: identical
+  // semantics (and therefore identical trip messages) to a
+  // single-threaded engine with the same limits.
+  if (grant.deadline.count() > 0) {
+    context_.set_deadline(grant.deadline);
+  } else {
+    context_.clear_deadline();
+  }
+  context_.set_memory_budget(grant.granted_bytes);
+  context_.set_row_cap(grant.row_cap);
+  ++queries_;
+
+  if (parsed.explain) {
+    // EXPLAIN renders the plan without executing; nothing to cache and
+    // nothing long-running enough to reap, but it still holds its grant.
+    return engine_.ExecuteParsed(parsed);
+  }
+
+  std::shared_ptr<const eql::LogicalPlan> plan;
+  const bool cache_enabled = manager_->options().plan_cache_capacity > 0;
+  if (cache_enabled) {
+    plan = manager_->CacheLookup(SessionManager::CacheKey(
+        manager_->catalog()->version(), eql_text));
+  }
+  if (plan != nullptr) {
+    ++cache_hits_;
+  } else {
+    EVIDENT_ASSIGN_OR_RETURN(plan, engine_.PrepareParsed(parsed));
+    if (cache_enabled) {
+      // Key on the version the plan actually pinned — a republish may
+      // have raced between the lookup above and BuildPlan's Snapshot().
+      manager_->CacheInsert(
+          SessionManager::CacheKey(plan->snapshot->version(), eql_text),
+          plan);
+    }
+  }
+
+  guard.token = manager_->RegisterActive(&context_, grant.deadline);
+  guard.registered = true;
+  return engine_.ExecutePrepared(*plan);
+}
+
+// --- SessionManager -------------------------------------------------------
+
+SessionManager::SessionManager(const Catalog* catalog,
+                               SessionManagerOptions options)
+    : catalog_(catalog),
+      options_(options),
+      pool_available_(options.memory_pool_bytes) {
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutting_down_ = true;
+  }
+  pool_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+std::unique_ptr<Session> SessionManager::OpenSession() {
+  const uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  // Not make_unique: the constructor is private to this friend.
+  return std::unique_ptr<Session>(new Session(this, id + 1));
+}
+
+void SessionManager::CancelAll() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  for (auto& [token, active] : active_) active.context->RequestCancel();
+}
+
+size_t SessionManager::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
+size_t SessionManager::active_queries() const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  return active_.size();
+}
+
+uint64_t SessionManager::pool_available() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_available_;
+}
+
+Result<SessionManager::Admission> SessionManager::Admit(
+    std::chrono::nanoseconds deadline_override, uint64_t budget_override,
+    uint64_t row_cap_override) {
+  Admission admission;
+  admission.deadline = deadline_override.count() > 0
+                           ? deadline_override
+                           : options_.default_deadline;
+  admission.row_cap =
+      row_cap_override != 0 ? row_cap_override : options_.default_row_cap;
+  const uint64_t want =
+      budget_override != 0 ? budget_override : options_.default_query_budget;
+  if (options_.memory_pool_bytes == 0) {
+    // No pool: the budget is the session's own, no queueing.
+    admission.granted_bytes = want;
+    return admission;
+  }
+  // Pooled: an unbudgeted query takes the whole pool (see the options
+  // comment); a budgeted one takes min(budget, pool capacity) so it can
+  // always eventually be admitted.
+  const uint64_t grant =
+      want == 0 ? options_.memory_pool_bytes
+                : std::min<uint64_t>(want, options_.memory_pool_bytes);
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock,
+                [&] { return shutting_down_ || pool_available_ >= grant; });
+  if (shutting_down_) {
+    return Status::ExecError("session manager is shutting down");
+  }
+  pool_available_ -= grant;
+  admission.granted_bytes = grant;
+  admission.pooled = true;
+  return admission;
+}
+
+void SessionManager::Release(const Admission& admission) {
+  if (!admission.pooled) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_available_ += admission.granted_bytes;
+  }
+  pool_cv_.notify_all();
+}
+
+uint64_t SessionManager::RegisterActive(QueryContext* context,
+                                        std::chrono::nanoseconds deadline) {
+  ActiveQuery active;
+  active.context = context;
+  const auto now = std::chrono::steady_clock::now();
+  auto cancel_at = std::chrono::steady_clock::time_point::max();
+  if (deadline.count() > 0) {
+    cancel_at = now + deadline + options_.reaper_grace;
+  }
+  if (options_.hard_query_wall.count() > 0) {
+    cancel_at = std::min(cancel_at, now + options_.hard_query_wall);
+  }
+  active.has_hard_cancel =
+      cancel_at != std::chrono::steady_clock::time_point::max();
+  active.hard_cancel_at = cancel_at;
+  std::lock_guard<std::mutex> lock(active_mu_);
+  const uint64_t token = ++next_token_;
+  active_.emplace(token, active);
+  return token;
+}
+
+void SessionManager::UnregisterActive(uint64_t token) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_.erase(token);
+}
+
+std::string SessionManager::CacheKey(uint64_t version,
+                                     const std::string& text) {
+  // '\n' cannot appear in a version number, so the key is unambiguous.
+  return std::to_string(version) + "\n" + text;
+}
+
+std::shared_ptr<const eql::LogicalPlan> SessionManager::CacheLookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SessionManager::CacheInsert(
+    const std::string& key, std::shared_ptr<const eql::LogicalPlan> plan) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_.size() >= options_.plan_cache_capacity) {
+    // Evict stale catalog versions first — they can never hit again.
+    // If the cache is full of *current*-version plans, drop it all:
+    // crude, but plans are cheap to rebuild and the cap is a memory
+    // bound, not a performance promise.
+    const size_t prefix_len = key.find('\n') + 1;
+    const std::string prefix = key.substr(0, prefix_len);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->first.compare(0, prefix_len, prefix) != 0) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (cache_.size() >= options_.plan_cache_capacity) cache_.clear();
+  }
+  cache_.insert_or_assign(key, std::move(plan));
+}
+
+void SessionManager::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(active_mu_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, options_.reaper_period,
+                        [&] { return reaper_stop_; });
+    if (reaper_stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [token, active] : active_) {
+      if (active.has_hard_cancel && now >= active.hard_cancel_at) {
+        active.context->RequestCancel();
+      }
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace evident

@@ -1,0 +1,218 @@
+#ifndef EVIDENT_SERVER_SESSION_H_
+#define EVIDENT_SERVER_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/query_context.h"
+#include "query/engine.h"
+#include "storage/catalog.h"
+
+namespace evident {
+namespace server {
+
+class SessionManager;
+
+/// \brief Knobs of a SessionManager. Zeros mean "unlimited"/"off"
+/// throughout, matching the QueryContext convention.
+struct SessionManagerOptions {
+  /// Global logical-memory pool admitted queries draw their budgets
+  /// from. 0 = no pool: every query gets its own independent budget (or
+  /// none) without queueing. With a pool, a query asking for more than
+  /// the pool holds right now waits until enough is released; an
+  /// *unbudgeted* query (budget 0) is granted the entire pool, i.e.
+  /// serializes against everything else — govern your queries.
+  uint64_t memory_pool_bytes = 0;
+  /// Per-query logical memory budget for sessions that don't override
+  /// it. 0 = unlimited.
+  uint64_t default_query_budget = 0;
+  /// Per-query deadline for sessions that don't override it. 0 = none.
+  std::chrono::nanoseconds default_deadline{0};
+  /// Per-query output row cap for sessions that don't override it.
+  uint64_t default_row_cap = 0;
+
+  /// How long past its deadline a query may run before the reaper stops
+  /// asking nicely and calls RequestCancel() on it. The cooperative
+  /// deadline poll normally trips first; the reaper is the backstop for
+  /// code stuck between polls.
+  std::chrono::milliseconds reaper_grace{50};
+  /// Wall-clock limit on *any* admitted query, deadline or not. The
+  /// reaper cancels past it. 0 = off.
+  std::chrono::milliseconds hard_query_wall{0};
+  /// How often the reaper wakes to scan active queries.
+  std::chrono::milliseconds reaper_period{2};
+
+  /// Cached plans kept before the cache evicts (stale versions first,
+  /// then wholesale). 0 disables the plan cache.
+  size_t plan_cache_capacity = 256;
+};
+
+/// \brief One client session: a QueryEngine + QueryContext pair bound to
+/// the manager's catalog, executing governed queries under the
+/// manager's admission control, reaper and shared plan cache.
+///
+/// A session is single-threaded — one Execute() at a time — but any
+/// number of sessions run concurrently: the ambient governor slot is
+/// thread-local and each query pins its own catalog snapshot, so
+/// sessions never observe each other's limits, errors or republishes.
+/// Cancel() is safe from any thread while Execute() runs.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Parses, admits, plans (or fetches the cached plan) and runs
+  /// one EQL statement. Limit trips surface exactly as in
+  /// single-threaded governed execution (same messages); admission waits
+  /// if the memory pool is exhausted.
+  Result<ExtendedRelation> Execute(const std::string& eql_text);
+
+  /// \brief Cooperatively cancels the in-flight query, if any.
+  void Cancel() { context_.RequestCancel(); }
+
+  /// \name Per-session limit overrides (0 = back to the manager default).
+  /// Take effect at the next Execute().
+  /// @{
+  void set_deadline(std::chrono::nanoseconds deadline) {
+    deadline_override_ = deadline;
+  }
+  void set_memory_budget(uint64_t bytes) { budget_override_ = bytes; }
+  void set_row_cap(uint64_t rows) { row_cap_override_ = rows; }
+  /// @}
+
+  uint64_t id() const { return id_; }
+  uint64_t queries_executed() const { return queries_; }
+  uint64_t plan_cache_hits() const { return cache_hits_; }
+  const QueryContext& context() const { return context_; }
+  QueryEngine& engine() { return engine_; }
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* manager, uint64_t id);
+
+  SessionManager* manager_;
+  const uint64_t id_;
+  QueryEngine engine_;
+  QueryContext context_;
+  std::chrono::nanoseconds deadline_override_{0};
+  uint64_t budget_override_ = 0;
+  uint64_t row_cap_override_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+/// \brief Owns what concurrent sessions share: the catalog handle, the
+/// logical-memory admission pool, the reaper thread that cancels
+/// overrunning queries, and a plan cache keyed on
+/// (catalog version, statement text).
+///
+/// Thread-safe throughout; sessions opened from it may be driven from
+/// any thread (one thread per session at a time). The manager must
+/// outlive its sessions, and the catalog must outlive the manager.
+class SessionManager {
+ public:
+  explicit SessionManager(const Catalog* catalog,
+                          SessionManagerOptions options = {});
+  ~SessionManager();
+
+  std::unique_ptr<Session> OpenSession();
+
+  /// \brief Requests cancellation of every query currently admitted.
+  void CancelAll();
+
+  const Catalog* catalog() const { return catalog_; }
+  const SessionManagerOptions& options() const { return options_; }
+
+  /// \name Introspection (tests, monitoring).
+  /// @{
+  uint64_t plan_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  size_t plan_cache_size() const;
+  size_t active_queries() const;
+  uint64_t pool_available() const;
+  uint64_t sessions_opened() const {
+    return next_session_id_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+ private:
+  friend class Session;
+
+  /// One admitted query's grant: the bytes it holds from the pool and
+  /// the reaper's hard-cancel point.
+  struct Admission {
+    uint64_t granted_bytes = 0;
+    bool pooled = false;  // whether granted_bytes came from the pool
+    std::chrono::nanoseconds deadline{0};
+    uint64_t row_cap = 0;
+  };
+
+  /// Blocks until the pool can cover the session's budget request, then
+  /// returns the grant (resolved deadline/cap included). Fails only when
+  /// the manager is shutting down.
+  Result<Admission> Admit(std::chrono::nanoseconds deadline_override,
+                          uint64_t budget_override, uint64_t row_cap_override);
+  void Release(const Admission& admission);
+
+  /// Registers a running query with the reaper; returns a token for
+  /// Unregister. `deadline` of zero means no deadline-based hard cancel
+  /// (hard_query_wall still applies, when set).
+  uint64_t RegisterActive(QueryContext* context,
+                          std::chrono::nanoseconds deadline);
+  void UnregisterActive(uint64_t token);
+
+  std::shared_ptr<const eql::LogicalPlan> CacheLookup(const std::string& key);
+  void CacheInsert(const std::string& key,
+                   std::shared_ptr<const eql::LogicalPlan> plan);
+  static std::string CacheKey(uint64_t version, const std::string& text);
+
+  void ReaperLoop();
+
+  const Catalog* catalog_;
+  const SessionManagerOptions options_;
+  std::atomic<uint64_t> next_session_id_{0};
+
+  // Admission pool.
+  mutable std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  uint64_t pool_available_ = 0;
+  bool shutting_down_ = false;
+
+  // Active-query registry (the reaper's worklist).
+  struct ActiveQuery {
+    QueryContext* context = nullptr;
+    bool has_hard_cancel = false;
+    std::chrono::steady_clock::time_point hard_cancel_at;
+  };
+  mutable std::mutex active_mu_;
+  std::condition_variable reaper_cv_;
+  std::unordered_map<uint64_t, ActiveQuery> active_;
+  uint64_t next_token_ = 0;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
+
+  // Plan cache: (catalog version, statement) -> immutable shared plan.
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const eql::LogicalPlan>>
+      cache_;
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace server
+}  // namespace evident
+
+#endif  // EVIDENT_SERVER_SESSION_H_

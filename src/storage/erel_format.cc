@@ -37,24 +37,27 @@ std::string WriteDefiniteValue(const Value& v) {
 }  // namespace
 
 std::string WriteErel(const Catalog& catalog, int mass_decimals) {
+  // One snapshot for the whole walk: the output is a consistent catalog
+  // version even if another thread republishes mid-serialization.
+  const std::shared_ptr<const CatalogSnapshot> snapshot = catalog.Snapshot();
   std::ostringstream os;
   os << "# evident .erel catalog\n";
-  for (const std::string& name : catalog.DomainNames()) {
-    const DomainPtr domain = catalog.GetDomain(name).value();
+  for (const std::string& name : snapshot->DomainNames()) {
+    const DomainPtr domain = snapshot->GetDomain(name).value();
     os << "domain " << name << ":";
     for (size_t i = 0; i < domain->size(); ++i) {
       os << (i ? ", " : " ") << domain->value(i);
     }
     os << "\n";
   }
-  for (const auto& [name, rel] : catalog.relations()) {
+  for (const auto& [name, rel] : snapshot->relations()) {
     os << "\nrelation " << name << "\n";
-    for (const AttributeDef& attr : rel.schema()->attributes()) {
+    for (const AttributeDef& attr : rel->schema()->attributes()) {
       os << "attr " << attr.name << " " << AttributeKindToString(attr.kind);
       if (attr.is_uncertain()) os << " " << attr.domain->name();
       os << "\n";
     }
-    for (const ExtendedTuple& t : rel.rows()) {
+    for (const ExtendedTuple& t : rel->rows()) {
       os << "row ";
       for (size_t c = 0; c < t.cells.size(); ++c) {
         if (c) os << " | ";
@@ -628,25 +631,28 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
 std::string WriteErelColumnImage(const Catalog& catalog,
                                  bool include_statistics,
                                  bool include_checksum) {
+  // One snapshot for both the relation bodies and the statistics footer:
+  // a mid-serialization republish must not produce a torn image.
+  const std::shared_ptr<const CatalogSnapshot> snapshot = catalog.Snapshot();
   std::string out;
   out.append(kColumnImageMagic, 6);
   out.append(kColumnImageVersion, 2);
 
-  const std::vector<std::string> domain_names = catalog.DomainNames();
+  const std::vector<std::string> domain_names = snapshot->DomainNames();
   std::unordered_map<std::string, uint32_t> domain_index;
   PutU32(&out, static_cast<uint32_t>(domain_names.size()));
   for (const std::string& name : domain_names) {
     domain_index.emplace(name, static_cast<uint32_t>(domain_index.size()));
-    const DomainPtr domain = catalog.GetDomain(name).value();
+    const DomainPtr domain = snapshot->GetDomain(name).value();
     PutStr(&out, name);
     PutU32(&out, static_cast<uint32_t>(domain->size()));
     for (const Value& v : domain->values()) PutValue(&out, v);
   }
 
-  PutU32(&out, static_cast<uint32_t>(catalog.relations().size()));
-  for (const auto& [name, rel] : catalog.relations()) {
-    const ColumnStore& store = rel.columns();
-    const SchemaPtr& schema = rel.schema();
+  PutU32(&out, static_cast<uint32_t>(snapshot->RelationCount()));
+  for (const auto& [name, rel] : snapshot->relations()) {
+    const ColumnStore& store = rel->columns();
+    const SchemaPtr& schema = rel->schema();
     PutStr(&out, name);
     PutU32(&out, static_cast<uint32_t>(schema->size()));
     for (const AttributeDef& attr : schema->attributes()) {
@@ -712,8 +718,8 @@ std::string WriteErelColumnImage(const Catalog& catalog,
 
   if (include_statistics) {
     out.append(kStatisticsFooterMagic, 8);
-    for (const auto& [name, rel] : catalog.relations()) {
-      const TableStatistics& stats = rel.columns().statistics();
+    for (const auto& [name, rel] : snapshot->relations()) {
+      const TableStatistics& stats = rel->columns().statistics();
       PutU64(&out, stats.row_count);
       PutU32(&out, static_cast<uint32_t>(stats.attributes.size()));
       for (const TableStatistics::Attribute& attr : stats.attributes) {
@@ -909,8 +915,8 @@ Status SaveErelFileImpl(const Catalog& catalog, const std::string& path,
   if (format == ErelFormat::kAuto) {
     // Saving must not force row materialization: any columnar-mode
     // relation routes the whole catalog through the column image.
-    for (const auto& [name, rel] : catalog.relations()) {
-      if (rel.columnar_mode()) {
+    for (const auto& [name, rel] : catalog.Snapshot()->relations()) {
+      if (rel->columnar_mode()) {
         column_image = true;
         break;
       }

@@ -62,17 +62,26 @@ def main():
     removed = sorted(set(old) - set(new))
 
     regressions = []
+    corrupt = []
     width = max((len(f"{b}:{n}") for b, n in common), default=0)
     for binary, name in common:
         o, n = old[(binary, name)], new[(binary, name)]
         old_ns, new_ns = o["ns_per_op"], n["ns_per_op"]
-        delta = (new_ns - old_ns) / old_ns * 100.0 if old_ns > 0 else 0.0
         label = n.get("label", "")
-        print(
+        prefix = (
             f"{binary + ':' + name:<{width}}  "
             f"{fmt_ns(old_ns):>9} -> {fmt_ns(new_ns):>9}  "
-            f"{delta:+7.1f}%" + (f"  [{label}]" if label else "")
         )
+        suffix = f"  [{label}]" if label else ""
+        if old_ns <= 0:
+            # A non-positive baseline is a corrupt or truncated snapshot,
+            # not a benchmark that got infinitely faster; printing 0.0%
+            # here would silently mask the broken comparison.
+            corrupt.append((binary, name, old_ns))
+            print(prefix + "   n/a  (baseline corrupt)" + suffix)
+            continue
+        delta = (new_ns - old_ns) / old_ns * 100.0
+        print(prefix + f"{delta:+7.1f}%" + suffix)
         if args.threshold is not None and delta > args.threshold:
             regressions.append((binary, name, delta))
 
@@ -86,6 +95,16 @@ def main():
         f"\n{len(common)} compared, {len(added)} new, {len(removed)} removed",
         file=sys.stderr,
     )
+    if corrupt:
+        print(
+            f"WARNING: {len(corrupt)} benchmark(s) have a non-positive "
+            "baseline ns/op (corrupt or truncated baseline?); their deltas "
+            "are not comparable:",
+            file=sys.stderr,
+        )
+        for binary, name, old_ns in corrupt:
+            print(f"  {binary}:{name}  baseline ns/op = {old_ns}",
+                  file=sys.stderr)
     if regressions:
         print(
             f"FAIL: {len(regressions)} benchmark(s) regressed past "
@@ -102,6 +121,14 @@ def main():
         )
         for binary, name in removed:
             print(f"  {binary}:{name}", file=sys.stderr)
+        return 1
+    if args.threshold is not None and corrupt:
+        # A perf gate cannot pass rows it could not compare.
+        print(
+            f"FAIL: {len(corrupt)} benchmark(s) could not be gated against "
+            "a corrupt baseline",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -2,13 +2,16 @@
 # Configure, build and run the sensitive suites under sanitizers with
 # one command — the recipe ROADMAP.md used to carry as prose.
 #
-#   asan (default): storage/join/fuzz/plan/governor/fault-injection
-#                   suites under ASan + UBSan.
+#   asan (default): storage/join/fuzz/plan/governor/fault-injection/
+#                   session suites under ASan + UBSan (the session suite
+#                   pins catalog snapshots across replaces — the UAF
+#                   regression lives there).
 #   tsan:           the threaded suites (morsel scheduler, join probe,
 #                   fused pipelines, the differential fuzz harness —
-#                   which runs every operator at threads=7 — and the
-#                   governor's cross-thread cancellation storms) under
-#                   ThreadSanitizer.
+#                   which runs every operator at threads=7 — the
+#                   governor's cross-thread cancellation storms, and the
+#                   concurrent-session suite with mid-flight catalog
+#                   republishes) under ThreadSanitizer.
 #   all:            both, sequentially.
 #
 # Usage:
@@ -45,8 +48,8 @@ run_pass() {
     tsan) flags="-fsanitize=thread -fno-sanitize-recover=all" ;;
   esac
   local targets=(storage_test join_test fuzz_differential_test plan_test
-                 morsel_test governor_test fault_injection_test)
-  local filter='^(storage_test|join_test|fuzz_differential_test|plan_test|morsel_test|governor_test|fault_injection_test)$'
+                 morsel_test governor_test fault_injection_test session_test)
+  local filter='^(storage_test|join_test|fuzz_differential_test|plan_test|morsel_test|governor_test|fault_injection_test|session_test)$'
 
   if cmake --list-presets >/dev/null 2>&1; then
     cmake --preset "${preset}" || {
