@@ -1,0 +1,195 @@
+// P10: the storage layer — what zero-copy mmap opens and zone-map
+// partition pruning buy.
+//
+//  - BM_CatalogOpen: open the same monolithic v3 column image mapped
+//    (borrowing its numeric arrays straight out of the mapping, semantic
+//    verification deferred) vs copied (read + decode + eager per-chunk
+//    CRC and invariant checks). The mapped open is O(partitions + column
+//    headers), the copied open O(bytes) — the gap is the point.
+//  - BM_PartitionPrunedScan: a selective key-range predicate over a
+//    16-way key-range-partitioned relation vs the same rows monolithic.
+//    The partitioned scan answers from the one partition whose key zone
+//    intersects the predicate; the monolithic scan evaluates every row.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "perf_bench_main.h"
+#include "common/domain.h"
+#include "common/rng.h"
+#include "core/extended_relation.h"
+#include "core/parallel.h"
+#include "core/scan_stats.h"
+#include "core/schema.h"
+#include "query/engine.h"
+#include "storage/catalog.h"
+#include "storage/erel_format.h"
+
+namespace evident {
+namespace {
+
+/// Sequential int key (key-range zones are exact), one definite spread
+/// over 0..63, two packed uncertain attributes over a 12-value frame —
+/// the evidence columns dominate the image, and they are exactly what
+/// the mapped open borrows instead of decoding.
+ExtendedRelation BenchRelation(const std::string& name, size_t rows,
+                               uint64_t seed) {
+  Rng rng(seed);
+  DomainPtr dom = [&] {
+    std::vector<std::string> symbols;
+    for (size_t i = 0; i < 12; ++i) symbols.push_back("v" + std::to_string(i));
+    return Domain::MakeSymbolic("sdom", symbols).value();
+  }();
+  SchemaPtr schema =
+      RelationSchema::Make({AttributeDef::Key("sk"),
+                            AttributeDef::Definite("sd"),
+                            AttributeDef::Uncertain("su0", dom),
+                            AttributeDef::Uncertain("su1", dom)})
+          .value();
+  ExtendedRelation rel(name, schema);
+  for (size_t i = 0; i < rows; ++i) {
+    ExtendedTuple t;
+    MassFunction m0(12), m1(12);
+    ValueSet a(12), b(12), c(12);
+    a.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    b.Set(rng.Below(12));
+    c.Set(rng.Below(12));
+    (void)m0.Add(a, 0.6);
+    (void)m0.Add(b, 0.4);
+    (void)m1.Add(c, 1.0);
+    t.cells = {Value(static_cast<int64_t>(i)),
+               Value(static_cast<int64_t>(rng.Below(64))),
+               EvidenceSet::MakeTrusted(dom, std::move(m0)),
+               EvidenceSet::MakeTrusted(dom, std::move(m1))};
+    t.membership = SupportPair::Certain();
+    if (!rel.Insert(std::move(t)).ok()) std::abort();
+  }
+  return rel;
+}
+
+std::string TempPath(const std::string& tag) {
+  const char* t = std::getenv("TMPDIR");
+  return std::string(t != nullptr ? t : "/tmp") + "/evident_bench_" + tag +
+         ".erel";
+}
+
+/// range(0) = rows, range(1) = 1 for the mapped open, 0 for the copied
+/// open. One monolithic v3 file per workload; each iteration opens it
+/// from scratch.
+void BM_CatalogOpen(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const bool mapped = state.range(1) != 0;
+  const std::string path =
+      TempPath("open_" + std::to_string(rows) + (mapped ? "_m" : "_c"));
+  Catalog catalog;
+  if (!catalog.RegisterRelation(BenchRelation("S", rows, 7)).ok()) {
+    state.SkipWithError("catalog setup failed");
+    return;
+  }
+  if (!SaveErelFile(catalog, path, PartitionSpec{}).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  LoadOptions options;
+  options.map = mapped ? LoadOptions::Map::kAlways : LoadOptions::Map::kNever;
+  for (auto _ : state) {
+    auto loaded = LoadErelFile(path, options);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetLabel(mapped ? "mapped" : "copied");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CatalogOpen)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// range(0) = rows, range(1) = partitions (1 = monolithic). The query
+/// keeps the 64 lowest keys — with 16 key-range partitions its zone
+/// refutes every partition but the first. Morsel parallelism is pinned
+/// to 1 so the measured ratio is pruned work, not scheduling.
+void BM_PartitionPrunedScan(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const uint32_t partitions = static_cast<uint32_t>(state.range(1));
+  const std::string path = TempPath("scan_" + std::to_string(rows) + "_" +
+                                    std::to_string(partitions));
+  {
+    Catalog catalog;
+    if (!catalog.RegisterRelation(BenchRelation("S", rows, 7)).ok()) {
+      state.SkipWithError("catalog setup failed");
+      return;
+    }
+    PartitionSpec spec;
+    if (partitions > 1) {
+      spec.scheme = PartitionSpec::Scheme::kKeyRange;
+      spec.partitions = partitions;
+    }
+    if (!SaveErelFile(catalog, path, spec).ok()) {
+      state.SkipWithError("save failed");
+      return;
+    }
+  }
+  LoadOptions options;
+  options.map = LoadOptions::Map::kAlways;
+  auto loaded = LoadErelFile(path, options);
+  if (!loaded.ok()) {
+    state.SkipWithError(loaded.status().ToString().c_str());
+    return;
+  }
+  QueryEngine engine(&*loaded);
+  SetParallelMaxThreads(1);
+  const std::string stmt = "SELECT * FROM S WHERE sk < 64";
+
+  // Warm up: verify the unpruned partition, confirm the plan prunes.
+  ResetScanStats();
+  auto warm = engine.Execute(stmt);
+  if (!warm.ok() || warm->size() != 64) {
+    SetParallelMaxThreads(0);
+    state.SkipWithError("warmup query failed");
+    std::remove(path.c_str());
+    return;
+  }
+  const PartitionScanStats warm_stats = CurrentScanStats();
+  if (partitions > 1 && warm_stats.partitions_pruned != partitions - 1) {
+    SetParallelMaxThreads(0);
+    state.SkipWithError("zone maps failed to prune");
+    std::remove(path.c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    auto result = engine.Execute(stmt);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  SetParallelMaxThreads(0);
+  state.SetLabel("pruned " + std::to_string(warm_stats.partitions_pruned) +
+                 "/" + std::to_string(warm_stats.partitions_considered));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PartitionPrunedScan)
+    ->Args({4096, 1})->Args({4096, 16})
+    ->Args({100000, 1})->Args({100000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evident
+
+EVIDENT_PERF_BENCH_MAIN("bench_perf_storage",
+                        "BM_CatalogOpen/4096/|BM_PartitionPrunedScan/4096/")

@@ -8,7 +8,10 @@
 //   \tables                 list relations
 //   \show <relation>        print a relation
 //   \explain <eql>          show the query plan
-//   \save <path>            save the catalog as .erel
+//   \load <path>            load an .erel file (reports mapped/copied)
+//   \save <path> [hash|range <P>]
+//                           save the catalog as .erel; with a scheme and
+//                           partition count, as a partitioned v3 image
 //   \deadline <ms>          per-query deadline in milliseconds (0 = off)
 //   \budget <bytes>         per-query memory budget (0 = unlimited)
 //   \rowcap <rows>          per-query output row cap (0 = unlimited)
@@ -26,6 +29,7 @@
 
 #include "common/str_util.h"
 #include "core/query_context.h"
+#include "core/scan_stats.h"
 #include "query/engine.h"
 #include "storage/erel_format.h"
 #include "text/table_renderer.h"
@@ -71,22 +75,36 @@ bool ParseLimit(const std::string& arg, uint64_t* out) {
   return true;
 }
 
+/// Loads an .erel file into `catalog` (replacing same-named relations)
+/// and reports how the open went: mapped vs copied, the on-disk format,
+/// and how many relations / partitions the image carries. The shell is
+/// the one caller that narrates opens, so the report lives here rather
+/// than in the storage layer.
+bool LoadIntoCatalog(Catalog& catalog, const std::string& path) {
+  LoadInfo info;
+  auto loaded = LoadErelFile(path, LoadOptions{}, &info);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  for (const std::string& name : loaded->RelationNames()) {
+    (void)catalog.RegisterRelation(**loaded->GetRelation(name),
+                                   /*replace=*/true);
+  }
+  std::printf("loaded %s: %zu relation(s), %zu partition(s), %s (%s)\n",
+              path.c_str(), info.relations, info.partitions,
+              info.mapped ? "mapped" : "copied", info.format.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Catalog catalog;
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) {
-      auto loaded = LoadErelFile(argv[i]);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "error loading %s: %s\n", argv[i],
-                     loaded.status().ToString().c_str());
-        return 1;
-      }
-      for (const std::string& name : loaded->RelationNames()) {
-        (void)catalog.RegisterRelation(**loaded->GetRelation(name),
-                                       /*replace=*/true);
-      }
+      if (!LoadIntoCatalog(catalog, argv[i])) return 1;
     }
   } else {
     catalog = DefaultCatalog();
@@ -111,8 +129,9 @@ int main(int argc, char** argv) {
   };
 
   std::printf("evident shell — type \\tables, \\show <rel>, \\explain "
-              "<eql>, \\save <path>, \\deadline <ms>, \\budget <bytes>, "
-              "\\rowcap <rows>, \\limits, \\quit, or an EQL query\n");
+              "<eql>, \\load <path>, \\save <path>, \\deadline <ms>, "
+              "\\budget <bytes>, \\rowcap <rows>, \\limits, \\quit, or an "
+              "EQL query\n");
   std::string line;
   while (true) {
     std::printf("eql> ");
@@ -149,8 +168,42 @@ int main(int argc, char** argv) {
                                     : plan.status().ToString().c_str());
       continue;
     }
+    if (StartsWith(input, "\\load ")) {
+      (void)LoadIntoCatalog(catalog, Trim(input.substr(6)));
+      continue;
+    }
     if (StartsWith(input, "\\save ")) {
-      Status st = SaveErelFile(catalog, Trim(input.substr(6)));
+      // "\save <path>" or "\save <path> hash|range <P>".
+      const std::string rest = Trim(input.substr(6));
+      const size_t space = rest.find(' ');
+      Status st;
+      if (space == std::string::npos) {
+        st = SaveErelFile(catalog, rest);
+      } else {
+        const std::string path = rest.substr(0, space);
+        const std::string spec_text = Trim(rest.substr(space + 1));
+        const size_t spec_space = spec_text.find(' ');
+        PartitionSpec spec;
+        uint64_t parts = 0;
+        if (spec_space == std::string::npos ||
+            !ParseLimit(Trim(spec_text.substr(spec_space + 1)), &parts) ||
+            parts == 0) {
+          std::printf("usage: \\save <path> [hash|range <partitions>]\n");
+          continue;
+        }
+        const std::string scheme = spec_text.substr(0, spec_space);
+        if (scheme == "hash") {
+          spec.scheme = PartitionSpec::Scheme::kHash;
+        } else if (scheme == "range") {
+          spec.scheme = PartitionSpec::Scheme::kKeyRange;
+        } else {
+          std::printf("unknown partition scheme '%s' (want hash or range)\n",
+                      scheme.c_str());
+          continue;
+        }
+        spec.partitions = static_cast<uint32_t>(parts);
+        st = SaveErelFile(catalog, path, spec);
+      }
       std::printf("%s\n", st.ToString().c_str());
       continue;
     }
@@ -215,6 +268,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(governor.morsels_completed()));
       continue;
     }
+    ResetScanStats();
     auto result = engine.Execute(input);
     if (!result.ok()) {
       std::printf("%s\n", result.status().ToString().c_str());
@@ -222,6 +276,12 @@ int main(int argc, char** argv) {
     }
     render.title = "result (" + std::to_string(result->size()) + " tuples)";
     std::printf("%s", RenderTable(*result, render).c_str());
+    const PartitionScanStats scan = CurrentScanStats();
+    if (scan.partitions_considered > 0) {
+      std::printf("scanned %llu partition(s), pruned %llu by zone maps\n",
+                  static_cast<unsigned long long>(scan.partitions_considered),
+                  static_cast<unsigned long long>(scan.partitions_pruned));
+    }
   }
   return 0;
 }

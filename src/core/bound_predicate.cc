@@ -472,4 +472,118 @@ void BoundPredicate::EvaluateColumns(const ColumnStore& store, size_t begin,
   }
 }
 
+namespace {
+
+/// True when no value in [min, max] can satisfy `attr_value op lit` —
+/// the attribute's zone bounds stand in for every row at once. Uses the
+/// same Value ordering the theta kernels evaluate with, so a refuted
+/// partition is one where every row's support would compute to (0, 0).
+bool ZoneRefutesTheta(ThetaOp op, const Value& min, const Value& max,
+                      const Value& lit, bool attr_is_lhs) {
+  if (attr_is_lhs) {
+    switch (op) {
+      case ThetaOp::kEq:
+        return lit < min || max < lit;
+      case ThetaOp::kLt:  // attr < lit needs min < lit
+        return !(min < lit);
+      case ThetaOp::kLe:
+        return !(min <= lit);
+      case ThetaOp::kGt:  // attr > lit needs lit < max
+        return !(lit < max);
+      case ThetaOp::kGe:
+        return !(lit <= max);
+    }
+  } else {
+    switch (op) {
+      case ThetaOp::kEq:
+        return lit < min || max < lit;
+      case ThetaOp::kLt:  // lit < attr needs lit < max
+        return !(lit < max);
+      case ThetaOp::kLe:
+        return !(lit <= max);
+      case ThetaOp::kGt:  // lit > attr needs min < lit
+        return !(min < lit);
+      case ThetaOp::kGe:
+        return !(min <= lit);
+    }
+  }
+  return false;
+}
+
+/// Attr-vs-attr refutation: the two zones as interval bounds.
+bool ZonesRefuteTheta(ThetaOp op, const ColumnStore::ValueZone& a,
+                      const ColumnStore::ValueZone& b) {
+  switch (op) {
+    case ThetaOp::kEq:  // disjoint ranges
+      return a.max < b.min || b.max < a.min;
+    case ThetaOp::kLt:  // a < b needs a.min < b.max
+      return !(a.min < b.max);
+    case ThetaOp::kLe:
+      return !(a.min <= b.max);
+    case ThetaOp::kGt:  // a > b needs b.min < a.max
+      return !(b.min < a.max);
+    case ThetaOp::kGe:
+      return !(b.min <= a.max);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BoundPredicate::RefutesPartition(
+    const ColumnStore::PartitionZone& zone) const {
+  if (!fully_bound_ || left_cells_ != 0) return false;
+  auto value_zone = [&](size_t attr) -> const ColumnStore::ValueZone* {
+    if (attr >= zone.values.size() || !zone.values[attr].has) return nullptr;
+    return &zone.values[attr];
+  };
+  for (const Conjunct& c : conjuncts_) {
+    switch (c.kind) {
+      case Conjunct::Kind::kIsDefinite: {
+        const ColumnStore::ValueZone* vz = value_zone(c.attr);
+        if (vz == nullptr) break;
+        bool any_inside = false;
+        for (const Value& v : *c.is_values) {
+          if (!(v < vz->min) && !(vz->max < v)) {
+            any_inside = true;
+            break;
+          }
+        }
+        if (!any_inside) return true;
+        break;
+      }
+      case Conjunct::Kind::kIsEvidence:
+        break;  // evidence supports are not bounded by value zones
+      case Conjunct::Kind::kTheta: {
+        const bool lhs_attr = c.lhs.kind == Operand::Kind::kDefiniteAttr;
+        const bool rhs_attr = c.rhs.kind == Operand::Kind::kDefiniteAttr;
+        if (lhs_attr && c.rhs.kind == Operand::Kind::kLitValue) {
+          const ColumnStore::ValueZone* vz = value_zone(c.lhs.attr);
+          if (vz != nullptr && ZoneRefutesTheta(c.op, vz->min, vz->max,
+                                                *c.rhs.lit_value,
+                                                /*attr_is_lhs=*/true)) {
+            return true;
+          }
+        } else if (rhs_attr && c.lhs.kind == Operand::Kind::kLitValue) {
+          const ColumnStore::ValueZone* vz = value_zone(c.rhs.attr);
+          if (vz != nullptr && ZoneRefutesTheta(c.op, vz->min, vz->max,
+                                                *c.lhs.lit_value,
+                                                /*attr_is_lhs=*/false)) {
+            return true;
+          }
+        } else if (lhs_attr && rhs_attr) {
+          const ColumnStore::ValueZone* la = value_zone(c.lhs.attr);
+          const ColumnStore::ValueZone* rb = value_zone(c.rhs.attr);
+          if (la != nullptr && rb != nullptr &&
+              ZonesRefuteTheta(c.op, *la, *rb)) {
+            return true;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace evident

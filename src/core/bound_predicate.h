@@ -61,6 +61,17 @@ class BoundPredicate {
                                   const ColumnStore& right,
                                   size_t rrow) const;
 
+  /// \brief True when some conjunct is provably unsatisfiable on every
+  /// row of the partition, judged from its zone map alone — then every
+  /// row's support is exactly (0, 0), F_TM revision zeroes sn, and
+  /// CWA_ER drops the row, so a scan may skip the partition without
+  /// reading (or even verifying) its bytes. Only definite-attribute
+  /// theta comparisons and definite IS conjuncts consult the zones;
+  /// everything else conservatively returns false. Requires
+  /// fully_bound() on a single-relation (Bind, not BindPair) predicate;
+  /// returns false otherwise.
+  bool RefutesPartition(const ColumnStore::PartitionZone& zone) const;
+
   /// \brief Evaluates rows [begin, end) of the column store, writing
   /// out[row] for each — `out` is indexed *absolutely* (out[row], not
   /// out[row - begin]), so morsel-parallel callers hand every worker the

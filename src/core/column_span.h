@@ -1,0 +1,155 @@
+#ifndef EVIDENT_CORE_COLUMN_SPAN_H_
+#define EVIDENT_CORE_COLUMN_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace evident {
+
+/// \brief A column array that either owns a std::vector<T> or borrows a
+/// read-only span of externally owned memory (an mmap'ed column image),
+/// behind one reader API — so the scan kernels, the splice primitives
+/// and the serializers never branch on where the bytes live.
+///
+/// Borrowed spans carry a shared keepalive (typically the MappedFile
+/// holding the bytes); copying a borrowed span shares the pointer and
+/// keepalive instead of copying the data, which is what makes whole-
+/// column adoption by the operators (project's column reuse) zero-copy.
+/// Any mutating call on a borrowed span first detaches it into an owned
+/// copy (copy-on-write) — borrowed bytes are never written through.
+///
+/// Readers get only const access (data()/operator[]/begin()/end() are
+/// const T*): the trivially-copyable element types this is used with
+/// (uint32_t/uint64_t/double) are exactly the ones a mapped file can
+/// legally alias, provided the file offset of the borrowed bytes is
+/// aligned to alignof(T) — the EVCIMG03 writer pads numeric arrays to
+/// 8-byte file offsets for this reason.
+template <typename T>
+class ColumnSpan {
+ public:
+  ColumnSpan() = default;
+  ColumnSpan(std::initializer_list<T> init) : own_(init) { Rebind(); }
+  explicit ColumnSpan(std::vector<T> v) : own_(std::move(v)) { Rebind(); }
+
+  /// A span over `[data, data + size)` kept alive by `backing`; the
+  /// caller guarantees `data` is alignof(T)-aligned for the lifetime of
+  /// `backing`.
+  static ColumnSpan Borrow(const T* data, size_t size,
+                           std::shared_ptr<const void> backing) {
+    ColumnSpan s;
+    s.data_ = data;
+    s.size_ = size;
+    s.backing_ = std::move(backing);
+    return s;
+  }
+
+  ColumnSpan(const ColumnSpan& other) { CopyFrom(other); }
+  ColumnSpan& operator=(const ColumnSpan& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  ColumnSpan(ColumnSpan&& other) noexcept { MoveFrom(std::move(other)); }
+  ColumnSpan& operator=(ColumnSpan&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+  ColumnSpan& operator=(std::initializer_list<T> init) {
+    backing_.reset();
+    own_.assign(init);
+    Rebind();
+    return *this;
+  }
+  ColumnSpan& operator=(std::vector<T> v) {
+    backing_.reset();
+    own_ = std::move(v);
+    Rebind();
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+  bool borrowed() const { return backing_ != nullptr; }
+
+  void clear() {
+    backing_.reset();
+    own_.clear();
+    Rebind();
+  }
+  void reserve(size_t n) {
+    EnsureOwned();
+    own_.reserve(n);
+    Rebind();
+  }
+  void resize(size_t n, T value = T()) {
+    EnsureOwned();
+    own_.resize(n, value);
+    Rebind();
+  }
+  void push_back(T value) {
+    EnsureOwned();
+    own_.push_back(value);
+    Rebind();
+  }
+  /// Append-only insert (the splice primitives' pattern); `pos` must be
+  /// end().
+  template <typename It>
+  void insert(const T* pos, It first, It last) {
+    (void)pos;  // always an append: pos == end() by contract
+    EnsureOwned();
+    own_.insert(own_.end(), first, last);
+    Rebind();
+  }
+
+ private:
+  void Rebind() {
+    data_ = own_.data();
+    size_ = own_.size();
+  }
+  void EnsureOwned() {
+    if (backing_ == nullptr) return;
+    own_.assign(data_, data_ + size_);
+    backing_.reset();
+    Rebind();
+  }
+  void CopyFrom(const ColumnSpan& other) {
+    if (other.backing_ != nullptr) {
+      // Borrowed source: share the bytes and the keepalive.
+      own_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+      backing_ = other.backing_;
+    } else {
+      backing_.reset();
+      own_ = other.own_;
+      Rebind();
+    }
+  }
+  void MoveFrom(ColumnSpan&& other) {
+    own_ = std::move(other.own_);
+    backing_ = std::move(other.backing_);
+    if (backing_ != nullptr) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      Rebind();
+    }
+    other.clear();
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  std::shared_ptr<const void> backing_;  // non-null iff borrowed
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_COLUMN_SPAN_H_

@@ -5,7 +5,56 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/scan_stats.h"
+
 namespace evident {
+
+Result<std::vector<uint8_t>> PruneAndVerifyPartitions(
+    const ColumnStore& store,
+    const std::function<bool(const ColumnStore::PartitionZone&)>& refutes) {
+  const std::vector<ColumnStore::PartitionZone>& parts = store.partitions();
+  if (parts.empty()) {
+    EVIDENT_RETURN_NOT_OK(store.EnsureAllVerified());
+    return std::vector<uint8_t>{};
+  }
+  std::vector<uint8_t> row_pruned;
+  size_t pruned = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    if (refutes(parts[p])) {
+      if (row_pruned.empty()) row_pruned.assign(store.rows(), 0);
+      for (size_t r = parts[p].begin_row; r < parts[p].end_row; ++r) {
+        row_pruned[r] = 1;
+      }
+      ++pruned;
+    } else {
+      EVIDENT_RETURN_NOT_OK(store.EnsurePartitionVerified(p));
+    }
+  }
+  RecordPartitionScan(parts.size(), pruned);
+  return row_pruned;
+}
+
+std::vector<std::pair<size_t, size_t>> UnprunedRowRuns(
+    const ColumnStore& store, const std::vector<uint8_t>& row_pruned) {
+  std::vector<std::pair<size_t, size_t>> runs;
+  if (row_pruned.empty()) {
+    if (store.rows() > 0) runs.emplace_back(0, store.rows());
+    return runs;
+  }
+  // A non-empty bitmap only ever comes from PruneAndVerifyPartitions,
+  // which marks whole partitions — one probe at each partition's first
+  // row recovers the decision without rescanning the bitmap.
+  for (const ColumnStore::PartitionZone& part : store.partitions()) {
+    if (part.begin_row == part.end_row) continue;
+    if (row_pruned[part.begin_row]) continue;
+    if (!runs.empty() && runs.back().second == part.begin_row) {
+      runs.back().second = part.end_row;
+    } else {
+      runs.emplace_back(part.begin_row, part.end_row);
+    }
+  }
+  return runs;
+}
 
 ColumnStore ColumnStore::FromRelation(const ExtendedRelation& rel) {
   ColumnStore store;
@@ -121,10 +170,43 @@ ColumnStore ColumnStore::WithSchema(const ColumnStore& src, SchemaPtr schema,
   store.boxed_columns_ = src.boxed_columns_;
   store.sn_ = src.sn_;
   store.sp_ = src.sp_;
-  // A schema relabel keeps the column data, so the profile carries over.
+  // A schema relabel keeps the column data, so the profile, the
+  // partition zones and any pending deferred verification carry over
+  // (the verifier reads the store it is handed, and the relabeled
+  // columns are bit-identical).
   store.statistics_ = src.statistics_;
   store.statistics_built_ = src.statistics_built_;
+  store.partitions_ = src.partitions_;
+  store.deferred_ = src.deferred_;
   return store;
+}
+
+Status ColumnStore::EnsurePartitionVerified(size_t partition) const {
+  if (deferred_ == nullptr) return Status::OK();
+  DeferredVerify& d = *deferred_;
+  std::lock_guard<std::mutex> lock(d.mu);
+  // The first failure is sticky: once any partition fails, the image is
+  // considered corrupt as a whole and every later touch reports the
+  // same (first) error, matching what an eager load would have said.
+  if (d.failed) return d.failure;
+  if (partition >= d.done.size() || d.done[partition]) return Status::OK();
+  Status status = d.verifier(*this, partition);
+  if (!status.ok()) {
+    d.failed = true;
+    d.failure = status;
+    return status;
+  }
+  d.done[partition] = 1;
+  return Status::OK();
+}
+
+Status ColumnStore::EnsureAllVerified() const {
+  if (deferred_ == nullptr) return Status::OK();
+  const size_t count = deferred_->done.size();
+  for (size_t p = 0; p < count; ++p) {
+    EVIDENT_RETURN_NOT_OK(EnsurePartitionVerified(p));
+  }
+  return Status::OK();
 }
 
 ColumnStore ColumnStore::SpliceRows(

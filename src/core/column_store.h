@@ -1,12 +1,18 @@
 #ifndef EVIDENT_CORE_COLUMN_STORE_H_
 #define EVIDENT_CORE_COLUMN_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "core/column_span.h"
 #include "core/extended_relation.h"
 #include "core/schema.h"
 #include "core/support_pair.h"
@@ -62,12 +68,16 @@ class ColumnStore {
   /// One packed uncertain attribute. Row r's focal elements occupy
   /// words[offsets[r] .. offsets[r+1]) with parallel masses, in the mass
   /// function's focal-store order (ascending word).
+  /// The three arrays are ColumnSpans so a loaded column image can
+  /// borrow them straight out of an mmap'ed file; every mutating path
+  /// (the splice primitives below) transparently detaches into owned
+  /// storage first.
   struct EvidenceColumn {
     DomainPtr domain;               // the schema attribute's domain
     size_t universe = 0;            // == domain->size(), <= 64
-    std::vector<uint64_t> words;
-    std::vector<double> masses;
-    std::vector<uint32_t> offsets;  // rows + 1 entries
+    ColumnSpan<uint64_t> words;
+    ColumnSpan<double> masses;
+    ColumnSpan<uint32_t> offsets;   // rows + 1 entries
 
     FocalSpanColumn Spans() const {
       return FocalSpanColumn{words.data(), masses.data(), offsets.data()};
@@ -214,8 +224,8 @@ class ColumnStore {
   }
 
   /// \brief Membership supports as parallel arrays.
-  const std::vector<double>& sn() const { return sn_; }
-  const std::vector<double>& sp() const { return sp_; }
+  const ColumnSpan<double>& sn() const { return sn_; }
+  const ColumnSpan<double>& sp() const { return sp_; }
   SupportPair membership(size_t row) const { return {sn_[row], sp_[row]}; }
 
   /// \brief Materializes row `row`'s evidence for attribute `attr` as an
@@ -245,7 +255,93 @@ class ColumnStore {
   }
   /// @}
 
+  /// \name Partition zone maps.
+  ///
+  /// A partitioned relation (an EVCIMG03 image saved with a
+  /// PartitionSpec) is stored as one global column image whose rows are
+  /// ordered partition-major; each partition is a contiguous row range
+  /// carrying a zone map — min/max of the membership supports and of
+  /// every definite value column over its rows. Scans prune a partition
+  /// when a bound conjunct is refuted by its zones (see
+  /// BoundPredicate::RefutesPartition); an empty vector means the
+  /// relation is monolithic.
+  /// @{
+  struct ValueZone {
+    bool has = false;  // false: no zone (uncertain attr or empty range)
+    Value min;
+    Value max;
+  };
+  struct PartitionZone {
+    size_t begin_row = 0;
+    size_t end_row = 0;  // half-open [begin_row, end_row)
+    double sn_min = 1.0, sn_max = 0.0;
+    double sp_min = 1.0, sp_max = 0.0;
+    std::vector<ValueZone> values;  // one per schema attribute
+  };
+  const std::vector<PartitionZone>& partitions() const { return partitions_; }
+  void AdoptPartitions(std::vector<PartitionZone> partitions) {
+    partitions_ = std::move(partitions);
+  }
+  /// @}
+
+  /// \name Loader adoption paths (column-image reader only).
+  /// @{
+  /// Installs a precomputed encoded-key arena (the persisted key trailer
+  /// of an EVCIMG03 image) and marks the lazy cache built.
+  void AdoptEncodedKeys(std::string arena, std::vector<uint32_t> offsets) {
+    encoded_keys_.arena = std::move(arena);
+    encoded_keys_.offsets = std::move(offsets);
+    encoded_keys_built_ = true;
+  }
+  /// Installs the membership arrays wholesale (possibly borrowed from a
+  /// mapped image); both must have the same length as every column.
+  void AdoptMemberships(ColumnSpan<double> sn, ColumnSpan<double> sp) {
+    sn_ = std::move(sn);
+    sp_ = std::move(sp);
+  }
+  /// @}
+
+  /// \name Deferred per-partition verification.
+  ///
+  /// A mapped image is validated structurally at open (every offset,
+  /// count and slot is bounds-checked — no access through this store can
+  /// read out of bounds), but the O(bytes) semantic checks (chunk CRCs,
+  /// mass-function invariants, CWA_ER, key-arena/index agreement) are
+  /// deferred per partition so open cost stays O(partitions). The
+  /// executors call EnsurePartitionVerified / EnsureAllVerified before
+  /// reading rows; the first failure is sticky and is returned by every
+  /// later call, so the first error a query surfaces equals the error an
+  /// eager (owned) load of the same file would have reported. Partitions
+  /// a scan prunes may never be verified — a pruned partition's bytes
+  /// are trusted the way any unread page of a mapped database file is.
+  /// @{
+  using PartitionVerifier = std::function<Status(const ColumnStore&, size_t)>;
+  void InstallDeferredVerification(size_t partition_count,
+                                   PartitionVerifier verifier) {
+    auto d = std::make_shared<DeferredVerify>();
+    d->verifier = std::move(verifier);
+    d->done.assign(partition_count, 0);
+    deferred_ = std::move(d);
+  }
+  Status EnsurePartitionVerified(size_t partition) const;
+  Status EnsureAllVerified() const;
+  bool deferred_verification_pending() const { return deferred_ != nullptr; }
+  /// Drops the deferred state. The owned (copied) loader calls this
+  /// after driving every partition check eagerly — its verifier
+  /// references the load-time byte buffer, so it must never be callable
+  /// once the load returns.
+  void ClearDeferredVerification() { deferred_.reset(); }
+  /// @}
+
  private:
+  struct DeferredVerify {
+    PartitionVerifier verifier;
+    std::mutex mu;
+    std::vector<uint8_t> done;
+    bool failed = false;
+    Status failure;
+  };
+
   SchemaPtr schema_;
   std::string name_;
   std::vector<ColumnKind> kinds_;   // per schema attribute
@@ -253,7 +349,13 @@ class ColumnStore {
   std::vector<ValueColumn> value_columns_;
   std::vector<EvidenceColumn> evidence_columns_;
   std::vector<BoxedColumn> boxed_columns_;
-  std::vector<double> sn_, sp_;
+  ColumnSpan<double> sn_, sp_;
+  // Partition row ranges + zone maps (empty = monolithic).
+  std::vector<PartitionZone> partitions_;
+  // Deferred verification state, shared by copies of this store (the
+  // data a copy carries is bit-identical, so a verification performed
+  // through any copy stands for all of them). Null = fully verified.
+  std::shared_ptr<DeferredVerify> deferred_;
   // Lazily-built encoded-key cache (see encoded_keys()).
   mutable EncodedKeys encoded_keys_;
   mutable bool encoded_keys_built_ = false;
@@ -261,6 +363,52 @@ class ColumnStore {
   mutable TableStatistics statistics_;
   mutable bool statistics_built_ = false;
 };
+
+/// \brief The scan-side pruning primitive shared by the columnar
+/// operators and the fused-pipeline executor: returns a per-row bitmap
+/// marking every row of a partition `refutes` rejects — empty when no
+/// partition was pruned, so the common monolithic case costs one branch.
+/// Each surviving partition's deferred (mapped-image) checks run on the
+/// way; a pruned partition's bytes are never read, so they are never
+/// verified either. Records the considered/pruned counts in the calling
+/// thread's PartitionScanStats. A store without partitions is fully
+/// verified and nothing is pruned.
+Result<std::vector<uint8_t>> PruneAndVerifyPartitions(
+    const ColumnStore& store,
+    const std::function<bool(const ColumnStore::PartitionZone&)>& refutes);
+
+/// \brief The surviving rows of a pruned scan as maximal contiguous
+/// absolute runs, derived from the partition boundaries in
+/// O(partitions): adjacent unpruned partitions coalesce into one run,
+/// and an empty bitmap (nothing pruned) yields the single run
+/// [0, rows). Scan executors iterate these runs — and size their morsel
+/// domains to the summed run length — so a query over a mostly-pruned
+/// relation costs O(surviving rows), not O(rows), per pass.
+std::vector<std::pair<size_t, size_t>> UnprunedRowRuns(
+    const ColumnStore& store, const std::vector<uint8_t>& row_pruned);
+
+/// \brief Maps one morsel of the compacted scan domain back to absolute
+/// row slices: `fn(begin, end)` is invoked for each maximal absolute
+/// slice whose compacted positions fall in [compact_begin, compact_end).
+/// Compacted position = rows of earlier runs + offset within the run,
+/// so distinct morsels see disjoint slices and every unpruned row is
+/// covered exactly once.
+template <typename Fn>
+void ForEachRunSlice(const std::vector<std::pair<size_t, size_t>>& runs,
+                     size_t compact_begin, size_t compact_end, Fn&& fn) {
+  size_t base = 0;  // compacted position of the current run's first row
+  for (const auto& [run_begin, run_end] : runs) {
+    const size_t len = run_end - run_begin;
+    if (base >= compact_end) break;
+    if (base + len > compact_begin) {
+      const size_t lo =
+          run_begin + (compact_begin > base ? compact_begin - base : 0);
+      const size_t hi = run_begin + std::min(len, compact_end - base);
+      if (lo < hi) fn(lo, hi);
+    }
+    base += len;
+  }
+}
 
 }  // namespace evident
 

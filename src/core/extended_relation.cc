@@ -44,6 +44,14 @@ ExtendedRelation ExtendedRelation::AdoptColumns(ColumnStore store) {
   return rel;
 }
 
+ExtendedRelation ExtendedRelation::AdoptColumnsWithIndex(
+    ColumnStore store, EncodedKeyIndex index) {
+  ExtendedRelation rel = AdoptColumns(std::move(store));
+  rel.key_index_ = std::move(index);
+  rel.index_built_ = true;
+  return rel;
+}
+
 size_t ExtendedRelation::size() const {
   return rows_built_ ? rows_.size() : columns_->rows();
 }

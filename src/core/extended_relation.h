@@ -72,6 +72,13 @@ class ExtendedRelation {
   /// lazily-built index does not re-check.
   static ExtendedRelation AdoptColumns(ColumnStore store);
 
+  /// \brief AdoptColumns plus a fully built key index (the EVCIMG03
+  /// loader's path, restoring the persisted index image so a loaded
+  /// catalog probes without re-hashing every key). The index's rows must
+  /// be the store's rows in order.
+  static ExtendedRelation AdoptColumnsWithIndex(ColumnStore store,
+                                                EncodedKeyIndex index);
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const SchemaPtr& schema() const { return schema_; }

@@ -24,6 +24,9 @@ enum class Site {
   kRead,        // read() fails with EIO
   kShortRead,   // read() reports EOF early (simulated truncation)
   kEintr,       // read()/write() fails once with EINTR
+  kOpen,        // open() fails with EIO
+  kMmap,        // mmap() fails with ENOMEM
+  kClose,       // close() fails with EIO
 };
 
 /// \brief Arms the calling thread's injector: the `nth` (1-based) hit of

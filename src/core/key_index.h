@@ -11,6 +11,20 @@
 
 namespace evident {
 
+/// \brief FNV-1a over the canonical key bytes — the one key hash the
+/// key index, the persisted EVCIMG03 index image and the hash
+/// partitioner all share. It is fixed and process-independent (unlike
+/// std::hash), so hashes written to disk by one build verify and probe
+/// correctly in any other.
+inline uint64_t StableKeyHash(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
 /// \brief A flat open-addressing index from encoded key bytes to row
 /// indices — the ExtendedRelation key index.
 ///
@@ -85,10 +99,35 @@ class EncodedKeyIndex {
     return kNoRow;
   }
 
- private:
-  static uint64_t Hash(std::string_view key) {
-    return std::hash<std::string_view>()(key);
+  /// \name Persisted-image adoption (the EVCIMG03 loader).
+  ///
+  /// Installs a fully built index wholesale: `arena`/`starts` are the
+  /// key bytes in row order, `hashes` is StableKeyHash per row, and
+  /// `slots` is the open-addressing table (capacity a power of two,
+  /// kNoRow = empty). The caller has bounds-checked every slot entry;
+  /// semantic agreement (Find(key(r)) == r) is verified lazily by the
+  /// loader's deferred per-partition checks.
+  /// @{
+  void AdoptParts(std::string arena, std::vector<uint32_t> starts,
+                  std::vector<uint64_t> hashes, std::vector<uint32_t> slots) {
+    arena_ = std::move(arena);
+    starts_ = std::move(starts);
+    hashes_ = std::move(hashes);
+    slots_ = std::move(slots);
+    mask_ = slots_.empty() ? 0 : slots_.size() - 1;
   }
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+  const std::vector<uint32_t>& slots() const { return slots_; }
+  size_t capacity() const { return slots_.size(); }
+  /// @}
+
+  /// The table capacity the incremental insert path would pick for
+  /// `rows` rows (a power of two, load factor <= 3/4) — the writer uses
+  /// it so a persisted image round-trips to an identical table.
+  static size_t TableCapacityFor(size_t rows) { return TableFor(rows); }
+
+ private:
+  static uint64_t Hash(std::string_view key) { return StableKeyHash(key); }
 
   static size_t TableFor(size_t rows) {
     size_t capacity = 16;

@@ -316,6 +316,33 @@ ColumnStore SpliceKeptRows(const ColumnStore& store, std::string name,
                                  identity, keep, memberships);
 }
 
+/// Evaluates `bound` over the rows of [begin, end) whose partition was
+/// not pruned, in maximal contiguous runs; pruned rows' output slots
+/// stay unset and callers never read them. A refuted partition's rows
+/// would all evaluate to support (0, 0) and be dropped, so skipping
+/// them changes no output — it only keeps the scan from touching (and
+/// the mapped loader from verifying) the pruned partitions' bytes.
+void EvaluateUnprunedRows(const BoundPredicate& bound,
+                          const ColumnStore& store, size_t begin, size_t end,
+                          const std::vector<uint8_t>& row_pruned,
+                          SupportPair* out) {
+  if (row_pruned.empty()) {
+    bound.EvaluateColumns(store, begin, end, out);
+    return;
+  }
+  size_t r = begin;
+  while (r < end) {
+    if (row_pruned[r]) {
+      ++r;
+      continue;
+    }
+    size_t run = r + 1;
+    while (run < end && !row_pruned[run]) ++run;
+    bound.EvaluateColumns(store, r, run, out);
+    r = run;
+  }
+}
+
 /// Columnar extended selection: the predicate is bound once (attribute
 /// positions, IS-masks, theta tables) and evaluated column-at-a-time
 /// over the packed evidence spans, sharded across threads; the serial
@@ -332,25 +359,46 @@ Result<ExtendedRelation> SelectColumnar(const ExtendedRelation& input,
   if (!bound.fully_bound()) return SelectRows(input, predicate, threshold);
   const ColumnStore& store = input.columns();
   const size_t n = input.size();
+  // Zone-map pruning: a partition the predicate refutes contributes no
+  // output row (its supports would all be (0,0), dropped by CWA_ER), so
+  // its rows are neither evaluated nor verified.
+  EVIDENT_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> row_pruned,
+      PruneAndVerifyPartitions(store, [&](const auto& zone) {
+        return bound.RefutesPartition(zone);
+      }));
+  // Evaluate and filter over the unpruned runs only: the morsel domain
+  // is the compacted surviving row set, so a mostly-pruned scan costs
+  // O(surviving rows) per pass, not O(rows).
+  const std::vector<std::pair<size_t, size_t>> runs =
+      UnprunedRowRuns(store, row_pruned);
+  size_t live = 0;
+  for (const auto& run : runs) live += run.second - run.first;
   std::vector<SupportPair> supports(n);
   // Morsels write disjoint absolute slices of the shared supports array.
-  ParallelForMorsels(n, kParallelGrain,
-                     [&](size_t, size_t begin, size_t end) {
-                       bound.EvaluateColumns(store, begin, end,
-                                             supports.data());
+  ParallelForMorsels(live, kParallelGrain,
+                     [&](size_t, size_t compact_begin, size_t compact_end) {
+                       ForEachRunSlice(
+                           runs, compact_begin, compact_end,
+                           [&](size_t begin, size_t end) {
+                             bound.EvaluateColumns(store, begin, end,
+                                                   supports.data());
+                           });
                      });
   EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
 
   std::vector<uint32_t> keep;
   std::vector<SupportPair> revised_memberships;
-  for (size_t i = 0; i < n; ++i) {
-    // F_TM: predicate satisfaction and original membership are treated
-    // as independent events (Figure 3).
-    const SupportPair revised = store.membership(i).Multiply(supports[i]);
-    if (!revised.HasPositiveSupport()) continue;  // CWA_ER consistency.
-    if (!threshold.Accepts(revised)) continue;
-    keep.push_back(static_cast<uint32_t>(i));
-    revised_memberships.push_back(revised);
+  for (const auto& [run_begin, run_end] : runs) {
+    for (size_t i = run_begin; i < run_end; ++i) {
+      // F_TM: predicate satisfaction and original membership are treated
+      // as independent events (Figure 3).
+      const SupportPair revised = store.membership(i).Multiply(supports[i]);
+      if (!revised.HasPositiveSupport()) continue;  // CWA_ER consistency.
+      if (!threshold.Accepts(revised)) continue;
+      keep.push_back(static_cast<uint32_t>(i));
+      revised_memberships.push_back(revised);
+    }
   }
   EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), keep.size()));
 
@@ -407,25 +455,51 @@ Result<ExtendedRelation> FilterPositiveSupportColumnar(
   }
   const ColumnStore& store = input.columns();
   const size_t n = input.size();
+  // Zone-map pruning: a partition some conjunct refutes would see that
+  // conjunct's support hit sn == 0 on every row, so every row is
+  // dropped — mark them up front and never evaluate (or verify) them.
+  EVIDENT_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> row_pruned,
+      PruneAndVerifyPartitions(store, [&](const auto& zone) {
+        for (const BoundPredicate& conjunct : bound) {
+          if (conjunct.RefutesPartition(zone)) return true;
+        }
+        return false;
+      }));
+  // Conjuncts evaluate over the unpruned runs only — the morsel domain
+  // is the compacted surviving row set — so a mostly-pruned prefilter
+  // costs O(surviving rows) per conjunct, not O(rows).
+  const std::vector<std::pair<size_t, size_t>> runs =
+      UnprunedRowRuns(store, row_pruned);
+  size_t live = 0;
+  for (const auto& run : runs) live += run.second - run.first;
   std::vector<uint8_t> drop(n, 0);
   std::vector<SupportPair> supports(n);
   for (const BoundPredicate& conjunct : bound) {
-    ParallelForMorsels(n, kParallelGrain,
-                       [&](size_t, size_t begin, size_t end) {
-                         conjunct.EvaluateColumns(store, begin, end,
-                                                  supports.data());
-                         for (size_t i = begin; i < end; ++i) {
-                           if (!supports[i].HasPositiveSupport()) drop[i] = 1;
-                         }
-                       });
+    ParallelForMorsels(
+        live, kParallelGrain,
+        [&](size_t, size_t compact_begin, size_t compact_end) {
+          ForEachRunSlice(runs, compact_begin, compact_end,
+                          [&](size_t begin, size_t end) {
+                            conjunct.EvaluateColumns(store, begin, end,
+                                                     supports.data());
+                            for (size_t i = begin; i < end; ++i) {
+                              if (!supports[i].HasPositiveSupport()) {
+                                drop[i] = 1;
+                              }
+                            }
+                          });
+        });
   }
   EVIDENT_RETURN_NOT_OK(GovernorAfterPass());
   std::vector<uint32_t> keep;
   std::vector<SupportPair> memberships;
-  for (size_t i = 0; i < n; ++i) {
-    if (drop[i]) continue;
-    keep.push_back(static_cast<uint32_t>(i));
-    memberships.push_back(store.membership(i));
+  for (const auto& [run_begin, run_end] : runs) {
+    for (size_t i = run_begin; i < run_end; ++i) {
+      if (drop[i]) continue;
+      keep.push_back(static_cast<uint32_t>(i));
+      memberships.push_back(store.membership(i));
+    }
   }
   EVIDENT_RETURN_NOT_OK(GovernorChargeOutput(*input.schema(), keep.size()));
   return ExtendedRelation::AdoptColumns(
@@ -1455,6 +1529,24 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
   constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
   const ColumnStore& build = build_left ? lstore : rstore;
   const ColumnStore& probe = build_left ? rstore : lstore;
+  // The build pass hashes every build row, so the build image must be
+  // fully verified. The probe side prunes partition-at-a-time when it
+  // carries a fused prefilter: a partition some conjunct refutes would
+  // see every row's filter support hit sn == 0 — those rows are marked
+  // dropped up front and their bytes never touched (or verified).
+  EVIDENT_RETURN_NOT_OK(build.EnsureAllVerified());
+  std::vector<uint8_t> probe_pruned;
+  if (probe_filter != nullptr) {
+    EVIDENT_ASSIGN_OR_RETURN(
+        probe_pruned, PruneAndVerifyPartitions(probe, [&](const auto& zone) {
+          for (const BoundPredicate& conjunct : *probe_filter) {
+            if (conjunct.RefutesPartition(zone)) return true;
+          }
+          return false;
+        }));
+  } else {
+    EVIDENT_RETURN_NOT_OK(probe.EnsureAllVerified());
+  }
   std::vector<size_t> build_indices, probe_indices;
   build_indices.reserve(plan.keys.size());
   probe_indices.reserve(plan.keys.size());
@@ -1494,20 +1586,25 @@ Result<ExtendedRelation> HashEquiJoinColumnarSplice(
   const size_t morsel_count =
       ParallelMorselCount(probe.rows(), kParallelGrain);
   std::vector<MorselPairs> morsels(morsel_count);
-  // Fused-probe scratch: morsels write disjoint absolute slices.
+  // Fused-probe scratch: morsels write disjoint absolute slices. Rows of
+  // pruned probe partitions start dropped — exactly the flag the refuted
+  // conjunct would have set — so the survivor charge below is unchanged.
   std::vector<SupportPair> filter_supports(
       probe_filter != nullptr ? probe.rows() : 0);
-  std::vector<uint8_t> filter_drop(
-      probe_filter != nullptr ? probe.rows() : 0, 0);
+  std::vector<uint8_t> filter_drop =
+      probe_pruned.empty()
+          ? std::vector<uint8_t>(probe_filter != nullptr ? probe.rows() : 0, 0)
+          : probe_pruned;
   ParallelForMorsels(
       probe.rows(), kParallelGrain,
       [&](size_t morsel, size_t begin, size_t end) {
         MorselPairs& out = morsels[morsel];
         if (probe_filter != nullptr) {
           for (const BoundPredicate& conjunct : *probe_filter) {
-            conjunct.EvaluateColumns(probe, begin, end,
-                                     filter_supports.data());
+            EvaluateUnprunedRows(conjunct, probe, begin, end, probe_pruned,
+                                 filter_supports.data());
             for (size_t p = begin; p < end; ++p) {
+              if (filter_drop[p]) continue;
               if (!filter_supports[p].HasPositiveSupport()) {
                 filter_drop[p] = 1;
               }

@@ -1,0 +1,39 @@
+#ifndef EVIDENT_CORE_SCAN_STATS_H_
+#define EVIDENT_CORE_SCAN_STATS_H_
+
+#include <cstdint>
+
+namespace evident {
+
+/// \brief Per-thread counters for zone-map partition pruning, reset per
+/// query by the shell (or any caller that wants a fresh window). The
+/// executors record how many partitions each pruned scan considered and
+/// how many it skipped; the shell reports the totals after each query.
+/// Thread-local so concurrent sessions never contend — but that also
+/// means a reader only sees the scans its own thread executed. Morsel
+/// workers never record (pruning decisions are made on the calling
+/// thread before morsels are cut), so the session thread's view is
+/// complete.
+struct PartitionScanStats {
+  uint64_t partitions_considered = 0;
+  uint64_t partitions_pruned = 0;
+};
+
+inline PartitionScanStats& MutableScanStats() {
+  thread_local PartitionScanStats stats;
+  return stats;
+}
+
+inline void ResetScanStats() { MutableScanStats() = PartitionScanStats{}; }
+
+inline PartitionScanStats CurrentScanStats() { return MutableScanStats(); }
+
+inline void RecordPartitionScan(uint64_t considered, uint64_t pruned) {
+  PartitionScanStats& stats = MutableScanStats();
+  stats.partitions_considered += considered;
+  stats.partitions_pruned += pruned;
+}
+
+}  // namespace evident
+
+#endif  // EVIDENT_CORE_SCAN_STATS_H_

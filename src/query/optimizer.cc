@@ -555,6 +555,40 @@ double EdgeDivisor(const PlanNode& node, const MultiJoinEdge& edge,
   return d == 0 ? 1.0 : static_cast<double>(d);
 }
 
+/// System-R meets the zone maps: when a filter sits directly on a
+/// partitioned scan, rows of partitions its conjuncts refute can never
+/// survive, so the unpruned row sum is a hard cap on the selectivity
+/// estimate. Returns SIZE_MAX (no cap) when the child is not a
+/// partitioned columnar scan.
+size_t UnprunedRowCap(const PlanNode* child,
+                      const std::vector<PredicatePtr>& conjuncts) {
+  if (child == nullptr || child->op != PlanNode::Op::kScan ||
+      child->rel == nullptr || child->rel->schema() == nullptr ||
+      !child->rel->columnar_mode()) {
+    return std::numeric_limits<size_t>::max();
+  }
+  const auto& parts = child->rel->columns().partitions();
+  if (parts.empty()) return std::numeric_limits<size_t>::max();
+  std::vector<BoundPredicate> bound;
+  bound.reserve(conjuncts.size());
+  for (const PredicatePtr& conjunct : conjuncts) {
+    if (conjunct == nullptr) continue;
+    bound.push_back(BoundPredicate::Bind(conjunct, child->rel->schema()));
+  }
+  size_t rows = 0;
+  for (const auto& zone : parts) {
+    bool refuted = false;
+    for (const BoundPredicate& b : bound) {
+      if (b.RefutesPartition(zone)) {
+        refuted = true;
+        break;
+      }
+    }
+    if (!refuted) rows += zone.end_row - zone.begin_row;
+  }
+  return rows;
+}
+
 size_t AnnotateEstimates(PlanNode* node) {
   if (node == nullptr) return 0;
   const size_t l = AnnotateEstimates(node->left.get());
@@ -574,6 +608,8 @@ size_t AnnotateEstimates(PlanNode* node) {
           static_cast<double>(l) *
           PredicateSelectivity(node->left.get(), node->predicate) *
           ThresholdSelectivity(node->left.get(), node->threshold));
+      estimate = std::min(estimate,
+                          UnprunedRowCap(node->left.get(), {node->predicate}));
       break;
     case PlanNode::Op::kPrefilter: {
       double sel = 1.0;
@@ -581,6 +617,8 @@ size_t AnnotateEstimates(PlanNode* node) {
         sel *= ConjunctSelectivity(node->left.get(), conjunct);
       }
       estimate = ClampEstimate(static_cast<double>(l) * sel);
+      estimate = std::min(estimate,
+                          UnprunedRowCap(node->left.get(), node->conjuncts));
       break;
     }
     case PlanNode::Op::kProject:

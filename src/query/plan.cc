@@ -263,6 +263,20 @@ namespace {
 /// grain so scheduling behaviour is uniform across the executor.
 constexpr size_t kFusedMorselGrain = 256;
 
+/// A mapped column image defers its per-partition semantic checks until
+/// first read; any operator consuming a scan's rows must drive them
+/// first. The partition-granular readers (the fused pipeline, the fused
+/// join probe, the columnar select/prefilter) verify only the
+/// partitions they keep; every other consumer gets the full sweep here.
+/// Row-mode relations never have checks pending, and columns() is not
+/// consulted for them (it would materialize the image).
+Status EnsureScanVerified(const ExtendedRelation& rel) {
+  if (!rel.columnar_mode()) return Status::OK();
+  const ColumnStore& store = rel.columns();
+  if (!store.deferred_verification_pending()) return Status::OK();
+  return store.EnsureAllVerified();
+}
+
 /// Executes a kFused node: one morsel-parallel pass over the scan's
 /// shared column image evaluating every bound stage, then a single
 /// serial splice of the surviving rows' projected columns. No
@@ -288,14 +302,51 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
   // limit trips or the error it reports.
   QueryContext* const query_ctx = CurrentQueryContext();
   const size_t stage_count = node.fused_stages.size();
-  const size_t morsel_count = ParallelMorselCount(n, kFusedMorselGrain);
+  // Zone-map pruning, decided on the calling thread before morsels are
+  // cut. A refuted row's support is (0,0) at the refuting stage, so it
+  // is dropped there no matter what earlier stages did — ungoverned
+  // queries prune on any stage's refutation. Governed queries prune on
+  // the first stage only: its drops happen before any survivor is
+  // counted, so the per-stage survivor counts replayed into the
+  // governor below stay identical to the unpruned execution's.
+  const size_t prunable_stages =
+      query_ctx != nullptr ? std::min<size_t>(stage_count, 1) : stage_count;
+  EVIDENT_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> row_pruned,
+      PruneAndVerifyPartitions(store, [&](const auto& zone) {
+        for (size_t s = 0; s < prunable_stages; ++s) {
+          const PlanNode::FusedStage& stage = node.fused_stages[s];
+          if (!stage.trivial && stage.bound.RefutesPartition(zone)) {
+            return true;
+          }
+        }
+        return false;
+      }));
+  // The morsel domain is the compacted unpruned row set: pruned
+  // partitions contribute no morsels, so a mostly-pruned scan costs
+  // O(surviving rows) per pass, not O(rows). Each morsel maps back to
+  // absolute row slices (ForEachRunSlice); the keep/members/supports
+  // arrays stay absolute-indexed, and a pruned row's keep slot simply
+  // stays 0 — exactly the flag its refuted stage would have cleared.
+  const std::vector<std::pair<size_t, size_t>> runs =
+      UnprunedRowRuns(store, row_pruned);
+  size_t live = 0;
+  for (const auto& run : runs) live += run.second - run.first;
+  const size_t morsel_count = ParallelMorselCount(live, kFusedMorselGrain);
   std::vector<uint64_t> stage_survivors(
       query_ctx != nullptr ? morsel_count * stage_count : 0, 0);
-  ParallelForMorsels(n, kFusedMorselGrain, [&](size_t morsel, size_t begin,
-                                               size_t end) {
-    for (size_t r = begin; r < end; ++r) {
-      keep[r] = 1;
-      members[r] = store.membership(r);
+  ParallelForMorsels(live, kFusedMorselGrain, [&](size_t morsel,
+                                                  size_t compact_begin,
+                                                  size_t compact_end) {
+    // This morsel's absolute row slices; every row in them is unpruned.
+    std::vector<std::pair<size_t, size_t>> slices;
+    ForEachRunSlice(runs, compact_begin, compact_end,
+                    [&](size_t b, size_t e) { slices.emplace_back(b, e); });
+    for (const auto& [slice_begin, slice_end] : slices) {
+      for (size_t r = slice_begin; r < slice_end; ++r) {
+        keep[r] = 1;
+        members[r] = store.membership(r);
+      }
     }
     // Applies `stage` to row r, whose support is supports[r] (ignored
     // for trivial stages: a threshold-only selection's support factor
@@ -326,12 +377,25 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
       const PlanNode::FusedStage& stage = node.fused_stages[s];
       if (dense) {
         if (!stage.trivial) {
-          stage.bound.EvaluateColumns(store, begin, end, supports.data());
+          // The dense sweep runs only at the first stage, where every
+          // row of every slice is kept (pruned partitions never entered
+          // the morsel domain): evaluate each slice contiguously, so a
+          // pruned partition's bytes are never touched.
+          for (const auto& [slice_begin, slice_end] : slices) {
+            stage.bound.EvaluateColumns(store, slice_begin, slice_end,
+                                        supports.data());
+          }
         }
-        for (size_t r = begin; r < end; ++r) apply(stage, r);
-        alive.reserve(end - begin);
-        for (size_t r = begin; r < end; ++r) {
-          if (keep[r]) alive.push_back(static_cast<uint32_t>(r));
+        for (const auto& [slice_begin, slice_end] : slices) {
+          for (size_t r = slice_begin; r < slice_end; ++r) {
+            if (keep[r]) apply(stage, r);
+          }
+        }
+        alive.reserve(compact_end - compact_begin);
+        for (const auto& [slice_begin, slice_end] : slices) {
+          for (size_t r = slice_begin; r < slice_end; ++r) {
+            if (keep[r]) alive.push_back(static_cast<uint32_t>(r));
+          }
         }
         dense = false;
       } else {
@@ -385,10 +449,12 @@ Result<ExtendedRelation> ExecuteFusedPipeline(const PlanNode& node) {
   }
   std::vector<uint32_t> kept;
   std::vector<SupportPair> memberships;
-  for (size_t r = 0; r < n; ++r) {
-    if (!keep[r]) continue;
-    kept.push_back(static_cast<uint32_t>(r));
-    memberships.push_back(members[r]);
+  for (const auto& [run_begin, run_end] : runs) {
+    for (size_t r = run_begin; r < run_end; ++r) {
+      if (!keep[r]) continue;
+      kept.push_back(static_cast<uint32_t>(r));
+      memberships.push_back(members[r]);
+    }
   }
   return ExtendedRelation::AdoptColumns(
       ColumnStore::SpliceRows(store, node.schema, node.relation,
@@ -425,7 +491,10 @@ bool IsFusedPrefilterOverScan(const PlanNode& fused) {
 class PlanExecutor {
  public:
   Result<const ExtendedRelation*> Exec(const PlanNode& node) {
-    if (node.op == PlanNode::Op::kScan) return node.rel;
+    if (node.op == PlanNode::Op::kScan) {
+      EVIDENT_RETURN_NOT_OK(EnsureScanVerified(*node.rel));
+      return node.rel;
+    }
     EVIDENT_ASSIGN_OR_RETURN(ExtendedRelation result, ExecOwned(node));
     results_.push_back(std::move(result));
     return &results_.back();
@@ -436,6 +505,7 @@ class PlanExecutor {
       case PlanNode::Op::kScan:
         // Only reached when the scan is the whole plan; the result is a
         // copy of the catalog relation (sharing its column image).
+        EVIDENT_RETURN_NOT_OK(EnsureScanVerified(*node.rel));
         return *node.rel;
       case PlanNode::Op::kSelect: {
         EVIDENT_ASSIGN_OR_RETURN(const ExtendedRelation* input,
@@ -626,7 +696,15 @@ void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
   switch (node.op) {
     case PlanNode::Op::kScan:
       *os << "scan[" << node.relation;
-      if (node.rel != nullptr) *os << ", " << node.rel->size() << " rows";
+      if (node.rel != nullptr) {
+        *os << ", " << node.rel->size() << " rows";
+        // Only a columnar relation can carry partitions (the EVCIMG03
+        // loader's product); columns() is free to consult there.
+        if (node.rel->columnar_mode()) {
+          const size_t parts = node.rel->columns().partitions().size();
+          if (parts > 0) *os << ", " << parts << " partition(s)";
+        }
+      }
       *os << "]";
       break;
     case PlanNode::Op::kSelect:
@@ -689,7 +767,27 @@ void RenderNode(const PlanNode& node, size_t indent, std::ostringstream* os) {
       // The replaced chain is the node's child, so the generic child
       // recursion below renders what was fused indented beneath it.
       *os << "fused pipeline[" << node.fused_stages.size() << " stage(s), "
-          << node.fused_projection.size() << " col(s)]";
+          << node.fused_projection.size() << " col(s)";
+      // Zone-map verdicts are plan-time facts (the zones ride the
+      // catalog image, the stages are bound), so EXPLAIN can show
+      // exactly which partitions the scan will skip.
+      if (node.rel != nullptr && node.rel->columnar_mode()) {
+        const auto& parts = node.rel->columns().partitions();
+        if (!parts.empty()) {
+          size_t pruned = 0;
+          for (const auto& zone : parts) {
+            for (const PlanNode::FusedStage& stage : node.fused_stages) {
+              if (!stage.trivial && stage.bound.RefutesPartition(zone)) {
+                ++pruned;
+                break;
+              }
+            }
+          }
+          *os << ", partitions=" << pruned << "/" << parts.size()
+              << " pruned";
+        }
+      }
+      *os << "]";
       break;
     case PlanNode::Op::kMultiJoin: {
       *os << "multijoin["

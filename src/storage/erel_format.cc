@@ -4,10 +4,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cerrno>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <new>
 #include <sstream>
@@ -19,6 +19,9 @@
 #include "common/str_util.h"
 #include "core/column_store.h"
 #include "core/fault_injection.h"
+#include "storage/erel_internal.h"
+#include "storage/erel_v3.h"
+#include "storage/mmap_file.h"
 #include "text/evidence_literal.h"
 
 namespace evident {
@@ -82,217 +85,35 @@ namespace {
 
 constexpr char kColumnImageMagic[] = "EVCIMG";  // + 2 version digits
 constexpr char kColumnImageVersion[] = "02";
-constexpr char kStatisticsFooterMagic[] = "STATS001";
+constexpr char kColumnImageVersionV3[] = "03";
 constexpr char kChecksumTrailerMagic[] = "EVCRC001";
 constexpr size_t kChecksumTrailerSize = 12;  // 8-byte magic + u32 CRC
 constexpr uint32_t kNoDomain = std::numeric_limits<uint32_t>::max();
 
-/// IEEE CRC-32 (the zlib/PNG polynomial, reflected): the trailer's
-/// integrity check over every byte preceding it.
-uint32_t Crc32(const char* data, size_t n) {
-  static const std::array<uint32_t, 256> kTable = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xffu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+using erel_detail::ByteReader;
+using erel_detail::Crc32;
+using erel_detail::kStatisticsFooterMagic;
+using erel_detail::PutF64;
+using erel_detail::PutStr;
+using erel_detail::PutU32;
+using erel_detail::PutU64;
+using erel_detail::PutU8;
+using erel_detail::PutValue;
+using erel_detail::ReadStatisticsBody;
 
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutF64(std::string* out, double v) {
-  PutU64(out, std::bit_cast<uint64_t>(v));
-}
-
-void PutStr(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-void PutValue(std::string* out, const Value& v) {
-  PutU8(out, static_cast<uint8_t>(v.kind()));
-  switch (v.kind()) {
-    case Value::Kind::kInt:
-      PutU64(out, static_cast<uint64_t>(v.int_value()));
-      break;
-    case Value::Kind::kReal:
-      PutF64(out, v.real_value());
-      break;
-    case Value::Kind::kString:
-      PutStr(out, v.string_value());
-      break;
-  }
-}
-
-/// Bounds-checked cursor over the serialized blob. Every read names what
-/// it was reading so truncation errors point at the damaged section.
-class ByteReader {
- public:
-  /// Reads `data[0, limit)` — the limit excludes a checksum trailer the
-  /// caller already verified and stripped.
-  ByteReader(const std::string& data, size_t limit)
-      : data_(data), limit_(limit) {}
-
-  size_t remaining() const { return limit_ - pos_; }
-
-  Status Take(size_t n, const char* what, const char** bytes) {
-    if (remaining() < n) {
-      return Status::ParseError(
-          std::string("column-image file truncated reading ") + what);
-    }
-    *bytes = data_.data() + pos_;
-    pos_ += n;
-    return Status::OK();
-  }
-
-  Result<uint8_t> U8(const char* what) {
-    const char* p;
-    EVIDENT_RETURN_NOT_OK(Take(1, what, &p));
-    return static_cast<uint8_t>(*p);
-  }
-
-  Result<uint32_t> U32(const char* what) {
-    const char* p;
-    EVIDENT_RETURN_NOT_OK(Take(4, what, &p));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-    }
-    return v;
-  }
-
-  Result<uint64_t> U64(const char* what) {
-    const char* p;
-    EVIDENT_RETURN_NOT_OK(Take(8, what, &p));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-    }
-    return v;
-  }
-
-  Result<double> F64(const char* what) {
-    EVIDENT_ASSIGN_OR_RETURN(uint64_t bits, U64(what));
-    return std::bit_cast<double>(bits);
-  }
-
-  Result<std::string> Str(const char* what) {
-    EVIDENT_ASSIGN_OR_RETURN(uint32_t n, U32(what));
-    const char* p;
-    EVIDENT_RETURN_NOT_OK(Take(n, what, &p));
-    return std::string(p, n);
-  }
-
-  Result<Value> ReadValue(const char* what) {
-    EVIDENT_ASSIGN_OR_RETURN(uint8_t kind, U8(what));
-    switch (kind) {
-      case 0: {
-        EVIDENT_ASSIGN_OR_RETURN(uint64_t v, U64(what));
-        return Value(static_cast<int64_t>(v));
-      }
-      case 1: {
-        EVIDENT_ASSIGN_OR_RETURN(double v, F64(what));
-        return Value(v);
-      }
-      case 2: {
-        EVIDENT_ASSIGN_OR_RETURN(std::string v, Str(what));
-        return Value(std::move(v));
-      }
-      default:
-        return Status::ParseError("unknown value kind tag " +
-                                  std::to_string(kind) + " in " + what);
-    }
-  }
-
-  /// Rejects an element count whose minimal serialized size already
-  /// exceeds the remaining bytes — a corrupt count must fail here, not
-  /// in a multi-gigabyte vector reserve.
-  Status CheckCount(uint64_t count, size_t min_bytes_each, const char* what) {
-    if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
-      return Status::ParseError(std::string("implausible ") + what +
-                                " count " + std::to_string(count) +
-                                " for the remaining file size");
-    }
-    return Status::OK();
-  }
-
- private:
-  const std::string& data_;
-  size_t limit_;
-  size_t pos_ = 0;
-};
-
-/// Validates one packed evidence column row by row: strictly ascending
-/// nonzero in-frame words, masses in (0, 1], per-row sums within
-/// kMassEpsilon of 1 — the invariants MassFunction::Validate enforces,
-/// checked straight on the spans.
+/// Validates one packed evidence column: the v2 whole-column wrapper
+/// around the shared range validator — offset-array shape first, then
+/// every row, then arena-size agreement (error order is part of the
+/// pinned v2 messages).
 Status ValidateEvidenceColumn(const std::string& attr_name, size_t universe,
                               const ColumnStore::EvidenceColumn& col,
                               size_t rows) {
-  const uint64_t frame_mask =
-      universe >= 64 ? ~uint64_t{0} : (uint64_t{1} << universe) - 1;
-  auto fail = [&](size_t row, const std::string& msg) {
-    return Status::ParseError("attribute '" + attr_name + "' row " +
-                              std::to_string(row) + ": " + msg);
-  };
   if (col.offsets.size() != rows + 1 || col.offsets[0] != 0) {
     return Status::ParseError("attribute '" + attr_name +
                               "': malformed focal offset array");
   }
-  for (size_t r = 0; r < rows; ++r) {
-    const uint32_t first = col.offsets[r];
-    const uint32_t last = col.offsets[r + 1];
-    if (last < first || last > col.words.size()) {
-      return fail(r, "focal offsets not monotone within the span arena");
-    }
-    if (first == last) return fail(r, "empty mass function");
-    double sum = 0.0;
-    uint64_t prev = 0;
-    for (uint32_t k = first; k < last; ++k) {
-      const uint64_t w = col.words[k];
-      if (w == 0) return fail(r, "mass on the empty set");
-      if ((w & ~frame_mask) != 0) return fail(r, "focal word outside frame");
-      if (k > first && w <= prev) {
-        return fail(r, "focal words not strictly ascending");
-      }
-      prev = w;
-      const double m = col.masses[k];
-      if (!(m > 0.0) || m > 1.0 + kMassEpsilon) {
-        return fail(r, "focal mass outside (0, 1]");
-      }
-      sum += m;
-    }
-    // Same tolerance as MassFunction::Validate: relations built from
-    // rounded text literals carry sums within 1e-6 of 1, not 1e-9.
-    if (!ApproxEqual(sum, 1.0, 1e-6)) {
-      return fail(r, "focal masses sum to " + std::to_string(sum) +
-                         ", expected 1");
-    }
-  }
+  EVIDENT_RETURN_NOT_OK(
+      erel_detail::ValidateEvidenceRows(attr_name, universe, col, 0, rows));
   if (col.offsets[rows] != col.words.size()) {
     return Status::ParseError("attribute '" + attr_name +
                               "': focal span arena size disagrees with the "
@@ -301,32 +122,20 @@ Status ValidateEvidenceColumn(const std::string& attr_name, size_t universe,
   return Status::OK();
 }
 
-Result<Catalog> ReadErelColumnImage(const std::string& data) {
-  // Checksum trailer sniff: verified and stripped before any parsing, so
-  // a bit-rotted file fails the integrity check instead of feeding the
-  // parser damaged sections.
-  size_t limit = data.size();
-  if (limit >= kChecksumTrailerSize &&
-      data.compare(limit - kChecksumTrailerSize, 8, kChecksumTrailerMagic) ==
-          0) {
-    uint32_t stored = 0;
-    for (int i = 0; i < 4; ++i) {
-      stored |= static_cast<uint32_t>(
-                    static_cast<uint8_t>(data[limit - 4 + i]))
-                << (8 * i);
-    }
-    limit -= kChecksumTrailerSize;
-    if (stored != Crc32(data.data(), limit)) {
-      return Status::ParseError(
-          "column-image checksum mismatch: the file is corrupt");
-    }
+/// The v2 parse proper. Reports errors without source context; the
+/// caller stamps each with the source and the byte position reached.
+Result<Catalog> ReadErelColumnImageBody(ByteReader& in,
+                                        const std::string& data, size_t limit,
+                                        bool checksum_ok) {
+  if (!checksum_ok) {
+    return Status::ParseError(
+        "column-image checksum mismatch: the file is corrupt");
   }
   if (limit < 8 || data.compare(6, 2, kColumnImageVersion) != 0) {
     return Status::ParseError(
         "unsupported column-image version (expected EVCIMG" +
         std::string(kColumnImageVersion) + ")");
   }
-  ByteReader in(data, limit);
   {
     const char* magic;
     EVIDENT_RETURN_NOT_OK(in.Take(8, "magic", &magic));
@@ -565,53 +374,10 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
       return Status::ParseError("trailing bytes after the last relation");
     }
     for (ColumnStore& store : stores) {
-      const std::string& rel_name = store.name();
-      auto fail = [&](const std::string& msg) {
-        return Status::ParseError("statistics footer for relation '" +
-                                  rel_name + "': " + msg);
-      };
       TableStatistics stats;
-      EVIDENT_ASSIGN_OR_RETURN(stats.row_count,
-                               in.U64("statistics row count"));
-      if (stats.row_count != store.rows()) {
-        return fail("row count disagrees with the relation");
-      }
-      EVIDENT_ASSIGN_OR_RETURN(uint32_t attr_count,
-                               in.U32("statistics attribute count"));
-      if (attr_count != store.schema()->size()) {
-        return fail("attribute count disagrees with the schema");
-      }
-      stats.attributes.reserve(attr_count);
-      for (uint32_t a = 0; a < attr_count; ++a) {
-        TableStatistics::Attribute attr;
-        EVIDENT_ASSIGN_OR_RETURN(attr.distinct,
-                                 in.U64("statistics distinct count"));
-        if (attr.distinct > stats.row_count) {
-          return fail("distinct count exceeds the row count");
-        }
-        EVIDENT_ASSIGN_OR_RETURN(uint8_t exact,
-                                 in.U8("statistics exact flag"));
-        if (exact > 1) return fail("exact flag is not 0 or 1");
-        attr.exact = exact != 0;
-        stats.attributes.push_back(attr);
-      }
-      for (std::vector<uint64_t>* hist :
-           {&stats.sn_histogram, &stats.sp_histogram}) {
-        hist->reserve(TableStatistics::kHistogramBins);
-        uint64_t sum = 0;
-        for (size_t b = 0; b < TableStatistics::kHistogramBins; ++b) {
-          EVIDENT_ASSIGN_OR_RETURN(uint64_t count,
-                                   in.U64("statistics histogram bin"));
-          if (count > stats.row_count - sum) {
-            return fail("support histogram does not sum to the row count");
-          }
-          sum += count;
-          hist->push_back(count);
-        }
-        if (sum != stats.row_count) {
-          return fail("support histogram does not sum to the row count");
-        }
-      }
+      EVIDENT_RETURN_NOT_OK(ReadStatisticsBody(
+          in, "statistics footer for relation '" + store.name() + "'",
+          store.rows(), store.schema()->size(), &stats));
       store.AdoptStatistics(std::move(stats));
     }
     if (in.remaining() != 0) {
@@ -624,6 +390,32 @@ Result<Catalog> ReadErelColumnImage(const std::string& data) {
         ExtendedRelation::AdoptColumns(std::move(store))));
   }
   return catalog;
+}
+
+Result<Catalog> ReadErelColumnImage(const std::string& data,
+                                    const std::string& source) {
+  // Checksum trailer sniff: verified and stripped before any parsing, so
+  // a bit-rotted file fails the integrity check instead of feeding the
+  // parser damaged sections.
+  size_t limit = data.size();
+  bool checksum_ok = true;
+  if (limit >= kChecksumTrailerSize &&
+      data.compare(limit - kChecksumTrailerSize, 8, kChecksumTrailerMagic) ==
+          0) {
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(data[limit - 4 + i]))
+                << (8 * i);
+    }
+    limit -= kChecksumTrailerSize;
+    checksum_ok = stored == Crc32(data.data(), limit);
+  }
+  ByteReader in(data.data(), limit, source);
+  Result<Catalog> result =
+      ReadErelColumnImageBody(in, data, limit, checksum_ok);
+  if (!result.ok()) return in.Annotate(result.status());
+  return result;
 }
 
 }  // namespace
@@ -738,9 +530,17 @@ std::string WriteErelColumnImage(const Catalog& catalog,
   return out;
 }
 
-Result<Catalog> ReadErel(const std::string& text) {
+Result<Catalog> ReadErel(const std::string& text,
+                         const std::string& source) {
   if (text.compare(0, 6, kColumnImageMagic) == 0) {
-    return ReadErelColumnImage(text);
+    if (text.size() >= 8 &&
+        text.compare(6, 2, kColumnImageVersionV3) == 0) {
+      // Owned v3 parse: columns are decoded and every partition verified
+      // eagerly, so the catalog outlives `text`.
+      return ReadErelColumnImageV3(text.data(), text.size(), source,
+                                   /*mapping=*/nullptr);
+    }
+    return ReadErelColumnImage(text, source);
   }
   Catalog catalog;
   std::istringstream in(text);
@@ -909,30 +709,11 @@ Status WriteAll(int fd, const std::string& data) {
 
 namespace {
 
-Status SaveErelFileImpl(const Catalog& catalog, const std::string& path,
-                        ErelFormat format) {
-  bool column_image = format == ErelFormat::kColumnImage;
-  if (format == ErelFormat::kAuto) {
-    // Saving must not force row materialization: any columnar-mode
-    // relation routes the whole catalog through the column image.
-    for (const auto& [name, rel] : catalog.Snapshot()->relations()) {
-      if (rel->columnar_mode()) {
-        column_image = true;
-        break;
-      }
-    }
-  }
-  // Serialize fully in memory first: a failure here leaves no file-system
-  // trace at all, and the write loop below never blocks on serialization.
-  const std::string blob =
-      column_image ? WriteErelColumnImage(catalog,
-                                          /*include_statistics=*/true,
-                                          /*include_checksum=*/true)
-                   : WriteErel(catalog);
-
-  // Crash-safe commit: write path.tmp, fsync, then atomically rename over
-  // path. Readers of `path` see the old file or the new file, never a
-  // torn one; any failure removes the temporary and leaves `path` alone.
+/// Crash-safe commit of a serialized catalog: write path.tmp, fsync,
+/// then atomically rename over path. Readers of `path` see the old file
+/// or the new file, never a torn one; any failure removes the temporary
+/// and leaves `path` alone.
+Status CommitErelBlob(const std::string& blob, const std::string& path) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -957,6 +738,42 @@ Status SaveErelFileImpl(const Catalog& catalog, const std::string& path,
   return Status::OK();
 }
 
+/// A mapped catalog defers its per-partition semantic checks; saving
+/// reads every byte of every relation, so drive them all first — a save
+/// of a corrupt mapped image must fail with the load-style diagnosis,
+/// not silently persist garbage.
+Status VerifyBeforeSave(const Catalog& catalog) {
+  for (const auto& [name, rel] : catalog.Snapshot()->relations()) {
+    if (!rel->columnar_mode()) continue;
+    EVIDENT_RETURN_NOT_OK(rel->columns().EnsureAllVerified());
+  }
+  return Status::OK();
+}
+
+Status SaveErelFileImpl(const Catalog& catalog, const std::string& path,
+                        ErelFormat format) {
+  EVIDENT_RETURN_NOT_OK(VerifyBeforeSave(catalog));
+  bool column_image = format == ErelFormat::kColumnImage;
+  if (format == ErelFormat::kAuto) {
+    // Saving must not force row materialization: any columnar-mode
+    // relation routes the whole catalog through the column image.
+    for (const auto& [name, rel] : catalog.Snapshot()->relations()) {
+      if (rel->columnar_mode()) {
+        column_image = true;
+        break;
+      }
+    }
+  }
+  // Serialize fully in memory first: a failure here leaves no file-system
+  // trace at all, and the write loop never blocks on serialization.
+  const std::string blob =
+      column_image ? WriteErelColumnImage(catalog,
+                                          /*include_statistics=*/true,
+                                          /*include_checksum=*/true)
+                   : WriteErel(catalog);
+  return CommitErelBlob(blob, path);
+}
+
 }  // namespace
 
 Status SaveErelFile(const Catalog& catalog, const std::string& path,
@@ -972,7 +789,66 @@ Status SaveErelFile(const Catalog& catalog, const std::string& path,
   }
 }
 
-Result<Catalog> LoadErelFile(const std::string& path) {
+Status SaveErelFile(const Catalog& catalog, const std::string& path,
+                    const PartitionSpec& partitioning,
+                    bool include_statistics) {
+  try {
+    EVIDENT_RETURN_NOT_OK(VerifyBeforeSave(catalog));
+    return CommitErelBlob(
+        WriteErelColumnImageV3(catalog, partitioning, include_statistics),
+        path);
+  } catch (const std::bad_alloc&) {
+    return Status::ExecError("out of memory saving '" + path + "'");
+  }
+}
+
+namespace {
+
+/// Fills the caller's LoadInfo from a loaded catalog: relation count and
+/// total partition count (a relation without partition metadata — any
+/// v1/v2 load — counts as one).
+void FillLoadInfo(LoadInfo* info, const Catalog& catalog, bool mapped,
+                  const char* format) {
+  if (info == nullptr) return;
+  info->mapped = mapped;
+  info->format = format;
+  info->relations = 0;
+  info->partitions = 0;
+  for (const auto& [name, rel] : catalog.Snapshot()->relations()) {
+    ++info->relations;
+    const size_t parts = rel->columns().partitions().size();
+    info->partitions += parts == 0 ? 1 : parts;
+  }
+}
+
+Result<Catalog> LoadErelFileImpl(const std::string& path,
+                                 LoadOptions::Map map, LoadInfo* info) {
+  if (map != LoadOptions::Map::kNever) {
+    Result<std::shared_ptr<MappedFile>> mapped = MappedFile::Open(path);
+    if (mapped.ok()) {
+      const std::shared_ptr<MappedFile>& m = *mapped;
+      if (m->size() >= 8 &&
+          std::memcmp(m->data(), "EVCIMG03", 8) == 0) {
+        Result<Catalog> catalog =
+            ReadErelColumnImageV3(m->data(), m->size(), path, m);
+        if (catalog.ok()) {
+          FillLoadInfo(info, *catalog, /*mapped=*/true, "column-image-v3");
+        }
+        return catalog;
+      }
+      if (map == LoadOptions::Map::kAlways) {
+        return Status::ExecError("cannot map '" + path +
+                                 "': not an EVCIMG03 column image");
+      }
+      // v1/v2 file: the mapping is useless (those layouts carry no
+      // alignment padding) — fall through to the copied path.
+    } else if (map == LoadOptions::Map::kAlways) {
+      return mapped.status();
+    }
+    // kAuto maps best-effort: an unmappable file (missing, not regular,
+    // empty) falls back to the read loop, which reports its own error.
+  }
+
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -1006,8 +882,40 @@ Result<Catalog> LoadErelFile(const std::string& path) {
     return Status::ExecError("out of memory loading '" + path + "'");
   }
   ::close(fd);
+  Result<Catalog> catalog = ReadErel(data, path);
+  if (catalog.ok() && info != nullptr) {
+    const char* format = "text";
+    if (data.compare(0, 6, kColumnImageMagic) == 0) {
+      format = data.compare(6, 2, kColumnImageVersionV3) == 0
+                   ? "column-image-v3"
+                   : "column-image-v2";
+    }
+    FillLoadInfo(info, *catalog, /*mapped=*/false, format);
+  }
+  return catalog;
+}
+
+}  // namespace
+
+Result<Catalog> LoadErelFile(const std::string& path) {
+  return LoadErelFile(path, LoadOptions{}, nullptr);
+}
+
+Result<Catalog> LoadErelFile(const std::string& path,
+                             const LoadOptions& options, LoadInfo* info) {
+  if (info != nullptr) *info = LoadInfo{};
+  LoadOptions::Map map = options.map;
+  if (map == LoadOptions::Map::kAuto) {
+    const char* env = std::getenv("EVIDENT_MMAP");
+    if (env != nullptr && std::string_view(env) == "0") {
+      map = LoadOptions::Map::kNever;
+    }
+  }
+  // One guard over the whole load: every allocation (mapping bookkeeping,
+  // error-message strings, the parse itself) fails as a clean Status. The
+  // read loop keeps its own inner guard — it must close the fd first.
   try {
-    return ReadErel(data);
+    return LoadErelFileImpl(path, map, info);
   } catch (const std::bad_alloc&) {
     return Status::ExecError("out of memory loading '" + path + "'");
   }

@@ -127,6 +127,103 @@ namespace evident {
 /// support bounds, arena consistency, key uniqueness, footer
 /// consistency and the checksum trailer — and reports a clean
 /// ParseError Status instead of undefined behaviour on corrupt input.
+/// Binary-format errors name the source (file path) and the byte
+/// position the parser had reached.
+///
+/// **v3 — partitioned column image** (WriteErelColumnImageV3): the
+/// mmap-native evolution of v2. Each relation is split into partitions
+/// (contiguous row ranges of one global, partition-major column image),
+/// each serialized as a self-delimiting chunk with its own CRC-32 and
+/// statistics block, preceded by a manifest of per-partition zone maps
+/// (min/max of the membership supports and of every definite value
+/// column). Numeric arrays are padded to 8-byte *file* offsets so a
+/// page-aligned mmap can lend them to ColumnSpans without copying, and
+/// the relation trailer persists the encoded-key arena, the key index's
+/// open-addressing table (StableKeyHash) and the optimizer statistics,
+/// so opening a catalog does none of the O(bytes) decode/validate/index
+/// work the v2 reader pays. Numeric arrays are raw little-endian (the
+/// only hosts supported; the v3 translation unit asserts it).
+///
+/// v3 layout, bytes-exactly. Conventions as in v2 (`u8/u32/u64`, `f64`,
+/// `str`, `value`), plus `pad8` = 0–7 zero bytes bringing the *file
+/// offset* to a multiple of 8:
+///
+/// ```
+/// magic        8 bytes: "EVCIMG03"
+/// u32          domain_count
+/// domain x domain_count (exactly as v2)
+/// u32          relation_count
+/// relation x relation_count:
+///   str        name
+///   u32        attr_count
+///   attr x attr_count (exactly as v2)
+///   u64        row_count
+///   u8         partition scheme (0 = none, 1 = hash of the encoded key
+///              via StableKeyHash % partition_count, 2 = key range:
+///              rows ordered by key-column values, split into
+///              equal-count ranges)
+///   u32        partition_count (>= 1; scheme 0 requires exactly 1)
+///   manifest entry x partition_count:
+///     u64      rows (the per-partition counts sum to row_count)
+///     u64      chunk_offset (from the chunk-area base; 8-aligned, and
+///              chunks are contiguous: offset[p+1] = offset[p] + size[p])
+///     u64      chunk_size (8-aligned)
+///     u32      chunk CRC-32 (same polynomial as EVCRC001, over the
+///              chunk's bytes including its trailing padding)
+///     f64      sn_min, sn_max, sp_min, sp_max (over the partition's
+///              rows; an empty partition stores the empty zone 1, 0)
+///     zone x attr_count:
+///       u8     has_zone (1 only on value columns of nonempty
+///              partitions)
+///       value  min, max (only when has_zone = 1; min <= max)
+///   pad8       (to the chunk-area base)
+///   chunk x partition_count (rows below = this partition's rows):
+///     column x attr_count (schema order), introduced by
+///     u8       column tag:
+///       0 = mixed values:   value x rows
+///       1 = all-int values: pad8, u64 x rows (two's-complement i64)
+///       2 = all-real values: pad8, f64 x rows
+///       3 = packed evidence: u64 focal_count, pad8,
+///                            u64 word x focal_count,
+///                            f64 mass x focal_count,
+///                            u32 offset x (rows + 1) (chunk-local,
+///                            offset[0] = 0, offset[rows] = focal_count)
+///       4 = boxed evidence: per row as v2's boxed encoding
+///     pad8
+///     f64      sn x rows
+///     f64      sp x rows
+///     magic    8 bytes: "STATS001", then one statistics body (the v2
+///              footer's per-relation record) over this chunk's rows
+///     pad8     (chunk padding, included in chunk_size and the CRC)
+///   trailer:
+///     u64      key_arena_size
+///     bytes    key arena (canonical key encodings, partition-major
+///              global row order)
+///     u32      key_offset x (row_count + 1)
+///     u8       has_index (the writer always emits 1)
+///     if has_index:
+///       u64    capacity (must equal the capacity the in-memory index
+///              would pick for row_count rows: a power of two holding
+///              row_count at load factor <= 3/4, minimum 16)
+///       u64    hash x row_count (StableKeyHash of each row's key)
+///       u32    slot x capacity (row ids, 0xFFFFFFFF = empty)
+///     u8       has_stats
+///     if has_stats:
+///       magic  8 bytes: "STATS001", then one statistics body over the
+///              whole relation
+/// ```
+///
+/// v3 carries no whole-file EVCRC001 trailer: integrity is per chunk, so
+/// a mapped open does not have to fault in every page to checksum the
+/// file. The load is split into **structural** checks, performed eagerly
+/// on every open (magic, counts, every offset/slot/count bounds-checked
+/// — no access through the loaded store can read out of bounds), and
+/// **semantic** checks (chunk CRCs, mass-function invariants, CWA_ER,
+/// zone containment, key-arena/index agreement), performed per partition:
+/// eagerly for a copied load, deferred to first touch for a mapped load
+/// (ColumnStore::EnsurePartitionVerified), with byte-identical error
+/// messages either way. Boxed (wide-frame) columns are decoded and
+/// validated eagerly in both modes.
 
 /// \brief Serializes every domain and relation in the catalog as v1
 /// text. Materializes rows of columnar-mode relations (use the column
@@ -148,9 +245,43 @@ std::string WriteErelColumnImage(const Catalog& catalog,
                                  bool include_statistics = true,
                                  bool include_checksum = false);
 
-/// \brief Parses an .erel document — either format, distinguished by the
-/// v2 magic — into a catalog. v2 relations are adopted in columnar mode.
-Result<Catalog> ReadErel(const std::string& text);
+/// \brief How WriteErelColumnImageV3 / the partitioned SaveErelFile
+/// split each relation's rows into partitions.
+struct PartitionSpec {
+  enum class Scheme {
+    /// One partition holding every row in store order (still a valid
+    /// v3 image — mappable, indexed, but nothing to prune).
+    kNone,
+    /// Row r goes to partition StableKeyHash(encoded key of r) %
+    /// partitions — balanced, order-agnostic, no useful key zones.
+    kHash,
+    /// Rows are ordered by their key-column values and split into
+    /// equal-count ranges — the zone maps then carry disjoint key
+    /// ranges, the layout selective key predicates prune best.
+    kKeyRange,
+  };
+  Scheme scheme = Scheme::kNone;
+  /// Partitions per relation (clamped to >= 1; a relation with no rows
+  /// always writes a single empty partition). Hash buckets may be
+  /// empty; key ranges are empty only when partitions > rows.
+  uint32_t partitions = 1;
+};
+
+/// \brief Serializes every domain and relation as a v3 partitioned
+/// column-image blob (layout above). Like the v2 writer it never
+/// materializes row objects; per-chunk statistics blocks are always
+/// written, `include_statistics` governs only the relation-level
+/// statistics record in the trailer.
+std::string WriteErelColumnImageV3(const Catalog& catalog,
+                                   const PartitionSpec& partitioning = {},
+                                   bool include_statistics = true);
+
+/// \brief Parses an .erel document — any format, distinguished by the
+/// magic and version bytes — into a catalog. Column-image relations are
+/// adopted in columnar mode. `source` names where the bytes came from
+/// (a file path, via LoadErelFile) and prefixes binary-format errors.
+Result<Catalog> ReadErel(const std::string& text,
+                         const std::string& source = "<memory>");
 
 /// \brief Which format SaveErelFile writes.
 enum class ErelFormat {
@@ -174,7 +305,43 @@ enum class ErelFormat {
 /// silently feeding the parser.
 Status SaveErelFile(const Catalog& catalog, const std::string& path,
                     ErelFormat format = ErelFormat::kAuto);
+
+/// \brief Saves a v3 partitioned column image (same crash-safe commit).
+/// v3 files carry per-chunk CRCs instead of the whole-file trailer.
+Status SaveErelFile(const Catalog& catalog, const std::string& path,
+                    const PartitionSpec& partitioning,
+                    bool include_statistics = true);
+
+/// \brief Whether LoadErelFile opens a v3 image by memory-mapping it
+/// (adopting its numeric arrays zero-copy where the layout allows) or by
+/// reading and decoding a private copy.
+struct LoadOptions {
+  enum class Map {
+    /// Map v3 images when the file is mappable, fall back to the copied
+    /// path otherwise (including v1/v2 files, which lack the alignment
+    /// padding mapping needs). Setting EVIDENT_MMAP=0 in the
+    /// environment turns kAuto into kNever.
+    kAuto,
+    kNever,
+    /// Map or fail — an unmappable file or a non-v3 image is an error,
+    /// never a silent fallback (fault-injection tests rely on this).
+    kAlways,
+  };
+  Map map = Map::kAuto;
+};
+
+/// \brief What a load did, for callers that report it (the shell).
+struct LoadInfo {
+  bool mapped = false;
+  std::string format;     // "text", "column-image-v2", "column-image-v3"
+  size_t relations = 0;
+  size_t partitions = 0;  // total across relations; monolithic counts 1
+};
+
 Result<Catalog> LoadErelFile(const std::string& path);
+Result<Catalog> LoadErelFile(const std::string& path,
+                             const LoadOptions& options,
+                             LoadInfo* info = nullptr);
 
 }  // namespace evident
 

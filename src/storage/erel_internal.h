@@ -1,0 +1,327 @@
+#ifndef EVIDENT_STORAGE_EREL_INTERNAL_H_
+#define EVIDENT_STORAGE_EREL_INTERNAL_H_
+
+// Shared building blocks of the binary .erel column-image readers and
+// writers (v2 in erel_format.cc, v3 in erel_format_v3.cc): the
+// little-endian put helpers, the bounds-checked ByteReader cursor, the
+// CRC-32 and the STATS001 statistics-block codec. Internal to the
+// storage layer — nothing here is part of the public API.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "core/column_store.h"
+
+namespace evident {
+namespace erel_detail {
+
+inline constexpr char kStatisticsFooterMagic[] = "STATS001";
+
+/// IEEE CRC-32 (the zlib/PNG polynomial, reflected).
+inline uint32_t Crc32(const char* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+inline void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case Value::Kind::kReal:
+      PutF64(out, v.real_value());
+      break;
+    case Value::Kind::kString:
+      PutStr(out, v.string_value());
+      break;
+  }
+}
+
+/// Bounds-checked cursor over a serialized blob. Every read names what
+/// it was reading so truncation errors point at the damaged section;
+/// the readers annotate any failure with the source (file path) and the
+/// cursor position via Annotate().
+class ByteReader {
+ public:
+  /// Reads `data[0, limit)` — the limit excludes a checksum trailer the
+  /// caller already verified and stripped. `source` names where the
+  /// bytes came from (a file path, or "<memory>").
+  ByteReader(const char* data, size_t limit, std::string source)
+      : data_(data), limit_(limit), source_(std::move(source)) {}
+
+  size_t remaining() const { return limit_ - pos_; }
+  size_t pos() const { return pos_; }
+  const std::string& source() const { return source_; }
+
+  /// Stamps a failure with the source and the byte position the reader
+  /// had reached — the section that failed ends at (or just before)
+  /// that offset.
+  Status Annotate(const Status& status) const {
+    if (status.ok()) return status;
+    return Status(status.code(), source_ + ": " + status.message() +
+                                     " [near byte " + std::to_string(pos_) +
+                                     "]");
+  }
+
+  Status Take(size_t n, const char* what, const char** bytes) {
+    if (remaining() < n) {
+      return Status::ParseError(
+          std::string("column-image file truncated reading ") + what);
+    }
+    *bytes = data_ + pos_;
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Consumes the zero-or-more padding bytes before the next 8-aligned
+  /// file offset (the alignment the mapped loader's borrowed numeric
+  /// spans rely on).
+  Status Align8(const char* what) {
+    const size_t pad = (8 - pos_ % 8) % 8;
+    const char* ignored;
+    return Take(pad, what, &ignored);
+  }
+
+  Result<uint8_t> U8(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(1, what, &p));
+    return static_cast<uint8_t>(*p);
+  }
+
+  Result<uint32_t> U32(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(4, what, &p));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<uint64_t> U64(const char* what) {
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(8, what, &p));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  Result<double> F64(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint64_t bits, U64(what));
+    return std::bit_cast<double>(bits);
+  }
+
+  Result<std::string> Str(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint32_t n, U32(what));
+    const char* p;
+    EVIDENT_RETURN_NOT_OK(Take(n, what, &p));
+    return std::string(p, n);
+  }
+
+  Result<Value> ReadValue(const char* what) {
+    EVIDENT_ASSIGN_OR_RETURN(uint8_t kind, U8(what));
+    switch (kind) {
+      case 0: {
+        EVIDENT_ASSIGN_OR_RETURN(uint64_t v, U64(what));
+        return Value(static_cast<int64_t>(v));
+      }
+      case 1: {
+        EVIDENT_ASSIGN_OR_RETURN(double v, F64(what));
+        return Value(v);
+      }
+      case 2: {
+        EVIDENT_ASSIGN_OR_RETURN(std::string v, Str(what));
+        return Value(std::move(v));
+      }
+      default:
+        return Status::ParseError("unknown value kind tag " +
+                                  std::to_string(kind) + " in " + what);
+    }
+  }
+
+  /// Rejects an element count whose minimal serialized size already
+  /// exceeds the remaining bytes — a corrupt count must fail here, not
+  /// in a multi-gigabyte vector reserve.
+  Status CheckCount(uint64_t count, size_t min_bytes_each, const char* what) {
+    if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
+      return Status::ParseError(std::string("implausible ") + what +
+                                " count " + std::to_string(count) +
+                                " for the remaining file size");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const char* data_;
+  size_t limit_;
+  size_t pos_ = 0;
+  std::string source_;
+};
+
+/// Validates rows [begin_row, end_row) of one packed evidence column:
+/// non-empty per-row spans of strictly ascending nonzero in-frame words,
+/// masses in (0, 1], per-row sums within tolerance of 1 — the invariants
+/// MassFunction::Validate enforces, checked straight on the spans. The
+/// v2 reader runs it over the whole column; the v3 per-partition
+/// verifier over one partition's row range (both loads of a file then
+/// report the same message for the same bad row).
+inline Status ValidateEvidenceRows(const std::string& attr_name,
+                                   size_t universe,
+                                   const ColumnStore::EvidenceColumn& col,
+                                   size_t begin_row, size_t end_row) {
+  const uint64_t frame_mask =
+      universe >= 64 ? ~uint64_t{0} : (uint64_t{1} << universe) - 1;
+  auto fail = [&](size_t row, const std::string& msg) {
+    return Status::ParseError("attribute '" + attr_name + "' row " +
+                              std::to_string(row) + ": " + msg);
+  };
+  for (size_t r = begin_row; r < end_row; ++r) {
+    const uint32_t first = col.offsets[r];
+    const uint32_t last = col.offsets[r + 1];
+    if (last < first || last > col.words.size()) {
+      return fail(r, "focal offsets not monotone within the span arena");
+    }
+    if (first == last) return fail(r, "empty mass function");
+    double sum = 0.0;
+    uint64_t prev = 0;
+    for (uint32_t k = first; k < last; ++k) {
+      const uint64_t w = col.words[k];
+      if (w == 0) return fail(r, "mass on the empty set");
+      if ((w & ~frame_mask) != 0) return fail(r, "focal word outside frame");
+      if (k > first && w <= prev) {
+        return fail(r, "focal words not strictly ascending");
+      }
+      prev = w;
+      const double m = col.masses[k];
+      if (!(m > 0.0) || m > 1.0 + kMassEpsilon) {
+        return fail(r, "focal mass outside (0, 1]");
+      }
+      sum += m;
+    }
+    // Same tolerance as MassFunction::Validate: relations built from
+    // rounded text literals carry sums within 1e-6 of 1, not 1e-9.
+    if (!ApproxEqual(sum, 1.0, 1e-6)) {
+      return fail(r, "focal masses sum to " + std::to_string(sum) +
+                         ", expected 1");
+    }
+  }
+  return Status::OK();
+}
+
+/// Serializes a TableStatistics as a STATS001 body (no magic): row
+/// count, per-attribute distinct + exact flag, the two 16-bin support
+/// histograms.
+inline void WriteStatisticsBody(std::string* out, const TableStatistics& s) {
+  PutU64(out, s.row_count);
+  PutU32(out, static_cast<uint32_t>(s.attributes.size()));
+  for (const TableStatistics::Attribute& attr : s.attributes) {
+    PutU64(out, attr.distinct);
+    PutU8(out, attr.exact ? 1 : 0);
+  }
+  for (uint64_t count : s.sn_histogram) PutU64(out, count);
+  for (uint64_t count : s.sp_histogram) PutU64(out, count);
+}
+
+/// Parses and structurally validates a STATS001 body written by
+/// WriteStatisticsBody; `context` prefixes every error (e.g.
+/// "statistics footer for relation 'x'").
+inline Status ReadStatisticsBody(ByteReader& in, const std::string& context,
+                                 uint64_t expected_rows, size_t expected_attrs,
+                                 TableStatistics* stats) {
+  auto fail = [&](const std::string& msg) {
+    return Status::ParseError(context + ": " + msg);
+  };
+  EVIDENT_ASSIGN_OR_RETURN(stats->row_count, in.U64("statistics row count"));
+  if (stats->row_count != expected_rows) {
+    return fail("row count disagrees with the relation");
+  }
+  EVIDENT_ASSIGN_OR_RETURN(uint32_t attr_count,
+                           in.U32("statistics attribute count"));
+  if (attr_count != expected_attrs) {
+    return fail("attribute count disagrees with the schema");
+  }
+  stats->attributes.reserve(attr_count);
+  for (uint32_t a = 0; a < attr_count; ++a) {
+    TableStatistics::Attribute attr;
+    EVIDENT_ASSIGN_OR_RETURN(attr.distinct,
+                             in.U64("statistics distinct count"));
+    if (attr.distinct > stats->row_count) {
+      return fail("distinct count exceeds the row count");
+    }
+    EVIDENT_ASSIGN_OR_RETURN(uint8_t exact, in.U8("statistics exact flag"));
+    if (exact > 1) return fail("exact flag is not 0 or 1");
+    attr.exact = exact != 0;
+    stats->attributes.push_back(attr);
+  }
+  for (std::vector<uint64_t>* hist :
+       {&stats->sn_histogram, &stats->sp_histogram}) {
+    hist->reserve(TableStatistics::kHistogramBins);
+    uint64_t sum = 0;
+    for (size_t b = 0; b < TableStatistics::kHistogramBins; ++b) {
+      EVIDENT_ASSIGN_OR_RETURN(uint64_t count,
+                               in.U64("statistics histogram bin"));
+      if (count > stats->row_count - sum) {
+        return fail("support histogram does not sum to the row count");
+      }
+      sum += count;
+      hist->push_back(count);
+    }
+    if (sum != stats->row_count) {
+      return fail("support histogram does not sum to the row count");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace erel_detail
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_EREL_INTERNAL_H_

@@ -1,0 +1,31 @@
+#ifndef EVIDENT_STORAGE_EREL_V3_H_
+#define EVIDENT_STORAGE_EREL_V3_H_
+
+// Internal entry point of the EVCIMG03 reader (erel_format_v3.cc),
+// shared by ReadErel's in-memory dispatch and LoadErelFile's mapped
+// path. Not part of the public API.
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/mmap_file.h"
+
+namespace evident {
+
+/// Parses `data[0, size)` as an EVCIMG03 image from `source`. With
+/// `mapping` null the bytes are a private copy: columns are decoded into
+/// owned storage and every partition is verified eagerly before the
+/// catalog is returned (`data` may be freed afterwards). With `mapping`
+/// set, `data` must be `mapping->data()`: numeric arrays are borrowed
+/// (one partition) or stitched (several) out of the mapping, and the
+/// per-partition semantic checks are deferred to first touch, keeping
+/// the mapping alive through the borrowed spans and the verifier.
+Result<Catalog> ReadErelColumnImageV3(const char* data, size_t size,
+                                      const std::string& source,
+                                      std::shared_ptr<MappedFile> mapping);
+
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_EREL_V3_H_

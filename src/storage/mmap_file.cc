@@ -1,0 +1,93 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "core/fault_injection.h"
+
+namespace evident {
+
+namespace {
+
+std::atomic<uint64_t> g_live_mappings{0};
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0 && fault::ShouldFail(fault::Site::kOpen)) {
+    ::close(fd);
+    fd = -1;
+    errno = EIO;
+  }
+  if (fd < 0) return Status::NotFound(Errno("cannot open", path));
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::ExecError(Errno("cannot stat", path));
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+    ::close(fd);
+    return Status::ExecError("cannot map '" + path +
+                             "': not a regular non-empty file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr != MAP_FAILED && fault::ShouldFail(fault::Site::kMmap)) {
+    ::munmap(addr, size);
+    addr = MAP_FAILED;
+    errno = ENOMEM;
+  }
+  if (addr == MAP_FAILED) {
+    ::close(fd);
+    return Status::ExecError(Errno("cannot map", path));
+  }
+
+  // The mapping holds its own reference to the pages; the fd is done.
+  int close_rc = ::close(fd);
+  if (close_rc == 0 && fault::ShouldFail(fault::Site::kClose)) {
+    close_rc = -1;
+    errno = EIO;
+  }
+  if (close_rc != 0) {
+    ::munmap(addr, size);
+    return Status::ExecError(Errno("cannot close", path));
+  }
+
+  MappedFile* file = nullptr;
+  try {
+    file = new MappedFile(addr, size);
+  } catch (...) {
+    // operator new failed before the constructor ran: the mapping is
+    // still this frame's to release.
+    ::munmap(addr, size);
+    throw;
+  }
+  g_live_mappings.fetch_add(1, std::memory_order_relaxed);
+  // If the control-block allocation throws, shared_ptr deletes `file`,
+  // whose destructor unmaps and balances the counter.
+  return std::shared_ptr<MappedFile>(file);
+}
+
+MappedFile::~MappedFile() {
+  ::munmap(addr_, size_);
+  g_live_mappings.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t MappedFile::live_mappings() {
+  return g_live_mappings.load(std::memory_order_relaxed);
+}
+
+}  // namespace evident

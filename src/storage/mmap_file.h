@@ -1,0 +1,53 @@
+#ifndef EVIDENT_STORAGE_MMAP_FILE_H_
+#define EVIDENT_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace evident {
+
+/// \brief A read-only memory mapping of a whole file, shared by every
+/// ColumnSpan borrowed out of it: the spans keep the MappedFile alive
+/// through their backing shared_ptr, and the mapping (plus its fd,
+/// which is closed as soon as the mapping exists) goes away with the
+/// last span.
+///
+/// The mapping base is page-aligned, so a borrowed span is
+/// alignof(T)-aligned exactly when its *file offset* is — the EVCIMG03
+/// writer pads numeric arrays to 8-byte file offsets for this reason.
+///
+/// Open/map/close failures honour the fault-injection sites kOpen,
+/// kMmap and kClose; live_mappings() counts mappings currently held so
+/// tests can assert that failed loads leak neither an fd nor a mapping.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with NotFound when the file cannot be
+  /// opened and ExecError on fstat/mmap/close failures; never leaks the
+  /// fd or a partial mapping on any failure path.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+
+  /// Mappings currently alive process-wide (leak counter for tests).
+  static uint64_t live_mappings();
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace evident
+
+#endif  // EVIDENT_STORAGE_MMAP_FILE_H_

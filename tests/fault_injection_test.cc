@@ -26,6 +26,7 @@
 #include "core/extended_relation.h"
 #include "storage/catalog.h"
 #include "storage/erel_format.h"
+#include "storage/mmap_file.h"
 
 // ---------------------------------------------------------------------------
 // Global allocator override: malloc-backed (so ASan still tracks every
@@ -331,8 +332,13 @@ TEST_F(FaultInjectionTest, ChecksumTrailerDetectsBitRot) {
     auto loaded = LoadErelFile(path_);
     ASSERT_FALSE(loaded.ok()) << "flipped byte " << pos;
     EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
-    EXPECT_EQ(loaded.status().message(),
-              "column-image checksum mismatch: the file is corrupt");
+    // The message names the damaged file and carries the core diagnosis.
+    EXPECT_NE(loaded.status().message().find(path_), std::string::npos)
+        << loaded.status();
+    EXPECT_NE(loaded.status().message().find(
+                  "column-image checksum mismatch: the file is corrupt"),
+              std::string::npos)
+        << loaded.status();
   }
 
   // Flipping inside the trailer itself must also fail cleanly (either as
@@ -345,6 +351,89 @@ TEST_F(FaultInjectionTest, ChecksumTrailerDetectsBitRot) {
   auto loaded = LoadErelFile(path_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(FaultInjectionTest, MappedOpenFaultsFailCleanlyWithoutLeaks) {
+  // The mapped open path crosses three syscalls of its own — open, mmap,
+  // close — before a single image byte is parsed. Each must fail as a
+  // clean Status naming the file, with no fd or mapping left behind.
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kKeyRange;
+  spec.partitions = 4;
+  ASSERT_TRUE(SaveErelFile(BigCatalog(), path_, spec).ok());
+
+  LoadOptions mapped;
+  mapped.map = LoadOptions::Map::kAlways;
+  const uint64_t live_before = MappedFile::live_mappings();
+
+  for (fault::Site site :
+       {fault::Site::kOpen, fault::Site::kMmap, fault::Site::kClose}) {
+    fault::Arm(site, 1);
+    auto loaded = LoadErelFile(path_, mapped);
+    fault::Disarm();
+    ASSERT_FALSE(loaded.ok()) << "site " << static_cast<int>(site);
+    EXPECT_NE(loaded.status().message().find(path_), std::string::npos)
+        << loaded.status();
+    EXPECT_EQ(MappedFile::live_mappings(), live_before)
+        << "faulted open leaked a mapping";
+  }
+
+  // Disarmed, the same load maps — and the mapping is released the
+  // moment the last relation borrowing it goes away.
+  {
+    LoadInfo info;
+    auto loaded = LoadErelFile(path_, mapped, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_TRUE(info.mapped);
+    EXPECT_EQ(info.partitions, 4u);
+    EXPECT_GT(MappedFile::live_mappings(), live_before);
+  }
+  EXPECT_EQ(MappedFile::live_mappings(), live_before);
+}
+
+TEST_F(FaultInjectionTest, AllocationFaultsDuringMappedOpenFailCleanly) {
+  // The mapped open's allocations (mapping bookkeeping, partition
+  // manifests, deferred-verification state) must fail as a clean Status
+  // with the mapping unwound, exactly like the copied loader's sweep.
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kHash;
+  spec.partitions = 4;
+  ASSERT_TRUE(SaveErelFile(BigCatalog(), path_, spec).ok());
+
+  LoadOptions mapped;
+  mapped.map = LoadOptions::Map::kAlways;
+  const uint64_t live_before = MappedFile::live_mappings();
+
+  fault::Arm(fault::Site::kAllocation, 0);
+  ASSERT_TRUE(LoadErelFile(path_, mapped).ok());
+  const uint64_t alloc_hits = fault::Hits();
+  fault::Disarm();
+  ASSERT_GT(alloc_hits, 0u);
+
+  const std::vector<uint64_t> picks = {1,
+                                       2,
+                                       3,
+                                       5,
+                                       alloc_hits / 4,
+                                       alloc_hits / 2,
+                                       alloc_hits - 1,
+                                       alloc_hits};
+  for (uint64_t nth : picks) {
+    if (nth == 0) continue;
+    {
+      fault::Arm(fault::Site::kAllocation, nth);
+      auto loaded = LoadErelFile(path_, mapped);
+      fault::Disarm();
+      if (!loaded.ok()) {
+        EXPECT_EQ(loaded.status().code(), StatusCode::kExecError)
+            << loaded.status();
+      }
+      // A successful load legitimately holds the mapping until `loaded`
+      // dies — the leak check belongs after this scope either way.
+    }
+    EXPECT_EQ(MappedFile::live_mappings(), live_before)
+        << "allocation fault at " << nth << " leaked a mapping";
+  }
 }
 
 TEST_F(FaultInjectionTest, FooterlessImagesStillLoad) {

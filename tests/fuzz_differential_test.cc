@@ -21,7 +21,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -591,6 +594,11 @@ void ExpectOutcomesMatch(const std::vector<Result<ExtendedRelation>>& ref,
   }
 }
 
+// Defined with the EQL harness below; the v3 open-mode axes need it too.
+void ExpectRelationsMatchByKey(const ExtendedRelation& ref,
+                               const ExtendedRelation& got,
+                               const std::string& what);
+
 // ---------------------------------------------------------------------------
 // The harness.
 
@@ -696,6 +704,144 @@ TEST(FuzzDifferentialTest, OperatorTreesAgreeAcrossAllModesAndFormats) {
           RestoreDefaults();
           return;
         }
+      }
+    }
+
+    // v3 open-mode x partitioning axes: the same file opened mapped and
+    // copied must hold bit-identical relations and execute the whole
+    // tree to bit-identical outcomes (same first-error code AND
+    // message); a partitioned image may reorder rows by partition, so it
+    // compares keyed against the original. A random one-byte corruption
+    // must then draw the *same* diagnosis from both open modes — at open
+    // time for the copied path, at first forced verification for the
+    // mapped path.
+    if (case_index % 5 == 4) {
+      SetMode(kModes[0]);
+      Catalog inputs;
+      for (const ExtendedRelation& base : c.bases) {
+        ASSERT_TRUE(inputs.RegisterRelation(base).ok()) << tag;
+      }
+      Rng prng(seed ^ 0xA55EEDULL);
+      PartitionSpec spec;
+      const size_t scheme = prng.Below(3);
+      spec.scheme = scheme == 0   ? PartitionSpec::Scheme::kNone
+                    : scheme == 1 ? PartitionSpec::Scheme::kHash
+                                  : PartitionSpec::Scheme::kKeyRange;
+      spec.partitions =
+          scheme == 0 ? 1 : static_cast<uint32_t>(1 + prng.Below(7));
+      const std::string path = ::testing::TempDir() + "evident_fuzz_v3.erel";
+      ASSERT_TRUE(SaveErelFile(inputs, path, spec).ok()) << tag;
+
+      LoadOptions copy_opts;
+      copy_opts.map = LoadOptions::Map::kNever;
+      LoadOptions map_opts;
+      map_opts.map = LoadOptions::Map::kAlways;
+      LoadInfo map_info;
+      auto owned = LoadErelFile(path, copy_opts);
+      auto mapped = LoadErelFile(path, map_opts, &map_info);
+      ASSERT_TRUE(owned.ok()) << tag << ": " << owned.status().ToString();
+      ASSERT_TRUE(mapped.ok()) << tag << ": " << mapped.status().ToString();
+      EXPECT_TRUE(map_info.mapped) << tag;
+
+      std::vector<ExtendedRelation> owned_bases;
+      std::vector<ExtendedRelation> mapped_bases;
+      for (const ExtendedRelation& base : c.bases) {
+        const ExtendedRelation* o = owned->GetRelation(base.name()).value();
+        const ExtendedRelation* m = mapped->GetRelation(base.name()).value();
+        // The mapped open's deferred verification must accept everything
+        // the copied open's eager verification accepted.
+        ASSERT_TRUE(m->columns().EnsureAllVerified().ok()) << tag;
+        ExpectRelationsMatch(*o, *m, /*eps=*/0.0,
+                             tag + " mmap vs owned " + base.name());
+        ExpectRelationsMatchByKey(
+            base, *o, tag + " partitioned vs original " + base.name());
+        if (::testing::Test::HasFatalFailure()) {
+          std::remove(path.c_str());
+          RestoreDefaults();
+          return;
+        }
+        owned_bases.push_back(*o);
+        mapped_bases.push_back(*m);
+      }
+
+      // node.matching indexes the generation-time row order, and a
+      // partitioned image reorders rows — rematch kMerge nodes by key
+      // against the actual slots. Both runs see the same file, hence the
+      // same order, hence the same rematching.
+      auto run_rematched = [&c](const std::vector<ExtendedRelation>& run_bases)
+          -> std::vector<Result<ExtendedRelation>> {
+        std::vector<ExtendedRelation> slots = run_bases;
+        std::vector<Result<ExtendedRelation>> results;
+        results.reserve(c.nodes.size());
+        for (const Node& node : c.nodes) {
+          Node fixed = node;
+          if (node.op == Node::Op::kMerge) {
+            auto matching = MatchByKey(slots[node.left], slots[node.right]);
+            if (!matching.ok()) {
+              results.push_back(matching.status());
+              continue;
+            }
+            fixed.matching = std::move(matching).value();
+          }
+          Result<ExtendedRelation> result = ExecuteNode(fixed, slots);
+          if (result.ok()) slots.push_back(*result);
+          results.push_back(std::move(result));
+        }
+        return results;
+      };
+      const std::vector<Result<ExtendedRelation>> owned_run =
+          run_rematched(owned_bases);
+      ExpectOutcomesMatch(owned_run, run_rematched(mapped_bases),
+                          /*eps=*/0.0, /*compare_messages=*/true,
+                          tag + " v3 mmap vs owned plan");
+
+      // One random corrupt byte, diagnosed identically by both modes.
+      std::string bytes;
+      {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+      }
+      ASSERT_GT(bytes.size(), 8u) << tag;
+      const size_t pos = 8 + prng.Below(bytes.size() - 8);
+      bytes[pos] = static_cast<char>(
+          bytes[pos] ^ static_cast<char>(1u << prng.Below(8)));
+      {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+      }
+      auto bad_owned = LoadErelFile(path, copy_opts);
+      auto bad_mapped = LoadErelFile(path, map_opts);
+      if (!bad_mapped.ok()) {
+        // Structural damage is diagnosed eagerly by both open modes.
+        ASSERT_FALSE(bad_owned.ok()) << tag << " flipped byte " << pos;
+        EXPECT_EQ(bad_owned.status().message(), bad_mapped.status().message())
+            << tag << " flipped byte " << pos;
+      } else {
+        Status deferred = Status::OK();
+        for (const std::string& name : bad_mapped->RelationNames()) {
+          const ExtendedRelation* rel = bad_mapped->GetRelation(name).value();
+          if (!rel->columnar_mode()) continue;
+          deferred = rel->columns().EnsureAllVerified();
+          if (!deferred.ok()) break;
+        }
+        if (bad_owned.ok()) {
+          // The flip landed in bytes no check covers (padding): both
+          // modes accept it.
+          EXPECT_TRUE(deferred.ok())
+              << tag << " flipped byte " << pos << ": " << deferred;
+        } else {
+          ASSERT_FALSE(deferred.ok()) << tag << " flipped byte " << pos
+                                      << ": " << bad_owned.status();
+          EXPECT_EQ(bad_owned.status().message(), deferred.message())
+              << tag << " flipped byte " << pos;
+        }
+      }
+      std::remove(path.c_str());
+      if (::testing::Test::HasFatalFailure()) {
+        RestoreDefaults();
+        return;
       }
     }
 

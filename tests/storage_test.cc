@@ -3,11 +3,15 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <unordered_map>
 
 #include "core/column_store.h"
 #include "core/operations.h"
+#include "core/scan_stats.h"
+#include "query/engine.h"
 #include "storage/csv.h"
 #include "storage/erel_format.h"
+#include "storage/mmap_file.h"
 #include "workload/generator.h"
 #include "workload/paper_fixtures.h"
 
@@ -435,6 +439,367 @@ TEST(ColumnImageFormatTest, CorruptColumnsReportCleanStatuses) {
     store.AppendMembership(SupportPair::Unknown());  // (0, 1)
     expect_parse_error(BlobOf(std::move(store)), "sn > 0");
   }
+}
+
+// ---------------------------------------------------------------------------
+// v3 partitioned column images
+
+/// Key-matched equality for partitioned images: a partitioned writer
+/// reorders rows (partition-major), so rows are paired through their
+/// unique keys instead of by position.
+void ExpectKeyMatchedEqual(const ExtendedRelation& a,
+                           const ExtendedRelation& b) {
+  ASSERT_TRUE(a.schema()->Equals(*b.schema()));
+  ASSERT_EQ(a.size(), b.size());
+  const ColumnStore::EncodedKeys& keys_b = b.columns().encoded_keys();
+  std::unordered_map<std::string, size_t> by_key;
+  for (size_t r = 0; r < b.size(); ++r) {
+    by_key.emplace(std::string(keys_b.key(r)), r);
+  }
+  const ColumnStore::EncodedKeys& keys_a = a.columns().encoded_keys();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto it = by_key.find(std::string(keys_a.key(i)));
+    ASSERT_NE(it, by_key.end()) << "row " << i << ": key not found";
+    const size_t j = it->second;
+    ASSERT_EQ(a.row(i).membership.sn, b.row(j).membership.sn) << "row " << i;
+    ASSERT_EQ(a.row(i).membership.sp, b.row(j).membership.sp) << "row " << i;
+    for (size_t c = 0; c < a.row(i).cells.size(); ++c) {
+      ASSERT_TRUE(CellApproxEquals(a.row(i).cells[c], b.row(j).cells[c], 0.0))
+          << "row " << i << " cell " << c;
+    }
+  }
+}
+
+TEST(ColumnImageV3Test, MonolithicRoundTripsBitExactly) {
+  Catalog catalog = GeneratedCatalog(31, 60);
+  const std::string blob = WriteErelColumnImageV3(catalog);
+  ASSERT_EQ(blob.compare(0, 8, "EVCIMG03"), 0);
+  auto loaded = ReadErel(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ExtendedRelation* rel = loaded->GetRelation("W").value();
+  EXPECT_TRUE(rel->columnar_mode());
+  // A monolithic image is one partition covering every row.
+  ASSERT_EQ(rel->columns().partitions().size(), 1u);
+  EXPECT_EQ(rel->columns().partitions()[0].end_row, rel->size());
+  // The owned loader verified eagerly: nothing deferred escapes.
+  EXPECT_FALSE(rel->columns().deferred_verification_pending());
+  ExpectBitExact(*catalog.GetRelation("W").value(), *rel);
+}
+
+TEST(ColumnImageV3Test, PartitionedRoundTripsKeyMatched) {
+  Catalog catalog = GeneratedCatalog(37, 90);
+  for (const PartitionSpec::Scheme scheme :
+       {PartitionSpec::Scheme::kHash, PartitionSpec::Scheme::kKeyRange}) {
+    PartitionSpec spec;
+    spec.scheme = scheme;
+    spec.partitions = 7;
+    const std::string blob = WriteErelColumnImageV3(catalog, spec);
+    auto loaded = ReadErel(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    const ExtendedRelation* rel = loaded->GetRelation("W").value();
+    const auto& parts = rel->columns().partitions();
+    ASSERT_EQ(parts.size(), 7u);
+    size_t covered = 0;
+    for (const auto& zone : parts) {
+      ASSERT_EQ(zone.begin_row, covered);
+      covered = zone.end_row;
+      // Key-range partitions of value columns carry zones.
+      if (scheme == PartitionSpec::Scheme::kKeyRange &&
+          zone.end_row > zone.begin_row) {
+        EXPECT_TRUE(zone.values[0].has);
+        EXPECT_FALSE(zone.values[0].max < zone.values[0].min);
+      }
+    }
+    ASSERT_EQ(covered, rel->size());
+    ExpectKeyMatchedEqual(*catalog.GetRelation("W").value(), *rel);
+  }
+}
+
+TEST(ColumnImageV3Test, MappedLoadBorrowsAndMatches) {
+  const std::string path = "/tmp/evident_test_v3_mapped.erel";
+  Catalog catalog = GeneratedCatalog(41, 50);
+  ASSERT_TRUE(SaveErelFile(catalog, path, PartitionSpec{}).ok());
+  {
+    LoadOptions options;
+    options.map = LoadOptions::Map::kAlways;
+    LoadInfo info;
+    auto loaded = LoadErelFile(path, options, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_TRUE(info.mapped);
+    EXPECT_EQ(info.format, "column-image-v3");
+    EXPECT_EQ(info.relations, 1u);
+    EXPECT_EQ(info.partitions, 1u);
+    EXPECT_EQ(MappedFile::live_mappings(), 1u);
+    const ExtendedRelation* rel = loaded->GetRelation("W").value();
+    // Single-partition mapped image: the numeric arrays are borrowed
+    // straight out of the mapping, and verification is lazy.
+    EXPECT_TRUE(rel->columns().sn().borrowed());
+    EXPECT_TRUE(rel->columns().deferred_verification_pending());
+    ASSERT_TRUE(rel->columns().EnsureAllVerified().ok());
+    ExpectBitExact(*catalog.GetRelation("W").value(), *rel);
+  }
+  // Dropping the catalog releases the mapping: no fd or mapping leaks.
+  EXPECT_EQ(MappedFile::live_mappings(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnImageV3Test, MappedPartitionedLoadStitchesAndMatches) {
+  const std::string path = "/tmp/evident_test_v3_mapped_parts.erel";
+  Catalog catalog = GeneratedCatalog(43, 64);
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kKeyRange;
+  spec.partitions = 5;
+  ASSERT_TRUE(SaveErelFile(catalog, path, spec).ok());
+  LoadOptions options;
+  options.map = LoadOptions::Map::kAlways;
+  LoadInfo info;
+  auto loaded = LoadErelFile(path, options, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(info.mapped);
+  EXPECT_EQ(info.partitions, 5u);
+  const ExtendedRelation* rel = loaded->GetRelation("W").value();
+  // Multi-partition images stitch into owned arrays but still verify
+  // partition-at-a-time.
+  EXPECT_FALSE(rel->columns().sn().borrowed());
+  EXPECT_TRUE(rel->columns().deferred_verification_pending());
+  ASSERT_TRUE(rel->columns().EnsureAllVerified().ok());
+  ExpectKeyMatchedEqual(*catalog.GetRelation("W").value(), *rel);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnImageV3Test, EveryTruncationIsACleanParseError) {
+  Catalog catalog = GeneratedCatalog(47, 8);
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kHash;
+  spec.partitions = 3;
+  // Every proper prefix cuts a manifest field, a chunk, or the trailer
+  // short somewhere: the reader must fail cleanly, never read past the
+  // end, and name the file and offset region in the message.
+  const std::string blob = WriteErelColumnImageV3(catalog, spec);
+  for (size_t len = 8; len < blob.size(); ++len) {
+    auto loaded = ReadErel(blob.substr(0, len), "trunc.erel");
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+    ASSERT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "prefix of " << len << " bytes";
+    ASSERT_NE(loaded.status().message().find("trunc.erel"), std::string::npos)
+        << loaded.status();
+  }
+}
+
+TEST(ColumnImageV3Test, MappedAndCopiedLoadsAgreeOnEveryByteFlip) {
+  // Single-byte corruption anywhere — manifest fields, zone maps, chunk
+  // bodies, the key trailer — must fail identically (same first error)
+  // whether the file is copied in (eager verification) or mapped
+  // (deferred verification driven to completion), and must never leak a
+  // mapping.
+  const std::string path = "/tmp/evident_test_v3_flips.erel";
+  Catalog catalog = GeneratedCatalog(53, 12);
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kKeyRange;
+  spec.partitions = 4;
+  const std::string blob = WriteErelColumnImageV3(catalog, spec);
+  std::string corrupt = blob;
+  LoadOptions copied;
+  copied.map = LoadOptions::Map::kNever;
+  LoadOptions mapped;
+  mapped.map = LoadOptions::Map::kAlways;
+  for (size_t pos = 8; pos < blob.size(); ++pos) {
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << corrupt;
+    }
+    auto eager = LoadErelFile(path, copied, nullptr);
+    auto lazy = LoadErelFile(path, mapped, nullptr);
+    if (!eager.ok()) {
+      // Structural damage fails both loads identically; semantic damage
+      // loads lazily and surfaces the same error on verification.
+      Status lazy_status = Status::OK();
+      if (lazy.ok()) {
+        for (const std::string& name : lazy->RelationNames()) {
+          lazy_status =
+              lazy->GetRelation(name).value()->columns().EnsureAllVerified();
+          if (!lazy_status.ok()) break;
+        }
+      } else {
+        lazy_status = lazy.status();
+      }
+      ASSERT_FALSE(lazy_status.ok()) << "byte " << pos << ": copied load said "
+                                     << eager.status().message();
+      EXPECT_EQ(eager.status().message(), lazy_status.message())
+          << "byte " << pos;
+    } else {
+      // A surviving flip (e.g. a low mantissa bit inside zone bounds)
+      // must load both ways and stay usable.
+      ASSERT_TRUE(lazy.ok()) << "byte " << pos << ": " << lazy.status();
+      for (const std::string& name : lazy->RelationNames()) {
+        ASSERT_TRUE(
+            lazy->GetRelation(name).value()->columns().EnsureAllVerified().ok())
+            << "byte " << pos;
+        (void)lazy->GetRelation(name).value()->ValidateInvariants();
+      }
+    }
+    corrupt[pos] = blob[pos];
+  }
+  EXPECT_EQ(MappedFile::live_mappings(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnImageV3Test, EmptyRelationAndAutoFallback) {
+  // An empty relation is always one empty partition; kAuto still maps
+  // v3 files and falls back to the copied path for v2.
+  auto schema = RelationSchema::Make({AttributeDef::Key("k")}).value();
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterRelation(ExtendedRelation("E", schema)).ok());
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kHash;
+  spec.partitions = 6;
+  auto loaded = ReadErel(WriteErelColumnImageV3(catalog, spec));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded->GetRelation("E"))->size(), 0u);
+  EXPECT_EQ((*loaded->GetRelation("E"))->columns().partitions().size(), 1u);
+
+  const std::string path = "/tmp/evident_test_v3_fallback.erel";
+  Catalog v2 = GeneratedCatalog(59, 10);
+  ASSERT_TRUE(SaveErelFile(v2, path, ErelFormat::kColumnImage).ok());
+  LoadInfo info;
+  auto fallback = LoadErelFile(path, LoadOptions{}, &info);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_FALSE(info.mapped);
+  EXPECT_EQ(info.format, "column-image-v2");
+  EXPECT_EQ(MappedFile::live_mappings(), 0u);
+  std::remove(path.c_str());
+}
+
+/// 96 rows keyed 0..95 (d = k / 10, u a definite singleton) — except
+/// the top key, whose evidence splits 0.5/0.5. Under key-range
+/// partitioning the doubles 0.5 occur in the file only inside the last
+/// partition's chunk, giving the corruption test below a byte it can
+/// flip in a known-prunable partition without parsing the manifest.
+Catalog PruningCatalog() {
+  DomainPtr dom =
+      Domain::MakeSymbolic("pz_dom", {"z0", "z1", "z2", "z3"}).value();
+  SchemaPtr schema = RelationSchema::Make({AttributeDef::Key("k"),
+                                           AttributeDef::Definite("d"),
+                                           AttributeDef::Uncertain("u", dom)})
+                         .value();
+  ExtendedRelation rel("P", schema);
+  for (int64_t i = 0; i < 96; ++i) {
+    MassFunction m =
+        i == 95 ? MassFunction::FromUnmerged(
+                      4, {{ValueSet::Singleton(4, 0), 0.5},
+                          {ValueSet::Singleton(4, 1), 0.5}})
+                : MassFunction::Definite(4, static_cast<size_t>(i) % 4);
+    ExtendedTuple t;
+    t.cells = {Value(i), Value(i / 10),
+               EvidenceSet::MakeTrusted(dom, std::move(m))};
+    t.membership = SupportPair::Certain();
+    EXPECT_TRUE(rel.Insert(std::move(t)).ok());
+  }
+  Catalog catalog;
+  EXPECT_TRUE(catalog.RegisterRelation(std::move(rel)).ok());
+  return catalog;
+}
+
+TEST(ColumnImageV3Test, ZoneMapPruningMatchesMonolithicAndShowsInExplain) {
+  const std::string parts_path = "/tmp/evident_test_v3_prune_parts.erel";
+  const std::string mono_path = "/tmp/evident_test_v3_prune_mono.erel";
+  Catalog catalog = PruningCatalog();
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kKeyRange;
+  spec.partitions = 8;
+  ASSERT_TRUE(SaveErelFile(catalog, parts_path, spec).ok());
+  ASSERT_TRUE(SaveErelFile(catalog, mono_path, PartitionSpec{}).ok());
+  auto partitioned = LoadErelFile(parts_path);
+  auto monolithic = LoadErelFile(mono_path);
+  ASSERT_TRUE(partitioned.ok()) << partitioned.status();
+  ASSERT_TRUE(monolithic.ok()) << monolithic.status();
+
+  // Keys 0..95 key-range split 8 ways: k < 12 is exactly partition 0,
+  // so the other seven are refuted by their key zones.
+  const std::string query = "SELECT * FROM P WHERE k < 12";
+  QueryEngine part_engine(&*partitioned);
+  QueryEngine mono_engine(&*monolithic);
+  ResetScanStats();
+  auto pruned_result = part_engine.Execute(query);
+  ASSERT_TRUE(pruned_result.ok()) << pruned_result.status();
+  const PartitionScanStats stats = CurrentScanStats();
+  EXPECT_EQ(stats.partitions_considered, 8u);
+  EXPECT_EQ(stats.partitions_pruned, 7u);
+  auto full_result = mono_engine.Execute(query);
+  ASSERT_TRUE(full_result.ok()) << full_result.status();
+  EXPECT_EQ(pruned_result->size(), 12u);
+  ExpectKeyMatchedEqual(*full_result, *pruned_result);
+
+  auto explain = part_engine.Explain(query);
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_NE(explain->find("partitions=7/8 pruned"), std::string::npos)
+      << *explain;
+  EXPECT_NE(explain->find("8 partition(s)"), std::string::npos) << *explain;
+
+  // The operator API prunes too: a direct columnar Select over the
+  // partitioned relation matches and records the skips.
+  const ExtendedRelation* prel = partitioned->GetRelation("P").value();
+  ResetScanStats();
+  auto selected =
+      Select(*prel, Theta(ThetaOperand::Attr("k"), ThetaOp::kLt,
+                          ThetaOperand::LitValue(Value(int64_t{12}))));
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  EXPECT_EQ(CurrentScanStats().partitions_pruned, 7u);
+  EXPECT_EQ(selected->size(), 12u);
+  std::remove(parts_path.c_str());
+  std::remove(mono_path.c_str());
+}
+
+TEST(ColumnImageV3Test, PrunedPartitionsAreNeverVerified) {
+  const std::string path = "/tmp/evident_test_v3_prune_corrupt.erel";
+  Catalog catalog = PruningCatalog();
+  PartitionSpec spec;
+  spec.scheme = PartitionSpec::Scheme::kKeyRange;
+  spec.partitions = 8;
+  const std::string blob = WriteErelColumnImageV3(catalog, spec);
+  // Flip a mantissa bit of a focal mass of the top-key row: the only
+  // 0.5 doubles in the file live in the last partition's chunk.
+  const double half = 0.5;
+  std::string pattern(reinterpret_cast<const char*>(&half), sizeof(half));
+  const size_t pos = blob.rfind(pattern);
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupt = blob;
+  corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+
+  // The eager (copied) load sees the corruption immediately...
+  LoadOptions copied;
+  copied.map = LoadOptions::Map::kNever;
+  auto eager = LoadErelFile(path, copied, nullptr);
+  ASSERT_FALSE(eager.ok());
+  EXPECT_NE(eager.status().message().find("checksum"), std::string::npos)
+      << eager.status();
+
+  {
+    // ...but a mapped load defers, and a query whose zone maps refute
+    // the corrupt partition never reads — or verifies — its bytes.
+    LoadOptions options;
+    options.map = LoadOptions::Map::kAlways;
+    auto mapped = LoadErelFile(path, options, nullptr);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    QueryEngine engine(&*mapped);
+    ResetScanStats();
+    auto result = engine.Execute("SELECT * FROM P WHERE k < 12");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->size(), 12u);
+    EXPECT_EQ(CurrentScanStats().partitions_pruned, 7u);
+    // Touching everything surfaces exactly the eager load's first error.
+    const ExtendedRelation* rel = mapped->GetRelation("P").value();
+    const Status all = rel->columns().EnsureAllVerified();
+    ASSERT_FALSE(all.ok());
+    EXPECT_EQ(all.message(), eager.status().message());
+  }
+  EXPECT_EQ(MappedFile::live_mappings(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(CsvTest, ParsesHeaderAndRows) {

@@ -39,6 +39,13 @@ esac
 : "${EVIDENT_FUZZ_ITERS:=40}"
 export EVIDENT_FUZZ_ITERS
 
+# Pin the mmap open path ON for the sanitized suites: the storage and
+# partition tests exercise both open modes explicitly, but any other
+# LoadErelFile call resolves Map::kAuto — force-enable so an inherited
+# EVIDENT_MMAP=0 cannot silently shrink ASan/TSan coverage of the
+# borrowed-memory code paths.
+export EVIDENT_MMAP=1
+
 run_pass() {
   local preset="$1"; shift
   local build_dir="build-${preset}"
